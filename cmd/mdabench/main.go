@@ -1,0 +1,154 @@
+// Command mdabench regenerates the paper's evaluation: every table and
+// figure of §VII–§VIII plus the ablations, printed as text tables (and
+// optionally CSV).
+//
+// Examples:
+//
+//	mdabench -fig 12 -scale 4          # normalized cycles, all LLC sizes
+//	mdabench -fig all -scale 4 -v      # the whole evaluation with progress
+//	mdabench -fig 15 -scale 4          # occupancy sparklines
+//
+// -scale 1 is the paper's exact configuration (hours of simulation);
+// -scale 4 (default) divides matrix dims by 4 and cache capacities by 16,
+// preserving all working-set/capacity ratios.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mdacache/internal/experiments"
+	"mdacache/internal/stats"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure: 10, 11, 12, 13, 14, 15, 16, 17, layout, dense, design3, tiling, looporder, tech, mapping, repl, subrow, report, all")
+		scale = flag.Int("scale", 4, "scale divisor (1 = paper scale)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verb  = flag.Bool("v", false, "log each simulation as it runs")
+	)
+	flag.Parse()
+
+	var log io.Writer
+	if *verb {
+		log = os.Stderr
+	}
+	suite := experiments.NewSuite(*scale, log)
+
+	emit := func(t *stats.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "10":
+			t, err := suite.Fig10()
+			check(err)
+			emit(t)
+		case "11":
+			t, err := suite.Fig11()
+			check(err)
+			emit(t)
+		case "12":
+			ts, err := suite.Fig12()
+			check(err)
+			for _, t := range ts {
+				emit(t)
+			}
+		case "13":
+			t, err := suite.Fig13()
+			check(err)
+			emit(t)
+		case "14":
+			t, err := suite.Fig14()
+			check(err)
+			emit(t)
+		case "15":
+			rs, err := suite.Fig15()
+			check(err)
+			for _, r := range rs {
+				fmt.Printf("== Fig. 15: %s column-line occupancy over time ==\n", r.Bench)
+				for i, ser := range r.Series {
+					fmt.Printf("%-3s (peak %5.1f%%)  %s\n", r.Levels[i], 100*ser.MaxY(), ser.Sparkline(64))
+				}
+				fmt.Println()
+			}
+		case "16":
+			t, err := suite.Fig16()
+			check(err)
+			emit(t)
+		case "17":
+			t, err := suite.Fig17()
+			check(err)
+			emit(t)
+		case "layout":
+			t, err := suite.AblationLayout()
+			check(err)
+			emit(t)
+		case "dense":
+			t, err := suite.AblationDense()
+			check(err)
+			emit(t)
+		case "design3":
+			t, err := suite.AblationDesign3()
+			check(err)
+			emit(t)
+		case "tiling":
+			t, err := suite.AblationTiling()
+			check(err)
+			emit(t)
+		case "looporder":
+			t, err := suite.AblationLoopOrder()
+			check(err)
+			emit(t)
+		case "tech":
+			t, err := suite.AblationTech()
+			check(err)
+			emit(t)
+		case "mapping":
+			t, err := suite.AblationMapping()
+			check(err)
+			emit(t)
+		case "subrow":
+			t, err := suite.AblationSubBuffers()
+			check(err)
+			emit(t)
+		case "repl":
+			t, err := suite.AblationRepl()
+			check(err)
+			emit(t)
+		case "report":
+			claims, err := suite.Report()
+			check(err)
+			fmt.Print(experiments.ClaimsMarkdown(claims))
+		default:
+			fmt.Fprintf(os.Stderr, "mdabench: unknown figure %q\n", name)
+			os.Exit(1)
+		}
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"10", "11", "12", "13", "14", "15", "16", "17", "layout", "dense", "design3", "tiling", "looporder", "tech", "mapping", "repl", "subrow", "report"} {
+			run(f)
+		}
+		return
+	}
+	for _, f := range strings.Split(*fig, ",") {
+		run(strings.TrimSpace(f))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdabench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,241 @@
+// Command mdasim runs a single MDACache simulation: one benchmark on one
+// cache-hierarchy design, printing execution time, per-level cache
+// statistics and memory-controller statistics.
+//
+// Examples:
+//
+//	mdasim -bench sgemm -design 1P2L -n 128 -scale 4
+//	mdasim -bench htap1 -design 2P2L -llc 2 -scale 2
+//	mdasim -printconfig -design 1P2L
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mdacache/internal/compiler"
+	"mdacache/internal/core"
+	"mdacache/internal/experiments"
+	"mdacache/internal/isa"
+	"mdacache/internal/stats"
+	"mdacache/internal/workloads"
+)
+
+var designByName = map[string]core.Design{
+	"1p1l":         core.D0Baseline,
+	"1p2l":         core.D1DiffSet,
+	"1p2l_sameset": core.D1SameSet,
+	"2p2l":         core.D2Sparse,
+	"2p2l_dense":   core.D2Dense,
+	"2p2l_l1":      core.D3AllTile,
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "sgemm", "benchmark: "+strings.Join(workloads.Names, ", "))
+		design    = flag.String("design", "1P2L", "design: 1P1L, 1P2L, 1P2L_SameSet, 2P2L, 2P2L_Dense, 2P2L_L1")
+		n         = flag.Int("n", 0, "matrix dimension (default: 512/scale)")
+		llcMB     = flag.Float64("llc", 1, "LLC capacity in MB at paper scale")
+		scale     = flag.Int("scale", 4, "scale divisor: caches /scale², default n = 512/scale")
+		twoLevel  = flag.Bool("twolevel", false, "drop the L3; the L2 is the LLC (Fig. 13 config)")
+		fastMem   = flag.Bool("fastmem", false, "1.6x faster main memory (Fig. 17)")
+		slowWr    = flag.Uint64("slowwrite", 0, "extra 2P2L array-write cycles (Fig. 16 uses 20)")
+		tiled1D   = flag.Bool("force-tiled-layout", false, "force the 2-D layout on a 1-D hierarchy (ablation)")
+		occEvery  = flag.Uint64("occupancy", 0, "sample row/col occupancy every N cycles (Fig. 15)")
+		printCfg  = flag.Bool("printconfig", false, "print the Table I configuration and exit")
+		traceFile = flag.String("trace", "", "run a serialized trace (see mdatrace) instead of compiling -bench")
+		predict   = flag.Bool("predict", false, "enable dynamic orientation prediction in the L1 (1P2L designs)")
+		csvOut    = flag.Bool("csv", false, "emit a flat metric,value CSV instead of tables")
+	)
+	flag.Parse()
+
+	d, ok := designByName[strings.ToLower(*design)]
+	if !ok {
+		fatalf("unknown design %q", *design)
+	}
+	if *n == 0 {
+		*n = 512 / *scale
+	}
+	spec := experiments.RunSpec{
+		Bench:             *bench,
+		N:                 *n,
+		Design:            d,
+		LLCBytes:          int(*llcMB * float64(core.MB)),
+		TwoLevel:          *twoLevel,
+		Scale:             *scale,
+		FastMem:           *fastMem,
+		SlowWrite:         *slowWr,
+		OccupancyInterval: *occEvery,
+		PredictOrient:     *predict,
+	}
+	if *tiled1D {
+		spec.LayoutOverride = compiler.LayoutTiled
+	}
+
+	if *printCfg {
+		cfg, err := spec.Config()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printConfig(cfg)
+		return
+	}
+
+	var res *core.Results
+	var err error
+	if *traceFile != "" {
+		spec.Bench = "trace:" + *traceFile
+		res, err = runTraceFile(spec, *traceFile)
+	} else {
+		res, err = experiments.Run(spec)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *csvOut {
+		reportCSV(res)
+		return
+	}
+	report(spec, res)
+}
+
+// reportCSV emits every counter as one metric,value row — convenient for
+// scripting sweeps over mdasim invocations.
+func reportCSV(res *core.Results) {
+	row := func(name string, v interface{}) { fmt.Printf("%s,%v\n", name, v) }
+	row("cycles", res.Cycles)
+	row("ops", res.Ops)
+	row("vector_ops", res.Vectors)
+	row("loads", res.Loads)
+	row("stores", res.Stores)
+	row("order_stalls", res.OrderStalls)
+	for _, l := range res.Levels {
+		p := strings.ToLower(l.Name) + "_"
+		row(p+"accesses", l.Accesses)
+		row(p+"hits", l.Hits)
+		row(p+"misses", l.Misses)
+		row(p+"hits_wrong_orient", l.HitsWrongOrient)
+		row(p+"partial_hits", l.PartialHits)
+		row(p+"fills", l.FillsIssued)
+		row(p+"writebacks_out", l.Writebacks)
+		row(p+"writebacks_in", l.WritebacksIn)
+		row(p+"evictions", l.Evictions)
+		row(p+"bytes_from_below", l.BytesFromBelow)
+		row(p+"bytes_to_below", l.BytesToBelow)
+		row(p+"duplicate_evictions", l.DuplicateEvictions)
+		row(p+"duplicate_flushes", l.DuplicateFlushes)
+		row(p+"mshr_coalesced", l.MSHRCoalesced)
+		row(p+"mshr_stalls", l.MSHRStalls)
+		row(p+"extra_tag_probes", l.ExtraTagProbes)
+		row(p+"prefetch_issued", l.PrefetchIssued)
+		row(p+"prefetch_useful", l.PrefetchUseful)
+	}
+	row("mem_row_reads", res.Mem.Reads[isa.Row])
+	row("mem_col_reads", res.Mem.Reads[isa.Col])
+	row("mem_row_writes", res.Mem.Writes[isa.Row])
+	row("mem_col_writes", res.Mem.Writes[isa.Col])
+	row("mem_row_buffer_hits", res.Mem.BufferHits[isa.Row])
+	row("mem_col_buffer_hits", res.Mem.BufferHits[isa.Col])
+	row("mem_row_activations", res.Mem.Activations[isa.Row])
+	row("mem_col_activations", res.Mem.Activations[isa.Col])
+	row("mem_bytes_read", res.Mem.BytesRead)
+	row("mem_bytes_written", res.Mem.BytesWritten)
+	row("mem_energy_pj", fmt.Sprintf("%.0f", res.Mem.Energy.TotalPJ()))
+}
+
+// runTraceFile replays a serialized trace through the spec's machine.
+func runTraceFile(spec experiments.RunSpec, path string) (*core.Results, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := isa.NewFileTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := m.Run(tr)
+	if err := tr.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdasim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func printConfig(cfg core.Config) {
+	t := stats.NewTable("Configuration (Table I)", "component", "value")
+	lvl := func(p core.CacheParams) string {
+		seq := "parallel"
+		if p.Sequential {
+			seq = "sequential"
+		}
+		return fmt.Sprintf("%dKB %d-way, tag %d / data %d cycles (%s), %d MSHRs, %v mapping",
+			p.SizeBytes/1024, p.Assoc, p.TagLat, p.DataLat, seq, p.MSHRs, p.Mapping)
+	}
+	t.AddRow("design", cfg.Design)
+	t.AddRow("L1", lvl(cfg.L1))
+	t.AddRow("L2", lvl(cfg.L2))
+	if cfg.L3.SizeBytes > 0 {
+		t.AddRow("L3 (LLC)", lvl(cfg.L3))
+	}
+	t.AddRow("memory", fmt.Sprintf("%d channels x %d ranks x %d banks, RCD=%d CAS=%d PRE=%d WR=%d, row-only=%v",
+		cfg.Mem.Channels, cfg.Mem.Ranks, cfg.Mem.Banks,
+		cfg.Mem.RCD, cfg.Mem.CAS, cfg.Mem.Precharge, cfg.Mem.WriteRec, cfg.Mem.RowOnly))
+	t.AddRow("CPU window", cfg.Window)
+	fmt.Print(t)
+}
+
+func report(spec experiments.RunSpec, res *core.Results) {
+	fmt.Printf("%s on %v: %d cycles (%d ops, %d vector)\n\n",
+		spec.Bench, spec.Design, res.Cycles, res.Ops, res.Vectors)
+
+	t := stats.NewTable("Cache levels",
+		"level", "accesses", "hit rate", "wrong-orient", "partial", "fills", "wb out", "wb in", "dup evict", "MSHR coalesce")
+	for _, l := range res.Levels {
+		t.AddRow(l.Name, l.Accesses, l.HitRate(), l.HitsWrongOrient, l.PartialHits,
+			l.FillsIssued, l.Writebacks, l.WritebacksIn, l.DuplicateEvictions, l.MSHRCoalesced)
+	}
+	fmt.Print(t)
+
+	m := stats.NewTable("MDA main memory", "metric", "row", "col")
+	m.AddRow("line reads", res.Mem.Reads[isa.Row], res.Mem.Reads[isa.Col])
+	m.AddRow("line writes", res.Mem.Writes[isa.Row], res.Mem.Writes[isa.Col])
+	m.AddRow("buffer hits", res.Mem.BufferHits[isa.Row], res.Mem.BufferHits[isa.Col])
+	m.AddRow("activations", res.Mem.Activations[isa.Row], res.Mem.Activations[isa.Col])
+	fmt.Println()
+	fmt.Print(m)
+	fmt.Printf("\nmemory traffic: %.2f MB read, %.2f MB written, avg read latency %.1f cycles\n",
+		float64(res.Mem.BytesRead)/1e6, float64(res.Mem.BytesWritten)/1e6, res.Mem.AvgReadLatency())
+	e := &res.Mem.Energy
+	fmt.Printf("memory energy: %.1f uJ (activations %.1f, buffers %.1f, bus %.1f, writes %.1f)\n",
+		e.TotalUJ(), e.ActivationPJ/1e6, e.BufferPJ/1e6, e.BusPJ/1e6, e.WritePJ/1e6)
+
+	if len(res.Occupancy) > 0 {
+		fmt.Println()
+		for li, name := range []string{"L1", "L2", "L3"} {
+			if li >= len(res.Occupancy[0].Row) {
+				break
+			}
+			ser := stats.Series{Name: name}
+			for _, s := range res.Occupancy {
+				ser.X = append(ser.X, s.Cycle)
+				ser.Y = append(ser.Y, s.ColFraction(li))
+			}
+			fmt.Printf("%s column occupancy (max %.1f%%): %s\n", name, 100*ser.MaxY(), ser.Sparkline(60))
+		}
+	}
+}

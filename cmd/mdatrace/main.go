@@ -1,0 +1,170 @@
+// Command mdatrace works with compiled memory-operation traces: dump a
+// benchmark's trace to a file, summarise a trace's access mix, or print the
+// first ops for inspection.
+//
+// Examples:
+//
+//	mdatrace -bench sgemm -n 64 -target 2d -o sgemm.trc   # compile & dump
+//	mdatrace -stats sgemm.trc                              # summarise
+//	mdatrace -head 20 sgemm.trc                            # peek
+//	mdatrace -bench sobel -n 64 -target 1d -stats -        # pipe through
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mdacache/internal/compiler"
+	"mdacache/internal/isa"
+	"mdacache/internal/stats"
+	"mdacache/internal/workloads"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "benchmark to compile: "+strings.Join(workloads.Names, ", "))
+		n      = flag.Int("n", 64, "matrix dimension")
+		target = flag.String("target", "2d", "compile target: 1d or 2d")
+		tile   = flag.Int("tile", 0, "iteration-space tile size (0 = untiled)")
+		out    = flag.String("o", "", "write the compiled trace to this file")
+		show   = flag.Bool("stats", false, "print access-mix statistics")
+		head   = flag.Int("head", 0, "print the first N ops")
+		print_ = flag.Bool("print", false, "print the kernel's pseudocode and compilation decisions")
+	)
+	flag.Parse()
+
+	switch {
+	case *bench != "":
+		compileMode(*bench, *n, *target, *tile, *out, *show, *head, *print_)
+	case flag.NArg() == 1:
+		fileMode(flag.Arg(0), *show, *head)
+	default:
+		fmt.Fprintln(os.Stderr, "mdatrace: give -bench to compile or a trace file to read")
+		os.Exit(1)
+	}
+}
+
+func compileMode(bench string, n int, target string, tile int, out string, show bool, head int, dump bool) {
+	if !workloads.Valid(bench) {
+		fatalf("unknown benchmark %q", bench)
+	}
+	kern := workloads.Build(bench, n)
+	if tile > 0 {
+		sizes := map[string]int{"i": tile, "j": tile, "k": tile}
+		compiler.TileKernel(kern, sizes)
+	}
+	prog, err := compiler.Compile(kern, compiler.Target{Logical2D: target == "2d"})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "compiled %v\n", prog)
+	if dump {
+		fmt.Print(kern.Pseudocode())
+		fmt.Print(prog.Describe())
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tr := prog.Trace()
+		count, err := isa.WriteTrace(f, tr)
+		tr.Close()
+		if err2 := f.Close(); err == nil {
+			err = err2
+		}
+		if err != nil {
+			fatalf("writing %s: %v", out, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d ops to %s\n", count, out)
+	}
+	if show {
+		printMix(prog.MeasureMix())
+	}
+	if head > 0 {
+		tr := prog.Trace()
+		defer tr.Close()
+		printHead(tr, head)
+	}
+}
+
+func fileMode(path string, show bool, head int) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := isa.NewFileTrace(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if head > 0 {
+		printHead(tr, head)
+		return
+	}
+	// Default (and -stats): tally the whole trace.
+	var mix compiler.Mix
+	count := 0
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		s, bytes := 0, uint64(isa.WordSize)
+		if op.Vector {
+			s, bytes = 1, isa.LineSize
+		}
+		mix.Ops[op.Orient][s]++
+		mix.Bytes[op.Orient][s] += bytes
+		count++
+	}
+	if err := tr.Err(); err != nil {
+		fatalf("reading trace: %v", err)
+	}
+	fmt.Printf("%d ops\n", count)
+	if show || count > 0 {
+		printMix(mix)
+	}
+}
+
+func printMix(m compiler.Mix) {
+	t := stats.NewTable("Access mix", "class", "ops", "bytes", "% volume")
+	add := func(name string, o isa.Orient, vec bool) {
+		s := 0
+		if vec {
+			s = 1
+		}
+		t.AddRow(name, m.Ops[o][s], m.Bytes[o][s], 100*m.Share(o, vec))
+	}
+	add("row scalar", isa.Row, false)
+	add("row vector", isa.Row, true)
+	add("col scalar", isa.Col, false)
+	add("col vector", isa.Col, true)
+	fmt.Print(t)
+	fmt.Printf("column share of data volume: %.1f%%\n", 100*m.ColShare())
+}
+
+func printHead(tr isa.TraceReader, n int) {
+	for i := 0; i < n; i++ {
+		op, ok := tr.Next()
+		if !ok {
+			return
+		}
+		fmt.Printf("%6d  %v\n", i, op)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdatrace: "+format+"\n", args...)
+	os.Exit(1)
+}

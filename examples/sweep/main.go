@@ -1,0 +1,57 @@
+// Sweep reproduces the spirit of the paper's §VIII sensitivity study on a
+// single kernel: it sweeps the LLC capacity across the working-set boundary
+// and shows how each design's benefit over the baseline varies with the
+// working-set/capacity ratio.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdacache/internal/core"
+	"mdacache/internal/experiments"
+	"mdacache/internal/stats"
+)
+
+func main() {
+	const (
+		bench = "strmm"
+		n     = 64
+		scale = 8
+	)
+	// strmm at 64×64 touches 2 matrices ≈ 64 KB; scaled LLCs below span
+	// capacity ratios from heavily non-resident to fully resident.
+	llcs := []int{core.MB / 2, core.MB, 2 * core.MB, 4 * core.MB, 8 * core.MB}
+
+	t := stats.NewTable(
+		fmt.Sprintf("%s: normalized cycles vs LLC capacity (scale 1/%d)", bench, scale),
+		"LLC (scaled)", "1P2L", "2P2L", "baseline L1 hit", "1P2L mem MB")
+	for _, llc := range llcs {
+		base, err := experiments.Run(experiments.RunSpec{
+			Bench: bench, N: n, Design: core.D0Baseline, LLCBytes: llc, Scale: scale,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := []interface{}{fmt.Sprintf("%d KB", llc/scale/scale/1024)}
+		var memMB float64
+		for _, d := range []core.Design{core.D1DiffSet, core.D2Sparse} {
+			res, err := experiments.Run(experiments.RunSpec{
+				Bench: bench, N: n, Design: d, LLCBytes: llc, Scale: scale,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, float64(res.Cycles)/float64(base.Cycles))
+			if d == core.D1DiffSet {
+				memMB = float64(res.Mem.TotalBytes()) / 1e6
+			}
+		}
+		row = append(row, base.L1().HitRate(), memMB)
+		t.AddRow(row...)
+	}
+	fmt.Print(t)
+	fmt.Println("\nOnce the working set is resident (right side) both designs converge")
+	fmt.Println("to the pure vectorization gain; below residency the column-transfer")
+	fmt.Println("bandwidth advantage is added on top (the §VIII sensitivity).")
+}

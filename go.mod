@@ -1,0 +1,3 @@
+module mdacache
+
+go 1.22

@@ -1,0 +1,101 @@
+package compiler
+
+import "mdacache/internal/isa"
+
+// refClass describes how a reference behaves with respect to the innermost
+// loop of its nest — the §V access-direction analysis.
+type refClass int
+
+const (
+	refInvariant refClass = iota // innermost index absent: hoistable scalar
+	refRowStream                 // unit stride in the fast dimension
+	refColStream                 // unit stride in the slow dimension
+	refIrregular                 // innermost index appears non-unit or in both
+)
+
+// analysis is the per-ref compilation result.
+type analysis struct {
+	class  refClass
+	offset int        // constant offset of the innermost index in its subscript
+	orient isa.Orient // the preference bit the compiler sets on the instruction
+}
+
+// analyzeRef classifies ref against innermost index v and computes its
+// orientation preference: the subscript position in which the (innermost)
+// index appears decides row vs column (§V); references without a discerned
+// preference are marked row (§IV-B(a)).
+func analyzeRef(ref Ref, v string, enclosing []string) analysis {
+	cr, cc := ref.Row.Coeff(v), ref.Col.Coeff(v)
+	switch {
+	case cr == 0 && cc == 0:
+		// Hoistable: derive preference from the nearest enclosing loop whose
+		// index appears in the reference.
+		for i := len(enclosing) - 1; i >= 0; i-- {
+			w := enclosing[i]
+			wr, wc := ref.Row.Coeff(w), ref.Col.Coeff(w)
+			if wc != 0 {
+				return analysis{class: refInvariant, orient: isa.Row}
+			}
+			if wr != 0 {
+				return analysis{class: refInvariant, orient: isa.Col}
+			}
+		}
+		return analysis{class: refInvariant, orient: isa.Row}
+	case cr == 0 && cc == 1:
+		return analysis{class: refRowStream, offset: ref.Col.Const(), orient: isa.Row}
+	case cc == 0 && cr == 1:
+		return analysis{class: refColStream, offset: ref.Row.Const(), orient: isa.Col}
+	case cc != 0:
+		return analysis{class: refIrregular, orient: isa.Row}
+	default:
+		return analysis{class: refIrregular, orient: isa.Col}
+	}
+}
+
+// stmtPlan is the vectorization decision for one statement.
+type stmtPlan struct {
+	refs      []analysis
+	vectorize bool
+}
+
+// planStmt decides whether the statement's innermost loop can be executed
+// with 8-wide vectors. Requirements:
+//
+//   - every non-invariant reference streams with unit stride along exactly
+//     one dimension (row or column);
+//   - every streaming *write* is offset-aligned (offset 0 mod 8), so vector
+//     stores cover whole lines;
+//   - on a logically 1-D target, column streams cannot be vectorized
+//     (gathering strided elements would cost more than it saves, §V), so
+//     any column-streaming reference forces the scalar fallback.
+//
+// Column-streaming loads on 2-D targets are precisely the new vectorization
+// opportunity the paper's MDA caches unlock.
+func planStmt(s Stmt, v string, enclosing []string, logical2D bool) stmtPlan {
+	plan := stmtPlan{vectorize: true}
+	for _, ref := range s.Refs {
+		a := analyzeRef(ref, v, enclosing)
+		if !logical2D && a.orient == isa.Col {
+			// 1-D targets have no column instructions at all.
+			a.orient = isa.Row
+		}
+		plan.refs = append(plan.refs, a)
+		switch a.class {
+		case refInvariant:
+			// fine either way
+		case refRowStream:
+			if ref.Write && a.offset%8 != 0 {
+				plan.vectorize = false
+			}
+		case refColStream:
+			if !logical2D {
+				plan.vectorize = false
+			} else if ref.Write && a.offset%8 != 0 {
+				plan.vectorize = false
+			}
+		default:
+			plan.vectorize = false
+		}
+	}
+	return plan
+}

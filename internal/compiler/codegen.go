@@ -1,0 +1,351 @@
+package compiler
+
+import (
+	"fmt"
+
+	"mdacache/internal/isa"
+)
+
+// Target describes the hierarchy a kernel is compiled for.
+type Target struct {
+	// Logical2D enables column instructions and column vectorization and
+	// (with LayoutAuto) the tiled MDA-compliant layout.
+	Logical2D bool
+
+	// Layout overrides the automatic layout choice; used by the layout
+	// ablation (§IV-C: a 1P1L hierarchy over a 2-D-optimised layout).
+	Layout Layout
+
+	// BaseAddr places the first array (default 4 KiB to keep address 0
+	// free). Arrays are packed tile-aligned after it.
+	BaseAddr uint64
+}
+
+// Program is a compiled kernel: arrays placed, references classified and
+// annotated, ready to generate its memory-operation trace.
+type Program struct {
+	Kernel *Kernel
+	Target Target
+
+	layout    Layout
+	footprint uint64
+	nextPC    uint32
+}
+
+// Compile lays out the kernel's arrays for the target and assigns static
+// instruction ids. The kernel is mutated (array placement) and must not be
+// shared across concurrently-running programs.
+func Compile(k *Kernel, t Target) (*Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	layout := t.Layout
+	if layout == LayoutAuto {
+		if t.Logical2D {
+			layout = LayoutTiled
+		} else {
+			layout = LayoutLinear
+		}
+	}
+	base := t.BaseAddr
+	if base == 0 {
+		base = 4096
+	}
+	base = (base + isa.TileSize - 1) &^ (isa.TileSize - 1)
+	p := &Program{Kernel: k, Target: t, layout: layout}
+	for _, a := range k.Arrays {
+		sz := a.assignLayout(layout, base)
+		sz = (sz + isa.TileSize - 1) &^ (isa.TileSize - 1)
+		base += sz
+		p.footprint += sz
+	}
+	// Assign PCs: one static instruction per (nest, stmt, ref).
+	pc := uint32(1)
+	for ni := range k.Nests {
+		for si := range k.Nests[ni].Body {
+			for ri := range k.Nests[ni].Body[si].Refs {
+				k.Nests[ni].Body[si].Refs[ri].pc = pc
+				pc++
+			}
+		}
+	}
+	p.nextPC = pc
+	return p, nil
+}
+
+// Layout reports the layout Compile chose.
+func (p *Program) Layout() Layout { return p.layout }
+
+// FootprintBytes returns the total padded array footprint.
+func (p *Program) FootprintBytes() uint64 { return p.footprint }
+
+// Trace returns a streaming trace of the program's memory operations.
+// Close it if abandoned before exhaustion.
+func (p *Program) Trace() *isa.StreamTrace {
+	return isa.Stream(func(emit func(isa.Op) bool) {
+		g := &gen{p: p, emit: emit}
+		g.run()
+	})
+}
+
+// gen walks the iteration space emitting ops.
+type gen struct {
+	p       *Program
+	emit    func(isa.Op) bool
+	stopped bool
+	pending uint32 // compute cycles to attach to the next op
+}
+
+func (g *gen) out(op isa.Op) {
+	if g.stopped {
+		return
+	}
+	op.Gap += g.pending
+	g.pending = 0
+	if !g.emit(op) {
+		g.stopped = true
+	}
+}
+
+func (g *gen) run() {
+	for ni := range g.p.Kernel.Nests {
+		if g.stopped {
+			return
+		}
+		g.nest(&g.p.Kernel.Nests[ni])
+	}
+}
+
+func (g *gen) nest(n *Nest) {
+	env := make(map[string]int, len(n.Loops))
+	if len(n.Loops) == 0 {
+		// Straight-line: every ref executes once, loads before stores.
+		for _, s := range n.Body {
+			g.pending += uint32(s.Compute)
+			for _, ref := range s.Refs {
+				if !ref.Write {
+					g.scalarRef(ref, env, analyzeOrientStatic(ref, g.p.Target.Logical2D))
+				}
+			}
+			for _, ref := range s.Refs {
+				if ref.Write {
+					g.scalarRef(ref, env, analyzeOrientStatic(ref, g.p.Target.Logical2D))
+				}
+			}
+		}
+		return
+	}
+	g.loops(n, 0, env)
+}
+
+// loops recurses over the outer loops; the innermost level runs the
+// vectorization plan.
+func (g *gen) loops(n *Nest, depth int, env map[string]int) {
+	if g.stopped {
+		return
+	}
+	l := n.Loops[depth]
+	lo, hi := l.Lo.Eval(env), l.Hi.Eval(env)
+	if depth == len(n.Loops)-1 {
+		g.innermost(n, env, l.Index, lo, hi)
+		return
+	}
+	for v := lo; v < hi && !g.stopped; v++ {
+		env[l.Index] = v
+		g.loops(n, depth+1, env)
+	}
+	delete(env, l.Index)
+}
+
+// innermost executes one instance of the innermost loop: hoisted loads,
+// peel/vector/tail per statement plan, hoisted stores.
+func (g *gen) innermost(n *Nest, env map[string]int, v string, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	enclosing := make([]string, 0, len(n.Loops)-1)
+	for _, l := range n.Loops[:len(n.Loops)-1] {
+		enclosing = append(enclosing, l.Index)
+	}
+	plans := make([]stmtPlan, len(n.Body))
+	for si, s := range n.Body {
+		plans[si] = planStmt(s, v, enclosing, g.p.Target.Logical2D)
+	}
+
+	// Hoisted loads (invariant reads) once per instance.
+	env[v] = lo
+	for si, s := range n.Body {
+		for ri, ref := range s.Refs {
+			if plans[si].refs[ri].class == refInvariant && !ref.Write {
+				g.scalarRef(ref, env, plans[si].refs[ri].orient)
+			}
+		}
+	}
+
+	for si, s := range n.Body {
+		plan := &plans[si]
+		if plan.vectorize {
+			x := lo
+			for x < hi && x%8 != 0 {
+				g.scalarIter(s, plan, env, v, x)
+				x++
+			}
+			for x+8 <= hi {
+				g.vectorChunk(s, plan, env, v, x)
+				x += 8
+			}
+			for x < hi {
+				g.scalarIter(s, plan, env, v, x)
+				x++
+			}
+		} else {
+			for x := lo; x < hi && !g.stopped; x++ {
+				g.scalarIter(s, plan, env, v, x)
+			}
+		}
+	}
+
+	// Hoisted stores (invariant writes) once per instance.
+	env[v] = lo
+	for si, s := range n.Body {
+		for ri, ref := range s.Refs {
+			if plans[si].refs[ri].class == refInvariant && ref.Write {
+				g.scalarRef(ref, env, plans[si].refs[ri].orient)
+			}
+		}
+	}
+	delete(env, v)
+}
+
+// scalarIter emits the statement's non-invariant refs for iteration x.
+func (g *gen) scalarIter(s Stmt, plan *stmtPlan, env map[string]int, v string, x int) {
+	env[v] = x
+	g.pending += uint32(s.Compute)
+	for ri, ref := range s.Refs {
+		if plan.refs[ri].class == refInvariant {
+			continue
+		}
+		g.scalarRef(ref, env, plan.refs[ri].orient)
+	}
+}
+
+// vectorChunk emits the statement's refs for iterations [x, x+8).
+func (g *gen) vectorChunk(s Stmt, plan *stmtPlan, env map[string]int, v string, x int) {
+	env[v] = x
+	g.pending += uint32(s.Compute)
+	for ri, ref := range s.Refs {
+		a := plan.refs[ri]
+		switch a.class {
+		case refInvariant:
+			continue
+		case refRowStream, refColStream:
+			g.vectorRef(ref, a, env, v, x)
+		default:
+			panic("compiler: irregular ref in vectorized statement")
+		}
+	}
+}
+
+// vectorRef emits the vector op(s) covering elements x+offset .. x+offset+7
+// along the streaming dimension. Aligned accesses are one line; offset
+// (unaligned) loads cover two.
+func (g *gen) vectorRef(ref Ref, a analysis, env map[string]int, v string, x int) {
+	kind := isa.Load
+	if ref.Write {
+		kind = isa.Store
+	}
+	// Element coordinates at the chunk start.
+	env[v] = x
+	i0, j0 := ref.Row.Eval(env), ref.Col.Eval(env)
+	first := ref.Array.Addr(i0, j0)
+	env[v] = x + 7
+	last := ref.Array.Addr(ref.Row.Eval(env), ref.Col.Eval(env))
+	env[v] = x
+
+	lineA := isa.LineOf(first, a.orient)
+	lineB := isa.LineOf(last, a.orient)
+	g.out(isa.Op{Addr: lineA.Base, PC: ref.pc, Kind: kind, Orient: a.orient, Vector: true})
+	if lineB != lineA {
+		if ref.Write {
+			panic("compiler: unaligned vector store should have been rejected by planStmt")
+		}
+		g.out(isa.Op{Addr: lineB.Base, PC: ref.pc, Kind: kind, Orient: a.orient, Vector: true})
+	}
+}
+
+// scalarRef emits one scalar op for the reference at the current env.
+func (g *gen) scalarRef(ref Ref, env map[string]int, orient isa.Orient) {
+	kind := isa.Load
+	if ref.Write {
+		kind = isa.Store
+	}
+	addr := ref.Array.Addr(ref.Row.Eval(env), ref.Col.Eval(env))
+	g.out(isa.Op{Addr: addr, PC: ref.pc, Kind: kind, Orient: orient})
+}
+
+// analyzeOrientStatic derives the preference for straight-line refs: row
+// unless the reference clearly walks a column (constant col, which we cannot
+// tell statically) — per §IV-B(a) undiscerned preferences are row.
+func analyzeOrientStatic(_ Ref, _ bool) isa.Orient { return isa.Row }
+
+// Mix is the Fig. 10 access-type distribution, by operation count and by
+// data volume (scalar ops move 8 bytes, vector ops 64).
+type Mix struct {
+	Ops   [2][2]uint64 // [orient][scalar=0 / vector=1]
+	Bytes [2][2]uint64
+}
+
+// Total returns total bytes.
+func (m *Mix) Total() uint64 {
+	var t uint64
+	for o := 0; o < 2; o++ {
+		for s := 0; s < 2; s++ {
+			t += m.Bytes[o][s]
+		}
+	}
+	return t
+}
+
+// Share returns the fraction of data volume in (orient, vector) class.
+func (m *Mix) Share(o isa.Orient, vector bool) float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	s := 0
+	if vector {
+		s = 1
+	}
+	return float64(m.Bytes[o][s]) / float64(t)
+}
+
+// ColShare returns the column fraction of data volume.
+func (m *Mix) ColShare() float64 {
+	return m.Share(isa.Col, false) + m.Share(isa.Col, true)
+}
+
+// MeasureMix drains a fresh trace of the program and tallies the access-type
+// distribution.
+func (p *Program) MeasureMix() Mix {
+	tr := p.Trace()
+	defer tr.Close()
+	var m Mix
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			return m
+		}
+		s, bytes := 0, uint64(isa.WordSize)
+		if op.Vector {
+			s, bytes = 1, isa.LineSize
+		}
+		m.Ops[op.Orient][s]++
+		m.Bytes[op.Orient][s] += bytes
+	}
+}
+
+// String summarises the program.
+func (p *Program) String() string {
+	return fmt.Sprintf("%s [%s layout, %d arrays, %.1f KiB]",
+		p.Kernel.Name, p.layout, len(p.Kernel.Arrays), float64(p.footprint)/1024)
+}

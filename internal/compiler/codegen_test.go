@@ -1,0 +1,185 @@
+package compiler
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+)
+
+// compile1 builds a single-nest kernel around the given loops/body.
+func compile1(t *testing.T, arrays []*Array, loops []Loop, body []Stmt, l2d bool) []isa.Op {
+	t.Helper()
+	kern := &Kernel{Name: "t", Arrays: arrays, Nests: []Nest{{Loops: loops, Body: body}}}
+	p, err := Compile(kern, Target{Logical2D: l2d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Trace()
+	defer tr.Close()
+	return isa.Collect(tr)
+}
+
+func TestHoistedLoadOncePerInstance(t *testing.T) {
+	a := NewArray("A", 8, 8)
+	b := NewArray("B", 8, 8)
+	i, j := Idx("i"), Idx("j")
+	// A[i][0] is invariant in the inner j loop: one load per i.
+	ops := compile1(t, []*Array{a, b},
+		[]Loop{For("i", 8), For("j", 8)},
+		[]Stmt{{Refs: []Ref{R(a, i, C(0)), R(b, i, j)}}}, true)
+	hoisted := 0
+	for _, op := range ops {
+		if !op.Vector && op.Kind == isa.Load {
+			hoisted++
+		}
+	}
+	if hoisted != 8 {
+		t.Fatalf("hoisted loads = %d, want 8 (one per outer iteration)", hoisted)
+	}
+}
+
+func TestHoistedStoreAtExit(t *testing.T) {
+	a := NewArray("A", 8, 8)
+	c := NewArray("C", 8, 8)
+	i, j := Idx("i"), Idx("j")
+	// C[i][0] written once per instance, after the streams.
+	ops := compile1(t, []*Array{a, c},
+		[]Loop{For("i", 1), For("j", 8)},
+		[]Stmt{{Refs: []Ref{R(a, i, j), W(c, i, C(0))}}}, true)
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d, want vector load + hoisted store", len(ops))
+	}
+	if ops[0].Kind != isa.Load || !ops[0].Vector {
+		t.Fatalf("first op: %v", ops[0])
+	}
+	if ops[1].Kind != isa.Store || ops[1].Vector {
+		t.Fatalf("last op should be the hoisted scalar store: %v", ops[1])
+	}
+}
+
+func TestPeelAndTailCounts(t *testing.T) {
+	a := NewArray("A", 4, 32)
+	i, j := Idx("i"), Idx("j")
+	// Inner range [3, 29): peel 3..7 (5 scalars), chunks [8,16),[16,24)
+	// (2 vectors), tail 24..28 (5 scalars).
+	ops := compile1(t, []*Array{a},
+		[]Loop{For("i", 1), ForRange("j", C(3), C(29))},
+		[]Stmt{{Refs: []Ref{R(a, i, j)}}}, true)
+	scalars, vectors := 0, 0
+	for _, op := range ops {
+		if op.Vector {
+			vectors++
+		} else {
+			scalars++
+		}
+	}
+	if scalars != 10 || vectors != 2 {
+		t.Fatalf("peel/tail: %d scalars %d vectors, want 10/2", scalars, vectors)
+	}
+}
+
+func TestScalarColumnPreferenceOn2D(t *testing.T) {
+	a := NewArray("A", 64, 8)
+	i := Idx("i")
+	// Irregular in the fast dim is impossible here: a plain column walk
+	// with a non-unit row coefficient falls back to scalar ops with
+	// column preference.
+	ops := compile1(t, []*Array{a},
+		[]Loop{For("i", 16)},
+		[]Stmt{{Refs: []Ref{R(a, i.Times(2), C(3))}}}, true)
+	if len(ops) != 16 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	for _, op := range ops {
+		if op.Vector || op.Orient != isa.Col {
+			t.Fatalf("expected scalar column ops, got %v", op)
+		}
+	}
+}
+
+func TestIrregularFastDimPrefersRow(t *testing.T) {
+	a := NewArray("A", 8, 64)
+	i := Idx("i")
+	ops := compile1(t, []*Array{a},
+		[]Loop{For("i", 16)},
+		[]Stmt{{Refs: []Ref{R(a, C(2), i.Times(3))}}}, true)
+	for _, op := range ops {
+		if op.Vector || op.Orient != isa.Row {
+			t.Fatalf("non-unit fast-dim stride should be scalar row: %v", op)
+		}
+	}
+}
+
+func TestUnalignedVectorStoreFallsBackToScalar(t *testing.T) {
+	a := NewArray("A", 8, 64)
+	o := NewArray("O", 8, 64)
+	i, j := Idx("i"), Idx("j")
+	// The store at j+1 can never be line-aligned: the whole statement must
+	// scalarize.
+	ops := compile1(t, []*Array{a, o},
+		[]Loop{For("i", 1), ForRange("j", C(0), C(32))},
+		[]Stmt{{Refs: []Ref{R(a, i, j), W(o, i, j.PlusC(1))}}}, true)
+	for _, op := range ops {
+		if op.Vector {
+			t.Fatalf("unaligned-store statement must not vectorize: %v", op)
+		}
+	}
+	if len(ops) != 64 {
+		t.Fatalf("ops = %d, want 32 loads + 32 stores", len(ops))
+	}
+}
+
+func TestColumnVectorBasesCanonical(t *testing.T) {
+	a := NewArray("A", 64, 64)
+	i := Idx("i")
+	ops := compile1(t, []*Array{a},
+		[]Loop{For("i", 64)},
+		[]Stmt{{Refs: []Ref{R(a, i, C(5))}}}, true)
+	vectors := 0
+	for _, op := range ops {
+		if !op.Vector {
+			continue
+		}
+		vectors++
+		id := isa.LineID{Base: op.Addr, Orient: op.Orient}
+		if op.Orient != isa.Col || !id.IsCanonical() {
+			t.Fatalf("bad column vector: %v", op)
+		}
+	}
+	if vectors != 8 { // 64 rows / 8 per column line
+		t.Fatalf("column vectors = %d, want 8", vectors)
+	}
+}
+
+func TestEmptyInnerRangeEmitsNothing(t *testing.T) {
+	a := NewArray("A", 8, 8)
+	i, j := Idx("i"), Idx("j")
+	// Triangular with i=0 gives an empty inner range on the first outer
+	// iteration; the nest overall is tiny but non-zero.
+	ops := compile1(t, []*Array{a},
+		[]Loop{For("i", 2), ForRange("j", C(0), i)},
+		[]Stmt{{Refs: []Ref{R(a, i, j)}}}, true)
+	if len(ops) != 1 { // only (i=1, j=0)
+		t.Fatalf("ops = %d, want 1", len(ops))
+	}
+}
+
+func TestTraceCloseMidstream(t *testing.T) {
+	a := NewArray("A", 512, 512)
+	i, j := Idx("i"), Idx("j")
+	kern := &Kernel{Name: "big", Arrays: []*Array{a}, Nests: []Nest{{
+		Loops: []Loop{For("i", 512), For("j", 512)},
+		Body:  []Stmt{{Refs: []Ref{R(a, i, j)}}},
+	}}}
+	p, err := Compile(kern, Target{Logical2D: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Trace()
+	for k := 0; k < 10; k++ {
+		if _, ok := tr.Next(); !ok {
+			t.Fatal("trace ended early")
+		}
+	}
+	tr.Close() // must not deadlock or leak the generator
+}

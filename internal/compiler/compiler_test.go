@@ -1,0 +1,406 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mdacache/internal/isa"
+)
+
+func TestExprAlgebra(t *testing.T) {
+	i, j := Idx("i"), Idx("j")
+	e := i.Times(2).Plus(j).PlusC(3)
+	env := map[string]int{"i": 5, "j": 7}
+	if got := e.Eval(env); got != 20 {
+		t.Fatalf("eval = %d, want 20", got)
+	}
+	if e.Coeff("i") != 2 || e.Coeff("j") != 1 || e.Const() != 3 {
+		t.Fatalf("coefficients wrong: %v", e)
+	}
+	z := i.Plus(i.Times(-1))
+	if len(z.Indices()) != 0 || z.Eval(env) != 0 {
+		t.Fatalf("cancellation failed: %v", z)
+	}
+}
+
+func TestExprEvalLinearityProperty(t *testing.T) {
+	f := func(a, b int8, x, y int8) bool {
+		i := Idx("i")
+		e := i.Times(int(a)).PlusC(int(b))
+		env := map[string]int{"i": int(x)}
+		env2 := map[string]int{"i": int(y)}
+		return e.Eval(env)-e.Eval(env2) == int(a)*(int(x)-int(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiledLayoutColumnAlignment(t *testing.T) {
+	// The defining property of the MDA-compliant layout: X[i][j] and
+	// X[i+1][j] map to the same physical tile column.
+	a := NewArray("X", 64, 48)
+	a.assignLayout(LayoutTiled, 4096)
+	f := func(ri, rj uint16) bool {
+		i, j := int(ri)%63, int(rj)%48
+		p, q := a.Addr(i, j), a.Addr(i+1, j)
+		if isa.ColInTile(p) != isa.ColInTile(q) {
+			return false
+		}
+		// Same tile column means: same tile, adjacent rows-in-tile, or
+		// vertically adjacent tiles (same tile-column index).
+		if i%8 != 7 {
+			return isa.TileBase(p) == isa.TileBase(q) &&
+				isa.RowInTile(q) == isa.RowInTile(p)+1
+		}
+		return isa.RowInTile(q) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiledLayoutRowContiguityWithinLine(t *testing.T) {
+	a := NewArray("X", 16, 32)
+	a.assignLayout(LayoutTiled, 0)
+	for j := 0; j < 7; j++ {
+		if a.Addr(3, j+1) != a.Addr(3, j)+8 {
+			t.Fatalf("row not word-contiguous within a tile at j=%d", j)
+		}
+	}
+}
+
+func TestLinearLayoutRowMajor(t *testing.T) {
+	a := NewArray("X", 10, 24)
+	a.assignLayout(LayoutLinear, 4096)
+	if a.Addr(0, 0) != 4096 {
+		t.Fatalf("base = %#x", a.Addr(0, 0))
+	}
+	if a.Addr(2, 5) != 4096+uint64(2*24+5)*8 {
+		t.Fatalf("linear addressing wrong: %#x", a.Addr(2, 5))
+	}
+}
+
+func TestLinearLayoutPadsOddCols(t *testing.T) {
+	a := NewArray("X", 4, 13)
+	a.assignLayout(LayoutLinear, 0)
+	if a.padCols != 16 {
+		t.Fatalf("padCols = %d, want 16", a.padCols)
+	}
+}
+
+func TestAddrOutOfBoundsPanics(t *testing.T) {
+	a := NewArray("X", 8, 8)
+	a.assignLayout(LayoutTiled, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds Addr must panic")
+		}
+	}()
+	a.Addr(8, 0)
+}
+
+func TestDirectionAnalysis(t *testing.T) {
+	a := NewArray("A", 64, 64)
+	cases := []struct {
+		ref   Ref
+		class refClass
+		or    isa.Orient
+	}{
+		{R(a, Idx("i"), Idx("k")), refRowStream, isa.Row},
+		{R(a, Idx("k"), Idx("j")), refColStream, isa.Col},
+		{W(a, Idx("i"), Idx("j")), refInvariant, isa.Row}, // hoisted: j encloses
+		{R(a, Idx("k"), Idx("k")), refIrregular, isa.Row}, // diagonal
+		{R(a, Idx("k").Times(2), Idx("i")), refIrregular, isa.Col},
+	}
+	for n, c := range cases {
+		got := analyzeRef(c.ref, "k", []string{"i", "j"})
+		if got.class != c.class || got.orient != c.or {
+			t.Errorf("case %d: got class=%d orient=%v, want %d %v", n, got.class, got.orient, c.class, c.or)
+		}
+	}
+}
+
+func TestAnalysisInvariantDefaultsRow(t *testing.T) {
+	a := NewArray("A", 8, 8)
+	got := analyzeRef(R(a, C(3), C(4)), "k", nil)
+	if got.class != refInvariant || got.orient != isa.Row {
+		t.Fatalf("constant ref: %+v", got)
+	}
+}
+
+// matmul16 is a small sgemm-shaped kernel used by codegen tests.
+func matmul16() (*Kernel, *Array, *Array, *Array) {
+	n := 16
+	a := NewArray("A", n, n)
+	b := NewArray("B", n, n)
+	c := NewArray("C", n, n)
+	i, j, k := Idx("i"), Idx("j"), Idx("k")
+	kern := &Kernel{
+		Name:   "mm",
+		Arrays: []*Array{a, b, c},
+		Nests: []Nest{{
+			Loops: []Loop{For("i", n), For("j", n), For("k", n)},
+			Body:  []Stmt{{Compute: 1, Refs: []Ref{R(a, i, k), R(b, k, j), W(c, i, j)}}},
+		}},
+	}
+	return kern, a, b, c
+}
+
+func TestCompile2DVectorizesBothDirections(t *testing.T) {
+	kern, _, _, _ := matmul16()
+	p, err := Compile(kern, Target{Logical2D: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Layout() != LayoutTiled {
+		t.Fatalf("layout = %v", p.Layout())
+	}
+	m := p.MeasureMix()
+	// 16³/8 = 512 row vectors of A, 512 col vectors of B, 256 scalar stores.
+	if m.Ops[isa.Row][1] != 512 || m.Ops[isa.Col][1] != 512 {
+		t.Fatalf("vector ops row=%d col=%d, want 512 each", m.Ops[isa.Row][1], m.Ops[isa.Col][1])
+	}
+	if m.Ops[isa.Row][0] != 256 {
+		t.Fatalf("scalar stores = %d, want 256", m.Ops[isa.Row][0])
+	}
+	if m.Ops[isa.Col][0] != 0 {
+		t.Fatalf("unexpected scalar column ops: %d", m.Ops[isa.Col][0])
+	}
+}
+
+func TestCompile1DScalarizesColumns(t *testing.T) {
+	kern, _, _, _ := matmul16()
+	p, err := Compile(kern, Target{Logical2D: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Layout() != LayoutLinear {
+		t.Fatalf("layout = %v", p.Layout())
+	}
+	m := p.MeasureMix()
+	if m.Ops[isa.Col][0]+m.Ops[isa.Col][1] != 0 {
+		t.Fatal("1-D target must not emit column instructions")
+	}
+	// The whole statement falls back to scalar (B[k][j] is a column
+	// stream): 16³ iterations × 2 loads + 256 stores.
+	if m.Ops[isa.Row][1] != 0 {
+		t.Fatalf("vector ops on scalarized statement: %d", m.Ops[isa.Row][1])
+	}
+	want := uint64(16*16*16*2 + 256)
+	if got := m.Ops[isa.Row][0]; got != want {
+		t.Fatalf("scalar ops = %d, want %d", got, want)
+	}
+}
+
+func TestVectorOpsCanonicallyAligned(t *testing.T) {
+	kern, _, _, _ := matmul16()
+	p, err := Compile(kern, Target{Logical2D: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Trace()
+	defer tr.Close()
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			return
+		}
+		if !op.Vector {
+			continue
+		}
+		id := isa.LineID{Base: op.Addr, Orient: op.Orient}
+		if op.Orient == isa.Row && op.Addr%isa.LineSize != 0 {
+			t.Fatalf("unaligned row vector %#x", op.Addr)
+		}
+		if op.Orient == isa.Col && isa.RowInTile(op.Addr) != 0 {
+			t.Fatalf("non-canonical column vector base %#x", op.Addr)
+		}
+		if !id.Contains(op.Addr) {
+			t.Fatalf("line does not contain its base: %v", id)
+		}
+	}
+}
+
+func TestUnalignedLoadsCoverTwoLines(t *testing.T) {
+	// A stencil load at offset -1 over an aligned chunk covers two lines.
+	n := 16
+	a := NewArray("A", n, n)
+	o := NewArray("O", n, n)
+	i, j := Idx("i"), Idx("j")
+	kern := &Kernel{
+		Name:   "stencil",
+		Arrays: []*Array{a, o},
+		Nests: []Nest{{
+			Loops: []Loop{ForRange("i", C(1), C(n-1)), ForRange("j", C(8), C(n))},
+			Body:  []Stmt{{Refs: []Ref{R(a, i, j.PlusC(-1)), W(o, i, j)}}},
+		}},
+	}
+	p, err := Compile(kern, Target{Logical2D: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.MeasureMix()
+	// Inner loop [8,16) is one aligned chunk per outer iteration: the load
+	// at j-1 starts at word 7 and crosses two lines (2 vector loads); the
+	// store covers exactly one line. 14 outer iterations × 3 vectors.
+	if m.Ops[isa.Row][1] != 42 {
+		t.Fatalf("row vectors = %d, want 42", m.Ops[isa.Row][1])
+	}
+	if m.Ops[isa.Row][0] != 0 {
+		t.Fatalf("unexpected scalar ops: %d", m.Ops[isa.Row][0])
+	}
+}
+
+func TestTriangularBounds(t *testing.T) {
+	n := 8
+	a := NewArray("A", n, n)
+	i, j := Idx("i"), Idx("j")
+	kern := &Kernel{
+		Name:   "tri",
+		Arrays: []*Array{a},
+		Nests: []Nest{{
+			Loops: []Loop{For("i", n), ForRange("j", C(0), i.PlusC(1))},
+			Body:  []Stmt{{Refs: []Ref{R(a, i, j)}}},
+		}},
+	}
+	p, err := Compile(kern, Target{Logical2D: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Trace()
+	defer tr.Close()
+	count := 0
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+		count++
+	}
+	// Triangular iteration count: vectors collapse 8 iterations into 1 op;
+	// row i has i+1 iterations → i=7 gives one full vector chunk.
+	want := 1 + 2 + 3 + 4 + 5 + 6 + 7 + 1
+	if count != want {
+		t.Fatalf("ops = %d, want %d", count, want)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	a := NewArray("A", 8, 8)
+	ghost := NewArray("G", 8, 8)
+	i := Idx("i")
+	cases := []*Kernel{
+		{Name: "undeclared", Arrays: []*Array{a}, Nests: []Nest{{
+			Loops: []Loop{For("i", 8)},
+			Body:  []Stmt{{Refs: []Ref{R(ghost, i, C(0))}}},
+		}}},
+		{Name: "unknown-index", Arrays: []*Array{a}, Nests: []Nest{{
+			Loops: []Loop{For("i", 8)},
+			Body:  []Stmt{{Refs: []Ref{R(a, Idx("z"), C(0))}}},
+		}}},
+		{Name: "dup-index", Arrays: []*Array{a}, Nests: []Nest{{
+			Loops: []Loop{For("i", 8), For("i", 8)},
+		}}},
+		{Name: "bad-dims", Arrays: []*Array{NewArray("Z", 0, 8)}},
+	}
+	for _, kern := range cases {
+		if _, err := Compile(kern, Target{}); err == nil {
+			t.Errorf("kernel %q: expected validation error", kern.Name)
+		}
+	}
+}
+
+func TestComputeGapsAttach(t *testing.T) {
+	n := 8
+	a := NewArray("A", n, n)
+	i, j := Idx("i"), Idx("j")
+	kern := &Kernel{
+		Name:   "gaps",
+		Arrays: []*Array{a},
+		Nests: []Nest{{
+			Loops: []Loop{For("i", n), For("j", n)},
+			Body:  []Stmt{{Compute: 5, Refs: []Ref{R(a, i, j)}}},
+		}},
+	}
+	p, err := Compile(kern, Target{Logical2D: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Trace()
+	defer tr.Close()
+	var total uint64
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		total += uint64(op.Gap)
+	}
+	// One vector chunk per row: 8 chunks × 5 cycles.
+	if total != 40 {
+		t.Fatalf("total gap cycles = %d, want 40", total)
+	}
+}
+
+func TestFootprintAccounting(t *testing.T) {
+	kern, _, _, _ := matmul16()
+	p, err := Compile(kern, Target{Logical2D: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(3 * 16 * 16 * 8)
+	if p.FootprintBytes() != want {
+		t.Fatalf("footprint = %d, want %d", p.FootprintBytes(), want)
+	}
+	// Arrays must not overlap.
+	arrays := kern.Arrays
+	for x := 0; x < len(arrays); x++ {
+		for y := x + 1; y < len(arrays); y++ {
+			ax, ay := arrays[x], arrays[y]
+			if ax.Base() < ay.Base()+ay.FootprintBytes() && ay.Base() < ax.Base()+ax.FootprintBytes() {
+				t.Fatalf("arrays %s and %s overlap", ax.Name, ay.Name)
+			}
+		}
+	}
+}
+
+func TestLayoutOverride(t *testing.T) {
+	kern, _, _, _ := matmul16()
+	p, err := Compile(kern, Target{Logical2D: false, Layout: LayoutTiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Layout() != LayoutTiled {
+		t.Fatalf("override ignored: %v", p.Layout())
+	}
+}
+
+func TestPseudocodeAndDescribe(t *testing.T) {
+	kern, _, _, _ := matmul16()
+	p, err := Compile(kern, Target{Logical2D: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := kern.Pseudocode()
+	for _, want := range []string{"kernel mm", "array A[16][16]", "for k in [0, 16)", "load A[i][k]", "store C[i][j]"} {
+		if !strings.Contains(pc, want) {
+			t.Fatalf("pseudocode missing %q:\n%s", want, pc)
+		}
+	}
+	d := p.Describe()
+	for _, want := range []string{"innermost k", "(vector)", "B=col-stream", "C=hoisted"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("describe missing %q:\n%s", want, d)
+		}
+	}
+	// The same kernel on a 1-D target scalarizes.
+	kern2, _, _, _ := matmul16()
+	p2, err := Compile(kern2, Target{Logical2D: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p2.Describe(), "(scalar)") {
+		t.Fatal("1-D describe should show the scalar fallback")
+	}
+}

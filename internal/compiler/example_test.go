@@ -1,0 +1,85 @@
+package compiler_test
+
+import (
+	"fmt"
+
+	"mdacache/internal/compiler"
+	"mdacache/internal/isa"
+)
+
+// Example compiles a tiny matrix multiply for a logically-2-D target and
+// shows the first few operations of its trace: row vectors of A, column
+// vectors of B, and the hoisted scalar store of C.
+func Example() {
+	n := 16
+	a := compiler.NewArray("A", n, n)
+	b := compiler.NewArray("B", n, n)
+	c := compiler.NewArray("C", n, n)
+	i, j, k := compiler.Idx("i"), compiler.Idx("j"), compiler.Idx("k")
+
+	kernel := &compiler.Kernel{
+		Name:   "matmul",
+		Arrays: []*compiler.Array{a, b, c},
+		Nests: []compiler.Nest{{
+			Loops: []compiler.Loop{compiler.For("i", n), compiler.For("j", n), compiler.For("k", n)},
+			Body: []compiler.Stmt{{
+				Compute: 1,
+				Refs: []compiler.Ref{
+					compiler.R(a, i, k),
+					compiler.R(b, k, j),
+					compiler.W(c, i, j),
+				},
+			}},
+		}},
+	}
+
+	prog, err := compiler.Compile(kernel, compiler.Target{Logical2D: true})
+	if err != nil {
+		panic(err)
+	}
+	tr := prog.Trace()
+	defer tr.Close()
+	for x := 0; x < 5; x++ {
+		op, _ := tr.Next()
+		fmt.Println(op.Kind, op.Orient, map[bool]string{true: "vector", false: "scalar"}[op.Vector])
+	}
+	mix := prog.MeasureMix()
+	fmt.Printf("column share: %.0f%%\n", 100*mix.ColShare())
+	// Output:
+	// load row vector
+	// load col vector
+	// load row vector
+	// load col vector
+	// store row scalar
+	// column share: 48%
+}
+
+func ExampleTile() {
+	n := compiler.Nest{
+		Loops: []compiler.Loop{compiler.For("i", 64), compiler.For("j", 64)},
+	}
+	tiled, err := compiler.Tile(n, map[string]int{"i": 8, "j": 8})
+	if err != nil {
+		panic(err)
+	}
+	for _, l := range tiled.Loops {
+		fmt.Print(l.Index, " ")
+	}
+	fmt.Println()
+	// Output: i_t j_t i j
+}
+
+func ExampleInnermostScores() {
+	a := compiler.NewArray("A", 8, 8)
+	i, j := compiler.Idx("i"), compiler.Idx("j")
+	n := compiler.Nest{
+		Loops: []compiler.Loop{compiler.For("i", 8), compiler.For("j", 8)},
+		Body:  []compiler.Stmt{{Refs: []compiler.Ref{compiler.R(a, i, j)}}},
+	}
+	fmt.Println("2-D target:", compiler.InnermostScores(n, true))
+	fmt.Println("1-D target:", compiler.InnermostScores(n, false))
+	// Output:
+	// 2-D target: map[i:1 j:1]
+	// 1-D target: map[i:0 j:1]
+	_ = isa.Row
+}

@@ -1,0 +1,103 @@
+// Package compiler implements the software support of §V: affine loop-nest
+// kernels over 2-D arrays, per-reference access-direction analysis, the
+// MDA-compliant (tiled) memory layout, and vectorization along both the row
+// and the column dimension. Compiling a kernel for a target hierarchy
+// produces the annotated memory-operation trace the hardware executes —
+// exactly the information the paper's ISA extension (§IV-B(a)) carries.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an affine expression over loop indices: sum of coeff*index plus a
+// constant. The zero value is the constant 0.
+type Expr struct {
+	coeffs map[string]int
+	cnst   int
+}
+
+// C returns a constant expression.
+func C(k int) Expr { return Expr{cnst: k} }
+
+// Idx returns the expression naming a loop index.
+func Idx(name string) Expr { return Expr{coeffs: map[string]int{name: 1}} }
+
+// Plus returns e + f.
+func (e Expr) Plus(f Expr) Expr {
+	out := Expr{cnst: e.cnst + f.cnst}
+	if len(e.coeffs)+len(f.coeffs) > 0 {
+		out.coeffs = make(map[string]int, len(e.coeffs)+len(f.coeffs))
+		for k, v := range e.coeffs {
+			out.coeffs[k] = v
+		}
+		for k, v := range f.coeffs {
+			out.coeffs[k] += v
+			if out.coeffs[k] == 0 {
+				delete(out.coeffs, k)
+			}
+		}
+	}
+	return out
+}
+
+// PlusC returns e + k.
+func (e Expr) PlusC(k int) Expr { return e.Plus(C(k)) }
+
+// Times returns e scaled by k.
+func (e Expr) Times(k int) Expr {
+	out := Expr{cnst: e.cnst * k}
+	if k != 0 && len(e.coeffs) > 0 {
+		out.coeffs = make(map[string]int, len(e.coeffs))
+		for n, v := range e.coeffs {
+			out.coeffs[n] = v * k
+		}
+	}
+	return out
+}
+
+// Coeff returns the coefficient of the named index.
+func (e Expr) Coeff(name string) int { return e.coeffs[name] }
+
+// Const returns the constant term.
+func (e Expr) Const() int { return e.cnst }
+
+// Eval evaluates the expression under the environment.
+func (e Expr) Eval(env map[string]int) int {
+	v := e.cnst
+	for name, c := range e.coeffs {
+		v += c * env[name]
+	}
+	return v
+}
+
+// Indices returns the index names with non-zero coefficients, sorted.
+func (e Expr) Indices() []string {
+	names := make([]string, 0, len(e.coeffs))
+	for n := range e.coeffs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (e Expr) String() string {
+	var parts []string
+	for _, n := range e.Indices() {
+		c := e.coeffs[n]
+		switch c {
+		case 1:
+			parts = append(parts, n)
+		case -1:
+			parts = append(parts, "-"+n)
+		default:
+			parts = append(parts, fmt.Sprintf("%d%s", c, n))
+		}
+	}
+	if e.cnst != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", e.cnst))
+	}
+	return strings.Join(parts, "+")
+}

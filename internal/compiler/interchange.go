@@ -1,0 +1,112 @@
+package compiler
+
+import "fmt"
+
+// Interchange permutes a nest's loops into the given index order — the
+// loop-ordering tradeoff of the paper's §I: on a 1-D hierarchy the compiler
+// must guess which ordering serves the dominant access direction, while MDA
+// caches make both orderings cheap ("supporting both row and column
+// accesses can simplify (or even obviate the need for) some ambiguous
+// compiler tradeoffs").
+//
+// The permutation must keep every loop after the loops its bounds reference
+// (triangular nests constrain the order). Dependence legality is the
+// caller's responsibility, as with Tile.
+func Interchange(n Nest, order []string) (Nest, error) {
+	if len(order) != len(n.Loops) {
+		return Nest{}, fmt.Errorf("compiler: Interchange: %d indices for %d loops", len(order), len(n.Loops))
+	}
+	byName := make(map[string]Loop, len(n.Loops))
+	for _, l := range n.Loops {
+		byName[l.Index] = l
+	}
+	out := Nest{Body: n.Body}
+	seen := make(map[string]bool, len(order))
+	for _, idx := range order {
+		l, ok := byName[idx]
+		if !ok {
+			return Nest{}, fmt.Errorf("compiler: Interchange: no loop with index %q", idx)
+		}
+		if seen[idx] {
+			return Nest{}, fmt.Errorf("compiler: Interchange: duplicate index %q", idx)
+		}
+		for _, dep := range append(l.Lo.Indices(), l.Hi.Indices()...) {
+			if !seen[dep] {
+				return Nest{}, fmt.Errorf("compiler: Interchange: loop %q's bounds need %q first", idx, dep)
+			}
+		}
+		seen[idx] = true
+		out.Loops = append(out.Loops, l)
+	}
+	return out, nil
+}
+
+// InnermostScores scores every loop index as the innermost-loop candidate
+// for vectorization on the given target: the number of references that
+// would execute as 8-wide vector streams if that loop were rotated
+// innermost. Indices that cannot legally rotate innermost (a triangular
+// bound depends on them) are absent from the map.
+//
+// This is the decision §V's vectorizer faces. The paper's §I observation
+// falls straight out of the scores: on a 2-D target many orderings
+// vectorize (column streams are as good as row streams), while a 1-D
+// target usually has at most one profitable ordering — or none.
+func InnermostScores(n Nest, logical2D bool) map[string]int {
+	scores := make(map[string]int, len(n.Loops))
+	for _, cand := range n.Loops {
+		// A loop can only rotate innermost if no other loop's bounds
+		// depend on it.
+		blocked := false
+		for _, l := range n.Loops {
+			if l.Index == cand.Index {
+				continue
+			}
+			for _, dep := range append(l.Lo.Indices(), l.Hi.Indices()...) {
+				if dep == cand.Index {
+					blocked = true
+				}
+			}
+		}
+		if blocked {
+			continue
+		}
+		score := 0
+		enclosing := make([]string, 0, len(n.Loops)-1)
+		for _, l := range n.Loops {
+			if l.Index != cand.Index {
+				enclosing = append(enclosing, l.Index)
+			}
+		}
+		for _, s := range n.Body {
+			plan := planStmt(s, cand.Index, enclosing, logical2D)
+			if plan.vectorize {
+				for _, a := range plan.refs {
+					if a.class == refRowStream || a.class == refColStream {
+						score++
+					}
+				}
+			}
+		}
+		scores[cand.Index] = score
+	}
+	return scores
+}
+
+// BestInnermost returns the highest-scoring innermost candidate (ties
+// broken by original loop position, outermost first) and its score.
+func BestInnermost(n Nest, logical2D bool) (string, int) {
+	scores := InnermostScores(n, logical2D)
+	bestIdx, bestScore := "", -1
+	for _, l := range n.Loops {
+		if s, ok := scores[l.Index]; ok && s > bestScore {
+			bestIdx, bestScore = l.Index, s
+		}
+	}
+	if bestScore < 0 {
+		if len(n.Loops) == 0 {
+			return "", 0
+		}
+		return n.Loops[len(n.Loops)-1].Index, 0
+	}
+	return bestIdx, bestScore
+}

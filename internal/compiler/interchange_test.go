@@ -1,0 +1,136 @@
+package compiler
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+)
+
+func TestInterchangeReorders(t *testing.T) {
+	n := Nest{Loops: []Loop{For("i", 4), For("j", 4), For("k", 4)}}
+	out, err := Interchange(n, []string{"k", "i", "j"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Loops[0].Index != "k" || out.Loops[2].Index != "j" {
+		t.Fatalf("order: %v", out.Loops)
+	}
+}
+
+func TestInterchangeErrors(t *testing.T) {
+	i := Idx("i")
+	tri := Nest{Loops: []Loop{For("i", 4), ForRange("j", C(0), i)}}
+	cases := [][]string{
+		{"j", "i"}, // j's bound needs i first
+		{"i"},      // wrong arity
+		{"i", "z"}, // unknown index
+		{"i", "i"}, // duplicate
+	}
+	for n, order := range cases {
+		if _, err := Interchange(tri, order); err == nil {
+			t.Errorf("case %d (%v): expected error", n, order)
+		}
+	}
+	if _, err := Interchange(tri, []string{"i", "j"}); err != nil {
+		t.Fatalf("legal order rejected: %v", err)
+	}
+}
+
+func TestInterchangePreservesSemantics(t *testing.T) {
+	// Same address multiset under both orders.
+	build := func(order []string) map[uint64]int {
+		a := NewArray("A", 16, 16)
+		i, j := Idx("i"), Idx("j")
+		n := Nest{
+			Loops: []Loop{For("i", 16), For("j", 16)},
+			Body:  []Stmt{{Refs: []Ref{R(a, i, j)}}},
+		}
+		if order != nil {
+			var err error
+			n, err = Interchange(n, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		kern := &Kernel{Name: "x", Arrays: []*Array{a}, Nests: []Nest{n}}
+		p, err := Compile(kern, Target{Logical2D: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[uint64]int{}
+		tr := p.Trace()
+		defer tr.Close()
+		for {
+			op, ok := tr.Next()
+			if !ok {
+				break
+			}
+			line := isa.LineFor(op)
+			for w := uint(0); w < isa.WordsPerLine; w++ {
+				counts[line.WordAddr(w)]++
+			}
+		}
+		return counts
+	}
+	plain := build(nil)
+	swapped := build([]string{"j", "i"})
+	if len(plain) != len(swapped) {
+		t.Fatalf("footprints differ: %d vs %d", len(plain), len(swapped))
+	}
+	for addr, c := range plain {
+		if swapped[addr] != c {
+			t.Fatalf("addr %#x count %d vs %d", addr, swapped[addr], c)
+		}
+	}
+}
+
+func TestInnermostScoresOrderInsensitivityOn2D(t *testing.T) {
+	// sgemm-shaped nest: on a 2-D target every loop order vectorizes (row
+	// or column streams both work); on a 1-D target only j does — the §I
+	// "ambiguous compiler tradeoff" MDA caches obviate.
+	a := NewArray("A", 16, 16)
+	b := NewArray("B", 16, 16)
+	cArr := NewArray("C", 16, 16)
+	i, j, k := Idx("i"), Idx("j"), Idx("k")
+	n := Nest{
+		Loops: []Loop{For("i", 16), For("j", 16), For("k", 16)},
+		Body:  []Stmt{{Refs: []Ref{R(a, i, k), R(b, k, j), W(cArr, i, j)}}},
+	}
+
+	profitable := func(logical2D bool) int {
+		count := 0
+		for _, s := range InnermostScores(n, logical2D) {
+			if s >= 2 {
+				count++
+			}
+		}
+		return count
+	}
+	if got := profitable(true); got != 3 {
+		t.Fatalf("2-D target: %d profitable orders, want 3 (order-insensitive)", got)
+	}
+	if got := profitable(false); got != 1 {
+		t.Fatalf("1-D target: %d profitable orders, want exactly 1 (j)", got)
+	}
+	idx1d, _ := BestInnermost(n, false)
+	if idx1d != "j" {
+		t.Fatalf("1-D best = %s, want j", idx1d)
+	}
+	if idx2d, score := BestInnermost(n, true); score < 2 {
+		t.Fatalf("2-D best = %s (%d)", idx2d, score)
+	}
+}
+
+func TestBestInnermostRespectsTriangularBounds(t *testing.T) {
+	a := NewArray("A", 16, 16)
+	i, k := Idx("i"), Idx("k")
+	n := Nest{
+		Loops: []Loop{For("i", 16), ForRange("k", C(0), i.PlusC(1))},
+		Body:  []Stmt{{Refs: []Ref{R(a, i, k)}}},
+	}
+	// i cannot rotate innermost (k's bound depends on it).
+	idx, _ := BestInnermost(n, true)
+	if idx != "k" {
+		t.Fatalf("best = %s, want k", idx)
+	}
+}

@@ -1,0 +1,117 @@
+package compiler
+
+import "fmt"
+
+// Array is a logically 2-D array of 64-bit words (1-D arrays use Rows=1).
+// Its physical placement (base address, padding, tiled vs linear layout) is
+// assigned by Compile.
+type Array struct {
+	Name string
+	Rows int
+	Cols int
+
+	layout  Layout
+	base    uint64
+	padCols int // padded words per row
+	padRows int
+}
+
+// NewArray declares a rows×cols array of words.
+func NewArray(name string, rows, cols int) *Array {
+	return &Array{Name: name, Rows: rows, Cols: cols}
+}
+
+// SizeWords returns the logical element count.
+func (a *Array) SizeWords() int { return a.Rows * a.Cols }
+
+// Ref is one array reference in a statement body with affine subscripts.
+type Ref struct {
+	Array *Array
+	Row   Expr // slow (first) subscript
+	Col   Expr // fast (second) subscript
+	Write bool
+
+	pc uint32 // assigned by Compile
+}
+
+// R builds a read reference.
+func R(a *Array, row, col Expr) Ref { return Ref{Array: a, Row: row, Col: col} }
+
+// W builds a write reference.
+func W(a *Array, row, col Expr) Ref { return Ref{Array: a, Row: row, Col: col, Write: true} }
+
+// Stmt is a statement body: the references executed each innermost
+// iteration plus an abstract compute cost in cycles, charged to the first
+// operation of each instance.
+type Stmt struct {
+	Refs    []Ref
+	Compute int
+}
+
+// Loop is one loop level iterating Index over [Lo, Hi) with unit stride.
+// Bounds are affine in the enclosing loops' indices (triangular nests).
+type Loop struct {
+	Index string
+	Lo    Expr
+	Hi    Expr
+}
+
+// For builds a loop over [0, n).
+func For(index string, n int) Loop { return Loop{Index: index, Lo: C(0), Hi: C(n)} }
+
+// ForRange builds a loop over [lo, hi).
+func ForRange(index string, lo, hi Expr) Loop { return Loop{Index: index, Lo: lo, Hi: hi} }
+
+// Nest is a perfect loop nest with one or more statements in the innermost
+// body. An empty Loops slice is straight-line code (each Ref executes once).
+type Nest struct {
+	Loops []Loop
+	Body  []Stmt
+}
+
+// Kernel is a named collection of arrays and nests — the unit the compiler
+// consumes.
+type Kernel struct {
+	Name   string
+	Arrays []*Array
+	Nests  []Nest
+}
+
+// Validate checks that every reference names a declared array and that loop
+// bounds reference only enclosing indices.
+func (k *Kernel) Validate() error {
+	declared := make(map[*Array]bool, len(k.Arrays))
+	for _, a := range k.Arrays {
+		if a.Rows <= 0 || a.Cols <= 0 {
+			return fmt.Errorf("compiler: array %s has non-positive dims %dx%d", a.Name, a.Rows, a.Cols)
+		}
+		declared[a] = true
+	}
+	for ni, n := range k.Nests {
+		seen := map[string]bool{}
+		for _, l := range n.Loops {
+			for _, dep := range append(l.Lo.Indices(), l.Hi.Indices()...) {
+				if !seen[dep] {
+					return fmt.Errorf("compiler: %s nest %d: loop %s bound uses undeclared index %s", k.Name, ni, l.Index, dep)
+				}
+			}
+			if seen[l.Index] {
+				return fmt.Errorf("compiler: %s nest %d: duplicate index %s", k.Name, ni, l.Index)
+			}
+			seen[l.Index] = true
+		}
+		for _, s := range n.Body {
+			for _, r := range s.Refs {
+				if !declared[r.Array] {
+					return fmt.Errorf("compiler: %s nest %d references undeclared array %s", k.Name, ni, r.Array.Name)
+				}
+				for _, dep := range append(r.Row.Indices(), r.Col.Indices()...) {
+					if !seen[dep] {
+						return fmt.Errorf("compiler: %s nest %d: ref %s uses unknown index %s", k.Name, ni, r.Array.Name, dep)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

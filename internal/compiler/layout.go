@@ -1,0 +1,90 @@
+package compiler
+
+import "mdacache/internal/isa"
+
+// Layout selects how a logical 2-D array is placed in the physical address
+// space.
+type Layout int
+
+const (
+	// LayoutAuto picks per target: tiled for logically-2-D hierarchies,
+	// linear for 1-D ones. The paper always matches layout to the cache
+	// hierarchy's logical dimensionality (§IV-C, Design 0 note).
+	LayoutAuto Layout = iota
+
+	// LayoutLinear is conventional row-major with the row pitch padded to a
+	// whole number of cache lines (for aligned row vectors).
+	LayoutLinear
+
+	// LayoutTiled is the MDA-compliant layout of §V: dimensions padded to
+	// multiples of 8 and elements arranged so that logical columns coincide
+	// with the physical tile columns of the Fig. 8 address decode —
+	// element (i,j) lives at
+	//   tileBase(i/8, j/8) + (i mod 8)*64 + (j mod 8)*8.
+	// This is what the paper's intra-array padding accomplishes: X[i][j]
+	// and X[i+1][j] map to the same column of the MDA memory.
+	LayoutTiled
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutLinear:
+		return "linear"
+	case LayoutTiled:
+		return "tiled"
+	default:
+		return "auto"
+	}
+}
+
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// assignLayout places the array at base with the given layout and returns
+// the number of bytes it occupies (including padding).
+func (a *Array) assignLayout(l Layout, base uint64) uint64 {
+	a.layout = l
+	a.base = base
+	switch l {
+	case LayoutLinear:
+		a.padCols = pad8(a.Cols)
+		a.padRows = a.Rows
+		return uint64(a.padRows) * uint64(a.padCols) * isa.WordSize
+	case LayoutTiled:
+		a.padCols = pad8(a.Cols)
+		a.padRows = pad8(a.Rows)
+		return uint64(a.padRows) * uint64(a.padCols) * isa.WordSize
+	default:
+		panic("compiler: assignLayout with unresolved LayoutAuto")
+	}
+}
+
+// Addr returns the physical byte address of element (i, j).
+func (a *Array) Addr(i, j int) uint64 {
+	if i < 0 || j < 0 || i >= a.padRows || j >= a.padCols {
+		// Kernels are expected to stay in bounds; catching it here keeps
+		// trace bugs from silently aliasing another array.
+		panic("compiler: array reference out of bounds: " + a.Name)
+	}
+	switch a.layout {
+	case LayoutLinear:
+		return a.base + (uint64(i)*uint64(a.padCols)+uint64(j))*isa.WordSize
+	case LayoutTiled:
+		tilesPerRow := uint64(a.padCols) / 8
+		tile := (uint64(i)/8)*tilesPerRow + uint64(j)/8
+		return a.base + tile*isa.TileSize +
+			(uint64(i)%8)*isa.LineSize + (uint64(j)%8)*isa.WordSize
+	default:
+		panic("compiler: Addr before Compile: " + a.Name)
+	}
+}
+
+// Base returns the array's assigned base address.
+func (a *Array) Base() uint64 { return a.base }
+
+// FootprintBytes returns the padded size in bytes (0 before layout).
+func (a *Array) FootprintBytes() uint64 {
+	if a.padCols == 0 {
+		return 0
+	}
+	return uint64(a.padRows) * uint64(a.padCols) * isa.WordSize
+}

@@ -1,0 +1,92 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pseudocode renders the kernel as indented loop-nest pseudocode — the form
+// the paper uses for its §V-A example. Useful for debugging kernels and for
+// documenting what a benchmark actually executes (mdatrace -print).
+func (k *Kernel) Pseudocode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s\n", k.Name)
+	for _, a := range k.Arrays {
+		fmt.Fprintf(&b, "  array %s[%d][%d]\n", a.Name, a.Rows, a.Cols)
+	}
+	for ni, n := range k.Nests {
+		fmt.Fprintf(&b, "  nest %d:\n", ni)
+		indent := "    "
+		for _, l := range n.Loops {
+			fmt.Fprintf(&b, "%sfor %s in [%s, %s):\n", indent, l.Index, l.Lo, l.Hi)
+			indent += "  "
+		}
+		for _, s := range n.Body {
+			var parts []string
+			for _, r := range s.Refs {
+				parts = append(parts, r.String())
+			}
+			fmt.Fprintf(&b, "%s%s", indent, strings.Join(parts, "; "))
+			if s.Compute > 0 {
+				fmt.Fprintf(&b, "  # %d compute cycles", s.Compute)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// String renders one reference as load/store pseudocode.
+func (r Ref) String() string {
+	verb := "load"
+	if r.Write {
+		verb = "store"
+	}
+	return fmt.Sprintf("%s %s[%s][%s]", verb, r.Array.Name, r.Row, r.Col)
+}
+
+// Describe summarises the program's compilation decisions per nest: the
+// innermost index, which statements vectorize, and each reference's
+// direction class — a compact view of what the §V analysis concluded.
+func (p *Program) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p)
+	for ni, n := range p.Kernel.Nests {
+		if len(n.Loops) == 0 {
+			fmt.Fprintf(&b, "nest %d: straight-line (%d stmts)\n", ni, len(n.Body))
+			continue
+		}
+		inner := n.Loops[len(n.Loops)-1].Index
+		enclosing := make([]string, 0, len(n.Loops)-1)
+		for _, l := range n.Loops[:len(n.Loops)-1] {
+			enclosing = append(enclosing, l.Index)
+		}
+		fmt.Fprintf(&b, "nest %d: innermost %s\n", ni, inner)
+		for si, s := range n.Body {
+			plan := planStmt(s, inner, enclosing, p.Target.Logical2D)
+			mode := "scalar"
+			if plan.vectorize {
+				mode = "vector"
+			}
+			fmt.Fprintf(&b, "  stmt %d (%s):", si, mode)
+			for ri, ref := range s.Refs {
+				fmt.Fprintf(&b, " %s=%s", ref.Array.Name, className(plan.refs[ri].class, plan.refs[ri].orient))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func className(c refClass, o interface{ String() string }) string {
+	switch c {
+	case refInvariant:
+		return "hoisted"
+	case refRowStream:
+		return "row-stream"
+	case refColStream:
+		return "col-stream"
+	default:
+		return "irregular(" + o.String() + ")"
+	}
+}

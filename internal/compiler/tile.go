@@ -1,0 +1,95 @@
+package compiler
+
+import "fmt"
+
+// Tile applies iteration-space tiling (loop blocking) to a nest — the
+// compiler optimization the paper's §X proposes combining with 2P2L caches
+// ("hardware-software collaborative tiling"): choosing the software tile
+// size to match the cache's 8×8 2-D block turns each block into a unit of
+// guaranteed reuse.
+//
+// Each index in sizes is split into a tile loop (index + "_t") and an
+// intra-tile loop; all tile loops are hoisted outward, preserving their
+// original relative order, followed by the intra-tile loops:
+//
+//	for i { for j { body } }            (sizes {i: T, j: T})
+//	→ for i_t { for j_t { for i' { for j' { body } } } }
+//
+// Only loops with constant bounds whose trip count divides the tile size
+// can be tiled (tiling triangular or parameter-dependent bounds would need
+// min/max bounds, which the affine IR deliberately omits); Tile returns an
+// error otherwise. Untiled loops keep their position among the intra-tile
+// loops.
+func Tile(n Nest, sizes map[string]int) (Nest, error) {
+	for idx := range sizes {
+		found := false
+		for _, l := range n.Loops {
+			if l.Index == idx {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Nest{}, fmt.Errorf("compiler: Tile: no loop with index %q", idx)
+		}
+	}
+
+	var tileLoops, innerLoops []Loop
+	rename := map[string]Expr{}
+	for _, l := range n.Loops {
+		ts, tiled := sizes[l.Index]
+		if !tiled {
+			innerLoops = append(innerLoops, l)
+			continue
+		}
+		if ts <= 0 {
+			return Nest{}, fmt.Errorf("compiler: Tile: non-positive tile size for %q", l.Index)
+		}
+		if len(l.Lo.Indices()) > 0 || len(l.Hi.Indices()) > 0 {
+			return Nest{}, fmt.Errorf("compiler: Tile: loop %q has non-constant bounds", l.Index)
+		}
+		lo, hi := l.Lo.Const(), l.Hi.Const()
+		trip := hi - lo
+		if trip < 0 || trip%ts != 0 {
+			return Nest{}, fmt.Errorf("compiler: Tile: trip count %d of %q not divisible by tile size %d", trip, l.Index, ts)
+		}
+		tIdx := l.Index + "_t"
+		tileLoops = append(tileLoops, Loop{Index: tIdx, Lo: C(0), Hi: C(trip / ts)})
+		base := Idx(tIdx).Times(ts).PlusC(lo)
+		innerLoops = append(innerLoops, Loop{
+			Index: l.Index,
+			Lo:    base,
+			Hi:    base.PlusC(ts),
+		})
+		_ = rename
+	}
+
+	return Nest{Loops: append(tileLoops, innerLoops...), Body: n.Body}, nil
+}
+
+// TileKernel tiles every nest of the kernel that contains all of the given
+// indices with constant, divisible bounds; other nests are left untouched.
+// It returns the number of nests tiled.
+func TileKernel(k *Kernel, sizes map[string]int) int {
+	tiled := 0
+	for ni := range k.Nests {
+		sub := map[string]int{}
+		for idx, ts := range sizes {
+			for _, l := range k.Nests[ni].Loops {
+				if l.Index == idx {
+					sub[idx] = ts
+				}
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		nn, err := Tile(k.Nests[ni], sub)
+		if err != nil {
+			continue
+		}
+		k.Nests[ni] = nn
+		tiled++
+	}
+	return tiled
+}

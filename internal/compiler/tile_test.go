@@ -1,0 +1,152 @@
+package compiler
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+)
+
+func TestTileRestructuresLoops(t *testing.T) {
+	n := Nest{
+		Loops: []Loop{For("i", 16), For("j", 16)},
+		Body:  []Stmt{{Refs: nil}},
+	}
+	tiled, err := Tile(n, map[string]int{"i": 8, "j": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, l := range tiled.Loops {
+		order = append(order, l.Index)
+	}
+	want := []string{"i_t", "j_t", "i", "j"}
+	for x := range want {
+		if order[x] != want[x] {
+			t.Fatalf("loop order %v, want %v", order, want)
+		}
+	}
+	// Inner bounds: i ∈ [8·i_t, 8·i_t+8).
+	inner := tiled.Loops[2]
+	env := map[string]int{"i_t": 1}
+	if inner.Lo.Eval(env) != 8 || inner.Hi.Eval(env) != 16 {
+		t.Fatalf("inner bounds [%d,%d)", inner.Lo.Eval(env), inner.Hi.Eval(env))
+	}
+}
+
+func TestTilePreservesIterationSpace(t *testing.T) {
+	// The tiled kernel must touch exactly the same addresses, each the
+	// same number of times, as the original.
+	build := func(tile bool) map[uint64]int {
+		a := NewArray("A", 16, 16)
+		i, j := Idx("i"), Idx("j")
+		n := Nest{
+			Loops: []Loop{For("i", 16), For("j", 16)},
+			Body:  []Stmt{{Refs: []Ref{R(a, i, j)}}},
+		}
+		if tile {
+			var err error
+			n, err = Tile(n, map[string]int{"i": 8, "j": 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		kern := &Kernel{Name: "k", Arrays: []*Array{a}, Nests: []Nest{n}}
+		p, err := Compile(kern, Target{Logical2D: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[uint64]int{}
+		tr := p.Trace()
+		defer tr.Close()
+		for {
+			op, ok := tr.Next()
+			if !ok {
+				break
+			}
+			line := isa.LineFor(op)
+			for w := uint(0); w < isa.WordsPerLine; w++ {
+				if op.Vector {
+					counts[line.WordAddr(w)]++
+				}
+			}
+			if !op.Vector {
+				counts[op.Addr]++
+			}
+		}
+		return counts
+	}
+	plain, tiled := build(false), build(true)
+	if len(plain) != len(tiled) {
+		t.Fatalf("footprints differ: %d vs %d", len(plain), len(tiled))
+	}
+	for addr, n := range plain {
+		if tiled[addr] != n {
+			t.Fatalf("addr %#x touched %d times tiled, %d plain", addr, tiled[addr], n)
+		}
+	}
+}
+
+func TestTileErrors(t *testing.T) {
+	i := Idx("i")
+	cases := []struct {
+		nest  Nest
+		sizes map[string]int
+	}{
+		{Nest{Loops: []Loop{For("i", 16)}}, map[string]int{"z": 8}},                         // unknown index
+		{Nest{Loops: []Loop{For("i", 15)}}, map[string]int{"i": 8}},                         // indivisible
+		{Nest{Loops: []Loop{For("i", 16)}}, map[string]int{"i": 0}},                         // bad size
+		{Nest{Loops: []Loop{For("i", 16), ForRange("j", C(0), i)}}, map[string]int{"j": 8}}, // triangular
+	}
+	for n, c := range cases {
+		if _, err := Tile(c.nest, c.sizes); err == nil {
+			t.Errorf("case %d: expected error", n)
+		}
+	}
+}
+
+func TestTileKernelSkipsUntileable(t *testing.T) {
+	a := NewArray("A", 16, 16)
+	i, j, k := Idx("i"), Idx("j"), Idx("k")
+	kern := &Kernel{
+		Name:   "mixed",
+		Arrays: []*Array{a},
+		Nests: []Nest{
+			{ // tileable
+				Loops: []Loop{For("i", 16), For("j", 16)},
+				Body:  []Stmt{{Refs: []Ref{R(a, i, j)}}},
+			},
+			{ // the only matching index is triangular: skipped
+				Loops: []Loop{For("k", 16), ForRange("i", C(0), k.PlusC(1))},
+				Body:  []Stmt{{Refs: []Ref{R(a, k, i)}}},
+			},
+		},
+	}
+	if got := TileKernel(kern, map[string]int{"i": 8, "j": 8}); got != 1 {
+		t.Fatalf("tiled %d nests, want 1", got)
+	}
+	if len(kern.Nests[0].Loops) != 4 {
+		t.Fatalf("first nest loops = %d", len(kern.Nests[0].Loops))
+	}
+	if len(kern.Nests[1].Loops) != 2 {
+		t.Fatalf("second nest should be untouched")
+	}
+	if err := kern.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiledSgemmStillCompiles(t *testing.T) {
+	kern, _, _, _ := matmul16()
+	if n := TileKernel(kern, map[string]int{"i": 8, "j": 8, "k": 8}); n != 1 {
+		t.Fatalf("tiled %d", n)
+	}
+	p, err := Compile(kern, Target{Logical2D: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.MeasureMix()
+	// Vectorization along k survives tiling (k still innermost, chunks of 8).
+	if m.Ops[isa.Row][1] == 0 || m.Ops[isa.Col][1] == 0 {
+		t.Fatalf("tiling broke two-direction vectorization: %+v", m.Ops)
+	}
+}

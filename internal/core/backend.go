@@ -1,0 +1,123 @@
+// Package core implements the paper's primary contribution: MDA cache
+// hierarchies. It provides the three cache classes of the taxonomy in §IV-A
+//
+//	1P1L — physically and logically 1-D (baseline SRAM cache + prefetcher)
+//	1P2L — physically 1-D, logically 2-D (orientation bits, duplicate
+//	       write-back policy, Same-Set / Different-Set index mappings)
+//	2P2L — physically and logically 2-D (on-chip STT tile cache with
+//	       sparse or dense 2-D block fill)
+//
+// plus the out-of-order-window processor model that drives them and the
+// hierarchy builder that wires Designs 0–3 of §IV-C to an MDA main memory.
+//
+// Every level moves real data (64-bit words), so simulations are
+// functionally verifiable: a load always observes the most recent store,
+// regardless of which mix of row lines, column lines and tiles the word
+// travelled through. The test suite checks this against a flat oracle.
+package core
+
+import "mdacache/internal/isa"
+
+// Backend is the interface a cache level (or the CPU-side of the hierarchy)
+// uses to talk to the next level below — another cache or the MDA main
+// memory. mem.Memory satisfies it.
+//
+// Ordering contract (§IV-B, 2-D MSHRs): callers issue a Writeback that
+// overlaps a subsequent Fill *before* that Fill at the same cycle; levels
+// process arrivals in order, so the write is visible to the fill. Data
+// returned by Fill is the full line; done fires at critical-word delivery.
+type Backend interface {
+	// Fill reads one line. done receives the completion cycle and data.
+	Fill(at uint64, line isa.LineID, done func(at uint64, data [isa.WordsPerLine]uint64))
+
+	// Writeback writes a line. data holds all 8 words (all valid at the
+	// writer); mask selects the dirty words the receiver must persist.
+	Writeback(at uint64, line isa.LineID, mask uint8, data [isa.WordsPerLine]uint64)
+
+	// Peek returns the freshest committed value of the line along this
+	// level and everything below it: the backing store's words overlaid,
+	// bottom-up, with every level's dirty words. It is the synchronous
+	// functional-data path: a cache installing a fill calls Peek at the
+	// install instant so the data it latches can never be staler than the
+	// state below it, mirroring how hardware MSHRs observe writes that
+	// passed them while the fill was in flight (§IV-B's ordered
+	// overlapping transactions). Peek performs no timing-visible work.
+	Peek(line isa.LineID) [isa.WordsPerLine]uint64
+}
+
+// Level is a cache usable directly under the processor: it accepts CPU
+// memory operations in addition to serving as a Backend for an upper level.
+type Level interface {
+	Backend
+
+	// CPUAccess performs one processor memory operation. done fires when
+	// the op completes; for scalar loads value is the loaded word, for
+	// vector loads it is word 0 of the line.
+	CPUAccess(at uint64, op isa.Op, done func(at uint64, value uint64))
+
+	// Occupancy reports the number of valid row- and column-oriented lines
+	// currently resident (Fig. 15's occupancy metric). 2P2L caches report
+	// valid row/column small-lines within resident tiles.
+	Occupancy() (rowLines, colLines int)
+
+	// Stats returns the level's counters.
+	Stats() *LevelStats
+
+	// Drain flushes all dirty state to the level below at the given cycle.
+	// Used at end of simulation for functional verification.
+	Drain(at uint64)
+}
+
+// LevelStats accumulates per-cache-level counters. Orientation-indexed
+// arrays use isa.Row / isa.Col.
+type LevelStats struct {
+	Name string
+
+	// Demand accesses from above (CPU ops or upper-level fills).
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+
+	ScalarAccesses uint64
+	VectorAccesses uint64
+	ByOrient       [2]uint64
+
+	// HitsWrongOrient counts scalar hits found only in the non-preferred
+	// orientation (§IV-B(b): scalar hits ignore alignment).
+	HitsWrongOrient uint64
+
+	// PartialHits counts 2P2L accesses whose tile was present but whose
+	// requested line was only partially covered by intersecting fills.
+	PartialHits uint64
+
+	// Fill/writeback traffic with the level below.
+	FillsIssued    uint64
+	Writebacks     uint64
+	WritebacksIn   uint64 // writebacks absorbed from the level above
+	Evictions      uint64
+	BytesFromBelow uint64
+	BytesToBelow   uint64
+
+	// Duplicate management (1P2L only).
+	DuplicateEvictions uint64 // copies evicted by the Fig. 9 policy
+	DuplicateFlushes   uint64 // modified copies written back before duplication
+
+	// MSHR behaviour.
+	MSHRCoalesced uint64 // misses merged into an in-flight entry
+	MSHRStalls    uint64 // accesses delayed because the MSHR file was full
+
+	// Extra sequential tag probes charged per §VI-A.
+	ExtraTagProbes uint64
+
+	// Prefetcher (1P1L baseline).
+	PrefetchIssued uint64
+	PrefetchUseful uint64
+}
+
+// HitRate returns Hits/Accesses (0 when idle).
+func (s *LevelStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}

@@ -1,0 +1,669 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// line is one physically-1-D cache line: 64 bytes stored densely, holding
+// either a row or a column of a tile. The Dir(ection) status bit of Fig. 7
+// is the Orient field of the LineID; the per-word dirty bits (§IV-C,
+// Design 1: "1 extra dirty bit ... for each word in the cache line") are the
+// dirty mask.
+type line struct {
+	id         isa.LineID
+	valid      bool
+	dirty      uint8
+	prefetched bool
+	lastUse    uint64
+	rrpv       uint8 // SRRIP re-reference counter
+	data       [isa.WordsPerLine]uint64
+}
+
+// Cache1P is a physically 1-D, set-associative, write-back/write-allocate
+// cache. With logical2D=false it is the baseline 1P1L design (Design 0);
+// with logical2D=true it is the paper's 1P2L MDACache (Design 1): lines of
+// both orientations coexist, indexed by either the Different-Set or the
+// Same-Set mapping, with the write-back-based duplicate-coherence policy of
+// Fig. 9 and the extra tag-probe latencies of §VI-A.
+type Cache1P struct {
+	q         *sim.EventQueue
+	p         CacheParams
+	logical2D bool
+	below     Backend
+
+	nsets int
+	sets  [][]line
+	mshr  *mshrFile
+	port  sim.Resource
+	pf    *stridePrefetcher
+	opred *orientPredictor
+	rng   *sim.RNG // random-replacement source
+
+	useCounter uint64
+	stats      LevelStats
+}
+
+// NewCache1P builds a physically-1-D cache above the given backend.
+func NewCache1P(q *sim.EventQueue, p CacheParams, logical2D bool, below Backend) (*Cache1P, error) {
+	if err := p.Validate(isa.LineSize); err != nil {
+		return nil, err
+	}
+	nsets := p.SizeBytes / (isa.LineSize * p.Assoc)
+	c := &Cache1P{
+		q: q, p: p, logical2D: logical2D, below: below,
+		nsets: nsets,
+		mshr:  newMSHRFile(p.MSHRs),
+		stats: LevelStats{Name: p.Name},
+	}
+	c.sets = make([][]line, nsets)
+	backing := make([]line, nsets*p.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*p.Assoc : (i+1)*p.Assoc]
+	}
+	if p.PrefetchDegree > 0 {
+		c.pf = newStridePrefetcher(p.PrefetchDegree)
+	}
+	if p.PredictOrient && logical2D {
+		c.opred = newOrientPredictor()
+	}
+	if p.Repl == ReplRandom {
+		c.rng = sim.NewRNG(0x5EED)
+	}
+	return c, nil
+}
+
+// Stats implements Level.
+func (c *Cache1P) Stats() *LevelStats { return &c.stats }
+
+// setIndex maps a line to its set.
+//
+// Different-Set (Fig. 8 cache decode): a row line indexes with its ordinary
+// line number (tile number × 8 + row-in-tile); a column line symmetrically
+// with tile number × 8 + column-in-tile. Rows and columns of one tile spread
+// over up to 16 distinct sets while sharing the tile-number tag.
+//
+// Same-Set: both orientations index with the tile number alone, so all 16
+// lines of a tile compete within one set.
+func (c *Cache1P) setIndex(id isa.LineID) int {
+	if c.logical2D && c.p.Mapping == SameSet {
+		return int((id.Tile() >> 9) % uint64(c.nsets))
+	}
+	num := (id.Tile()>>9)*isa.LinesPerTile + uint64(id.Index())
+	return int(num % uint64(c.nsets))
+}
+
+// find returns the resident line with the given identity, or nil.
+func (c *Cache1P) find(id isa.LineID) *line {
+	set := c.sets[c.setIndex(id)]
+	for i := range set {
+		if set[i].valid && set[i].id == id {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (c *Cache1P) touch(l *line) {
+	c.useCounter++
+	l.lastUse = c.useCounter
+}
+
+// noteDemandHit updates recency, SRRIP promotion and prefetch-usefulness
+// accounting on a demand hit.
+func (c *Cache1P) noteDemandHit(l *line) {
+	c.touch(l)
+	l.rrpv = 0 // SRRIP promotion on proven reuse
+	if l.prefetched {
+		l.prefetched = false
+		c.stats.PrefetchUseful++
+	}
+}
+
+// intersectingDo invokes fn for every valid line of the opposite
+// orientation in id's tile (the up-to-8 lines that cross id).
+func (c *Cache1P) intersectingDo(id isa.LineID, fn func(m *line)) {
+	if !c.logical2D {
+		return
+	}
+	tile := id.Tile()
+	other := id.Orient.Other()
+	for i := uint(0); i < isa.LinesPerTile; i++ {
+		var mid isa.LineID
+		if other == isa.Row {
+			mid = isa.LineID{Base: tile + uint64(i)*isa.LineSize, Orient: isa.Row}
+		} else {
+			mid = isa.LineID{Base: tile + uint64(i)*isa.WordSize, Orient: isa.Col}
+		}
+		if m := c.find(mid); m != nil {
+			fn(m)
+		}
+	}
+}
+
+// writebackLine sends a line's dirty words below (full data, dirty mask).
+// Traffic is accounted at dirty-word granularity — the per-word dirty bits
+// of §IV-C exist precisely to shrink false-sharing writeback bandwidth.
+func (c *Cache1P) writebackLine(at uint64, l *line) {
+	c.stats.Writebacks++
+	c.stats.BytesToBelow += uint64(bits.OnesCount8(l.dirty)) * isa.WordSize
+	c.below.Writeback(at, l.id, l.dirty, l.data)
+}
+
+// flushLine writes back a modified line and marks it clean (the
+// Modified→Clean "read to duplicate" transition of Fig. 9).
+func (c *Cache1P) flushLine(at uint64, l *line) {
+	if l.dirty != 0 {
+		c.writebackLine(at, l)
+		l.dirty = 0
+	}
+}
+
+// evictDuplicate removes a duplicate copy (the Fig. 9 "write to duplicate"
+// transitions: Clean→Invalid directly; Modified→writeback→Invalid).
+func (c *Cache1P) evictDuplicate(at uint64, m *line) {
+	c.flushLine(at, m)
+	m.valid = false
+	c.stats.DuplicateEvictions++
+}
+
+// victim picks the replacement way in a set: an invalid way if one exists,
+// otherwise the configured policy's choice.
+func (c *Cache1P) victim(set []line) *line {
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+	}
+	switch c.p.Repl {
+	case ReplRandom:
+		return &set[c.rng.Intn(len(set))]
+	case ReplSRRIP:
+		for {
+			for i := range set {
+				if set[i].rrpv >= srripMax {
+					return &set[i]
+				}
+			}
+			for i := range set {
+				set[i].rrpv++
+			}
+		}
+	default: // LRU
+		v := &set[0]
+		for i := range set {
+			if set[i].lastUse < v.lastUse {
+				v = &set[i]
+			}
+		}
+		return v
+	}
+}
+
+// install places line data into the cache, evicting (and writing back) a
+// victim if necessary. If the line is already resident — possible when a
+// writeback from above landed while a fill was in flight, or vice versa —
+// the merge rule is: words in overrideMask (a newer writeback) always take
+// the incoming data; other resident dirty words take precedence over the
+// (older) incoming data. The merged data is written back into *data so
+// callers deliver fresh words upward.
+func (c *Cache1P) install(at uint64, id isa.LineID, data *[isa.WordsPerLine]uint64, dirtyMask, overrideMask uint8, prefetched bool) *line {
+	if l := c.find(id); l != nil {
+		for i := uint(0); i < isa.WordsPerLine; i++ {
+			if l.dirty&(1<<i) != 0 && overrideMask&(1<<i) == 0 {
+				data[i] = l.data[i]
+			}
+		}
+		l.data = *data
+		l.dirty |= dirtyMask
+		c.touch(l)
+		return l
+	}
+	set := c.sets[c.setIndex(id)]
+	v := c.victim(set)
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty != 0 {
+			c.writebackLine(at, v)
+		}
+	}
+	*v = line{id: id, valid: true, dirty: dirtyMask, prefetched: prefetched, data: *data}
+	c.touch(v)
+	v.rrpv = srripInsertRRPV
+	return v
+}
+
+// requestFill starts (or joins) a miss for id. done, if non-nil, is invoked
+// with the completion cycle and the installed line's data.
+func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func(at uint64, data [isa.WordsPerLine]uint64)) {
+	if e := c.mshr.lookup(id); e != nil {
+		c.stats.MSHRCoalesced++
+		if e.prefetch && !prefetch {
+			// A demand miss caught an in-flight prefetch: partial coverage.
+			c.stats.PrefetchUseful++
+			e.prefetch = false
+		}
+		if done != nil {
+			e.targets = append(e.targets, done)
+		}
+		return
+	}
+	if c.mshr.full() {
+		if prefetch {
+			return // drop prefetches under MSHR pressure
+		}
+		c.stats.MSHRStalls++
+		c.mshr.stall(func(rat uint64) { c.requestFill(rat, id, false, done) })
+		return
+	}
+	e := c.mshr.allocate(id, prefetch)
+	if done != nil {
+		e.targets = append(e.targets, done)
+	}
+	// 2-D MSHR ordering (§IV-B): modified intersecting lines are written
+	// back *before* the fill is issued, so the level below observes the
+	// write→read order for the overlapping words.
+	c.intersectingDo(id, func(m *line) {
+		if addr, ok := m.id.Intersection(id); ok {
+			if off, ok := m.id.WordOffset(addr); ok && m.dirty&(1<<off) != 0 {
+				c.flushLine(at, m)
+				c.stats.DuplicateFlushes++
+			}
+		}
+	})
+	c.stats.FillsIssued++
+	c.below.Fill(at, id, func(rat uint64, data [isa.WordsPerLine]uint64) {
+		c.fillArrived(rat, id, data, e.prefetch)
+	})
+}
+
+// fillArrived completes a miss: flush any words modified locally since the
+// fill was issued (keeping the Fig. 9 invariant that a modified word has a
+// single copy), latch the freshest committed data below, install, and wake
+// the waiting targets.
+func (c *Cache1P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint64, prefetch bool) {
+	c.stats.BytesFromBelow += isa.LineSize
+	c.intersectingDo(id, func(m *line) {
+		addr, _ := m.id.Intersection(id)
+		moff, _ := m.id.WordOffset(addr)
+		if m.dirty&(1<<moff) != 0 {
+			c.flushLine(at, m)
+			c.stats.DuplicateFlushes++
+		}
+	})
+	// The timing payload may predate writes that passed the in-flight fill;
+	// latch the current committed state below instead (see Backend.Peek).
+	data := c.below.Peek(id)
+	c.install(at, id, &data, 0, 0, prefetch)
+	deliverAt := at + c.p.DataLat
+	targets, retry := c.mshr.complete(id)
+	for _, t := range targets {
+		t(deliverAt, data)
+	}
+	if retry != nil {
+		retry(at)
+	}
+}
+
+// chargePort reserves the tag/data port for `probes` sequential tag accesses
+// starting at `at`, returning the access start cycle and the extra latency
+// beyond the first probe (§VI-A charges each additional probe one TagLat).
+func (c *Cache1P) chargePort(at uint64, probes int) (start, extraLat uint64) {
+	if probes > 1 {
+		c.stats.ExtraTagProbes += uint64(probes - 1)
+	}
+	start = c.port.Acquire(at, uint64(probes))
+	return start, uint64(probes-1) * c.p.TagLat
+}
+
+// chargePortOffPath reserves the port for probes that overlap miss handling
+// (the vector-miss and write duplicate checks): they cost port occupancy —
+// delaying later accesses — but §VI-A notes they are off the latency
+// critical path, so the miss itself is not delayed by them.
+//
+// Occupancy model: under the Different-Set mapping the 8 intersecting-line
+// probes address 8 distinct sets, i.e. different tag banks, and proceed in
+// parallel (2 port cycles: the demand probe plus one banked-probe burst).
+// Under the Same-Set mapping all candidates live in one set, so a single
+// (wide) set read covers them (1 extra cycle). Statistics still count every
+// logical probe.
+func (c *Cache1P) chargePortOffPath(at uint64, probes int) (start uint64) {
+	occ := uint64(probes)
+	if probes > 1 {
+		c.stats.ExtraTagProbes += uint64(probes - 1)
+		occ = 2
+		if c.p.Mapping == SameSet {
+			occ = 1 // all candidates live in one set: one wide read
+		}
+	}
+	return c.port.Acquire(at, occ)
+}
+
+func (c *Cache1P) checkOrient(o isa.Orient) {
+	if !c.logical2D && o == isa.Col {
+		panic(fmt.Sprintf("core: column access reached logically 1-D cache %s (compile the workload for a 1-D hierarchy)", c.p.Name))
+	}
+}
+
+func checkCanonical(name string, id isa.LineID) {
+	if !id.IsCanonical() {
+		panic(fmt.Sprintf("core: %s received non-canonical line %v", name, id))
+	}
+}
+
+// CPUAccess implements Level: one processor memory operation.
+func (c *Cache1P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uint64)) {
+	c.checkOrient(op.Orient)
+	c.stats.Accesses++
+	c.stats.ByOrient[op.Orient]++
+	if op.Vector {
+		c.stats.VectorAccesses++
+	} else {
+		c.stats.ScalarAccesses++
+	}
+	if c.pf != nil {
+		c.prefetchObserve(at, op)
+	}
+	if op.Vector {
+		checkCanonical(c.p.Name, isa.LineID{Base: op.Addr, Orient: op.Orient})
+		if op.Kind == isa.Load {
+			c.vectorLoad(at, op, done)
+		} else {
+			c.vectorStore(at, op, done)
+		}
+		return
+	}
+	if c.opred != nil {
+		// Dynamic preference: once the per-PC stride predictor is
+		// confident, it overrides the instruction's static bit.
+		c.opred.observe(op.PC, op.Addr)
+		op.Orient = c.opred.predict(op.PC, op.Orient)
+	}
+	if op.Kind == isa.Load {
+		c.scalarLoad(at, op, done)
+	} else {
+		c.scalarStore(at, op, done)
+	}
+}
+
+func (c *Cache1P) scalarLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
+	pref := isa.LineOf(op.Addr, op.Orient)
+	if l := c.find(pref); l != nil {
+		start, _ := c.chargePort(at, 1)
+		c.stats.Hits++
+		c.noteDemandHit(l)
+		off, _ := pref.WordOffset(op.Addr)
+		v := l.data[off]
+		c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), v) })
+		return
+	}
+	if c.logical2D {
+		// Check the other orientation; scalar hits ignore alignment
+		// (§IV-B(b)). Under Different-Set mapping this is a second,
+		// sequential tag access (§IV-C: "incurring additional cycles of
+		// latency"); under Same-Set mapping both orientations share the
+		// set and are checked by the one simultaneous lookup, for free.
+		other := isa.LineOf(op.Addr, op.Orient.Other())
+		if m := c.find(other); m != nil {
+			probes, extraLat := 2, uint64(0)
+			if c.p.Mapping == SameSet {
+				probes = 1
+			}
+			start, extra := c.chargePort(at, probes)
+			if c.p.Mapping != SameSet {
+				extraLat = extra
+			}
+			c.stats.Hits++
+			c.stats.HitsWrongOrient++
+			c.noteDemandHit(m)
+			off, _ := other.WordOffset(op.Addr)
+			v := m.data[off]
+			c.q.Schedule(start+c.p.HitLatency()+extraLat, func() { done(c.q.Now(), v) })
+			return
+		}
+	}
+	probes := 1
+	if c.logical2D && c.p.Mapping != SameSet {
+		probes = 2
+	}
+	start, extra := c.chargePort(at, probes)
+	c.stats.Misses++
+	addr := op.Addr
+	c.requestFill(start+c.p.TagLat+extra, pref, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
+		off, _ := pref.WordOffset(addr)
+		v := data[off]
+		c.q.Schedule(rat, func() { done(c.q.Now(), v) })
+	})
+}
+
+// applyStoreWord performs the word write into target line l, first evicting
+// any duplicate copy in the other orientation ("write to duplicate").
+func (c *Cache1P) applyStoreWord(at uint64, l *line, addr, value uint64) {
+	if c.logical2D {
+		dup := isa.LineOf(addr, l.id.Orient.Other())
+		if m := c.find(dup); m != nil {
+			c.evictDuplicate(at, m)
+		}
+	}
+	off, ok := l.id.WordOffset(addr)
+	if !ok {
+		panic("core: store applied to non-containing line")
+	}
+	l.data[off] = value
+	l.dirty |= 1 << off
+	c.touch(l)
+}
+
+func (c *Cache1P) scalarStore(at uint64, op isa.Op, done func(uint64, uint64)) {
+	pref := isa.LineOf(op.Addr, op.Orient)
+	target := c.find(pref)
+	wrongOrient := false
+	if target == nil && c.logical2D {
+		target = c.find(isa.LineOf(op.Addr, op.Orient.Other()))
+		wrongOrient = target != nil
+	}
+	probes := 1
+	if c.logical2D && c.p.Mapping != SameSet {
+		probes = 2 // write checks both orientations (§IV-C Design 1)
+	}
+	start, extra := c.chargePort(at, probes)
+	if target != nil {
+		c.stats.Hits++
+		if wrongOrient {
+			c.stats.HitsWrongOrient++
+		}
+		c.noteDemandHit(target)
+		c.applyStoreWord(start, target, op.Addr, op.Value)
+		c.q.Schedule(start+c.p.HitLatency()+extra, func() { done(c.q.Now(), 0) })
+		return
+	}
+	c.stats.Misses++
+	addr, value := op.Addr, op.Value
+	c.requestFill(start+c.p.TagLat+extra, pref, false, func(rat uint64, _ [isa.WordsPerLine]uint64) {
+		l := c.find(pref)
+		if l == nil {
+			// The just-installed line was evicted within the same cycle by
+			// a conflicting waiter; re-install via a fresh fill.
+			c.requestFill(rat, pref, false, func(rat2 uint64, _ [isa.WordsPerLine]uint64) {
+				if l2 := c.find(pref); l2 != nil {
+					c.applyStoreWord(rat2, l2, addr, value)
+				}
+				c.q.Schedule(rat2, func() { done(c.q.Now(), 0) })
+			})
+			return
+		}
+		c.applyStoreWord(rat, l, addr, value)
+		c.q.Schedule(rat, func() { done(c.q.Now(), 0) })
+	})
+}
+
+func (c *Cache1P) vectorLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
+	id := isa.LineID{Base: op.Addr, Orient: op.Orient}
+	if l := c.find(id); l != nil {
+		start, _ := c.chargePort(at, 1)
+		c.stats.Hits++
+		c.noteDemandHit(l)
+		v := l.data[0]
+		c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), v) })
+		return
+	}
+	probes := 1
+	if c.logical2D {
+		probes = 1 + isa.WordsPerLine // §VI-A: 8 extra probes on vector miss
+	}
+	start := c.chargePortOffPath(at, probes)
+	c.stats.Misses++
+	c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
+		v := data[0]
+		c.q.Schedule(rat, func() { done(c.q.Now(), v) })
+	})
+}
+
+// vectorPayload synthesises the 8 stored words of a vector store from the
+// op's scalar Value (word i stores Value+i). The functional-verification
+// oracle applies the same rule.
+func vectorPayload(v uint64) (data [isa.WordsPerLine]uint64) {
+	for i := range data {
+		data[i] = v + uint64(i)
+	}
+	return data
+}
+
+func (c *Cache1P) vectorStore(at uint64, op isa.Op, done func(uint64, uint64)) {
+	id := isa.LineID{Base: op.Addr, Orient: op.Orient}
+	probes := 1
+	if c.logical2D {
+		probes = 1 + isa.WordsPerLine
+	}
+	start := c.chargePortOffPath(at, probes) // write checks are off the critical path (§VI-A)
+	// A full-line store supersedes every intersecting copy.
+	c.intersectingDo(id, func(m *line) { c.evictDuplicate(start, m) })
+	data := vectorPayload(op.Value)
+	if l := c.find(id); l != nil {
+		c.stats.Hits++
+		c.noteDemandHit(l)
+		l.data = data
+		l.dirty = 0xff
+	} else {
+		// Write-allocate without fetch: the store covers the whole line.
+		c.stats.Misses++
+		c.install(start, id, &data, 0xff, 0xff, false)
+	}
+	c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), 0) })
+}
+
+// Fill implements Backend for the level above: serve a full line.
+func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPerLine]uint64)) {
+	c.checkOrient(id.Orient)
+	checkCanonical(c.p.Name, id)
+	c.stats.Accesses++
+	c.stats.VectorAccesses++
+	c.stats.ByOrient[id.Orient]++
+	if l := c.find(id); l != nil {
+		start, _ := c.chargePort(at, 1)
+		c.stats.Hits++
+		c.noteDemandHit(l)
+		data := l.data
+		c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), data) })
+		return
+	}
+	probes := 1
+	if c.logical2D {
+		probes = 1 + isa.WordsPerLine
+	}
+	start := c.chargePortOffPath(at, probes)
+	c.stats.Misses++
+	c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
+		c.q.Schedule(rat, func() { done(c.q.Now(), data) })
+	})
+}
+
+// Writeback implements Backend for the level above: absorb a dirty line.
+// It is treated as a write for the Fig. 9 duplicate policy: masked (dirty)
+// words evict their other-orientation copies.
+func (c *Cache1P) Writeback(at uint64, id isa.LineID, mask uint8, data [isa.WordsPerLine]uint64) {
+	c.checkOrient(id.Orient)
+	checkCanonical(c.p.Name, id)
+	c.stats.WritebacksIn++
+	probes := 1
+	if c.logical2D {
+		probes = 1 + isa.WordsPerLine
+	}
+	start, _ := c.chargePort(at, probes)
+	c.intersectingDo(id, func(m *line) {
+		addr, _ := m.id.Intersection(id)
+		ioff, _ := id.WordOffset(addr)
+		if mask&(1<<ioff) != 0 {
+			c.evictDuplicate(start, m)
+		}
+	})
+	c.install(start, id, &data, mask, mask, false)
+}
+
+// prefetchObserve trains the stride prefetcher and issues row-line
+// prefetches (Design 0 baseline).
+func (c *Cache1P) prefetchObserve(at uint64, op isa.Op) {
+	for _, addr := range c.pf.observe(op) {
+		id := isa.LineOf(addr, isa.Row)
+		if c.find(id) != nil || c.mshr.lookup(id) != nil {
+			continue
+		}
+		c.stats.PrefetchIssued++
+		c.requestFill(at, id, true, nil)
+	}
+}
+
+// Peek implements Backend's synchronous functional-data path: the freshest
+// value of each word of the line, overlaying this level's dirty words on
+// everything below.
+func (c *Cache1P) Peek(id isa.LineID) [isa.WordsPerLine]uint64 {
+	data := c.below.Peek(id)
+	if l := c.find(id); l != nil {
+		for i := uint(0); i < isa.WordsPerLine; i++ {
+			if l.dirty&(1<<i) != 0 {
+				data[i] = l.data[i]
+			}
+		}
+	}
+	// Dirty words held by intersecting lines of the other orientation.
+	c.intersectingDo(id, func(m *line) {
+		addr, _ := m.id.Intersection(id)
+		moff, _ := m.id.WordOffset(addr)
+		if m.dirty&(1<<moff) != 0 {
+			ioff, _ := id.WordOffset(addr)
+			data[ioff] = m.data[moff]
+		}
+	})
+	return data
+}
+
+// Occupancy implements Level.
+func (c *Cache1P) Occupancy() (rowLines, colLines int) {
+	for _, set := range c.sets {
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			if set[i].id.Orient == isa.Row {
+				rowLines++
+			} else {
+				colLines++
+			}
+		}
+	}
+	return rowLines, colLines
+}
+
+// Drain implements Level: flush all dirty lines below.
+func (c *Cache1P) Drain(at uint64) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty != 0 {
+				c.flushLine(at, &set[i])
+			}
+		}
+	}
+}

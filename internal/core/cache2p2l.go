@@ -1,0 +1,547 @@
+package core
+
+import (
+	"math/bits"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// tile is one physically-2-D cache block: an 8-line × 8-line, 512-byte
+// 2-D allocation unit (Fig. 7, bottom). Presence is tracked per small line
+// in each orientation (8 row-valid + 8 col-valid bits — the sparse-fill
+// footprint of §IV-B(b)); a word is present iff its row or its column line
+// has been filled. Dirtiness is tracked per small line (rowDirty/colDirty),
+// which the paper notes "can also be added to save write back bandwidth".
+type tile struct {
+	base     uint64
+	valid    bool
+	rowValid uint8
+	colValid uint8
+	rowDirty uint8
+	colDirty uint8
+	lastUse  uint64
+	rrpv     uint8                 // SRRIP re-reference counter
+	data     [isa.TileWords]uint64 // row-major: word (r,c) at r*8+c
+}
+
+func (t *tile) wordValid(r, c uint) bool {
+	return t.rowValid&(1<<r) != 0 || t.colValid&(1<<c) != 0
+}
+
+// lineValid reports whether every word of the line is present.
+func (t *tile) lineValid(id isa.LineID) bool {
+	if id.Orient == isa.Row {
+		return t.rowValid&(1<<id.Index()) != 0 || t.colValid == 0xff
+	}
+	return t.colValid&(1<<id.Index()) != 0 || t.rowValid == 0xff
+}
+
+// linePartial reports whether some but not all words of the line are
+// present (a partial hit from intersecting fills of the other orientation).
+func (t *tile) linePartial(id isa.LineID) bool {
+	if t.lineValid(id) {
+		return false
+	}
+	if id.Orient == isa.Row {
+		return t.colValid != 0
+	}
+	return t.rowValid != 0
+}
+
+// readLine copies the line's words out of the tile.
+func (t *tile) readLine(id isa.LineID) (data [isa.WordsPerLine]uint64) {
+	if id.Orient == isa.Row {
+		r := id.Index()
+		copy(data[:], t.data[r*isa.WordsPerLine:(r+1)*isa.WordsPerLine])
+		return data
+	}
+	c := id.Index()
+	for r := uint(0); r < isa.LinesPerTile; r++ {
+		data[r] = t.data[r*isa.WordsPerLine+c]
+	}
+	return data
+}
+
+// writeLine stores the selected words of data into the tile.
+func (t *tile) writeLine(id isa.LineID, mask uint8, data [isa.WordsPerLine]uint64) {
+	if id.Orient == isa.Row {
+		r := id.Index()
+		for c := uint(0); c < isa.WordsPerLine; c++ {
+			if mask&(1<<c) != 0 {
+				t.data[r*isa.WordsPerLine+c] = data[c]
+			}
+		}
+		return
+	}
+	c := id.Index()
+	for r := uint(0); r < isa.LinesPerTile; r++ {
+		if mask&(1<<r) != 0 {
+			t.data[r*isa.WordsPerLine+c] = data[r]
+		}
+	}
+}
+
+// Cache2P is the physically and logically 2-D MDACache (Designs 2 and 3):
+// a set-associative cache of 512-byte tiles built from an on-chip MDA (STT)
+// array. There is no data duplication — each word has exactly one location —
+// so no orientation bits or duplicate policy are needed (§IV-C, Design 2).
+// Fills are sparse by default (one row or column line on demand); the dense
+// variant fills the whole 2-D block on a miss.
+type Cache2P struct {
+	q     *sim.EventQueue
+	p     CacheParams
+	dense bool
+	below Backend
+
+	nsets int
+	sets  [][]tile
+	mshr  *mshrFile
+	port  sim.Resource
+	rng   *sim.RNG // random-replacement source
+
+	useCounter uint64
+	stats      LevelStats
+}
+
+// NewCache2P builds a tile cache above the given backend.
+func NewCache2P(q *sim.EventQueue, p CacheParams, dense bool, below Backend) (*Cache2P, error) {
+	if err := p.Validate(isa.TileSize); err != nil {
+		return nil, err
+	}
+	nsets := p.SizeBytes / (isa.TileSize * p.Assoc)
+	c := &Cache2P{
+		q: q, p: p, dense: dense, below: below,
+		nsets: nsets,
+		mshr:  newMSHRFile(p.MSHRs),
+		stats: LevelStats{Name: p.Name},
+	}
+	c.sets = make([][]tile, nsets)
+	backing := make([]tile, nsets*p.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*p.Assoc : (i+1)*p.Assoc]
+	}
+	if p.Repl == ReplRandom {
+		c.rng = sim.NewRNG(0x5EED)
+	}
+	return c, nil
+}
+
+// Stats implements Level.
+func (c *Cache2P) Stats() *LevelStats { return &c.stats }
+
+func (c *Cache2P) setIndex(tileBase uint64) int {
+	return int((tileBase >> 9) % uint64(c.nsets))
+}
+
+func (c *Cache2P) find(tileBase uint64) *tile {
+	set := c.sets[c.setIndex(tileBase)]
+	for i := range set {
+		if set[i].valid && set[i].base == tileBase {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (c *Cache2P) touch(t *tile) {
+	c.useCounter++
+	t.lastUse = c.useCounter
+}
+
+// promote marks a demand hit: recency plus SRRIP promotion.
+func (c *Cache2P) promote(t *tile) {
+	c.touch(t)
+	t.rrpv = 0
+}
+
+// evictTile writes back the tile's dirty small lines: dirty rows in full,
+// then dirty columns masked to skip words already covered by a dirty row
+// (the word values are identical — tiles hold a single copy).
+func (c *Cache2P) evictTile(at uint64, t *tile) {
+	for r := uint(0); r < isa.LinesPerTile; r++ {
+		if t.rowDirty&(1<<r) != 0 {
+			id := isa.LineID{Base: t.base + uint64(r)*isa.LineSize, Orient: isa.Row}
+			c.writebackLine(at, t, id, 0xff)
+		}
+	}
+	colMask := ^t.rowDirty
+	for col := uint(0); col < isa.LinesPerTile; col++ {
+		if t.colDirty&(1<<col) != 0 && colMask != 0 {
+			id := isa.LineID{Base: t.base + uint64(col)*isa.WordSize, Orient: isa.Col}
+			c.writebackLine(at, t, id, colMask)
+		}
+	}
+	t.valid = false
+}
+
+func (c *Cache2P) writebackLine(at uint64, t *tile, id isa.LineID, mask uint8) {
+	c.stats.Writebacks++
+	c.stats.BytesToBelow += uint64(bits.OnesCount8(mask)) * isa.WordSize
+	c.below.Writeback(at, id, mask, t.readLine(id))
+}
+
+// ensureTile returns the resident tile for tileBase, allocating (and
+// evicting a victim) if needed.
+func (c *Cache2P) ensureTile(at uint64, tileBase uint64) *tile {
+	if t := c.find(tileBase); t != nil {
+		return t
+	}
+	set := c.sets[c.setIndex(tileBase)]
+	v := c.victim(set)
+	if v.valid {
+		c.stats.Evictions++
+		c.evictTile(at, v)
+	}
+	*v = tile{base: tileBase, valid: true}
+	c.touch(v)
+	v.rrpv = srripInsertRRPV
+	return v
+}
+
+// victim picks the replacement tile per the configured policy.
+func (c *Cache2P) victim(set []tile) *tile {
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+	}
+	switch c.p.Repl {
+	case ReplRandom:
+		return &set[c.rng.Intn(len(set))]
+	case ReplSRRIP:
+		for {
+			for i := range set {
+				if set[i].rrpv >= srripMax {
+					return &set[i]
+				}
+			}
+			for i := range set {
+				set[i].rrpv++
+			}
+		}
+	default: // LRU
+		v := &set[0]
+		for i := range set {
+			if set[i].lastUse < v.lastUse {
+				v = &set[i]
+			}
+		}
+		return v
+	}
+}
+
+// markLineValid sets the line's presence (and optionally dirty) bits.
+func markLine(t *tile, id isa.LineID, dirty bool) {
+	bit := uint8(1) << id.Index()
+	if id.Orient == isa.Row {
+		t.rowValid |= bit
+		if dirty {
+			t.rowDirty |= bit
+		}
+	} else {
+		t.colValid |= bit
+		if dirty {
+			t.colDirty |= bit
+		}
+	}
+}
+
+// requestFill starts (or joins) a miss for one line of a tile. On arrival
+// only absent words are merged — resident words (which may be dirty via
+// intersecting lines) always take precedence, preserving single-copy
+// semantics.
+func (c *Cache2P) requestFill(at uint64, id isa.LineID, background bool, done func(at uint64, data [isa.WordsPerLine]uint64)) {
+	if e := c.mshr.lookup(id); e != nil {
+		c.stats.MSHRCoalesced++
+		if done != nil {
+			e.targets = append(e.targets, done)
+		}
+		return
+	}
+	if c.mshr.full() {
+		if background {
+			return // drop background (dense-mode) fills under pressure
+		}
+		c.stats.MSHRStalls++
+		c.mshr.stall(func(rat uint64) { c.requestFill(rat, id, false, done) })
+		return
+	}
+	e := c.mshr.allocate(id, background)
+	if done != nil {
+		e.targets = append(e.targets, done)
+	}
+	c.stats.FillsIssued++
+	c.below.Fill(at, id, func(rat uint64, data [isa.WordsPerLine]uint64) {
+		c.fillArrived(rat, id, data)
+	})
+	if c.dense && !background {
+		// Dense 2P2L: the rest of the 2-D block follows the missing line
+		// (§IV-B(d): "all rows/columns within the 2-D block will follow").
+		tileBase := id.Tile()
+		for i := uint(0); i < isa.LinesPerTile; i++ {
+			sib := isa.LineID{Orient: id.Orient}
+			if id.Orient == isa.Row {
+				sib.Base = tileBase + uint64(i)*isa.LineSize
+			} else {
+				sib.Base = tileBase + uint64(i)*isa.WordSize
+			}
+			if sib == id {
+				continue
+			}
+			if t := c.find(tileBase); t != nil && t.lineValid(sib) {
+				continue
+			}
+			c.requestFill(at, sib, true, nil)
+		}
+	}
+}
+
+func (c *Cache2P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint64) {
+	c.stats.BytesFromBelow += isa.LineSize
+	// Latch the freshest committed data below the cache rather than the
+	// (possibly overtaken) timing payload — see Backend.Peek.
+	data := c.below.Peek(id)
+	t := c.ensureTile(at, id.Tile())
+	// Merge: only words not already present are taken from the fill.
+	var mask uint8
+	for i := uint(0); i < isa.WordsPerLine; i++ {
+		addr := id.WordAddr(i)
+		if !t.wordValid(isa.RowInTile(addr), isa.ColInTile(addr)) {
+			mask |= 1 << i
+		}
+	}
+	t.writeLine(id, mask, data)
+	markLine(t, id, false)
+	c.touch(t)
+	merged := t.readLine(id)
+	deliverAt := at + c.p.DataLat + c.p.WriteAsymmetry
+	targets, retry := c.mshr.complete(id)
+	for _, fn := range targets {
+		fn(deliverAt, merged)
+	}
+	if retry != nil {
+		retry(at)
+	}
+}
+
+// chargePort reserves the cache port. Writes to the STT array additionally
+// occupy it for WriteAsymmetry cycles (Fig. 16's slow-write sensitivity).
+func (c *Cache2P) chargePort(at uint64, probes int, write bool) uint64 {
+	occ := uint64(probes)
+	if write {
+		occ += c.p.WriteAsymmetry
+	}
+	return c.port.Acquire(at, occ)
+}
+
+func (c *Cache2P) countAccess(op isa.Op) {
+	c.stats.Accesses++
+	c.stats.ByOrient[op.Orient]++
+	if op.Vector {
+		c.stats.VectorAccesses++
+	} else {
+		c.stats.ScalarAccesses++
+	}
+}
+
+// CPUAccess implements Level (used when a Cache2P is the L1 — Design 3).
+func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uint64)) {
+	c.countAccess(op)
+	id := isa.LineFor(op)
+	checkCanonical(c.p.Name, id)
+	t := c.find(id.Tile())
+	switch {
+	case op.Vector && op.Kind == isa.Store:
+		start := c.chargePort(at, 1, true)
+		nt := c.ensureTile(start, id.Tile())
+		data := vectorPayload(op.Value)
+		nt.writeLine(id, 0xff, data)
+		markLine(nt, id, true)
+		c.touch(nt)
+		if t != nil {
+			c.stats.Hits++
+		} else {
+			c.stats.Misses++
+		}
+		c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), 0) })
+		return
+
+	case op.Vector: // vector load
+		if t != nil && t.lineValid(id) {
+			start := c.chargePort(at, 1, false)
+			c.stats.Hits++
+			c.promote(t)
+			v := t.readLine(id)[0]
+			c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), v) })
+			return
+		}
+		if t != nil && t.linePartial(id) {
+			c.stats.PartialHits++
+		}
+		start := c.chargePort(at, 1, false)
+		c.stats.Misses++
+		c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
+			v := data[0]
+			c.q.Schedule(rat, func() { done(c.q.Now(), v) })
+		})
+		return
+
+	case op.Kind == isa.Load:
+		r, col := isa.RowInTile(op.Addr), isa.ColInTile(op.Addr)
+		if t != nil && t.wordValid(r, col) {
+			start := c.chargePort(at, 1, false)
+			c.stats.Hits++
+			c.promote(t)
+			v := t.data[r*isa.WordsPerLine+col]
+			c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), v) })
+			return
+		}
+		start := c.chargePort(at, 1, false)
+		c.stats.Misses++
+		addr := op.Addr
+		c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
+			off, _ := id.WordOffset(addr)
+			v := data[off]
+			c.q.Schedule(rat, func() { done(c.q.Now(), v) })
+		})
+		return
+
+	default: // scalar store
+		r, col := isa.RowInTile(op.Addr), isa.ColInTile(op.Addr)
+		if t != nil && t.wordValid(r, col) {
+			start := c.chargePort(at, 1, true)
+			c.stats.Hits++
+			c.applyScalarStore(t, op.Addr, op.Value)
+			c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), 0) })
+			return
+		}
+		start := c.chargePort(at, 1, true)
+		c.stats.Misses++
+		addr, value := op.Addr, op.Value
+		var onFill func(rat uint64, data [isa.WordsPerLine]uint64)
+		onFill = func(rat uint64, _ [isa.WordsPerLine]uint64) {
+			nt := c.find(isa.TileBase(addr))
+			if nt == nil || !nt.wordValid(r, col) {
+				// Evicted by a same-cycle conflicting waiter: refetch.
+				c.requestFill(rat, id, false, onFill)
+				return
+			}
+			c.applyScalarStore(nt, addr, value)
+			c.q.Schedule(rat, func() { done(c.q.Now(), 0) })
+		}
+		c.requestFill(start+c.p.TagLat, id, false, onFill)
+		return
+	}
+}
+
+// applyScalarStore writes one word, dirtying the small line that provides
+// its validity (dirty ⊆ valid at line granularity).
+func (c *Cache2P) applyScalarStore(t *tile, addr, value uint64) {
+	r, col := isa.RowInTile(addr), isa.ColInTile(addr)
+	t.data[r*isa.WordsPerLine+col] = value
+	switch {
+	case t.rowValid&(1<<r) != 0:
+		t.rowDirty |= 1 << r
+	case t.colValid&(1<<col) != 0:
+		t.colDirty |= 1 << col
+	default:
+		panic("core: scalar store to non-resident word in tile")
+	}
+	c.promote(t)
+}
+
+// Fill implements Backend for the level above.
+func (c *Cache2P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPerLine]uint64)) {
+	c.countAccess(isa.Op{Addr: id.Base, Orient: id.Orient, Vector: true})
+	checkCanonical(c.p.Name, id)
+	if t := c.find(id.Tile()); t != nil {
+		if t.lineValid(id) {
+			start := c.chargePort(at, 1, false)
+			c.stats.Hits++
+			c.promote(t)
+			data := t.readLine(id)
+			c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), data) })
+			return
+		}
+		if t.linePartial(id) {
+			c.stats.PartialHits++
+		}
+	}
+	start := c.chargePort(at, 1, false)
+	c.stats.Misses++
+	c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
+		c.q.Schedule(rat, func() { done(c.q.Now(), data) })
+	})
+}
+
+// Writeback implements Backend for the level above: absorb a line into its
+// tile, allocating sparsely without a memory fetch (§IV-C Design 2: sparse
+// fill avoids the 512-byte fetch on upper-level writebacks).
+func (c *Cache2P) Writeback(at uint64, id isa.LineID, mask uint8, data [isa.WordsPerLine]uint64) {
+	c.stats.WritebacksIn++
+	checkCanonical(c.p.Name, id)
+	start := c.chargePort(at, 1, true)
+	t := c.ensureTile(start, id.Tile())
+	t.writeLine(id, 0xff, data) // all words valid at the writer; masked ones dirty
+	markLine(t, id, mask != 0)
+	c.touch(t)
+}
+
+// Peek implements Backend's synchronous functional-data path: words covered
+// by the tile's dirty small lines overlay everything below.
+func (c *Cache2P) Peek(id isa.LineID) [isa.WordsPerLine]uint64 {
+	data := c.below.Peek(id)
+	t := c.find(id.Tile())
+	if t == nil {
+		return data
+	}
+	for i := uint(0); i < isa.WordsPerLine; i++ {
+		addr := id.WordAddr(i)
+		r, col := isa.RowInTile(addr), isa.ColInTile(addr)
+		if t.rowDirty&(1<<r) != 0 || t.colDirty&(1<<col) != 0 {
+			data[i] = t.data[r*isa.WordsPerLine+col]
+		}
+	}
+	return data
+}
+
+// Occupancy implements Level: counts valid small lines per orientation.
+func (c *Cache2P) Occupancy() (rowLines, colLines int) {
+	for _, set := range c.sets {
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			rowLines += bits.OnesCount8(set[i].rowValid)
+			colLines += bits.OnesCount8(set[i].colValid)
+		}
+	}
+	return rowLines, colLines
+}
+
+// Drain implements Level: flush all dirty small lines below.
+func (c *Cache2P) Drain(at uint64) {
+	for _, set := range c.sets {
+		for i := range set {
+			t := &set[i]
+			if !t.valid {
+				continue
+			}
+			for r := uint(0); r < isa.LinesPerTile; r++ {
+				if t.rowDirty&(1<<r) != 0 {
+					id := isa.LineID{Base: t.base + uint64(r)*isa.LineSize, Orient: isa.Row}
+					c.writebackLine(at, t, id, 0xff)
+				}
+			}
+			colMask := ^t.rowDirty
+			for col := uint(0); col < isa.LinesPerTile; col++ {
+				if t.colDirty&(1<<col) != 0 && colMask != 0 {
+					id := isa.LineID{Base: t.base + uint64(col)*isa.WordSize, Orient: isa.Col}
+					c.writebackLine(at, t, id, colMask)
+				}
+			}
+			t.rowDirty, t.colDirty = 0, 0
+		}
+	}
+}

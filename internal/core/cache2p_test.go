@@ -1,0 +1,287 @@
+package core
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+func test2P2L(t *testing.T, dense bool) (*sim.EventQueue, *Cache2P, *stubBackend) {
+	t.Helper()
+	q := &sim.EventQueue{}
+	stub := newStub(q)
+	c, err := NewCache2P(q, CacheParams{
+		Name: "LLC", SizeBytes: 8 * KB, Assoc: 2,
+		TagLat: 8, DataLat: 12, Sequential: true, MSHRs: 8,
+	}, dense, stub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, c, stub
+}
+
+// fill drives a Backend.Fill to completion.
+func fill(t *testing.T, q *sim.EventQueue, c Backend, id isa.LineID) [isa.WordsPerLine]uint64 {
+	t.Helper()
+	var data [isa.WordsPerLine]uint64
+	got := false
+	c.Fill(q.Now(), id, func(_ uint64, d [isa.WordsPerLine]uint64) { data, got = d, true })
+	q.Run(0)
+	if !got {
+		t.Fatal("fill never completed")
+	}
+	return data
+}
+
+func TestSparseFillOneLineAtATime(t *testing.T) {
+	q, c, stub := test2P2L(t, false)
+	fill(t, q, c, isa.LineID{Base: 0, Orient: isa.Row})
+	if len(stub.fills) != 1 {
+		t.Fatalf("sparse miss fetched %d lines, want 1", len(stub.fills))
+	}
+	rows, cols := c.Occupancy()
+	if rows != 1 || cols != 0 {
+		t.Fatalf("occupancy rows=%d cols=%d", rows, cols)
+	}
+}
+
+func TestDenseFillWholeTile(t *testing.T) {
+	q, c, stub := test2P2L(t, true)
+	fill(t, q, c, isa.LineID{Base: 0, Orient: isa.Row})
+	if len(stub.fills) != 8 {
+		t.Fatalf("dense miss fetched %d lines, want the whole 2-D block (8)", len(stub.fills))
+	}
+	rows, _ := c.Occupancy()
+	if rows != 8 {
+		t.Fatalf("dense tile rows resident = %d", rows)
+	}
+}
+
+func TestCrossOrientationHitViaFullCoverage(t *testing.T) {
+	// With all 8 columns filled, a row request is fully covered: no fetch.
+	q, c, stub := test2P2L(t, false)
+	for i := uint64(0); i < 8; i++ {
+		fill(t, q, c, isa.LineID{Base: i * isa.WordSize, Orient: isa.Col})
+	}
+	n := len(stub.fills)
+	fill(t, q, c, isa.LineID{Base: 0, Orient: isa.Row})
+	if len(stub.fills) != n {
+		t.Fatal("fully-covered row should hit without a memory fetch")
+	}
+	if c.stats.Hits == 0 {
+		t.Fatal("hit not recorded")
+	}
+}
+
+func TestPartialHitMergesFreshWords(t *testing.T) {
+	// A dirty column word must survive an intersecting row fill.
+	q, c, stub := test2P2L(t, false)
+	stub.store.WriteWord(0x18, 7) // word (0,3) in memory
+	col := isa.LineID{Base: 3 * isa.WordSize, Orient: isa.Col}
+	var wdata [isa.WordsPerLine]uint64
+	wdata[0] = 555 // word (0,3) dirty via column writeback
+	c.Writeback(q.Now(), col, 0b1, wdata)
+	q.Run(0)
+
+	got := fill(t, q, c, isa.LineID{Base: 0, Orient: isa.Row})
+	if got[3] != 555 {
+		t.Fatalf("row fill clobbered dirty column word: %d", got[3])
+	}
+	if c.stats.PartialHits == 0 {
+		t.Fatal("partial hit not recorded")
+	}
+}
+
+func TestWritebackAllocatesSparselyWithoutFetch(t *testing.T) {
+	q, c, stub := test2P2L(t, false)
+	var data [isa.WordsPerLine]uint64
+	data[0] = 42
+	c.Writeback(q.Now(), isa.LineID{Base: 0, Orient: isa.Row}, 0xff, data)
+	q.Run(0)
+	if len(stub.fills) != 0 {
+		t.Fatal("sparse writeback allocation must not fetch the 512-byte block")
+	}
+	rows, _ := c.Occupancy()
+	if rows != 1 {
+		t.Fatalf("rows resident = %d", rows)
+	}
+}
+
+func TestTileEvictionWritesDirtyLinesOnly(t *testing.T) {
+	q, c, stub := test2P2L(t, false)
+	// Dirty row 0 of tile 0; clean row 1.
+	var data [isa.WordsPerLine]uint64
+	data[0] = 1
+	c.Writeback(0, isa.LineID{Base: 0, Orient: isa.Row}, 0xff, data)
+	fill(t, q, c, isa.LineID{Base: isa.LineSize, Orient: isa.Row})
+	// Evict tile 0 by filling assoc+1 conflicting tiles.
+	nsets := uint64(c.nsets)
+	before := len(stub.writebacks)
+	for i := uint64(1); i <= 2; i++ {
+		fill(t, q, c, isa.LineID{Base: i * nsets * isa.TileSize, Orient: isa.Row})
+	}
+	wbs := stub.writebacks[before:]
+	if len(wbs) != 1 {
+		t.Fatalf("evicted tile wrote %d lines, want only the dirty one", len(wbs))
+	}
+	if wbs[0].data[0] != 1 {
+		t.Fatalf("writeback data %v", wbs[0].data)
+	}
+}
+
+func TestEvictionSkipsRowColOverlap(t *testing.T) {
+	// A tile with a dirty row AND a dirty column writes the intersection
+	// word only once (column mask excludes dirty rows).
+	q, c, stub := test2P2L(t, false)
+	var data [isa.WordsPerLine]uint64
+	c.Writeback(0, isa.LineID{Base: 0, Orient: isa.Row}, 0xff, data)
+	c.Writeback(0, isa.LineID{Base: 0, Orient: isa.Col}, 0xff, data)
+	before := len(stub.writebacks)
+	nsets := uint64(c.nsets)
+	for i := uint64(1); i <= 2; i++ {
+		fill(t, q, c, isa.LineID{Base: i * nsets * isa.TileSize, Orient: isa.Row})
+	}
+	wbs := stub.writebacks[before:]
+	if len(wbs) != 2 {
+		t.Fatalf("writebacks = %d, want 2 (row + masked column)", len(wbs))
+	}
+	var colWB *stubWB
+	for i := range wbs {
+		if wbs[i].line.Orient == isa.Col {
+			colWB = &wbs[i]
+		}
+	}
+	if colWB == nil {
+		t.Fatal("no column writeback")
+	}
+	if colWB.mask&0b1 != 0 {
+		t.Fatalf("column writeback re-wrote the row-covered word: mask %08b", colWB.mask)
+	}
+}
+
+func TestScalarStoreDirtiesProvidingLine(t *testing.T) {
+	q, c, _ := test2P2L(t, false)
+	// Word valid via column 2 only.
+	fill(t, q, c, isa.LineID{Base: 2 * isa.WordSize, Orient: isa.Col})
+	access(t, q, c, scalarStore(isa.LineSize+2*isa.WordSize, isa.Row, 9)) // word (1,2), row-preferring
+	ti := c.find(0)
+	if ti == nil {
+		t.Fatal("tile gone")
+	}
+	if ti.colDirty&(1<<2) == 0 {
+		t.Fatal("store did not dirty the providing column line")
+	}
+	if ti.rowDirty != 0 {
+		t.Fatal("store dirtied a non-valid row line")
+	}
+}
+
+func TestVectorStoreIntoTile(t *testing.T) {
+	q, c, stub := test2P2L(t, false)
+	access(t, q, c, vectorStore(isa.LineID{Base: 5 * isa.WordSize, Orient: isa.Col}, 70))
+	if len(stub.fills) != 0 {
+		t.Fatal("vector store must not fetch")
+	}
+	_, v := access(t, q, c, scalarLoad(2*isa.LineSize+5*isa.WordSize, isa.Col))
+	if v != 72 { // payload word 2
+		t.Fatalf("loaded %d", v)
+	}
+}
+
+func TestCache2PPeekOverlaysDirty(t *testing.T) {
+	q, c, stub := test2P2L(t, false)
+	stub.store.WriteWord(0, 1)
+	var data [isa.WordsPerLine]uint64
+	data[0] = 33
+	c.Writeback(q.Now(), isa.LineID{Base: 0, Orient: isa.Row}, 0b1, data)
+	q.Run(0)
+	got := c.Peek(isa.LineID{Base: 0, Orient: isa.Col})
+	if got[0] != 33 {
+		t.Fatalf("Peek through column = %d, want the dirty row word", got[0])
+	}
+}
+
+func TestCache2PDrain(t *testing.T) {
+	q, c, stub := test2P2L(t, false)
+	var data [isa.WordsPerLine]uint64
+	data[4] = 44
+	c.Writeback(0, isa.LineID{Base: 0, Orient: isa.Row}, 0xff, data)
+	c.Drain(q.Now())
+	q.Run(0)
+	if got := stub.store.ReadWord(4 * isa.WordSize); got != 44 {
+		t.Fatalf("drain lost data: %d", got)
+	}
+	n := len(stub.writebacks)
+	c.Drain(q.Now())
+	q.Run(0)
+	if len(stub.writebacks) != n {
+		t.Fatal("second drain wrote back clean data")
+	}
+}
+
+func TestCache2PAsLevel1(t *testing.T) {
+	// Design 3: scalar/vector CPU ops directly on a tile cache.
+	q, c, stub := test2P2L(t, false)
+	stub.store.WriteWord(0x78, 11) // word (1,7)
+	_, v := access(t, q, c, scalarLoad(0x78, isa.Col))
+	if v != 11 {
+		t.Fatalf("scalar load = %d", v)
+	}
+	// Word is now valid via column 7: an intersecting scalar row load of
+	// the same word hits without a fetch.
+	n := len(stub.fills)
+	_, v = access(t, q, c, scalarLoad(0x78, isa.Row))
+	if v != 11 || len(stub.fills) != n {
+		t.Fatalf("cross-orientation scalar hit failed: v=%d fills=%d", v, len(stub.fills)-n)
+	}
+}
+
+func TestWriteAsymmetryDelaysPort(t *testing.T) {
+	run := func(asym uint64) uint64 {
+		q := &sim.EventQueue{}
+		stub := newStub(q)
+		c, err := NewCache2P(q, CacheParams{
+			Name: "LLC", SizeBytes: 8 * KB, Assoc: 2,
+			TagLat: 8, DataLat: 12, Sequential: true, MSHRs: 8,
+			WriteAsymmetry: asym,
+		}, false, stub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Back-to-back stores then a load: port contention from slow
+		// writes delays the load.
+		var last uint64
+		n := 0
+		for i := uint64(0); i < 4; i++ {
+			c.CPUAccess(0, vectorStore(isa.LineID{Base: i * isa.LineSize, Orient: isa.Row}, i), func(at, _ uint64) { n++ })
+		}
+		c.CPUAccess(0, vectorLoad(isa.LineID{Base: isa.TileSize, Orient: isa.Row}), func(at, _ uint64) { last = at; n++ })
+		q.Run(0)
+		if n != 5 {
+			t.Fatalf("completed %d", n)
+		}
+		return last
+	}
+	if fast, slow := run(0), run(20); slow <= fast {
+		t.Fatalf("write asymmetry had no port effect: %d vs %d", slow, fast)
+	}
+}
+
+func TestDenseBackgroundFillsDropUnderPressure(t *testing.T) {
+	q := &sim.EventQueue{}
+	stub := newStub(q)
+	c, err := NewCache2P(q, CacheParams{
+		Name: "LLC", SizeBytes: 8 * KB, Assoc: 2,
+		TagLat: 8, DataLat: 12, MSHRs: 2, // tiny MSHR file
+	}, true, stub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, q, c, isa.LineID{Base: 0, Orient: isa.Row})
+	// With 2 MSHRs, only the demand line plus one sibling fit; the rest
+	// are dropped, not deadlocked.
+	if len(stub.fills) >= 8 {
+		t.Fatalf("fills = %d; background fills should drop when MSHRs are full", len(stub.fills))
+	}
+}

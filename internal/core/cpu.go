@@ -1,0 +1,193 @@
+package core
+
+import (
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// CPU is the trace-driven processor model. It approximates the paper's
+// out-of-order x86 core (Table I) with the properties the memory system
+// actually observes: memory operations issue in program order, separated by
+// their compute gaps, with up to Window operations in flight at once
+// (bounding memory-level parallelism the way a ROB + LSQ does), and the
+// simulation's execution time is the cycle at which the last operation
+// completes.
+//
+// Like a load-store queue, the CPU never lets two operations with
+// overlapping words and at least one store be in flight simultaneously
+// (§IV-B: "transactions that have overlapping words should be ordered, even
+// if the access directions are different"). This both models the paper's
+// ordering requirement and makes simulations functionally exact: every load
+// observes the program-order-latest store.
+type CPU struct {
+	q      *sim.EventQueue
+	l1     Level
+	window int
+
+	trace     isa.TraceReader
+	inflight  []inflightOp
+	held      *isa.Op // next op, waiting for an overlap conflict to clear
+	cursor    uint64  // next program-order issue cycle
+	lastDone  uint64
+	exhausted bool
+	pumping   bool
+
+	// OnLoad, if set, observes every completed load (op, loaded value).
+	// Used by the functional-verification tests.
+	OnLoad func(op isa.Op, value uint64)
+
+	// Counters.
+	Ops         uint64
+	ByKind      [2]uint64 // loads, stores
+	ByOrient    [2]uint64
+	Vectors     uint64
+	OrderStalls uint64 // ops delayed by the overlap-ordering rule
+	finished    func(endCycle uint64)
+}
+
+type inflightOp struct {
+	token  uint64
+	line   isa.LineID
+	addr   uint64 // scalar word address (vector ops use the whole line)
+	store  bool
+	vector bool
+}
+
+// NewCPU builds a core above l1 with the given in-flight window.
+func NewCPU(q *sim.EventQueue, l1 Level, window int) *CPU {
+	return &CPU{q: q, l1: l1, window: window}
+}
+
+// Start begins consuming the trace; finished fires (once) when every op has
+// completed.
+func (c *CPU) Start(trace isa.TraceReader, finished func(endCycle uint64)) {
+	c.trace = trace
+	c.finished = finished
+	c.q.Schedule(c.q.Now(), c.pump)
+}
+
+// conflicts reports whether op overlaps an in-flight op's words with a
+// store on either side.
+func (c *CPU) conflicts(op isa.Op) bool {
+	id := isa.LineFor(op)
+	isStore := op.Kind == isa.Store
+	for i := range c.inflight {
+		e := &c.inflight[i]
+		if !e.store && !isStore {
+			continue
+		}
+		if !e.line.Overlaps(id) {
+			continue
+		}
+		switch {
+		case e.vector && op.Vector:
+			return true // overlapping lines always share a word
+		case e.vector && !op.Vector:
+			if e.line.Contains(op.Addr) {
+				return true
+			}
+		case !e.vector && op.Vector:
+			if id.Contains(e.addr) {
+				return true
+			}
+		default:
+			if e.addr == op.Addr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pump issues ops while window slots are free and ordering allows.
+func (c *CPU) pump() {
+	if c.pumping {
+		return
+	}
+	c.pumping = true
+	defer func() { c.pumping = false }()
+	for len(c.inflight) < c.window && !c.exhausted {
+		var op isa.Op
+		if c.held != nil {
+			op = *c.held
+		} else {
+			next, ok := c.trace.Next()
+			if !ok {
+				c.exhausted = true
+				break
+			}
+			op = next
+		}
+		if c.conflicts(op) {
+			if c.held == nil {
+				c.OrderStalls++
+				held := op
+				c.held = &held
+			}
+			break // retried when an in-flight op completes
+		}
+		c.held = nil
+		c.issue(op)
+	}
+	c.maybeFinish()
+}
+
+var tokenCounter uint64
+
+func (c *CPU) issue(op isa.Op) {
+	c.Ops++
+	c.ByKind[op.Kind]++
+	c.ByOrient[op.Orient]++
+	if op.Vector {
+		c.Vectors++
+	}
+	now := c.q.Now()
+	// Program-order pacing: at least one cycle between issues plus the
+	// op's compute gap; never earlier than now.
+	c.cursor += 1 + uint64(op.Gap)
+	if c.cursor < now {
+		c.cursor = now
+	}
+	issueAt := c.cursor
+
+	tokenCounter++
+	tok := tokenCounter
+	c.inflight = append(c.inflight, inflightOp{
+		token: tok, line: isa.LineFor(op), addr: op.Addr,
+		store: op.Kind == isa.Store, vector: op.Vector,
+	})
+
+	c.q.Schedule(issueAt, func() {
+		c.l1.CPUAccess(issueAt, op, func(doneAt uint64, value uint64) {
+			if doneAt > c.lastDone {
+				c.lastDone = doneAt
+			}
+			if op.Kind == isa.Load && c.OnLoad != nil {
+				c.OnLoad(op, value)
+			}
+			c.retire(tok)
+			c.pump()
+		})
+	})
+}
+
+func (c *CPU) retire(token uint64) {
+	for i := range c.inflight {
+		if c.inflight[i].token == token {
+			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *CPU) maybeFinish() {
+	if c.exhausted && len(c.inflight) == 0 && c.held == nil && c.finished != nil {
+		fin := c.finished
+		c.finished = nil
+		end := c.lastDone
+		if c.cursor > end {
+			end = c.cursor
+		}
+		fin(end)
+	}
+}

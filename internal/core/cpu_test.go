@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// slowLevel is a Level stub with a fixed completion latency and full
+// recording of access order.
+type slowLevel struct {
+	q       *sim.EventQueue
+	latency uint64
+	order   []isa.Op
+	stats   LevelStats
+}
+
+func (s *slowLevel) CPUAccess(at uint64, op isa.Op, done func(uint64, uint64)) {
+	s.order = append(s.order, op)
+	s.q.Schedule(at+s.latency, func() { done(s.q.Now(), 0) })
+}
+func (s *slowLevel) Fill(uint64, isa.LineID, func(uint64, [isa.WordsPerLine]uint64)) {
+	panic("unused")
+}
+func (s *slowLevel) Writeback(uint64, isa.LineID, uint8, [isa.WordsPerLine]uint64) { panic("unused") }
+func (s *slowLevel) Peek(isa.LineID) [isa.WordsPerLine]uint64 {
+	return [isa.WordsPerLine]uint64{}
+}
+func (s *slowLevel) Occupancy() (int, int) { return 0, 0 }
+func (s *slowLevel) Stats() *LevelStats    { return &s.stats }
+func (s *slowLevel) Drain(uint64)          {}
+
+func runCPU(t *testing.T, window int, latency uint64, ops []isa.Op) (*CPU, *slowLevel, uint64) {
+	t.Helper()
+	q := &sim.EventQueue{}
+	lvl := &slowLevel{q: q, latency: latency}
+	cpu := NewCPU(q, lvl, window)
+	var end uint64
+	finished := false
+	cpu.Start(isa.NewSliceTrace(ops), func(e uint64) { end, finished = e, true })
+	q.Run(0)
+	if !finished {
+		t.Fatal("CPU never finished")
+	}
+	return cpu, lvl, end
+}
+
+func TestWindowBoundsOverlap(t *testing.T) {
+	ops := make([]isa.Op, 32)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.TileSize}
+	}
+	_, _, endWide := runCPU(t, 16, 100, ops)
+	_, _, endNarrow := runCPU(t, 1, 100, ops)
+	// Window 1 serialises: ≥ 32×100 cycles. Window 16 overlaps heavily.
+	if endNarrow < 3200 {
+		t.Fatalf("serialized end = %d, want ≥ 3200", endNarrow)
+	}
+	if endWide*2 >= endNarrow {
+		t.Fatalf("no overlap benefit: wide=%d narrow=%d", endWide, endNarrow)
+	}
+}
+
+func TestComputeGapsSpaceIssue(t *testing.T) {
+	ops := []isa.Op{
+		{Addr: 0},
+		{Addr: isa.TileSize, Gap: 1000},
+	}
+	_, _, end := runCPU(t, 8, 10, ops)
+	if end < 1000 {
+		t.Fatalf("compute gap ignored: end = %d", end)
+	}
+}
+
+func TestProgramOrderIssue(t *testing.T) {
+	ops := make([]isa.Op, 20)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.LineSize}
+	}
+	_, lvl, _ := runCPU(t, 4, 50, ops)
+	for i, op := range lvl.order {
+		if op.Addr != uint64(i)*isa.LineSize {
+			t.Fatalf("op %d issued out of order: %#x", i, op.Addr)
+		}
+	}
+}
+
+func TestOverlapOrderingHoldsConflictingStore(t *testing.T) {
+	// A store to a word overlapping an in-flight load must wait (§IV-B).
+	ops := []isa.Op{
+		{Addr: 0, Kind: isa.Load},            // scalar load word 0
+		{Addr: 0, Kind: isa.Store, Value: 1}, // conflicting store
+		{Addr: isa.TileSize, Kind: isa.Load}, // independent
+	}
+	cpu, lvl, _ := runCPU(t, 8, 100, ops)
+	if cpu.OrderStalls == 0 {
+		t.Fatal("conflicting store did not stall")
+	}
+	// The store must reach the cache only after the load completed, i.e.
+	// the independent load cannot sneak between them in issue order
+	// (in-order issue) — but the key property is the stall count plus
+	// completion of all ops.
+	if len(lvl.order) != 3 {
+		t.Fatalf("issued %d ops", len(lvl.order))
+	}
+}
+
+func TestCrossOrientationConflictDetected(t *testing.T) {
+	// Vector store on a column crossing an in-flight row load's word.
+	rowLine := isa.LineID{Base: 0, Orient: isa.Row}
+	colLine := isa.LineID{Base: 0, Orient: isa.Col}
+	ops := []isa.Op{
+		{Addr: rowLine.Base, Orient: isa.Row, Vector: true, Kind: isa.Load},
+		{Addr: colLine.Base, Orient: isa.Col, Vector: true, Kind: isa.Store},
+	}
+	cpu, _, _ := runCPU(t, 8, 100, ops)
+	if cpu.OrderStalls == 0 {
+		t.Fatal("row/column word overlap not detected")
+	}
+}
+
+func TestNonOverlappingOpsDontStall(t *testing.T) {
+	ops := []isa.Op{
+		{Addr: 0, Kind: isa.Store, Value: 1},
+		{Addr: 8, Kind: isa.Store, Value: 2},                      // same line, different word
+		{Addr: isa.LineSize, Kind: isa.Load},                      // different row line
+		{Addr: 2 * isa.WordSize, Orient: isa.Col, Kind: isa.Load}, // col of word (0,2): no store overlap
+	}
+	cpu, _, _ := runCPU(t, 8, 100, ops)
+	if cpu.OrderStalls != 0 {
+		t.Fatalf("false conflicts: %d stalls", cpu.OrderStalls)
+	}
+}
+
+func TestCPUCounters(t *testing.T) {
+	ops := []isa.Op{
+		{Addr: 0, Kind: isa.Load},
+		{Addr: 64, Kind: isa.Store},
+		{Addr: 128, Kind: isa.Load, Vector: true},
+		{Addr: 0x18, Orient: isa.Col, Kind: isa.Load},
+	}
+	cpu, _, _ := runCPU(t, 4, 10, ops)
+	if cpu.Ops != 4 || cpu.ByKind[isa.Load] != 3 || cpu.ByKind[isa.Store] != 1 {
+		t.Fatalf("counters: %+v", cpu)
+	}
+	if cpu.Vectors != 1 || cpu.ByOrient[isa.Col] != 1 {
+		t.Fatalf("vector/orient counters: %+v", cpu)
+	}
+}
+
+func TestOnLoadHook(t *testing.T) {
+	q := &sim.EventQueue{}
+	lvl := &slowLevel{q: q, latency: 5}
+	cpu := NewCPU(q, lvl, 4)
+	seen := 0
+	cpu.OnLoad = func(op isa.Op, v uint64) { seen++ }
+	cpu.Start(isa.NewSliceTrace([]isa.Op{
+		{Addr: 0, Kind: isa.Load},
+		{Addr: 64, Kind: isa.Store},
+	}), func(uint64) {})
+	q.Run(0)
+	if seen != 1 {
+		t.Fatalf("OnLoad fired %d times", seen)
+	}
+}
+
+func TestEmptyTraceFinishesImmediately(t *testing.T) {
+	_, _, end := runCPU(t, 4, 10, nil)
+	if end != 0 {
+		t.Fatalf("empty trace end = %d", end)
+	}
+}

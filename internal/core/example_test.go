@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mdacache/internal/core"
+)
+
+// Example builds the paper's Table I configuration for the 1P2L design and
+// prints its shape.
+func Example() {
+	cfg := core.DefaultConfig(core.D1DiffSet, 1*core.MB)
+	fmt.Println("design:", cfg.Design)
+	fmt.Printf("L1 %dKB / L2 %dKB / L3 %dKB\n",
+		cfg.L1.SizeBytes/core.KB, cfg.L2.SizeBytes/core.KB, cfg.L3.SizeBytes/core.KB)
+	fmt.Println("L1 mapping:", cfg.L1.Mapping)
+	fmt.Println("baseline prefetches:", core.DefaultConfig(core.D0Baseline, core.MB).L1.PrefetchDegree > 0)
+	// Output:
+	// design: 1P2L
+	// L1 32KB / L2 256KB / L3 1024KB
+	// L1 mapping: different-set
+	// baseline prefetches: true
+}
+
+func ExampleConfig_Scale() {
+	cfg := core.DefaultConfig(core.D1DiffSet, 1*core.MB).Scale(4)
+	fmt.Printf("L1 %dKB / L2 %dKB / L3 %dKB\n",
+		cfg.L1.SizeBytes/core.KB, cfg.L2.SizeBytes/core.KB, cfg.L3.SizeBytes/core.KB)
+	// Output: L1 8KB / L2 16KB / L3 64KB
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/mem"
+	"mdacache/internal/sim"
+)
+
+// Machine is a fully-wired simulated system: CPU, cache hierarchy and MDA
+// main memory sharing one event queue.
+type Machine struct {
+	Cfg    Config
+	Q      *sim.EventQueue
+	CPU    *CPU
+	Levels []Level // ordered L1 → LLC
+	Memory *mem.Memory
+
+	running    bool
+	pendingOcc []OccupancySample
+}
+
+// Build wires the design point described by cfg.
+func Build(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	q := &sim.EventQueue{}
+	memory, err := mem.New(q, cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg, Q: q, Memory: memory}
+
+	params := []CacheParams{cfg.L1, cfg.L2}
+	if cfg.L3.SizeBytes > 0 {
+		params = append(params, cfg.L3)
+	}
+	llc := len(params) - 1
+
+	// Build bottom-up so each level's backend exists first.
+	var below Backend = memory
+	built := make([]Level, len(params))
+	for i := llc; i >= 0; i-- {
+		lvl, err := buildLevel(q, cfg.Design, params[i], i == llc, below)
+		if err != nil {
+			return nil, err
+		}
+		built[i] = lvl
+		below = lvl
+	}
+	m.Levels = built
+	m.CPU = NewCPU(q, built[0], cfg.Window)
+	return m, nil
+}
+
+func buildLevel(q *sim.EventQueue, d Design, p CacheParams, isLLC bool, below Backend) (Level, error) {
+	switch d {
+	case D0Baseline:
+		return NewCache1P(q, p, false, below)
+	case D1DiffSet, D1SameSet:
+		return NewCache1P(q, p, true, below)
+	case D2Sparse, D2Dense:
+		if isLLC {
+			return NewCache2P(q, p, d == D2Dense, below)
+		}
+		return NewCache1P(q, p, true, below)
+	case D3AllTile:
+		return NewCache2P(q, p, false, below)
+	default:
+		return nil, fmt.Errorf("core: unknown design %v", d)
+	}
+}
+
+// OccupancySample is one Fig. 15 data point: per-level counts of valid row-
+// and column-oriented lines.
+type OccupancySample struct {
+	Cycle uint64
+	Row   []int
+	Col   []int
+}
+
+// ColFraction returns column lines / total lines at level i (0 when empty).
+func (s OccupancySample) ColFraction(i int) float64 {
+	total := s.Row[i] + s.Col[i]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Col[i]) / float64(total)
+}
+
+// Results summarises one simulation run.
+type Results struct {
+	Cycles      uint64
+	Ops         uint64
+	Vectors     uint64
+	Loads       uint64
+	Stores      uint64
+	OrderStalls uint64 // ops held by the §IV-B overlap-ordering rule
+	Levels      []LevelStats
+	Mem         mem.Stats
+	Occupancy   []OccupancySample
+}
+
+// LLC returns the last-level cache's stats.
+func (r *Results) LLC() *LevelStats { return &r.Levels[len(r.Levels)-1] }
+
+// L1 returns the first-level cache's stats.
+func (r *Results) L1() *LevelStats { return &r.Levels[0] }
+
+// Run drives the machine over the trace to completion and returns the
+// results. A Machine is single-use: build a fresh one per run.
+func (m *Machine) Run(trace isa.TraceReader) *Results {
+	var end uint64
+	m.running = true
+	m.CPU.Start(trace, func(endCycle uint64) {
+		end = endCycle
+		m.running = false
+	})
+	if iv := m.Cfg.OccupancySampleInterval; iv > 0 {
+		var sampler func()
+		res := &m.pendingOcc
+		sampler = func() {
+			if !m.running {
+				return
+			}
+			s := OccupancySample{Cycle: m.Q.Now()}
+			for _, lvl := range m.Levels {
+				r, c := lvl.Occupancy()
+				s.Row = append(s.Row, r)
+				s.Col = append(s.Col, c)
+			}
+			*res = append(*res, s)
+			m.Q.After(iv, sampler)
+		}
+		m.Q.After(iv, sampler)
+	}
+	m.Q.Run(0)
+	if m.running {
+		panic("core: event queue drained before the trace completed (deadlock in the hierarchy)")
+	}
+	if c, ok := trace.(isa.Closer); ok {
+		c.Close()
+	}
+	return m.results(end)
+}
+
+func (m *Machine) results(end uint64) *Results {
+	r := &Results{
+		Cycles:      end,
+		Ops:         m.CPU.Ops,
+		Vectors:     m.CPU.Vectors,
+		Loads:       m.CPU.ByKind[isa.Load],
+		Stores:      m.CPU.ByKind[isa.Store],
+		OrderStalls: m.CPU.OrderStalls,
+		Mem:         *m.Memory.Stats(),
+		Occupancy:   m.pendingOcc,
+	}
+	for _, lvl := range m.Levels {
+		r.Levels = append(r.Levels, *lvl.Stats())
+	}
+	return r
+}
+
+// DrainAll flushes every dirty line down to main memory and settles the
+// event queue. Used by functional-verification tests before comparing the
+// memory's backing store against an oracle.
+func (m *Machine) DrainAll() {
+	at := m.Q.Now()
+	for _, lvl := range m.Levels {
+		lvl.Drain(at)
+	}
+	m.Q.Run(0)
+}

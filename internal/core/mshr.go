@@ -1,0 +1,78 @@
+package core
+
+import "mdacache/internal/isa"
+
+// mshrFile models a cache's miss-status holding registers. Misses to a line
+// already in flight coalesce onto the existing entry (the paper notes that
+// "many misses to the same column are combined into one column access in the
+// MSHR"). When the file is full, the requesting access is queued and retried
+// as entries free up, modelling MSHR-full stalls.
+//
+// The 2-D awareness required by §IV-B (ordering of transactions with
+// overlapping words across orientations) is implemented by the owning cache:
+// every fill is preceded, in the same cycle, by writebacks of any
+// intersecting modified lines, and fill completions patch in-cache modified
+// words, so overlapping write→read order is preserved end to end.
+type mshrFile struct {
+	cap     int
+	entries map[isa.LineID]*mshrEntry
+	waiters []func(at uint64) // accesses stalled on a full file
+}
+
+type mshrEntry struct {
+	line     isa.LineID
+	prefetch bool
+	targets  []func(at uint64, data [isa.WordsPerLine]uint64)
+}
+
+func newMSHRFile(capacity int) *mshrFile {
+	return &mshrFile{cap: capacity, entries: make(map[isa.LineID]*mshrEntry, capacity)}
+}
+
+// lookup returns the in-flight entry for line, if any.
+func (f *mshrFile) lookup(line isa.LineID) *mshrEntry {
+	return f.entries[line]
+}
+
+// anyInFlightOverlapping reports whether any in-flight fill overlaps line.
+func (f *mshrFile) anyInFlightOverlapping(line isa.LineID) bool {
+	for l := range f.entries {
+		if l.Overlaps(line) {
+			return true
+		}
+	}
+	return false
+}
+
+// full reports whether a new entry can be allocated.
+func (f *mshrFile) full() bool { return len(f.entries) >= f.cap }
+
+// allocate creates an entry; the caller must have checked full().
+func (f *mshrFile) allocate(line isa.LineID, prefetch bool) *mshrEntry {
+	e := &mshrEntry{line: line, prefetch: prefetch}
+	f.entries[line] = e
+	return e
+}
+
+// stall queues retry to run when an entry frees.
+func (f *mshrFile) stall(retry func(at uint64)) {
+	f.waiters = append(f.waiters, retry)
+}
+
+// complete removes the entry and returns its targets plus any stalled
+// retry that can now proceed.
+func (f *mshrFile) complete(line isa.LineID) (targets []func(uint64, [isa.WordsPerLine]uint64), retry func(uint64)) {
+	e := f.entries[line]
+	if e == nil {
+		return nil, nil
+	}
+	delete(f.entries, line)
+	if len(f.waiters) > 0 {
+		retry = f.waiters[0]
+		f.waiters = f.waiters[1:]
+	}
+	return e.targets, retry
+}
+
+// inFlight returns the number of allocated entries.
+func (f *mshrFile) inFlight() int { return len(f.entries) }

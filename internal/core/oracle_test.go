@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// tinyConfig builds a deliberately small hierarchy so random traces force
+// heavy eviction, duplication and writeback traffic.
+func tinyConfig(d Design) Config {
+	cfg := Config{
+		Design: d,
+		L1: CacheParams{
+			Name: "L1", SizeBytes: 1 * KB, Assoc: 2,
+			TagLat: 2, DataLat: 2, MSHRs: 4,
+		},
+		L2: CacheParams{
+			Name: "L2", SizeBytes: 4 * KB, Assoc: 4,
+			TagLat: 6, DataLat: 9, Sequential: true, MSHRs: 8,
+		},
+		L3: CacheParams{
+			Name: "L3", SizeBytes: 8 * KB, Assoc: 4,
+			TagLat: 8, DataLat: 12, Sequential: true, MSHRs: 8,
+		},
+		Window: 16,
+	}
+	cfg.Mem = memDefaultsForTest()
+	if d == D3AllTile {
+		// Tile-granular levels need ≥ assoc × 512 B and divisibility.
+		cfg.L1.SizeBytes = 2 * KB
+	}
+	cfg.applyDesign()
+	return cfg
+}
+
+// randomTrace builds nops random ops over a small tile pool, replaying a
+// flat oracle in program order. Load ops carry their expected value in
+// Value (unused by the hierarchy for loads); store values are unique.
+func randomTrace(seed uint64, nops, tiles int, rowOnly bool) []isa.Op {
+	rng := sim.NewRNG(seed)
+	oracle := make(map[uint64]uint64)
+	ops := make([]isa.Op, 0, nops)
+	nextVal := uint64(1)
+	for i := 0; i < nops; i++ {
+		tile := uint64(rng.Intn(tiles)) * isa.TileSize
+		orient := isa.Orient(rng.Intn(2))
+		if rowOnly {
+			orient = isa.Row
+		}
+		vector := rng.Intn(3) == 0
+		store := rng.Intn(3) == 0
+		op := isa.Op{
+			PC:     uint32(rng.Intn(16)),
+			Orient: orient,
+			Gap:    uint32(rng.Intn(3)),
+		}
+		if vector {
+			op.Vector = true
+			idx := uint64(rng.Intn(8))
+			if orient == isa.Row {
+				op.Addr = tile + idx*isa.LineSize
+			} else {
+				op.Addr = tile + idx*isa.WordSize
+			}
+			line := isa.LineID{Base: op.Addr, Orient: orient}
+			if store {
+				op.Kind = isa.Store
+				op.Value = nextVal
+				nextVal += 16
+				for w := uint(0); w < isa.WordsPerLine; w++ {
+					oracle[line.WordAddr(w)] = op.Value + uint64(w)
+				}
+			} else {
+				// Expected: word 0 of the line.
+				op.Value = oracle[line.WordAddr(0)]
+			}
+		} else {
+			word := uint64(rng.Intn(isa.TileWords))
+			op.Addr = tile + word*isa.WordSize
+			if store {
+				op.Kind = isa.Store
+				op.Value = nextVal
+				nextVal++
+				oracle[op.Addr] = op.Value
+			} else {
+				op.Value = oracle[op.Addr]
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// oracleWords replays the trace to produce final memory contents.
+func oracleWords(ops []isa.Op) map[uint64]uint64 {
+	final := make(map[uint64]uint64)
+	for _, op := range ops {
+		if op.Kind != isa.Store {
+			continue
+		}
+		line := isa.LineFor(op)
+		if op.Vector {
+			for w := uint(0); w < isa.WordsPerLine; w++ {
+				final[line.WordAddr(w)] = op.Value + uint64(w)
+			}
+		} else {
+			final[op.Addr] = op.Value
+		}
+	}
+	return final
+}
+
+func runOracle(t *testing.T, d Design, seed uint64, nops, tiles int) {
+	t.Helper()
+	cfg := tinyConfig(d)
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := randomTrace(seed, nops, tiles, d == D0Baseline)
+
+	var loadErrs int
+	m.CPU.OnLoad = func(op isa.Op, value uint64) {
+		if value != op.Value && loadErrs < 5 {
+			t.Errorf("load %v returned %d, want %d", op, value, op.Value)
+			loadErrs++
+		}
+	}
+	res := m.Run(isa.NewSliceTrace(ops))
+	if res.Cycles == 0 || res.Ops != uint64(len(ops)) {
+		t.Fatalf("results: cycles=%d ops=%d", res.Cycles, res.Ops)
+	}
+
+	m.DrainAll()
+	store := m.Memory.Store()
+	for addr, want := range oracleWords(ops) {
+		if got := store.ReadWord(addr); got != want {
+			t.Fatalf("memory[%#x] = %d after drain, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestOracleAllDesigns(t *testing.T) {
+	designs := []Design{D0Baseline, D1DiffSet, D1SameSet, D2Sparse, D2Dense, D3AllTile}
+	for _, d := range designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 6; seed++ {
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					runOracle(t, d, seed, 4000, 24)
+				})
+			}
+		})
+	}
+}
+
+// TestOracleHighConflict hammers a working set of only two tiles so that
+// row/column duplication, write-to-duplicate eviction and flush-on-fill
+// paths fire constantly.
+func TestOracleHighConflict(t *testing.T) {
+	for _, d := range []Design{D1DiffSet, D1SameSet, D2Sparse, D3AllTile} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			for seed := uint64(10); seed <= 13; seed++ {
+				runOracle(t, d, seed, 6000, 2)
+			}
+		})
+	}
+}
+
+// TestOracleLargeFootprint exceeds every cache level so victim writebacks
+// and re-fetches dominate.
+func TestOracleLargeFootprint(t *testing.T) {
+	for _, d := range []Design{D0Baseline, D1DiffSet, D2Sparse} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			runOracle(t, d, 99, 8000, 128) // 64 KB footprint ≫ 8 KB LLC
+		})
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	for _, d := range []Design{D0Baseline, D1DiffSet, D1SameSet, D2Sparse, D2Dense, D3AllTile} {
+		cfg := tinyConfig(d)
+		m, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := randomTrace(3, 3000, 16, d == D0Baseline)
+		res := m.Run(isa.NewSliceTrace(ops))
+		for _, lvl := range res.Levels {
+			if lvl.Hits+lvl.Misses != lvl.Accesses {
+				t.Errorf("%s/%s: hits %d + misses %d != accesses %d",
+					d, lvl.Name, lvl.Hits, lvl.Misses, lvl.Accesses)
+			}
+			if lvl.ScalarAccesses+lvl.VectorAccesses != lvl.Accesses {
+				t.Errorf("%s/%s: scalar+vector != accesses", d, lvl.Name)
+			}
+			if lvl.ByOrient[0]+lvl.ByOrient[1] != lvl.Accesses {
+				t.Errorf("%s/%s: orient split != accesses", d, lvl.Name)
+			}
+		}
+		if res.Mem.TotalReads() == 0 {
+			t.Errorf("%s: no memory reads recorded", d)
+		}
+	}
+}

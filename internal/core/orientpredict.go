@@ -1,0 +1,74 @@
+package core
+
+import "mdacache/internal/isa"
+
+// orientPredictor implements the dynamic orientation preference the paper
+// notes its lookup scheme is compatible with (§IV-C: "the same lookup
+// scheme would be compatible with a dynamically predicted orientation
+// preference with no additional overheads on the cache hit path").
+//
+// It predicts each static instruction's preference from its address stride
+// in the tiled layout: a scalar walk along a row advances one word (8 B)
+// per access, a walk down a column advances one line (64 B) within the
+// tile. Confidence builds over consecutive confirmations; unconfident PCs
+// keep the instruction's static bit.
+type orientPredictor struct {
+	table map[uint32]*orientEntry
+}
+
+type orientEntry struct {
+	lastAddr uint64
+	stride   int64
+	conf     int
+	orient   isa.Orient
+	valid    bool
+}
+
+const orientConfThresh = 2
+
+func newOrientPredictor() *orientPredictor {
+	return &orientPredictor{table: make(map[uint32]*orientEntry, 64)}
+}
+
+// predict returns the preference to use for a scalar access: the predicted
+// orientation once confident, otherwise the static fallback.
+func (p *orientPredictor) predict(pc uint32, fallback isa.Orient) isa.Orient {
+	if e := p.table[pc]; e != nil && e.valid && e.conf >= orientConfThresh {
+		return e.orient
+	}
+	return fallback
+}
+
+// observe trains on one scalar access.
+func (p *orientPredictor) observe(pc uint32, addr uint64) {
+	e := p.table[pc]
+	if e == nil {
+		if len(p.table) >= pfTableCap {
+			p.table = make(map[uint32]*orientEntry, 64)
+		}
+		e = &orientEntry{lastAddr: addr}
+		p.table[pc] = e
+		return
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if stride == e.stride {
+		if e.conf < orientConfThresh+2 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+	}
+	switch stride {
+	case isa.WordSize, -isa.WordSize:
+		e.orient, e.valid = isa.Row, true
+	case isa.LineSize, -isa.LineSize:
+		// One line per step within a tile: a column walk in the tiled
+		// layout.
+		e.orient, e.valid = isa.Col, true
+	default:
+		// Large jumps (crossing tiles) keep the previous hypothesis; a
+		// column walk crosses tiles every 8 steps without changing shape.
+	}
+}

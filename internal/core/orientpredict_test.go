@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+func TestOrientPredictorLearnsStrides(t *testing.T) {
+	p := newOrientPredictor()
+	// Row walk: stride 8.
+	for a := uint64(0); a < 64; a += 8 {
+		p.observe(1, a)
+	}
+	if got := p.predict(1, isa.Col); got != isa.Row {
+		t.Fatalf("row walk predicted %v", got)
+	}
+	// Column walk: stride 64 within a tile.
+	for a := uint64(0); a < 512; a += 64 {
+		p.observe(2, a)
+	}
+	if got := p.predict(2, isa.Row); got != isa.Col {
+		t.Fatalf("column walk predicted %v", got)
+	}
+	// Unconfident PC keeps the static bit.
+	p.observe(3, 0)
+	if got := p.predict(3, isa.Col); got != isa.Col {
+		t.Fatalf("unconfident PC overrode static bit: %v", got)
+	}
+}
+
+func TestOrientPredictorStrideBreakResets(t *testing.T) {
+	p := newOrientPredictor()
+	for a := uint64(0); a < 64; a += 8 {
+		p.observe(1, a)
+	}
+	p.observe(1, 10000) // wild jump
+	p.observe(1, 10064) // new stride (column-like), not yet confident
+	if got := p.predict(1, isa.Row); got != isa.Row {
+		t.Fatalf("one observation should not flip prediction: %v", got)
+	}
+}
+
+// TestPredictorRecoversStrippedPreference builds a scalar column walk whose
+// compiler bits were lost (all marked Row, as §IV-B(a) prescribes for
+// undiscerned preferences) and shows the predictor restores column fills.
+func TestPredictorRecoversStrippedPreference(t *testing.T) {
+	run := func(predict bool) (colFills int) {
+		q := &sim.EventQueue{}
+		stub := newStub(q)
+		c, err := NewCache1P(q, CacheParams{
+			Name: "L1", SizeBytes: 2 * KB, Assoc: 2,
+			TagLat: 2, DataLat: 2, MSHRs: 8, Mapping: DifferentSet,
+			PredictOrient: predict,
+		}, true, stub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scalar walk down columns of several tiles, all ops marked Row.
+		done := 0
+		var issue func()
+		addrs := []uint64{}
+		for tile := uint64(0); tile < 8; tile++ {
+			for r := uint64(0); r < 8; r++ {
+				addrs = append(addrs, tile*isa.TileSize+r*isa.LineSize) // column 0
+			}
+		}
+		idx := 0
+		issue = func() {
+			if idx >= len(addrs) {
+				return
+			}
+			op := isa.Op{Addr: addrs[idx], Orient: isa.Row, PC: 9}
+			idx++
+			c.CPUAccess(q.Now(), op, func(uint64, uint64) { done++; issue() })
+		}
+		issue()
+		q.Run(0)
+		if done != len(addrs) {
+			t.Fatalf("completed %d/%d", done, len(addrs))
+		}
+		for _, f := range stub.fills {
+			if f.Orient == isa.Col {
+				colFills++
+			}
+		}
+		return colFills
+	}
+	without := run(false)
+	with := run(true)
+	if without != 0 {
+		t.Fatalf("static run issued %d column fills from row-marked ops", without)
+	}
+	if with == 0 {
+		t.Fatal("predictor never recovered the column preference")
+	}
+}

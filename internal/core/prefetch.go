@@ -1,0 +1,72 @@
+package core
+
+import "mdacache/internal/isa"
+
+// stridePrefetcher is a per-PC stride prefetcher for the Design 0 baseline
+// (the paper evaluates the conventional 1P1L hierarchy *with* prefetching
+// enabled, §VII). It detects a stable stride per static instruction and
+// issues `degree` line prefetches ahead of the demand stream. On a 1-D
+// hierarchy a column traversal appears as a large stride (one matrix pitch),
+// which the prefetcher covers — at the cost of fetching a full row line per
+// element, exactly the bandwidth waste the paper contrasts MDA caching with.
+type stridePrefetcher struct {
+	degree int
+	table  map[uint32]*pfEntry
+}
+
+type pfEntry struct {
+	lastAddr uint64
+	stride   int64
+	conf     int
+}
+
+const (
+	pfTableCap   = 256
+	pfConfThresh = 2
+)
+
+func newStridePrefetcher(degree int) *stridePrefetcher {
+	return &stridePrefetcher{degree: degree, table: make(map[uint32]*pfEntry, pfTableCap)}
+}
+
+// observe trains on one access and returns the word addresses whose lines
+// should be prefetched (empty until the PC's stride is confident).
+func (p *stridePrefetcher) observe(op isa.Op) []uint64 {
+	e := p.table[op.PC]
+	if e == nil {
+		if len(p.table) >= pfTableCap {
+			// Cheap eviction: reset the table; steady-state kernels have
+			// few static memory instructions, so this almost never fires.
+			p.table = make(map[uint32]*pfEntry, pfTableCap)
+		}
+		p.table[op.PC] = &pfEntry{lastAddr: op.Addr}
+		return nil
+	}
+	stride := int64(op.Addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < pfConfThresh+p.degree {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+	}
+	e.lastAddr = op.Addr
+	if e.conf < pfConfThresh {
+		return nil
+	}
+	addrs := make([]uint64, 0, p.degree)
+	prev := isa.LineOf(op.Addr, isa.Row).Base
+	for i := 1; i <= p.degree; i++ {
+		next := int64(op.Addr) + int64(i)*e.stride
+		if next < 0 {
+			break
+		}
+		lb := isa.LineOf(uint64(next), isa.Row).Base
+		if lb != prev {
+			addrs = append(addrs, uint64(next))
+			prev = lb
+		}
+	}
+	return addrs
+}

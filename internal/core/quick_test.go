@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdacache/internal/isa"
+)
+
+// TestQuickOracleProperty drives quick-generated access scripts through a
+// 1P2L and a 2P2L hierarchy and checks full functional correctness: every
+// load equals the program-order-latest store, and drained memory matches a
+// flat oracle. Each script byte decodes to one access (kind, orientation,
+// vector, location), so shrinking produces minimal failing access patterns.
+func TestQuickOracleProperty(t *testing.T) {
+	decode := func(script []byte) []isa.Op {
+		oracle := make(map[uint64]uint64)
+		ops := make([]isa.Op, 0, len(script))
+		val := uint64(1)
+		for _, b := range script {
+			tile := uint64(b&3) * isa.TileSize // 4 tiles: heavy conflicts
+			idx := uint64(b>>2) & 7
+			orient := isa.Orient(b >> 5 & 1)
+			vector := b>>6&1 == 1
+			store := b>>7 == 1
+			op := isa.Op{Orient: orient, PC: uint32(b & 15)}
+			if vector {
+				op.Vector = true
+				if orient == isa.Row {
+					op.Addr = tile + idx*isa.LineSize
+				} else {
+					op.Addr = tile + idx*isa.WordSize
+				}
+				line := isa.LineID{Base: op.Addr, Orient: orient}
+				if store {
+					op.Kind = isa.Store
+					op.Value = val
+					val += 8
+					for w := uint(0); w < isa.WordsPerLine; w++ {
+						oracle[line.WordAddr(w)] = op.Value + uint64(w)
+					}
+				} else {
+					op.Value = oracle[line.WordAddr(0)]
+				}
+			} else {
+				op.Addr = tile + (uint64(b>>2)%isa.TileWords)*isa.WordSize
+				if store {
+					op.Kind = isa.Store
+					op.Value = val
+					val++
+					oracle[op.Addr] = op.Value
+				} else {
+					op.Value = oracle[op.Addr]
+				}
+			}
+			ops = append(ops, op)
+		}
+		return ops
+	}
+
+	for _, d := range []Design{D1DiffSet, D2Sparse} {
+		d := d
+		f := func(script []byte) bool {
+			if len(script) > 512 {
+				script = script[:512]
+			}
+			ops := decode(script)
+			m, err := Build(tinyConfig(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok := true
+			m.CPU.OnLoad = func(op isa.Op, v uint64) {
+				if v != op.Value {
+					ok = false
+				}
+			}
+			m.Run(isa.NewSliceTrace(ops))
+			m.DrainAll()
+			store := m.Memory.Store()
+			for addr, want := range oracleWords(ops) {
+				if store.ReadWord(addr) != want {
+					return false
+				}
+			}
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%v: %v", d, err)
+		}
+	}
+}

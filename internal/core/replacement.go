@@ -1,0 +1,36 @@
+package core
+
+// ReplPolicy selects a cache replacement policy. The paper's configuration
+// is LRU; Random and SRRIP are provided because the MDA workloads are
+// streaming-heavy, exactly the pattern where scan-resistant policies and
+// plain LRU diverge — an ablation worth having when judging the cache
+// results.
+type ReplPolicy int
+
+const (
+	// ReplLRU evicts the least-recently-used way (the default).
+	ReplLRU ReplPolicy = iota
+	// ReplRandom evicts a pseudo-random way (deterministic seed).
+	ReplRandom
+	// ReplSRRIP is static re-reference interval prediction with 2-bit
+	// counters: lines insert at distance 2, promote to 0 on hit, and the
+	// first way at 3 is evicted (aging all ways when none is).
+	ReplSRRIP
+)
+
+func (r ReplPolicy) String() string {
+	switch r {
+	case ReplRandom:
+		return "random"
+	case ReplSRRIP:
+		return "srrip"
+	default:
+		return "lru"
+	}
+}
+
+// srripInsertRRPV is the re-reference prediction for a newly filled line.
+const srripInsertRRPV = 2
+
+// srripMax is the eviction threshold.
+const srripMax = 3

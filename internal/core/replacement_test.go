@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+func cacheWithRepl(t *testing.T, repl ReplPolicy) (*sim.EventQueue, *Cache1P) {
+	t.Helper()
+	q := &sim.EventQueue{}
+	stub := newStub(q)
+	c, err := NewCache1P(q, CacheParams{
+		Name: "L1", SizeBytes: 2 * KB, Assoc: 4,
+		TagLat: 2, DataLat: 2, MSHRs: 8, Repl: repl,
+	}, true, stub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, c
+}
+
+// conflictLine returns the i-th distinct row line mapping to set 0.
+func conflictLine(c *Cache1P, i uint64) isa.LineID {
+	return isa.LineID{Base: i * uint64(c.nsets) * isa.LineSize, Orient: isa.Row}
+}
+
+func TestSRRIPScanResistance(t *testing.T) {
+	// A hot line re-referenced between scan fills survives a one-shot
+	// scan under SRRIP (the scan inserts at distant RRPV), whereas LRU
+	// evicts it once assoc scan lines pass through.
+	survived := func(repl ReplPolicy) bool {
+		q, c := cacheWithRepl(t, repl)
+		hot := conflictLine(c, 0)
+		access(t, q, c, vectorLoad(hot))
+		for i := uint64(1); i <= 6; i++ { // scan > assoc distinct lines
+			access(t, q, c, vectorLoad(conflictLine(c, i)))
+			access(t, q, c, vectorLoad(hot)) // keep the hot line hot
+		}
+		before := c.stats.Misses
+		access(t, q, c, vectorLoad(hot))
+		return c.stats.Misses == before
+	}
+	if !survived(ReplSRRIP) {
+		t.Fatal("SRRIP should keep the re-referenced line resident")
+	}
+	// (LRU also keeps it here since we re-touch between fills; the real
+	// SRRIP difference appears without re-touching:)
+	oneShot := func(repl ReplPolicy) uint64 {
+		q, c := cacheWithRepl(t, repl)
+		hot := conflictLine(c, 0)
+		access(t, q, c, vectorLoad(hot))
+		access(t, q, c, vectorLoad(hot)) // promote: proven reuse
+		for i := uint64(1); i <= 4; i++ {
+			access(t, q, c, vectorLoad(conflictLine(c, i))) // one-shot scan
+		}
+		before := c.stats.Misses
+		access(t, q, c, vectorLoad(hot))
+		return c.stats.Misses - before
+	}
+	if oneShot(ReplSRRIP) != 0 {
+		t.Fatal("SRRIP evicted the proven-reuse line during a scan")
+	}
+	if oneShot(ReplLRU) != 1 {
+		t.Fatal("LRU should have evicted the hot line (scan length = assoc)")
+	}
+}
+
+func TestRandomReplacementWorks(t *testing.T) {
+	q, c := cacheWithRepl(t, ReplRandom)
+	for i := uint64(0); i < 16; i++ {
+		access(t, q, c, vectorLoad(conflictLine(c, i)))
+	}
+	rows, _ := c.Occupancy()
+	if rows != 4 { // set full, others untouched
+		t.Fatalf("rows = %d", rows)
+	}
+	if c.stats.Evictions != 12 {
+		t.Fatalf("evictions = %d", c.stats.Evictions)
+	}
+}
+
+func TestReplPolicyStrings(t *testing.T) {
+	if ReplLRU.String() != "lru" || ReplRandom.String() != "random" || ReplSRRIP.String() != "srrip" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestReplPolicyOracle(t *testing.T) {
+	// Functional correctness is replacement-policy independent.
+	for _, repl := range []ReplPolicy{ReplRandom, ReplSRRIP} {
+		cfg := tinyConfig(D1DiffSet)
+		cfg.L1.Repl, cfg.L2.Repl, cfg.L3.Repl = repl, repl, repl
+		m, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := randomTrace(21, 4000, 16, false)
+		bad := false
+		m.CPU.OnLoad = func(op isa.Op, v uint64) {
+			if v != op.Value {
+				bad = true
+			}
+		}
+		m.Run(isa.NewSliceTrace(ops))
+		m.DrainAll()
+		if bad {
+			t.Fatalf("%v: load mismatch", repl)
+		}
+		for addr, want := range oracleWords(ops) {
+			if got := m.Memory.Store().ReadWord(addr); got != want {
+				t.Fatalf("%v: memory[%#x] = %d, want %d", repl, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestTileCacheSRRIP(t *testing.T) {
+	q := &sim.EventQueue{}
+	stub := newStub(q)
+	c, err := NewCache2P(q, CacheParams{
+		Name: "LLC", SizeBytes: 8 * KB, Assoc: 4,
+		TagLat: 8, DataLat: 12, MSHRs: 8, Repl: ReplSRRIP,
+	}, false, stub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := isa.LineID{Base: 0, Orient: isa.Row}
+	fill(t, q, c, hot)
+	fill(t, q, c, hot) // promote
+	nsets := uint64(c.nsets)
+	for i := uint64(1); i <= 4; i++ {
+		fill(t, q, c, isa.LineID{Base: i * nsets * isa.TileSize, Orient: isa.Row})
+	}
+	before := c.stats.Misses
+	fill(t, q, c, hot)
+	if c.stats.Misses != before {
+		t.Fatal("SRRIP tile cache evicted the promoted tile during a scan")
+	}
+}

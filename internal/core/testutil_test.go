@@ -1,0 +1,14 @@
+package core
+
+import "mdacache/internal/mem"
+
+// memDefaultsForTest returns fast-ish memory parameters used by the unit
+// tests (smaller structures keep randomised tests quick while exercising
+// all controller paths).
+func memDefaultsForTest() mem.Params {
+	p := mem.DefaultParams()
+	p.Channels = 2
+	p.Banks = 4
+	p.TileColsPerBank = 16
+	return p
+}

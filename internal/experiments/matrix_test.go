@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"mdacache/internal/core"
+	"mdacache/internal/workloads"
+)
+
+// TestFullMatrix runs every benchmark on every design point at a tiny scale:
+// a smoke screen over the whole cross-product (panics, deadlocks, zero-op
+// traces, stats inconsistencies).
+func TestFullMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-product smoke test")
+	}
+	designs := []core.Design{
+		core.D0Baseline, core.D1DiffSet, core.D1SameSet,
+		core.D2Sparse, core.D2Dense, core.D3AllTile,
+	}
+	for _, bench := range workloads.Names {
+		for _, d := range designs {
+			t.Run(fmt.Sprintf("%s/%v", bench, d), func(t *testing.T) {
+				res, err := Run(RunSpec{
+					Bench: bench, N: 32, Design: d,
+					LLCBytes: core.MB, Scale: 8,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Ops == 0 || res.Cycles == 0 {
+					t.Fatalf("empty run: %+v", res)
+				}
+				for _, lvl := range res.Levels {
+					if lvl.Hits+lvl.Misses != lvl.Accesses {
+						t.Errorf("%s: hits+misses != accesses", lvl.Name)
+					}
+				}
+				if d == core.D0Baseline && res.Mem.Reads[1] > 0 {
+					t.Error("baseline issued column reads")
+				}
+				// A trace with column preference must reach memory as
+				// column traffic on every MDA design.
+				if d != core.D0Baseline && bench != "htap2" && res.Mem.Reads[1] == 0 && res.Mem.TotalReads() > 0 {
+					t.Logf("note: %s/%v issued no column memory reads", bench, d)
+				}
+			})
+		}
+	}
+}

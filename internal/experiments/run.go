@@ -1,0 +1,163 @@
+// Package experiments reproduces the paper's evaluation: one function per
+// figure (Figs. 10–17) plus the layout ablation, each returning a typed
+// table of paper-comparable numbers. The DESIGN.md experiment index maps
+// each figure to these entry points.
+package experiments
+
+import (
+	"fmt"
+
+	"mdacache/internal/compiler"
+	"mdacache/internal/core"
+	"mdacache/internal/mem"
+	"mdacache/internal/workloads"
+)
+
+// RunSpec describes one simulation: benchmark × design × configuration.
+type RunSpec struct {
+	Bench  string
+	N      int // matrix dimension (htap table width derives from it)
+	Design core.Design
+
+	// LLCBytes sizes the L3 (or, with TwoLevel, the L2 that acts as LLC).
+	LLCBytes int
+	// TwoLevel drops the L3, making L2 the LLC (Fig. 13's cache-resident
+	// configuration).
+	TwoLevel bool
+
+	// Scale divides cache capacities by Scale² — pair it with N divided by
+	// Scale to preserve the paper's working-set/capacity ratios. 1 = paper
+	// scale. LLCBytes is given at paper scale and scaled internally.
+	Scale int
+
+	FastMem   bool   // Fig. 17: 1.6× faster main memory
+	SlowWrite uint64 // Fig. 16: extra 2P2L array-write cycles
+
+	// LayoutOverride forces a memory layout regardless of the design's
+	// logical dimensionality (the §IV-C Design-0 layout-mismatch ablation).
+	LayoutOverride compiler.Layout
+
+	// TileSize, when non-zero, applies iteration-space tiling with the
+	// given block size to every tileable loop of the kernel — the §X
+	// hardware-software collaborative tiling extension.
+	TileSize int
+
+	// PredictOrient enables the §IV-C dynamic orientation predictor in the
+	// L1 (1P2L designs).
+	PredictOrient bool
+
+	// Tech selects the main-memory crosspoint technology preset: "stt"
+	// (default), "reram" or "pcm" (§II: the approach extends to any
+	// crosspoint technology).
+	Tech string
+
+	// Repl selects the cache replacement policy at every level (the paper
+	// uses LRU; Random and SRRIP are ablations).
+	Repl core.ReplPolicy
+
+	// SubBuffers overrides the number of open-line sub-buffers per bank per
+	// orientation (the §IX-B Gulur-style multiple sub-row buffers; 0 keeps
+	// the default single buffer).
+	SubBuffers int
+
+	// OccupancyInterval samples Fig. 15 occupancy every N cycles (0 = off).
+	OccupancyInterval uint64
+}
+
+func (s RunSpec) String() string {
+	return fmt.Sprintf("%s/N=%d/%v/LLC=%dKB", s.Bench, s.N, s.Design, s.LLCBytes/1024)
+}
+
+// Config materialises the machine configuration for the spec.
+func (s RunSpec) Config() (core.Config, error) {
+	if s.LLCBytes <= 0 {
+		return core.Config{}, fmt.Errorf("experiments: LLCBytes must be positive")
+	}
+	if s.Scale <= 0 {
+		s.Scale = 1
+	}
+	var cfg core.Config
+	if s.TwoLevel {
+		cfg = core.TwoLevelConfig(s.Design, s.LLCBytes)
+	} else {
+		cfg = core.DefaultConfig(s.Design, s.LLCBytes)
+	}
+	cfg = cfg.Scale(s.Scale)
+	if s.Tech != "" {
+		tech, ok := mem.TechParams(s.Tech)
+		if !ok {
+			return core.Config{}, fmt.Errorf("experiments: unknown memory technology %q", s.Tech)
+		}
+		rowOnly := cfg.Mem.RowOnly
+		cfg.Mem = tech
+		cfg.Mem.RowOnly = rowOnly
+	}
+	if s.FastMem {
+		rowOnly := cfg.Mem.RowOnly
+		cfg.Mem = mem.FastParams()
+		cfg.Mem.RowOnly = rowOnly
+	}
+	if s.SlowWrite > 0 {
+		cfg.LLC().WriteAsymmetry = s.SlowWrite
+	}
+	cfg.L1.PredictOrient = s.PredictOrient
+	cfg.L1.Repl, cfg.L2.Repl, cfg.L3.Repl = s.Repl, s.Repl, s.Repl
+	if s.SubBuffers > 0 {
+		cfg.Mem.BuffersPerBank = s.SubBuffers
+	}
+	cfg.OccupancySampleInterval = s.OccupancyInterval
+	return cfg, cfg.Validate()
+}
+
+// layoutTiled re-exports the tiled layout for figure code.
+const layoutTiled = compiler.LayoutTiled
+
+// measureMix compiles a benchmark for the logically-2-D target and tallies
+// its Fig. 10 access-type distribution (no simulation needed — the mix is a
+// property of the compiled trace).
+func measureMix(bench string, n int) (compiler.Mix, error) {
+	prog, err := compiler.Compile(workloads.Build(bench, n), compiler.Target{Logical2D: true})
+	if err != nil {
+		return compiler.Mix{}, err
+	}
+	return prog.MeasureMix(), nil
+}
+
+// Run executes the spec and returns the machine results.
+func Run(spec RunSpec) (*core.Results, error) {
+	if !workloads.Valid(spec.Bench) {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", spec.Bench)
+	}
+	kern := workloads.Build(spec.Bench, spec.N)
+	if spec.TileSize > 0 {
+		sizes := map[string]int{}
+		for _, idx := range []string{"i", "j", "k"} {
+			sizes[idx] = spec.TileSize
+		}
+		compiler.TileKernel(kern, sizes)
+	}
+	return RunKernel(kern, spec)
+}
+
+// RunKernel compiles an arbitrary kernel for the spec's design point and
+// runs it — the entry point for ablations that rewrite the benchmark (loop
+// interchange, custom schedules). The kernel is mutated by compilation;
+// build a fresh one per call.
+func RunKernel(kern *compiler.Kernel, spec RunSpec) (*core.Results, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compiler.Compile(kern, compiler.Target{
+		Logical2D: spec.Design.Logical2D(),
+		Layout:    spec.LayoutOverride,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(prog.Trace()), nil
+}

@@ -1,0 +1,31 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"mdacache/internal/isa"
+)
+
+// Example demonstrates the row/column line geometry of a 512-byte tile.
+func Example() {
+	// Word at tile row 5, tile column 2 of the first tile.
+	addr := uint64(5*isa.LineSize + 2*isa.WordSize)
+
+	row := isa.LineOf(addr, isa.Row)
+	col := isa.LineOf(addr, isa.Col)
+	fmt.Println("row line:", row)
+	fmt.Println("col line:", col)
+
+	x, _ := row.Intersection(col)
+	fmt.Printf("intersection: %#x (the word itself)\n", x)
+	// Output:
+	// row line: row-line@0x140
+	// col line: col-line@0x10
+	// intersection: 0x150 (the word itself)
+}
+
+func ExampleLineID_WordAddr() {
+	col := isa.LineID{Base: 3 * isa.WordSize, Orient: isa.Col}
+	fmt.Printf("%#x %#x %#x\n", col.WordAddr(0), col.WordAddr(1), col.WordAddr(7))
+	// Output: 0x18 0x58 0x1d8
+}

@@ -1,0 +1,229 @@
+// Package isa defines the memory-operation "instruction set" that flows from
+// the (modelled) processor into the MDACache hierarchy, plus the line and
+// tile geometry shared by every level of the memory system.
+//
+// Following §IV-B(a) of the paper, every memory operation — scalar or SIMD
+// vector — carries a row/column orientation preference bit set by the
+// compiler. A vector operation moves one full cache line (8 words of 8
+// bytes) along its preferred orientation; a scalar operation moves one
+// 8-byte word and uses its preference only to steer miss fills.
+package isa
+
+import "fmt"
+
+// Geometry constants. The paper fixes 64-bit words, 64-byte (8-word) cache
+// lines and 8-line × 8-line (512-byte) 2-D tiles throughout; these are
+// compile-time constants here for speed and clarity.
+const (
+	WordSize     = 8                       // bytes per word
+	WordsPerLine = 8                       // words per cache line
+	LineSize     = WordSize * WordsPerLine // 64 bytes
+	LinesPerTile = 8                       // row (or column) lines per tile
+	TileWords    = WordsPerLine * LinesPerTile
+	TileSize     = LineSize * LinesPerTile // 512 bytes
+
+	wordShift = 3 // log2(WordSize)
+	lineShift = 6 // log2(LineSize)
+	tileShift = 9 // log2(TileSize)
+)
+
+// Orient is a row/column access orientation.
+type Orient uint8
+
+const (
+	// Row denotes unit-stride (horizontal) access.
+	Row Orient = iota
+	// Col denotes fixed non-unit-stride (vertical) access.
+	Col
+)
+
+// Other returns the opposite orientation.
+func (o Orient) Other() Orient { return o ^ 1 }
+
+func (o Orient) String() string {
+	if o == Row {
+		return "row"
+	}
+	return "col"
+}
+
+// Kind distinguishes loads from stores.
+type Kind uint8
+
+const (
+	Load Kind = iota
+	Store
+)
+
+func (k Kind) String() string {
+	if k == Load {
+		return "load"
+	}
+	return "store"
+}
+
+// Op is one memory operation issued by the core.
+//
+// For a scalar op, Addr is the word-aligned byte address of the accessed
+// word. For a vector op, Addr is the word-aligned address of the *first*
+// word of the accessed line: for Row vectors this is 64-byte aligned; for
+// Col vectors it is the address of the word in tile-row 0 of the accessed
+// tile column (the canonical column-line base, see LineID).
+type Op struct {
+	Addr uint64
+
+	// Value is the payload of a store (scalar stores write Value; vector
+	// stores synthesise word i as Value+i) and is unused for loads. The
+	// hierarchy moves real data, so the verification suite can check every
+	// load against a flat oracle; kernel traces leave Value zero.
+	Value uint64
+
+	PC     uint32 // static instruction id (used by the stride prefetcher)
+	Gap    uint32 // compute cycles separating this op from the previous one
+	Kind   Kind
+	Orient Orient
+	Vector bool
+}
+
+func (op Op) String() string {
+	sz := "scalar"
+	if op.Vector {
+		sz = "vector"
+	}
+	return fmt.Sprintf("%s %s %s @%#x pc=%d gap=%d", op.Kind, op.Orient, sz, op.Addr, op.PC, op.Gap)
+}
+
+// TileBase returns the 512-byte-aligned base of the tile containing addr.
+func TileBase(addr uint64) uint64 { return addr &^ (TileSize - 1) }
+
+// RowInTile returns which of the 8 tile rows addr's word lies in.
+func RowInTile(addr uint64) uint { return uint(addr>>lineShift) & (LinesPerTile - 1) }
+
+// ColInTile returns which of the 8 tile columns addr's word lies in.
+func ColInTile(addr uint64) uint { return uint(addr>>wordShift) & (WordsPerLine - 1) }
+
+// WordIndex returns addr's word index within its tile, in row-major order
+// (rowInTile*8 + colInTile).
+func WordIndex(addr uint64) uint { return uint(addr>>wordShift) & (TileWords - 1) }
+
+// LineID names one cache line's worth of data in a given orientation.
+//
+// Base is the canonical byte address of the line's first word:
+//
+//   - Row line r of tile T: Base = T + r*LineSize (64-byte aligned); the
+//     line's words are Base, Base+8, ..., Base+56.
+//   - Col line c of tile T: Base = T + c*WordSize; the line's words are
+//     Base, Base+64, ..., Base+448.
+//
+// A Base alone is ambiguous when r == 0 or c == 0 (both canonical bases
+// equal the tile base), so the orientation is part of the identity.
+type LineID struct {
+	Base   uint64
+	Orient Orient
+}
+
+func (l LineID) String() string {
+	return fmt.Sprintf("%s-line@%#x", l.Orient, l.Base)
+}
+
+// Tile returns the base address of the tile containing the line.
+func (l LineID) Tile() uint64 { return TileBase(l.Base) }
+
+// Index returns the line's index within its tile: the tile-row for a Row
+// line, the tile-column for a Col line.
+func (l LineID) Index() uint {
+	if l.Orient == Row {
+		return RowInTile(l.Base)
+	}
+	return ColInTile(l.Base)
+}
+
+// WordAddr returns the byte address of word i (0..7) of the line.
+func (l LineID) WordAddr(i uint) uint64 {
+	if l.Orient == Row {
+		return l.Base + uint64(i)*WordSize
+	}
+	return l.Base + uint64(i)*LineSize
+}
+
+// WordOffset returns which word (0..7) of the line holds byte address addr,
+// and whether the line contains it at all.
+func (l LineID) WordOffset(addr uint64) (uint, bool) {
+	if TileBase(addr) != l.Tile() {
+		return 0, false
+	}
+	if l.Orient == Row {
+		if RowInTile(addr) != RowInTile(l.Base) {
+			return 0, false
+		}
+		return ColInTile(addr), true
+	}
+	if ColInTile(addr) != ColInTile(l.Base) {
+		return 0, false
+	}
+	return RowInTile(addr), true
+}
+
+// Contains reports whether the line holds the word at addr.
+func (l LineID) Contains(addr uint64) bool {
+	_, ok := l.WordOffset(addr)
+	return ok
+}
+
+// Overlaps reports whether two lines share at least one word. Two distinct
+// lines overlap exactly when they belong to the same tile and have opposite
+// orientations (a row and a column of the same tile always intersect in one
+// word); identical lines trivially overlap.
+func (l LineID) Overlaps(m LineID) bool {
+	if l == m {
+		return true
+	}
+	return l.Tile() == m.Tile() && l.Orient != m.Orient
+}
+
+// Intersection returns the address of the single word shared by two
+// overlapping lines of opposite orientation in the same tile. ok is false
+// if the lines do not intersect or are parallel.
+func (l LineID) Intersection(m LineID) (addr uint64, ok bool) {
+	if l.Tile() != m.Tile() || l.Orient == m.Orient {
+		return 0, false
+	}
+	row, col := l, m
+	if l.Orient == Col {
+		row, col = m, l
+	}
+	return row.Tile() + uint64(RowInTile(row.Base))*LineSize + uint64(ColInTile(col.Base))*WordSize, true
+}
+
+// IsCanonical reports whether the line's base address is the canonical
+// first-word address for its orientation (row bases are 64-byte aligned;
+// column bases lie in tile row 0). Non-canonical LineIDs alias other lines
+// and are programming errors.
+func (l LineID) IsCanonical() bool {
+	if l.Base%WordSize != 0 {
+		return false
+	}
+	if l.Orient == Row {
+		return l.Base%LineSize == 0
+	}
+	return RowInTile(l.Base) == 0
+}
+
+// LineOf returns the line of the given orientation containing the word at
+// addr.
+func LineOf(addr uint64, o Orient) LineID {
+	t := TileBase(addr)
+	if o == Row {
+		return LineID{Base: t + uint64(RowInTile(addr))*LineSize, Orient: Row}
+	}
+	return LineID{Base: t + uint64(ColInTile(addr))*WordSize, Orient: Col}
+}
+
+// LineFor returns the line accessed by op: the op's own line for vectors,
+// the preferred-orientation line containing the word for scalars.
+func LineFor(op Op) LineID {
+	if op.Vector {
+		return LineID{Base: op.Addr, Orient: op.Orient}
+	}
+	return LineOf(op.Addr, op.Orient)
+}

@@ -1,0 +1,147 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// arbitrary word-aligned address within a bounded space, from quick's raw input.
+func wordAddr(raw uint64) uint64 {
+	return (raw % (1 << 30)) &^ (WordSize - 1)
+}
+
+func TestGeometryConstants(t *testing.T) {
+	if LineSize != 64 || TileSize != 512 || TileWords != 64 {
+		t.Fatalf("geometry constants wrong: line=%d tile=%d words=%d", LineSize, TileSize, TileWords)
+	}
+}
+
+func TestLineOfContainsProperty(t *testing.T) {
+	f := func(raw uint64, col bool) bool {
+		addr := wordAddr(raw)
+		o := Row
+		if col {
+			o = Col
+		}
+		l := LineOf(addr, o)
+		if !l.Contains(addr) {
+			return false
+		}
+		off, ok := l.WordOffset(addr)
+		return ok && l.WordAddr(off) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineWordsStayInTileProperty(t *testing.T) {
+	f := func(raw uint64, col bool) bool {
+		addr := wordAddr(raw)
+		o := Row
+		if col {
+			o = Col
+		}
+		l := LineOf(addr, o)
+		for i := uint(0); i < WordsPerLine; i++ {
+			w := l.WordAddr(i)
+			if TileBase(w) != l.Tile() {
+				return false
+			}
+			if off, ok := l.WordOffset(w); !ok || off != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowColIntersectionProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		addr := wordAddr(raw)
+		r := LineOf(addr, Row)
+		c := LineOf(addr, Col)
+		if !r.Overlaps(c) || !c.Overlaps(r) {
+			return false
+		}
+		x, ok := r.Intersection(c)
+		if !ok || x != addr {
+			return false
+		}
+		x2, ok2 := c.Intersection(r)
+		return ok2 && x2 == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelLinesDoNotIntersect(t *testing.T) {
+	a := LineID{Base: 0, Orient: Row}
+	b := LineID{Base: LineSize, Orient: Row} // next row of same tile
+	if a.Overlaps(b) {
+		t.Fatal("parallel rows of a tile must not overlap")
+	}
+	if _, ok := a.Intersection(b); ok {
+		t.Fatal("parallel rows have no intersection word")
+	}
+	c := LineID{Base: TileSize, Orient: Col} // column of a different tile
+	if a.Overlaps(c) {
+		t.Fatal("lines of different tiles must not overlap")
+	}
+}
+
+func TestCanonicalColumnBase(t *testing.T) {
+	// Word at tile 3, row 5, col 2.
+	addr := uint64(3*TileSize + 5*LineSize + 2*WordSize)
+	c := LineOf(addr, Col)
+	if c.Base != 3*TileSize+2*WordSize {
+		t.Fatalf("column canonical base = %#x", c.Base)
+	}
+	if c.Index() != 2 {
+		t.Fatalf("column index = %d, want 2", c.Index())
+	}
+	off, ok := c.WordOffset(addr)
+	if !ok || off != 5 {
+		t.Fatalf("word offset = %d,%v, want 5,true", off, ok)
+	}
+	r := LineOf(addr, Row)
+	if r.Base != 3*TileSize+5*LineSize || r.Index() != 5 {
+		t.Fatalf("row line = %+v", r)
+	}
+}
+
+func TestLineForVectorVsScalar(t *testing.T) {
+	addr := uint64(2*TileSize + 3*LineSize + 4*WordSize)
+	scalar := Op{Addr: addr, Orient: Col}
+	if got := LineFor(scalar); got != LineOf(addr, Col) {
+		t.Fatalf("scalar LineFor = %v", got)
+	}
+	vec := Op{Addr: 2*TileSize + 4*WordSize, Orient: Col, Vector: true}
+	if got := LineFor(vec); got.Base != vec.Addr || got.Orient != Col {
+		t.Fatalf("vector LineFor = %v", got)
+	}
+}
+
+func TestOrientOther(t *testing.T) {
+	if Row.Other() != Col || Col.Other() != Row {
+		t.Fatal("Other() must flip orientation")
+	}
+	if Row.String() != "row" || Col.String() != "col" {
+		t.Fatal("orient strings")
+	}
+}
+
+func TestWordIndexRowMajor(t *testing.T) {
+	for r := uint64(0); r < LinesPerTile; r++ {
+		for c := uint64(0); c < WordsPerLine; c++ {
+			addr := r*LineSize + c*WordSize
+			if got := WordIndex(addr); got != uint(r*8+c) {
+				t.Fatalf("WordIndex(%#x) = %d, want %d", addr, got, r*8+c)
+			}
+		}
+	}
+}

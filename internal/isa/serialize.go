@@ -1,0 +1,154 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace file format: a fixed 16-byte header ("MDATRACE", version, flags)
+// followed by fixed-width little-endian op records. The format is streaming
+// in both directions — a multi-gigabyte paper-scale trace never needs to be
+// resident.
+const (
+	traceMagic   = "MDATRACE"
+	traceVersion = 1
+	opRecordSize = 8 + 8 + 4 + 4 + 1 // addr, value, pc, gap, packed flags
+)
+
+// packFlags encodes kind/orient/vector in one byte.
+func packFlags(op Op) byte {
+	b := byte(0)
+	if op.Kind == Store {
+		b |= 1
+	}
+	if op.Orient == Col {
+		b |= 2
+	}
+	if op.Vector {
+		b |= 4
+	}
+	return b
+}
+
+func unpackFlags(b byte, op *Op) error {
+	if b&^7 != 0 {
+		return fmt.Errorf("isa: corrupt op flags %#x", b)
+	}
+	if b&1 != 0 {
+		op.Kind = Store
+	}
+	if b&2 != 0 {
+		op.Orient = Col
+	}
+	op.Vector = b&4 != 0
+	return nil
+}
+
+// TraceWriter streams ops to an io.Writer in the trace file format.
+type TraceWriter struct {
+	w     *bufio.Writer
+	count uint64
+	rec   [opRecordSize]byte
+}
+
+// NewTraceWriter writes the header and returns a writer. Call Flush when
+// done.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [16]byte
+	copy(hdr[:8], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], traceVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Write appends one op.
+func (t *TraceWriter) Write(op Op) error {
+	binary.LittleEndian.PutUint64(t.rec[0:8], op.Addr)
+	binary.LittleEndian.PutUint64(t.rec[8:16], op.Value)
+	binary.LittleEndian.PutUint32(t.rec[16:20], op.PC)
+	binary.LittleEndian.PutUint32(t.rec[20:24], op.Gap)
+	t.rec[24] = packFlags(op)
+	if _, err := t.w.Write(t.rec[:]); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of ops written so far.
+func (t *TraceWriter) Count() uint64 { return t.count }
+
+// Flush drains buffered records to the underlying writer.
+func (t *TraceWriter) Flush() error { return t.w.Flush() }
+
+// WriteTrace drains a TraceReader into w and returns the op count.
+func WriteTrace(w io.Writer, tr TraceReader) (uint64, error) {
+	tw, err := NewTraceWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(op); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// FileTrace reads ops from a serialized trace. It implements TraceReader.
+type FileTrace struct {
+	r   *bufio.Reader
+	rec [opRecordSize]byte
+	err error
+}
+
+// NewFileTrace validates the header and returns a streaming reader.
+func NewFileTrace(r io.Reader) (*FileTrace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("isa: trace header: %w", err)
+	}
+	if string(hdr[:8]) != traceMagic {
+		return nil, fmt.Errorf("isa: not a trace file (magic %q)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != traceVersion {
+		return nil, fmt.Errorf("isa: unsupported trace version %d", v)
+	}
+	return &FileTrace{r: br}, nil
+}
+
+// Next implements TraceReader. Read errors terminate the stream; check Err.
+func (t *FileTrace) Next() (Op, bool) {
+	if t.err != nil {
+		return Op{}, false
+	}
+	if _, err := io.ReadFull(t.r, t.rec[:]); err != nil {
+		if err != io.EOF {
+			t.err = err
+		}
+		return Op{}, false
+	}
+	var op Op
+	op.Addr = binary.LittleEndian.Uint64(t.rec[0:8])
+	op.Value = binary.LittleEndian.Uint64(t.rec[8:16])
+	op.PC = binary.LittleEndian.Uint32(t.rec[16:20])
+	op.Gap = binary.LittleEndian.Uint32(t.rec[20:24])
+	if err := unpackFlags(t.rec[24], &op); err != nil {
+		t.err = err
+		return Op{}, false
+	}
+	return op, true
+}
+
+// Err returns the first error encountered mid-stream (nil on clean EOF).
+func (t *FileTrace) Err() error { return t.err }

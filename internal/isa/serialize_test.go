@@ -1,0 +1,107 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundtripProperty(t *testing.T) {
+	f := func(addrs []uint64, seed uint64) bool {
+		ops := make([]Op, len(addrs))
+		for i, a := range addrs {
+			ops[i] = Op{
+				Addr:   a &^ 7,
+				Value:  a * 3,
+				PC:     uint32(a % 1000),
+				Gap:    uint32(a % 17),
+				Kind:   Kind(a % 2),
+				Orient: Orient((a >> 1) % 2),
+				Vector: a%3 == 0,
+			}
+		}
+		var buf bytes.Buffer
+		n, err := WriteTrace(&buf, NewSliceTrace(ops))
+		if err != nil || n != uint64(len(ops)) {
+			return false
+		}
+		rd, err := NewFileTrace(&buf)
+		if err != nil {
+			return false
+		}
+		got := Collect(rd)
+		if rd.Err() != nil || len(got) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := NewFileTrace(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if _, err := NewFileTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestTraceRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewSliceTrace(nil)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[8] = 99 // corrupt version
+	if _, err := NewFileTrace(bytes.NewReader(b)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestTraceCorruptFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewSliceTrace([]Op{{Addr: 8}})); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] = 0xff // corrupt packed flags
+	rd, err := NewFileTrace(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rd.Next(); ok {
+		t.Fatal("corrupt record yielded an op")
+	}
+	if rd.Err() == nil {
+		t.Fatal("corruption not reported")
+	}
+}
+
+func TestTraceTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewSliceTrace([]Op{{Addr: 8}, {Addr: 16}})); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()-5] // chop mid-record
+	rd, err := NewFileTrace(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rd.Next(); !ok {
+		t.Fatal("first record should read")
+	}
+	if _, ok := rd.Next(); ok {
+		t.Fatal("truncated record yielded an op")
+	}
+	if rd.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}

@@ -1,0 +1,84 @@
+package isa
+
+import (
+	"testing"
+)
+
+func TestSliceTrace(t *testing.T) {
+	ops := []Op{{Addr: 0}, {Addr: 8}, {Addr: 16}}
+	tr := NewSliceTrace(ops)
+	for i := range ops {
+		op, ok := tr.Next()
+		if !ok || op.Addr != ops[i].Addr {
+			t.Fatalf("op %d: got %v %v", i, op, ok)
+		}
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("trace should be exhausted")
+	}
+	tr.Reset()
+	if op, ok := tr.Next(); !ok || op.Addr != 0 {
+		t.Fatal("reset should rewind")
+	}
+}
+
+func TestStreamTraceDeliversAll(t *testing.T) {
+	const n = 3 * streamChunk / 2 // force a partial final chunk
+	tr := Stream(func(emit func(Op) bool) {
+		for i := 0; i < n; i++ {
+			if !emit(Op{Addr: uint64(i) * 8}) {
+				return
+			}
+		}
+	})
+	for i := 0; i < n; i++ {
+		op, ok := tr.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if op.Addr != uint64(i)*8 {
+			t.Fatalf("op %d out of order: %#x", i, op.Addr)
+		}
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+}
+
+func TestStreamTraceEarlyClose(t *testing.T) {
+	produced := make(chan int, 1)
+	tr := Stream(func(emit func(Op) bool) {
+		i := 0
+		for {
+			if !emit(Op{Addr: uint64(i)}) {
+				produced <- i
+				return
+			}
+			i++
+		}
+	})
+	if _, ok := tr.Next(); !ok {
+		t.Fatal("expected at least one op")
+	}
+	tr.Close()
+	n := <-produced
+	if n <= 0 {
+		t.Fatal("generator should have produced some ops before stopping")
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("closed stream must not yield ops")
+	}
+	tr.Close() // idempotent
+}
+
+func TestCountAndCollect(t *testing.T) {
+	mk := func() TraceReader {
+		return NewSliceTrace([]Op{{Addr: 0}, {Addr: 8}, {Addr: 64}})
+	}
+	if got := Count(mk()); got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := Collect(mk()); len(got) != 3 || got[2].Addr != 64 {
+		t.Fatalf("Collect = %v", got)
+	}
+}

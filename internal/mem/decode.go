@@ -1,0 +1,94 @@
+package mem
+
+import (
+	"math/bits"
+
+	"mdacache/internal/isa"
+)
+
+// Geometry performs the Fig. 8 address decode. The physical address is
+// divided, LSB to MSB, into:
+//
+//	[ byte offset (3) | row word offset (3) | col word offset (3) |
+//	  channel | rank | bank | column select | row select ... ]
+//
+// i.e. a 512-byte-aligned region of the physical address space is one
+// 8-line × 8-line tile, tiles are the unit of channel/rank/bank
+// interleaving (so interleaving never breaks column alignment within a
+// tile, §VI-A), and the bank/rank/channel bits sit as close to the LSB as
+// possible to maximise parallelism.
+type Geometry struct {
+	chanShift, chanMask uint64
+	rankShift, rankMask uint64
+	bankShift, bankMask uint64
+	colShift, colMask   uint64
+	rowShift            uint64
+	ranks, banks        int
+	xorHash             bool
+}
+
+// NewGeometry builds the decoder for the given parameters.
+func NewGeometry(p Params) Geometry {
+	chBits := uint64(bits.TrailingZeros64(uint64(p.Channels)))
+	rkBits := uint64(bits.TrailingZeros64(uint64(p.Ranks)))
+	bkBits := uint64(bits.TrailingZeros64(uint64(p.Banks)))
+	colBits := uint64(bits.TrailingZeros64(uint64(p.TileColsPerBank)))
+	g := Geometry{}
+	g.chanShift = 9 // above byte(3) + row word(3) + col word(3)
+	g.chanMask = uint64(p.Channels) - 1
+	g.rankShift = g.chanShift + chBits
+	g.rankMask = uint64(p.Ranks) - 1
+	g.bankShift = g.rankShift + rkBits
+	g.bankMask = uint64(p.Banks) - 1
+	g.colShift = g.bankShift + bkBits
+	g.colMask = uint64(p.TileColsPerBank) - 1
+	g.rowShift = g.colShift + colBits
+	g.ranks, g.banks = p.Ranks, p.Banks
+	g.xorHash = p.XORBankHash
+	return g
+}
+
+// Place identifies the physical location of one tile.
+type Place struct {
+	Channel int
+	Rank    int
+	Bank    int
+	TileCol uint64 // column select within the bank
+	TileRow uint64 // row select within the bank
+}
+
+// Decode maps an address (any byte within a tile) to its physical place.
+func (g Geometry) Decode(addr uint64) Place {
+	pl := Place{
+		Channel: int((addr >> g.chanShift) & g.chanMask),
+		Rank:    int((addr >> g.rankShift) & g.rankMask),
+		Bank:    int((addr >> g.bankShift) & g.bankMask),
+		TileCol: (addr >> g.colShift) & g.colMask,
+		TileRow: addr >> g.rowShift,
+	}
+	if g.xorHash {
+		// Fold the column- and row-select fields into the parallelism
+		// indices so that strided walks along either axis rotate over
+		// channels and banks. All folded bits sit above the tile offset,
+		// so a tile still maps to exactly one place.
+		h := pl.TileCol ^ pl.TileRow
+		pl.Channel = int((uint64(pl.Channel) ^ h ^ h>>3) & g.chanMask)
+		pl.Rank = int((uint64(pl.Rank) ^ h>>1) & g.rankMask)
+		pl.Bank = int((uint64(pl.Bank) ^ h>>2 ^ h>>5) & g.bankMask)
+	}
+	return pl
+}
+
+// BankIndex flattens (channel, rank, bank) to a dense index in
+// [0, Channels*Ranks*Banks).
+func (g Geometry) BankIndex(pl Place) int {
+	return (pl.Channel*g.ranks+pl.Rank)*g.banks + pl.Bank
+}
+
+// BanksPerChannel returns Ranks*Banks.
+func (g Geometry) BanksPerChannel() int { return g.ranks * g.banks }
+
+// openLineKey identifies a line for buffer-hit purposes: the exact line
+// (tile base + line index) within a bank, per orientation. The key is the
+// line's canonical base address, which is unique within an orientation.
+func openLineKey(line isa.LineID) uint64 { return line.Base }

@@ -1,0 +1,41 @@
+package mem
+
+// EnergyParams is the memory energy model: per-event energies in picojoules.
+// The paper motivates column access partly by power — "row opening is a
+// costly operation for a memory array in terms of both latency and power"
+// (§III) — so the model is activation-centric: each array activation
+// (row *or* column open) costs ActivatePJ, each word moved over the bus
+// costs BusWordPJ, and each cell write costs WriteWordPJ on top (resistive
+// writes are the expensive operation in every crosspoint technology).
+type EnergyParams struct {
+	ActivatePJ  float64 // per array activation (buffer miss)
+	BufferHitPJ float64 // per access served from an open buffer
+	BusWordPJ   float64 // per 8-byte word transferred on the channel bus
+	WriteWordPJ float64 // additional energy per word written to the array
+}
+
+// DefaultEnergy returns STT-MRAM-flavoured energies.
+func DefaultEnergy() EnergyParams {
+	return EnergyParams{
+		ActivatePJ:  2000,
+		BufferHitPJ: 150,
+		BusWordPJ:   25,
+		WriteWordPJ: 300,
+	}
+}
+
+// EnergyStats accumulates consumed energy by source.
+type EnergyStats struct {
+	ActivationPJ float64
+	BufferPJ     float64
+	BusPJ        float64
+	WritePJ      float64
+}
+
+// TotalPJ returns the summed energy.
+func (e *EnergyStats) TotalPJ() float64 {
+	return e.ActivationPJ + e.BufferPJ + e.BusPJ + e.WritePJ
+}
+
+// TotalUJ returns the total in microjoules for readable reporting.
+func (e *EnergyStats) TotalUJ() float64 { return e.TotalPJ() / 1e6 }

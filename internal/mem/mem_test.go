@@ -1,0 +1,439 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+func TestStoreWordRoundtripProperty(t *testing.T) {
+	s := NewStore()
+	f := func(raw, v uint64) bool {
+		addr := (raw % (1 << 28)) &^ 7
+		s.WriteWord(addr, v)
+		return s.ReadWord(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreLineRowColConsistency(t *testing.T) {
+	// Writing a row line and reading the crossing column must agree on the
+	// intersection word.
+	f := func(raw uint64, rowIdx, colIdx uint8, v uint64) bool {
+		s := NewStore()
+		tile := (raw % (1 << 20)) &^ (isa.TileSize - 1)
+		r := uint64(rowIdx % 8)
+		c := uint64(colIdx % 8)
+		row := isa.LineID{Base: tile + r*isa.LineSize, Orient: isa.Row}
+		var data [8]uint64
+		for i := range data {
+			data[i] = v + uint64(i)
+		}
+		s.WriteLine(row, 0xff, data)
+		col := isa.LineID{Base: tile + c*isa.WordSize, Orient: isa.Col}
+		got := s.ReadLine(col)
+		return got[r] == v+c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMaskedWrite(t *testing.T) {
+	s := NewStore()
+	line := isa.LineID{Base: 0, Orient: isa.Row}
+	var a, b [8]uint64
+	for i := range a {
+		a[i] = 100 + uint64(i)
+		b[i] = 200 + uint64(i)
+	}
+	s.WriteLine(line, 0xff, a)
+	s.WriteLine(line, 0b00001010, b) // overwrite words 1 and 3 only
+	got := s.ReadLine(line)
+	for i := range got {
+		want := a[i]
+		if i == 1 || i == 3 {
+			want = b[i]
+		}
+		if got[i] != want {
+			t.Fatalf("word %d = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestDecodePreservesTileInterleaving(t *testing.T) {
+	p := DefaultParams()
+	g := NewGeometry(p)
+	// All words of one tile decode to the same place.
+	base := uint64(7 * isa.TileSize * uint64(p.Channels)) // arbitrary tile
+	pl := g.Decode(base)
+	for w := uint64(0); w < isa.TileSize; w += 8 {
+		if g.Decode(base+w) != pl {
+			t.Fatalf("word %d of tile decoded elsewhere", w)
+		}
+	}
+	// Consecutive tiles rotate channels.
+	pl2 := g.Decode(base + isa.TileSize)
+	if pl2.Channel == pl.Channel {
+		t.Fatalf("consecutive tiles share channel %d", pl.Channel)
+	}
+}
+
+func TestDecodeDistinctBanksDistinctPlaces(t *testing.T) {
+	p := DefaultParams()
+	g := NewGeometry(p)
+	seen := map[Place]bool{}
+	n := p.Channels * p.Ranks * p.Banks
+	for i := 0; i < n; i++ {
+		pl := g.Decode(uint64(i) * isa.TileSize)
+		pl.TileRow, pl.TileCol = 0, 0
+		if seen[pl] {
+			t.Fatalf("tile %d reuses bank %+v before full rotation", i, pl)
+		}
+		seen[pl] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("covered %d banks, want %d", len(seen), n)
+	}
+}
+
+func TestBankIndexDense(t *testing.T) {
+	p := DefaultParams()
+	g := NewGeometry(p)
+	seen := map[int]bool{}
+	for ch := 0; ch < p.Channels; ch++ {
+		for rk := 0; rk < p.Ranks; rk++ {
+			for bk := 0; bk < p.Banks; bk++ {
+				idx := g.BankIndex(Place{Channel: ch, Rank: rk, Bank: bk})
+				if idx < 0 || idx >= p.Channels*p.Ranks*p.Banks || seen[idx] {
+					t.Fatalf("bank index collision or out of range: %d", idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}
+
+func newTestMemory(t *testing.T, p Params) (*sim.EventQueue, *Memory) {
+	t.Helper()
+	q := &sim.EventQueue{}
+	m, err := New(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, m
+}
+
+func fillSync(t *testing.T, q *sim.EventQueue, m *Memory, at uint64, line isa.LineID) (uint64, [8]uint64) {
+	t.Helper()
+	var doneAt uint64
+	var data [8]uint64
+	got := false
+	m.Fill(at, line, func(a uint64, d [8]uint64) { doneAt, data, got = a, d, true })
+	q.Run(0)
+	if !got {
+		t.Fatal("fill never completed")
+	}
+	return doneAt, data
+}
+
+func TestFillReturnsStoredData(t *testing.T) {
+	q, m := newTestMemory(t, DefaultParams())
+	line := isa.LineID{Base: 4 * isa.TileSize, Orient: isa.Row}
+	var data [8]uint64
+	for i := range data {
+		data[i] = uint64(i) * 11
+	}
+	m.Store().WriteLine(line, 0xff, data)
+	_, got := fillSync(t, q, m, 0, line)
+	if got != data {
+		t.Fatalf("fill data %v, want %v", got, data)
+	}
+}
+
+func TestWritebackThenFillSeesFreshData(t *testing.T) {
+	// The ordered-transaction contract: a writeback issued before an
+	// overlapping fill at the same cycle must be visible to the fill.
+	q, m := newTestMemory(t, DefaultParams())
+	row := isa.LineID{Base: 0, Orient: isa.Row}
+	col := isa.LineID{Base: 0, Orient: isa.Col} // crosses row 0 at word 0
+	var wdata [8]uint64
+	wdata[0] = 777
+	m.Writeback(5, row, 0b1, wdata)
+	_, got := fillSync(t, q, m, 5, col)
+	if got[0] != 777 {
+		t.Fatalf("fill observed stale word: %d", got[0])
+	}
+	if m.Stats().TotalWrites() != 1 || m.Stats().TotalReads() != 1 {
+		t.Fatalf("stats: %+v", m.Stats())
+	}
+}
+
+func TestBufferHitFasterThanMiss(t *testing.T) {
+	p := DefaultParams()
+	q, m := newTestMemory(t, p)
+	line := isa.LineID{Base: 0, Orient: isa.Row}
+	first, _ := fillSync(t, q, m, 0, line)
+	at := q.Now() + 100
+	second, _ := fillSync(t, q, m, at, line)
+	missLat := first - 0
+	hitLat := second - at
+	if hitLat >= missLat {
+		t.Fatalf("buffer hit (%d) not faster than activation (%d)", hitLat, missLat)
+	}
+	st := m.Stats()
+	if st.BufferHits[isa.Row] != 1 || st.Activations[isa.Row] != 1 {
+		t.Fatalf("hit/activation stats: %+v", st)
+	}
+}
+
+func TestColumnAccessCostsDecodeExtra(t *testing.T) {
+	p := DefaultParams()
+	p.ColDecodeExtra = 10 // exaggerate for visibility
+	q, m := newTestMemory(t, p)
+	row := isa.LineID{Base: 0, Orient: isa.Row}
+	rowDone, _ := fillSync(t, q, m, 0, row)
+
+	q2, m2 := newTestMemory(t, p)
+	col := isa.LineID{Base: 0, Orient: isa.Col}
+	colDone, _ := fillSync(t, q2, m2, 0, col)
+	if colDone != rowDone+10 {
+		t.Fatalf("column fill %d, row fill %d: want +10", colDone, rowDone)
+	}
+}
+
+func TestSymmetricRowColumnCost(t *testing.T) {
+	// Beyond the decoder cycle, row and column fills cost the same — the
+	// defining MDA property.
+	p := DefaultParams()
+	p.ColDecodeExtra = 0
+	q, m := newTestMemory(t, p)
+	rowDone, _ := fillSync(t, q, m, 0, isa.LineID{Base: 0, Orient: isa.Row})
+	q2, m2 := newTestMemory(t, p)
+	colDone, _ := fillSync(t, q2, m2, 0, isa.LineID{Base: 0, Orient: isa.Col})
+	if rowDone != colDone {
+		t.Fatalf("asymmetric cost: row %d vs col %d", rowDone, colDone)
+	}
+}
+
+func TestColumnFillMovesColumnWords(t *testing.T) {
+	q, m := newTestMemory(t, DefaultParams())
+	// Store distinct values down column 3 of tile 0 via row writes.
+	for r := uint64(0); r < 8; r++ {
+		row := isa.LineID{Base: r * isa.LineSize, Orient: isa.Row}
+		var d [8]uint64
+		d[3] = 1000 + r
+		m.Writeback(0, row, 0b1000, d)
+	}
+	col := isa.LineID{Base: 3 * isa.WordSize, Orient: isa.Col}
+	_, got := fillSync(t, q, m, 0, col)
+	for r := range got {
+		if got[r] != 1000+uint64(r) {
+			t.Fatalf("column word %d = %d", r, got[r])
+		}
+	}
+}
+
+func TestWriteQueueDrains(t *testing.T) {
+	p := DefaultParams()
+	q, m := newTestMemory(t, p)
+	var d [8]uint64
+	for i := 0; i < p.DrainHigh+10; i++ {
+		line := isa.LineID{Base: uint64(i) * isa.TileSize, Orient: isa.Row}
+		m.Writeback(0, line, 0xff, d)
+	}
+	q.Run(0)
+	r, w := m.QueueDepths()
+	if r != 0 || w != 0 {
+		t.Fatalf("queues not drained: r=%d w=%d", r, w)
+	}
+	if m.Stats().TotalWrites() != uint64(p.DrainHigh+10) {
+		t.Fatalf("writes served: %d", m.Stats().TotalWrites())
+	}
+}
+
+func TestReadsPreferredOverWrites(t *testing.T) {
+	p := DefaultParams()
+	q, m := newTestMemory(t, p)
+	var d [8]uint64
+	// A few writes (below the drain threshold) plus one read, same bank.
+	for i := 0; i < 4; i++ {
+		m.Writeback(0, isa.LineID{Base: 0, Orient: isa.Row}, 0xff, d)
+	}
+	readDone, _ := fillSync(t, q, m, 0, isa.LineID{Base: isa.LineSize, Orient: isa.Row})
+	// The read may wait behind the write already in service, but must not
+	// be starved behind the whole write queue (4 × write-recovery times).
+	perWrite := p.Precharge + p.RCD + p.CAS + 8*p.BusCyclesPerWord + p.WriteRec
+	if readDone > 2*perWrite {
+		t.Fatalf("read starved behind write queue: done at %d (per-write ≈ %d)", readDone, perWrite)
+	}
+}
+
+func TestFastParamsScale(t *testing.T) {
+	b, f := DefaultParams(), FastParams()
+	if f.RCD >= b.RCD || f.CAS >= b.CAS || f.WriteRec >= b.WriteRec {
+		t.Fatalf("fast params not faster: %+v vs %+v", f, b)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowOnlyRejectsColumns(t *testing.T) {
+	p := DefaultParams()
+	p.RowOnly = true
+	q, m := newTestMemory(t, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("column fill on row-only memory must panic")
+		}
+	}()
+	m.Fill(0, isa.LineID{Base: 0, Orient: isa.Col}, func(uint64, [8]uint64) {})
+	q.Run(0)
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Channels = 3 },
+		func(p *Params) { p.Banks = 0 },
+		func(p *Params) { p.TileColsPerBank = 100 },
+		func(p *Params) { p.BusCyclesPerWord = 0 },
+		func(p *Params) { p.DrainLow = p.DrainHigh },
+		func(p *Params) { p.BuffersPerBank = 0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: bad params accepted", i)
+		}
+	}
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleSubBuffers(t *testing.T) {
+	// With 4 sub-buffers, alternating between 2 lines in one bank keeps
+	// both open (§IX-B); with 1 buffer they thrash.
+	run := func(buffers int) uint64 {
+		p := DefaultParams()
+		p.BuffersPerBank = buffers
+		q, m := newTestMemory(t, p)
+		a := isa.LineID{Base: 0, Orient: isa.Row}
+		b := isa.LineID{Base: isa.LineSize, Orient: isa.Row}
+		for i := 0; i < 4; i++ {
+			fillSync(t, q, m, q.Now()+10, a)
+			fillSync(t, q, m, q.Now()+10, b)
+		}
+		return m.Stats().Activations[isa.Row]
+	}
+	if one, four := run(1), run(4); four >= one {
+		t.Fatalf("sub-buffers did not reduce activations: %d vs %d", four, one)
+	}
+}
+
+func TestClosePagePolicy(t *testing.T) {
+	p := DefaultParams()
+	p.ClosePage = true
+	q, m := newTestMemory(t, p)
+	line := isa.LineID{Base: 0, Orient: isa.Row}
+	first, _ := fillSync(t, q, m, 0, line)
+	at := q.Now() + 100
+	second, _ := fillSync(t, q, m, at, line)
+	if second-at != first {
+		t.Fatalf("close page should pay the activation every time: %d vs %d", second-at, first)
+	}
+	if m.Stats().BufferHits[isa.Row] != 0 {
+		t.Fatal("close page recorded a buffer hit")
+	}
+	if m.Stats().Activations[isa.Row] != 2 {
+		t.Fatalf("activations = %d", m.Stats().Activations[isa.Row])
+	}
+}
+
+func TestAvgReadLatencyPositive(t *testing.T) {
+	q, m := newTestMemory(t, DefaultParams())
+	fillSync(t, q, m, 0, isa.LineID{Base: 0, Orient: isa.Row})
+	if m.Stats().AvgReadLatency() <= 0 {
+		t.Fatal("average read latency should be positive")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	q, m := newTestMemory(t, DefaultParams())
+	line := isa.LineID{Base: 0, Orient: isa.Row}
+	fillSync(t, q, m, 0, line) // activation + bus
+	e := &m.Stats().Energy
+	p := DefaultEnergy()
+	wantAct := p.ActivatePJ
+	wantBus := 8 * p.BusWordPJ
+	if e.ActivationPJ != wantAct || e.BusPJ != wantBus || e.WritePJ != 0 {
+		t.Fatalf("energy after read: %+v", e)
+	}
+	fillSync(t, q, m, q.Now()+10, line) // buffer hit
+	if e.BufferPJ != p.BufferHitPJ {
+		t.Fatalf("buffer energy: %+v", e)
+	}
+	var d [8]uint64
+	m.Writeback(q.Now(), isa.LineID{Base: isa.TileSize, Orient: isa.Row}, 0b11, d)
+	q.Run(0)
+	if e.WritePJ != 2*p.WriteWordPJ {
+		t.Fatalf("write energy: %+v", e)
+	}
+	if e.TotalPJ() <= 0 || e.TotalUJ() != e.TotalPJ()/1e6 {
+		t.Fatal("totals inconsistent")
+	}
+}
+
+func TestTechParams(t *testing.T) {
+	stt, ok := TechParams("stt")
+	if !ok || stt.WriteRec != DefaultParams().WriteRec {
+		t.Fatal("stt preset should match defaults")
+	}
+	reram, ok := TechParams("reram")
+	if !ok || reram.WriteRec <= stt.WriteRec {
+		t.Fatal("reram writes should be slower than stt")
+	}
+	pcm, ok := TechParams("pcm")
+	if !ok || pcm.WriteRec <= reram.WriteRec || pcm.Energy.WriteWordPJ <= reram.Energy.WriteWordPJ {
+		t.Fatal("pcm should be the slowest/most expensive writer")
+	}
+	if _, ok := TechParams("dram3000"); ok {
+		t.Fatal("unknown technology accepted")
+	}
+	for _, p := range []Params{stt, reram, pcm} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestXORHashSpreadsVerticalWalk(t *testing.T) {
+	// A walk down a tile column (stride = tilesPerRow × TileSize) must
+	// touch many banks with hashing, few without.
+	count := func(hash bool) int {
+		p := DefaultParams()
+		p.XORBankHash = hash
+		g := NewGeometry(p)
+		banks := map[int]bool{}
+		const tilesPerRow = 16
+		for i := uint64(0); i < 32; i++ {
+			pl := g.Decode(i * tilesPerRow * isa.TileSize)
+			banks[pl.Channel*1000+pl.Rank*100+pl.Bank] = true
+		}
+		return len(banks)
+	}
+	with, without := count(true), count(false)
+	if with <= without {
+		t.Fatalf("hashing did not improve spread: %d vs %d", with, without)
+	}
+	if with < 8 {
+		t.Fatalf("hashed vertical walk uses only %d banks", with)
+	}
+}

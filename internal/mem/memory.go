@@ -1,0 +1,335 @@
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// Stats accumulates memory-controller activity, indexed by orientation where
+// relevant ([isa.Row] / [isa.Col]).
+type Stats struct {
+	Reads        [2]uint64 // served line reads
+	Writes       [2]uint64 // served line writes
+	BufferHits   [2]uint64 // open row/column buffer hits
+	Activations  [2]uint64 // array activations (buffer misses)
+	BytesRead    uint64
+	BytesWritten uint64
+	ReadLatency  uint64 // summed arrive→critical-word latency, for averages
+	Energy       EnergyStats
+}
+
+// TotalReads returns reads across both orientations.
+func (s *Stats) TotalReads() uint64 { return s.Reads[0] + s.Reads[1] }
+
+// TotalWrites returns writes across both orientations.
+func (s *Stats) TotalWrites() uint64 { return s.Writes[0] + s.Writes[1] }
+
+// TotalBytes returns bytes moved in both directions.
+func (s *Stats) TotalBytes() uint64 { return s.BytesRead + s.BytesWritten }
+
+// AvgReadLatency returns the mean cycles from request arrival to critical
+// word delivery.
+func (s *Stats) AvgReadLatency() float64 {
+	n := s.TotalReads()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.ReadLatency) / float64(n)
+}
+
+type request struct {
+	line   isa.LineID
+	mask   uint8 // valid words for writes
+	write  bool
+	arrive uint64
+	done   func(at uint64, data [isa.WordsPerLine]uint64)
+	bank   *bankState
+}
+
+// bankState tracks the open-line buffers of one bank. Each orientation has
+// its own buffer(s): the row buffer and the column buffer of Fig. 2(b).
+// With BuffersPerBank > 1 each orientation keeps an MRU list of open lines
+// (the multiple sub-row buffer variant of §IX-B).
+type bankState struct {
+	nextFree uint64
+	open     [2][]uint64 // MRU list of open line keys per orientation
+}
+
+func (b *bankState) lookup(line isa.LineID) bool {
+	key := openLineKey(line)
+	for _, k := range b.open[line.Orient] {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *bankState) anyOpen(o isa.Orient) bool { return len(b.open[o]) > 0 }
+
+func (b *bankState) insert(line isa.LineID, capacity int) {
+	key := openLineKey(line)
+	lst := b.open[line.Orient]
+	for i, k := range lst {
+		if k == key { // move to front
+			copy(lst[1:i+1], lst[:i])
+			lst[0] = key
+			return
+		}
+	}
+	lst = append(lst, 0)
+	copy(lst[1:], lst)
+	lst[0] = key
+	if len(lst) > capacity {
+		lst = lst[:capacity]
+	}
+	b.open[line.Orient] = lst
+}
+
+type channelState struct {
+	readQ    []*request
+	writeQ   []*request
+	bus      sim.Resource
+	cmd      sim.Resource
+	draining bool
+	banks    []*bankState
+
+	// retryArmed/retryTime deduplicate bank-busy retry events: at most one
+	// outstanding retry per channel per deadline, keeping the event queue
+	// bounded under heavy load.
+	retryArmed bool
+	retryTime  uint64
+}
+
+// Memory is the MDA main memory: functional backing store plus the timing
+// model. It satisfies the hierarchy's Backend contract (Fill/Writeback).
+type Memory struct {
+	q     *sim.EventQueue
+	p     Params
+	geo   Geometry
+	store *Store
+	chans []*channelState
+	stats Stats
+}
+
+// New constructs a memory attached to the event queue.
+func New(q *sim.EventQueue, p Params) (*Memory, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{q: q, p: p, geo: NewGeometry(p), store: NewStore()}
+	for c := 0; c < p.Channels; c++ {
+		ch := &channelState{banks: make([]*bankState, m.geo.BanksPerChannel())}
+		for b := range ch.banks {
+			ch.banks[b] = &bankState{}
+		}
+		m.chans = append(m.chans, ch)
+	}
+	return m, nil
+}
+
+// Store exposes the functional backing store for preloading and oracle
+// checks.
+func (m *Memory) Store() *Store { return m.store }
+
+// Stats returns the accumulated controller statistics.
+func (m *Memory) Stats() *Stats { return &m.stats }
+
+// Geometry returns the address decoder in use.
+func (m *Memory) Geometry() Geometry { return m.geo }
+
+func (m *Memory) place(line isa.LineID) (*channelState, *bankState) {
+	pl := m.geo.Decode(line.Base)
+	ch := m.chans[pl.Channel]
+	return ch, ch.banks[pl.Rank*m.geo.banks+pl.Bank]
+}
+
+// Fill requests a line read. done is invoked when the critical word arrives
+// (critical-word-first transfer, §IV-B(d)) with the full line data.
+func (m *Memory) Fill(at uint64, line isa.LineID, done func(at uint64, data [isa.WordsPerLine]uint64)) {
+	if m.p.RowOnly && line.Orient == isa.Col {
+		panic(fmt.Sprintf("mem: column fill %v on row-only memory", line))
+	}
+	ch, bank := m.place(line)
+	req := &request{line: line, arrive: at, done: done, bank: bank}
+	m.q.Schedule(at, func() {
+		ch.readQ = append(ch.readQ, req)
+		m.kick(ch)
+	})
+}
+
+// Writeback requests a line write of the words selected by mask.
+//
+// The data is committed to the functional store immediately, in call order:
+// throughout the simulator, the order in which components invoke each other
+// within an event is the logical (program-consistent) order, while the `at`
+// parameters carry timing only. Committing at call time — rather than at the
+// service cycle — preserves the ordered-transaction requirement of §IV-B(b)
+// (writes ordered before overlapping reads) even when the controller and
+// cache ports reorder service timing.
+func (m *Memory) Writeback(at uint64, line isa.LineID, mask uint8, data [isa.WordsPerLine]uint64) {
+	if m.p.RowOnly && line.Orient == isa.Col {
+		panic(fmt.Sprintf("mem: column writeback %v on row-only memory", line))
+	}
+	if mask == 0 {
+		return
+	}
+	m.store.WriteLine(line, mask, data) // functional commit in call order
+	ch, bank := m.place(line)
+	req := &request{line: line, mask: mask, write: true, arrive: at, bank: bank}
+	m.q.Schedule(at, func() {
+		ch.writeQ = append(ch.writeQ, req)
+		m.kick(ch)
+	})
+}
+
+// kick runs the channel's issue loop. It is invoked on every arrival and
+// re-scheduled when all candidate banks are busy; redundant invocations are
+// cheap no-ops.
+func (m *Memory) kick(ch *channelState) { m.issue(ch) }
+
+// issue implements FR-FCFS-WQF: serve reads first-ready-first-come,
+// switching to write-drain mode when the write queue crosses DrainHigh (or
+// when no reads are pending), back below DrainLow.
+func (m *Memory) issue(ch *channelState) {
+	now := m.q.Now()
+	for {
+		if len(ch.writeQ) >= m.p.DrainHigh {
+			ch.draining = true
+		}
+		if len(ch.writeQ) <= m.p.DrainLow {
+			ch.draining = false
+		}
+		var queue *[]*request
+		switch {
+		case ch.draining && len(ch.writeQ) > 0:
+			queue = &ch.writeQ
+		case len(ch.readQ) > 0:
+			queue = &ch.readQ
+		case len(ch.writeQ) > 0:
+			queue = &ch.writeQ
+		default:
+			return // idle
+		}
+		idx := pickFRFCFS(*queue, now)
+		if idx < 0 {
+			// All candidate banks busy: retry when the earliest frees up,
+			// unless an equally-early retry is already scheduled.
+			retry := ^uint64(0)
+			for _, r := range *queue {
+				if r.bank.nextFree < retry {
+					retry = r.bank.nextFree
+				}
+			}
+			if !ch.retryArmed || retry < ch.retryTime {
+				ch.retryArmed, ch.retryTime = true, retry
+				m.q.Schedule(retry, func() {
+					ch.retryArmed = false
+					m.issue(ch)
+				})
+			}
+			return
+		}
+		req := (*queue)[idx]
+		*queue = append((*queue)[:idx], (*queue)[idx+1:]...)
+		m.serve(ch, req, now)
+	}
+}
+
+// pickFRFCFS returns the oldest request that hits an open buffer and whose
+// bank is free; failing that, the oldest request with a free bank; -1 if no
+// bank is free.
+func pickFRFCFS(queue []*request, now uint64) int {
+	oldestReady := -1
+	for i, r := range queue {
+		if r.bank.nextFree > now {
+			continue
+		}
+		if r.bank.lookup(r.line) {
+			return i
+		}
+		if oldestReady < 0 {
+			oldestReady = i
+		}
+	}
+	return oldestReady
+}
+
+// serve computes the request's timeline and schedules completion.
+func (m *Memory) serve(ch *channelState, req *request, now uint64) {
+	p := &m.p
+	bank := req.bank
+	orient := req.line.Orient
+
+	start := ch.cmd.Acquire(now, 1)
+	if bank.nextFree > start {
+		start = bank.nextFree
+	}
+
+	var arrayLat uint64
+	if !p.ClosePage && bank.lookup(req.line) {
+		m.stats.BufferHits[orient]++
+		m.stats.Energy.BufferPJ += p.Energy.BufferHitPJ
+	} else {
+		if !p.ClosePage && bank.anyOpen(orient) && len(bank.open[orient]) >= p.BuffersPerBank {
+			arrayLat += p.Precharge
+		}
+		arrayLat += p.RCD
+		m.stats.Activations[orient]++
+		m.stats.Energy.ActivationPJ += p.Energy.ActivatePJ
+	}
+	if orient == isa.Col {
+		arrayLat += p.ColDecodeExtra
+	}
+	if !p.ClosePage {
+		bank.insert(req.line, p.BuffersPerBank)
+	}
+
+	dataReady := start + arrayLat + p.CAS
+	words := uint64(isa.WordsPerLine)
+	if req.write {
+		words = uint64(bits.OnesCount8(req.mask))
+	}
+	busTime := words * p.BusCyclesPerWord
+	busStart := ch.bus.Acquire(dataReady, busTime)
+	busEnd := busStart + busTime
+	m.stats.Energy.BusPJ += float64(words) * p.Energy.BusWordPJ
+
+	if req.write {
+		m.stats.Writes[orient]++
+		m.stats.BytesWritten += words * isa.WordSize
+		m.stats.Energy.WritePJ += float64(words) * p.Energy.WriteWordPJ
+		bank.nextFree = busEnd + p.WriteRec
+		return
+	}
+
+	m.stats.Reads[orient]++
+	m.stats.BytesRead += words * isa.WordSize
+	bank.nextFree = busEnd
+	crit := busStart + p.CriticalWordBeats
+	m.stats.ReadLatency += crit - req.arrive
+	line, done := req.line, req.done
+	m.q.Schedule(crit, func() {
+		done(crit, m.store.ReadLine(line))
+	})
+}
+
+// Peek returns the line's current backing-store contents. It is the
+// bottom of the hierarchy's synchronous functional-data path and performs
+// no timing-visible work.
+func (m *Memory) Peek(line isa.LineID) [isa.WordsPerLine]uint64 {
+	return m.store.ReadLine(line)
+}
+
+// QueueDepths reports current read/write queue occupancy summed over
+// channels (used by tests and debugging).
+func (m *Memory) QueueDepths() (reads, writes int) {
+	for _, ch := range m.chans {
+		reads += len(ch.readQ)
+		writes += len(ch.writeQ)
+	}
+	return reads, writes
+}

@@ -1,0 +1,186 @@
+// Package mem implements the Multi-Dimensional-Access (MDA) main memory
+// simulator: an STT-MRAM crosspoint memory organised as channels, ranks and
+// banks of 8×8-line tiles, with per-bank row *and* column buffers, the
+// tile-interleaved address decode of Fig. 8, and an FR-FCFS memory controller
+// with a drained write queue (the paper's "FRFCFS-WQF", Table I).
+//
+// The memory is bidirectional: a single request transfers one 64-byte cache
+// line along either the row or the column axis of a tile at (nearly)
+// symmetric cost — column accesses pay one extra cycle of column-decoder
+// delay (§VI-B). The controller also keeps a functional backing store so the
+// simulated hierarchy moves real data end-to-end, which the test suite uses
+// to verify coherence of every cache design against a flat oracle.
+package mem
+
+// Params describes the memory organisation and timing. All timings are in
+// CPU cycles (the paper models a 3 GHz core; we express NVM latencies
+// directly in core cycles for simplicity).
+type Params struct {
+	Channels int // independent channels, each with its own bus and banks
+	Ranks    int // ranks per channel
+	Banks    int // banks per rank
+
+	// TileColsPerBank is the number of tile-columns per bank row; it sets
+	// where the address decode splits the column-select and row-select
+	// fields (Fig. 8). Must be a power of two.
+	TileColsPerBank int
+
+	// Buffer timing. An access that hits the open row (column) buffer costs
+	// CAS only; otherwise it pays Precharge (if a line is open) + RCD + CAS.
+	RCD       uint64 // activation: array row/column to buffer
+	CAS       uint64 // buffer to bus
+	Precharge uint64 // close the open line before a new activation
+	WriteRec  uint64 // write recovery occupying the bank after a write burst
+
+	// ColDecodeExtra is the additional address-translation cycle paid by
+	// column-mode requests for the extra column decoder (§VI-B).
+	ColDecodeExtra uint64
+
+	// BusCyclesPerWord is the channel-bus occupancy per 8-byte word
+	// transferred. A full 64-byte line occupies the bus for 8× this value.
+	BusCyclesPerWord uint64
+
+	// CriticalWordBeats is when a read completes relative to the start of
+	// its bus transfer: the requester receives the critical word first
+	// (§IV-B(d)) and proceeds after this many bus cycles.
+	CriticalWordBeats uint64
+
+	// BuffersPerBank is the number of open-line sub-buffers per bank per
+	// orientation. 1 models a single open row/column buffer; >1 models the
+	// Gulur-style multiple sub-row buffers discussed in §IX-B.
+	BuffersPerBank int
+
+	// Write queue (WQF) thresholds: writes are buffered and drained when the
+	// queue reaches DrainHigh, until it falls to DrainLow (or reads are idle).
+	WriteQueueCap int
+	DrainHigh     int
+	DrainLow      int
+
+	// Energy is the per-event energy model (see EnergyParams).
+	Energy EnergyParams
+
+	// XORBankHash folds row/column-select bits into the channel, rank and
+	// bank indices (XOR interleaving). Without it, power-of-two vertical
+	// strides — a walk down a tile column whose row pitch is a multiple of
+	// the channel×bank rotation — collapse onto two banks and serialise on
+	// activation latency. The paper pushes bank/rank/channel bits "as much
+	// as possible toward the LSB to enhance parallelism" (§VI-A); XOR
+	// hashing extends that parallelism to both axes. Tiles remain the
+	// interleaving unit (the hash uses only bits above the tile offset).
+	XORBankHash bool
+
+	// ClosePage selects a close-page row-buffer policy: buffers are not
+	// kept open between accesses, so every access pays an activation but
+	// never a precharge-on-conflict. The paper's configuration is open
+	// page (Table I); close page is provided as an ablation.
+	ClosePage bool
+
+	// RowOnly disables column-mode access: column requests are rejected at
+	// construction time. Used to sanity-check that logically-1-D hierarchies
+	// never emit column traffic.
+	RowOnly bool
+}
+
+// DefaultParams returns the baseline STT-MRAM MDA memory configuration
+// (Everspin-flavoured timings, Table I: 4 channels, open page, FRFCFS-WQF).
+func DefaultParams() Params {
+	return Params{
+		Channels:          4,
+		Ranks:             1,
+		Banks:             8,
+		TileColsPerBank:   128,
+		RCD:               45,
+		CAS:               15,
+		Precharge:         20,
+		WriteRec:          60,
+		ColDecodeExtra:    1,
+		BusCyclesPerWord:  2,
+		CriticalWordBeats: 2,
+		BuffersPerBank:    1,
+		WriteQueueCap:     64,
+		DrainHigh:         48,
+		DrainLow:          16,
+		XORBankHash:       true,
+		Energy:            DefaultEnergy(),
+	}
+}
+
+// TechParams returns a parameter preset for the named crosspoint memory
+// technology. All three share the MDA structure (§II: the approach
+// "directly extends to other emerging technologies deployed in crosspoint
+// topologies"); they differ in array timing and write cost:
+//
+//	"stt"   — STT-MRAM, the paper's base technology (DefaultParams)
+//	"reram" — ReRAM: slightly slower activation, costlier writes
+//	"pcm"   — PCM: slow activation and very expensive writes
+func TechParams(name string) (Params, bool) {
+	p := DefaultParams()
+	switch name {
+	case "stt", "":
+		return p, true
+	case "reram":
+		p.RCD = 60
+		p.WriteRec = 150
+		p.Energy.WriteWordPJ = 900
+		p.Energy.ActivatePJ = 1500
+		return p, true
+	case "pcm":
+		p.RCD = 80
+		p.CAS = 20
+		p.WriteRec = 350
+		p.Energy.WriteWordPJ = 2500
+		p.Energy.ActivatePJ = 2500
+		return p, true
+	default:
+		return Params{}, false
+	}
+}
+
+// FastParams returns the 1.6×-faster main memory of the Fig. 17 sensitivity
+// study: all array and bus timings scaled down by 1.6.
+func FastParams() Params {
+	p := DefaultParams()
+	scale := func(v uint64) uint64 {
+		s := (v*10 + 8) / 16 // round(v/1.6)
+		if s == 0 && v > 0 {
+			s = 1
+		}
+		return s
+	}
+	p.RCD = scale(p.RCD)
+	p.CAS = scale(p.CAS)
+	p.Precharge = scale(p.Precharge)
+	p.WriteRec = scale(p.WriteRec)
+	p.BusCyclesPerWord = scale(p.BusCyclesPerWord)
+	if p.CriticalWordBeats > p.BusCyclesPerWord {
+		p.CriticalWordBeats = p.BusCyclesPerWord
+	}
+	return p
+}
+
+// Validate reports a descriptive error for invalid parameter combinations.
+func (p Params) Validate() error {
+	switch {
+	case p.Channels <= 0 || p.Channels&(p.Channels-1) != 0:
+		return paramErr("Channels must be a positive power of two")
+	case p.Ranks <= 0 || p.Ranks&(p.Ranks-1) != 0:
+		return paramErr("Ranks must be a positive power of two")
+	case p.Banks <= 0 || p.Banks&(p.Banks-1) != 0:
+		return paramErr("Banks must be a positive power of two")
+	case p.TileColsPerBank <= 0 || p.TileColsPerBank&(p.TileColsPerBank-1) != 0:
+		return paramErr("TileColsPerBank must be a positive power of two")
+	case p.BusCyclesPerWord == 0:
+		return paramErr("BusCyclesPerWord must be positive")
+	case p.CriticalWordBeats == 0:
+		return paramErr("CriticalWordBeats must be positive")
+	case p.BuffersPerBank <= 0:
+		return paramErr("BuffersPerBank must be positive")
+	case p.WriteQueueCap <= 0 || p.DrainHigh > p.WriteQueueCap || p.DrainLow >= p.DrainHigh:
+		return paramErr("write queue thresholds must satisfy 0 <= DrainLow < DrainHigh <= WriteQueueCap")
+	}
+	return nil
+}
+
+type paramErr string
+
+func (e paramErr) Error() string { return "mem: " + string(e) }

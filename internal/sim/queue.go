@@ -1,0 +1,147 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// MDACache memory-system models: an event queue with deterministic ordering,
+// a busy-until resource primitive for modelling occupied ports and buses, and
+// a small deterministic PRNG for workload generation.
+//
+// All simulated components share a single EventQueue and express time in CPU
+// cycles (uint64). Events scheduled for the same cycle run in FIFO order of
+// scheduling, which makes simulations reproducible run-to-run.
+package sim
+
+// Event is a callback scheduled to run at a particular cycle. Events are
+// ordered by (cycle, sequence) in a hand-rolled binary heap — the queue is
+// the simulator's hottest structure, so it avoids container/heap's
+// interface boxing.
+type event struct {
+	at  uint64
+	seq uint64
+	fn  func()
+}
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&s[i], &s[parent]) {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release closure for GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(&s[l], &s[small]) {
+			small = l
+		}
+		if r < n && eventLess(&s[r], &s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
+// EventQueue is a discrete-event scheduler. The zero value is ready to use.
+type EventQueue struct {
+	h   eventHeap
+	now uint64
+	seq uint64
+}
+
+// Now returns the current simulated cycle.
+func (q *EventQueue) Now() uint64 { return q.now }
+
+// Schedule registers fn to run at cycle `at`. Scheduling in the past (at <
+// Now) runs the event at the current cycle instead; this arises naturally
+// when a component computes a ready-time that has already elapsed.
+func (q *EventQueue) Schedule(at uint64, fn func()) {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	q.h.push(event{at: at, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run `delay` cycles from now.
+func (q *EventQueue) After(delay uint64, fn func()) {
+	q.Schedule(q.now+delay, fn)
+}
+
+// Pending reports the number of scheduled-but-unrun events.
+func (q *EventQueue) Pending() int { return len(q.h) }
+
+// Step pops and runs the earliest event, advancing Now to its cycle. It
+// returns false when the queue is empty.
+func (q *EventQueue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := q.h.pop()
+	q.now = e.at
+	e.fn()
+	return true
+}
+
+// Run drains the queue until it is empty or the cycle limit is exceeded. It
+// returns the number of events executed. A limit of 0 means no limit.
+func (q *EventQueue) Run(cycleLimit uint64) (executed uint64) {
+	for len(q.h) > 0 {
+		if cycleLimit != 0 && q.h[0].at > cycleLimit {
+			break
+		}
+		e := q.h.pop()
+		q.now = e.at
+		e.fn()
+		executed++
+	}
+	return executed
+}
+
+// Resource models a unit that can service one request at a time (a data bus,
+// a cache port, a bank's sense amplifiers). Acquire returns the cycle at
+// which a request arriving at `at` actually starts service, reserving the
+// resource for `dur` cycles from that point.
+type Resource struct {
+	nextFree uint64
+}
+
+// Acquire reserves the resource for dur cycles starting no earlier than at.
+// It returns the actual start cycle.
+func (r *Resource) Acquire(at, dur uint64) (start uint64) {
+	start = at
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	r.nextFree = start + dur
+	return start
+}
+
+// FreeAt reports the cycle at which the resource next becomes free.
+func (r *Resource) FreeAt() uint64 { return r.nextFree }

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var q EventQueue
+	var got []uint64
+	for _, at := range []uint64{30, 10, 20, 10, 5} {
+		at := at
+		q.Schedule(at, func() { got = append(got, at) })
+	}
+	q.Run(0)
+	want := []uint64{5, 10, 10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	var q EventQueue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(100, func() { got = append(got, i) })
+	}
+	q.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	var q EventQueue
+	ran := false
+	q.Schedule(50, func() {
+		q.Schedule(10, func() { // in the past
+			if q.Now() != 50 {
+				t.Errorf("past event ran at %d, want 50", q.Now())
+			}
+			ran = true
+		})
+	})
+	q.Run(0)
+	if !ran {
+		t.Fatal("past-scheduled event never ran")
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	var q EventQueue
+	q.Schedule(7, func() {
+		q.After(3, func() {
+			if q.Now() != 10 {
+				t.Errorf("After landed at %d", q.Now())
+			}
+		})
+	})
+	q.Run(0)
+	if q.Now() != 10 {
+		t.Fatalf("final Now = %d", q.Now())
+	}
+}
+
+func TestRunCycleLimit(t *testing.T) {
+	var q EventQueue
+	count := 0
+	for i := uint64(1); i <= 10; i++ {
+		q.Schedule(i*10, func() { count++ })
+	}
+	if n := q.Run(50); n != 5 || count != 5 {
+		t.Fatalf("limited run executed %d/%d", n, count)
+	}
+	if q.Pending() != 5 {
+		t.Fatalf("pending = %d", q.Pending())
+	}
+	q.Run(0)
+	if count != 10 {
+		t.Fatalf("drain executed %d", count)
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	var q EventQueue
+	if q.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var r Resource
+	if s := r.Acquire(10, 5); s != 10 {
+		t.Fatalf("first acquire at %d", s)
+	}
+	if s := r.Acquire(10, 5); s != 15 {
+		t.Fatalf("second acquire at %d", s)
+	}
+	if s := r.Acquire(100, 5); s != 100 {
+		t.Fatalf("idle acquire at %d", s)
+	}
+	if r.FreeAt() != 105 {
+		t.Fatalf("FreeAt = %d", r.FreeAt())
+	}
+}
+
+func TestResourceMonotoneProperty(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		var r Resource
+		at := uint64(0)
+		prevEnd := uint64(0)
+		for _, raw := range reqs {
+			dur := uint64(raw%10) + 1
+			start := r.Acquire(at, dur)
+			if start < prevEnd { // reservations must never overlap
+				return false
+			}
+			prevEnd = start + dur
+			at += uint64(raw % 7)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}

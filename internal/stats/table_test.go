@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("a-much-longer-name", 42)
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Fatal("floats should render with 3 decimals")
+	}
+	// Columns align: header and rows share the same prefix width.
+	if !strings.HasPrefix(lines[3], "alpha ") {
+		t.Fatalf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("x,y", `quote"me`)
+	csv := tab.CSV()
+	want := "a,b\n\"x,y\",\"quote\"\"me\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-9 {
+		t.Fatalf("geomean = %g", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("degenerate geomean")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	if Mean(vals) != 2 || Median(vals) != 2 {
+		t.Fatalf("mean=%g median=%g", Mean(vals), Median(vals))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty stats")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Median(vals)
+	if vals[0] != 3 {
+		t.Fatal("Median sorted the caller's slice")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Series{Y: []float64{0, 0.5, 1}}
+	line := s.Sparkline(6)
+	if len([]rune(line)) != 6 {
+		t.Fatalf("width = %d", len([]rune(line)))
+	}
+	runes := []rune(line)
+	if runes[0] >= runes[5] {
+		t.Fatalf("sparkline not increasing: %q", line)
+	}
+	if (&Series{}).Sparkline(10) != "" {
+		t.Fatal("empty series sparkline")
+	}
+}
+
+func TestSparklineBoundsProperty(t *testing.T) {
+	f := func(raw []float64, w uint8) bool {
+		width := int(w%40) + 1
+		ys := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 {
+				ys = append(ys, v)
+			}
+		}
+		if len(ys) == 0 {
+			return true
+		}
+		s := Series{Y: ys}
+		return len([]rune(s.Sparkline(width))) == width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxY(t *testing.T) {
+	s := Series{Y: []float64{1, 5, 3}}
+	if s.MaxY() != 5 {
+		t.Fatalf("MaxY = %g", s.MaxY())
+	}
+}

@@ -1,0 +1,332 @@
+// Package workloads defines the paper's seven benchmarks (§VI-B) as
+// compiler kernels: the BLAS kernels sgemm, ssyr2k, ssyrk and strmm, the
+// vertical-traversal Sobel filter, and the two HTAP (hybrid
+// analytical/transactional database) benchmarks htap1 and htap2 modelled on
+// the GS-DRAM workloads the paper cites.
+//
+// Every kernel is parameterised by the matrix dimension N (the paper uses
+// 256 and 512; htap uses a 2048×N table). Kernels are built fresh per run —
+// compilation mutates array placement.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"mdacache/internal/compiler"
+	"mdacache/internal/sim"
+)
+
+// Names lists the benchmark names in the paper's presentation order.
+var Names = []string{"sgemm", "ssyr2k", "ssyrk", "strmm", "sobel", "htap1", "htap2"}
+
+// Build constructs the named kernel for dimension n. It panics on an
+// unknown name (the set is closed; callers validate against Names).
+func Build(name string, n int) *compiler.Kernel {
+	switch name {
+	case "sgemm":
+		return Sgemm(n)
+	case "ssyr2k":
+		return Ssyr2k(n)
+	case "ssyrk":
+		return Ssyrk(n)
+	case "strmm":
+		return Strmm(n)
+	case "sobel":
+		return Sobel(n)
+	case "htap1":
+		return Htap1(n)
+	case "htap2":
+		return Htap2(n)
+	default:
+		panic(fmt.Sprintf("workloads: unknown benchmark %q", name))
+	}
+}
+
+// Valid reports whether name is a known benchmark.
+func Valid(name string) bool {
+	i := sort.SearchStrings(sortedNames, name)
+	return i < len(sortedNames) && sortedNames[i] == name
+}
+
+var sortedNames = func() []string {
+	s := append([]string(nil), Names...)
+	sort.Strings(s)
+	return s
+}()
+
+var (
+	i = compiler.Idx("i")
+	j = compiler.Idx("j")
+	k = compiler.Idx("k")
+)
+
+// Sgemm is C = A·B (naive i,j,k order, §V-A): A is consumed in rows, B in
+// columns — the paper's canonical mixed-preference kernel. On a 2-D target
+// the k-loop vectorizes in both directions at once: row vectors of A and
+// column vectors of B.
+func Sgemm(n int) *compiler.Kernel {
+	a := compiler.NewArray("A", n, n)
+	b := compiler.NewArray("B", n, n)
+	c := compiler.NewArray("C", n, n)
+	return &compiler.Kernel{
+		Name:   "sgemm",
+		Arrays: []*compiler.Array{a, b, c},
+		Nests: []compiler.Nest{{
+			Loops: []compiler.Loop{compiler.For("i", n), compiler.For("j", n), compiler.For("k", n)},
+			Body: []compiler.Stmt{{
+				Compute: 1,
+				Refs: []compiler.Ref{
+					compiler.R(a, i, k), // row stream over k
+					compiler.R(b, k, j), // column stream over k
+					compiler.W(c, i, j), // hoisted store
+				},
+			}},
+		}},
+	}
+}
+
+// Ssyrk is C = A·Aᵀ + β·C in the i,k,j loop order: the innermost j-loop
+// streams C in rows while gathering A's j-indexed operand down a column —
+// the mixed row/column preference of Fig. 10. The trailing β-scaling nest
+// is purely row-wise, giving ssyrk its rising-then-falling column occupancy
+// (Fig. 15).
+func Ssyrk(n int) *compiler.Kernel {
+	a := compiler.NewArray("A", n, n)
+	c := compiler.NewArray("C", n, n)
+	return &compiler.Kernel{
+		Name:   "ssyrk",
+		Arrays: []*compiler.Array{a, c},
+		Nests: []compiler.Nest{
+			{
+				// c[i][j] += a[i][k] * a[j][k], lower triangle (j ≤ i).
+				Loops: []compiler.Loop{compiler.For("i", n), compiler.For("k", n), compiler.ForRange("j", compiler.C(0), i.PlusC(1))},
+				Body: []compiler.Stmt{{
+					Compute: 1,
+					Refs: []compiler.Ref{
+						compiler.R(a, i, k), // invariant in j (hoisted)
+						compiler.R(a, j, k), // column stream over j
+						compiler.R(c, i, j), // row stream
+						compiler.W(c, i, j), // row stream
+					},
+				}},
+			},
+			{
+				Loops: []compiler.Loop{compiler.For("i", n), compiler.For("j", n)},
+				Body: []compiler.Stmt{{
+					Compute: 1,
+					Refs: []compiler.Ref{
+						compiler.R(c, i, j), // row stream over j
+						compiler.W(c, i, j),
+					},
+				}},
+			},
+		},
+	}
+}
+
+// Ssyr2k is C = A·Bᵀ + B·Aᵀ + β·C in the i,k,j loop order: per inner
+// iteration the j-indexed operands of A and B stream down columns while C
+// streams along its row — an even row/column mix.
+func Ssyr2k(n int) *compiler.Kernel {
+	a := compiler.NewArray("A", n, n)
+	b := compiler.NewArray("B", n, n)
+	c := compiler.NewArray("C", n, n)
+	return &compiler.Kernel{
+		Name:   "ssyr2k",
+		Arrays: []*compiler.Array{a, b, c},
+		Nests: []compiler.Nest{
+			{
+				// c[i][j] += a[i][k]*b[j][k] + b[i][k]*a[j][k], j ≤ i.
+				Loops: []compiler.Loop{compiler.For("i", n), compiler.For("k", n), compiler.ForRange("j", compiler.C(0), i.PlusC(1))},
+				Body: []compiler.Stmt{{
+					Compute: 2,
+					Refs: []compiler.Ref{
+						compiler.R(a, i, k), // invariant (hoisted)
+						compiler.R(b, i, k), // invariant (hoisted)
+						compiler.R(b, j, k), // column stream over j
+						compiler.R(a, j, k), // column stream over j
+						compiler.R(c, i, j), // row stream
+						compiler.W(c, i, j), // row stream
+					},
+				}},
+			},
+			{
+				Loops: []compiler.Loop{compiler.For("i", n), compiler.For("j", n)},
+				Body: []compiler.Stmt{{
+					Compute: 1,
+					Refs: []compiler.Ref{
+						compiler.R(c, i, j),
+						compiler.W(c, i, j),
+					},
+				}},
+			},
+		},
+	}
+}
+
+// Strmm is B = A·B with lower-triangular A, updated in place: row streams
+// of A against column streams of B.
+func Strmm(n int) *compiler.Kernel {
+	a := compiler.NewArray("A", n, n)
+	b := compiler.NewArray("B", n, n)
+	return &compiler.Kernel{
+		Name:   "strmm",
+		Arrays: []*compiler.Array{a, b},
+		Nests: []compiler.Nest{{
+			Loops: []compiler.Loop{compiler.For("i", n), compiler.For("j", n), compiler.ForRange("k", compiler.C(0), i.PlusC(1))},
+			Body: []compiler.Stmt{{
+				Compute: 1,
+				Refs: []compiler.Ref{
+					compiler.R(a, i, k), // row stream
+					compiler.R(b, k, j), // column stream
+					compiler.W(b, i, j),
+				},
+			}},
+		}},
+	}
+}
+
+// Sobel is the 3×3 Sobel filter with vertical traversal (§VI-B): the image
+// is walked column-by-column, so every stream — the nine neighbourhood
+// loads and the output store — runs down a column.
+func Sobel(n int) *compiler.Kernel {
+	in := compiler.NewArray("in", n, n)
+	out := compiler.NewArray("out", n, n)
+	refs := make([]compiler.Ref, 0, 10)
+	for dj := -1; dj <= 1; dj++ {
+		for di := -1; di <= 1; di++ {
+			refs = append(refs, compiler.R(in, i.PlusC(di), j.PlusC(dj)))
+		}
+	}
+	refs = append(refs, compiler.W(out, i, j))
+	return &compiler.Kernel{
+		Name:   "sobel",
+		Arrays: []*compiler.Array{in, out},
+		Nests: []compiler.Nest{
+			{
+				// Vertical traversal: j outer, i inner; borders excluded.
+				// The inner range [1, n-1) is unaligned — the compiler
+				// peels it.
+				Loops: []compiler.Loop{
+					compiler.ForRange("j", compiler.C(1), compiler.C(n-1)),
+					compiler.ForRange("i", compiler.C(1), compiler.C(n-1)),
+				},
+				Body: []compiler.Stmt{{Compute: 4, Refs: refs}},
+			},
+			{
+				// Border handling copies the top and bottom edge rows with
+				// ordinary row traversal — the small row-mode component
+				// visible for sobel in Fig. 10.
+				Loops: []compiler.Loop{compiler.For("j", n)},
+				Body: []compiler.Stmt{
+					{Compute: 1, Refs: []compiler.Ref{
+						compiler.R(in, compiler.C(0), j),
+						compiler.W(out, compiler.C(0), j),
+					}},
+					{Compute: 1, Refs: []compiler.Ref{
+						compiler.R(in, compiler.C(n-1), j),
+						compiler.W(out, compiler.C(n-1), j),
+					}},
+				},
+			},
+		},
+	}
+}
+
+// htapTable returns the GS-DRAM-style in-memory table: 2048 transactions
+// rows (scaled with n) by n attribute columns of 64-bit fields.
+func htapTable(n int) (rows, cols int) {
+	rows = 2048 * n / 512 // paper: 2048 rows at the 512 configuration
+	if rows < 64 {
+		rows = 64
+	}
+	return rows, n / 2
+}
+
+// Htap1 is the analytics-dominated HTAP benchmark: full-column scans
+// (aggregations over single attributes) over randomly chosen columns, with
+// a light stream of point transactions (row reads and field updates).
+func Htap1(n int) *compiler.Kernel {
+	rows, cols := htapTable(n)
+	t := compiler.NewArray("T", rows, cols)
+	kern := &compiler.Kernel{Name: "htap1", Arrays: []*compiler.Array{t}}
+	rng := sim.NewRNG(0xA11A)
+	queries := 24 * n / 512
+	if queries < 4 {
+		queries = 4
+	}
+	for q := 0; q < queries; q++ {
+		// Each analytic query range-scans 2 attributes over half the table
+		// (a selective predicate).
+		for s := 0; s < 2; s++ {
+			col := rng.Intn(cols)
+			lo := rng.Intn(rows / 2)
+			kern.Nests = append(kern.Nests, compiler.Nest{
+				Loops: []compiler.Loop{compiler.ForRange("i", compiler.C(lo), compiler.C(lo+rows/2))},
+				Body: []compiler.Stmt{{
+					Compute: 1,
+					Refs:    []compiler.Ref{compiler.R(t, i, compiler.C(col))},
+				}},
+			})
+		}
+		// Interleaved transactions: row lookups and field updates.
+		for x := 0; x < 16; x++ {
+			kern.Nests = append(kern.Nests, txnNest(t, rng, rows, cols, x%2 == 0))
+		}
+	}
+	return kern
+}
+
+// Htap2 is the transaction-dominated HTAP benchmark: bursts of row-oriented
+// point transactions with occasional analytic column scans.
+func Htap2(n int) *compiler.Kernel {
+	rows, cols := htapTable(n)
+	t := compiler.NewArray("T", rows, cols)
+	kern := &compiler.Kernel{Name: "htap2", Arrays: []*compiler.Array{t}}
+	rng := sim.NewRNG(0xB22B)
+	bursts := 24 * n / 512
+	if bursts < 4 {
+		bursts = 4
+	}
+	for b := 0; b < bursts; b++ {
+		for x := 0; x < 24; x++ {
+			kern.Nests = append(kern.Nests, txnNest(t, rng, rows, cols, x%3 != 2))
+		}
+		// One half-table analytic scan per burst keeps the mixed
+		// preference alive (the GS-DRAM HTAP mix runs analytics
+		// continuously beside the transaction stream).
+		col := rng.Intn(cols)
+		lo := rng.Intn(rows / 2)
+		kern.Nests = append(kern.Nests, compiler.Nest{
+			Loops: []compiler.Loop{compiler.ForRange("i", compiler.C(lo), compiler.C(lo+rows/2))},
+			Body: []compiler.Stmt{{
+				Compute: 1,
+				Refs:    []compiler.Ref{compiler.R(t, i, compiler.C(col))},
+			}},
+		})
+	}
+	return kern
+}
+
+// txnNest builds one point transaction: a row-segment read (one aligned
+// 8-field vector via a tiny row loop), plus a field update when write is
+// set.
+func txnNest(t *compiler.Array, rng *sim.RNG, rows, cols int, write bool) compiler.Nest {
+	row := rng.Intn(rows)
+	seg := rng.Intn(cols/8) * 8
+	body := []compiler.Stmt{{
+		Compute: 2,
+		Refs:    []compiler.Ref{compiler.R(t, compiler.C(row), j.PlusC(seg))},
+	}}
+	if write {
+		body = append(body, compiler.Stmt{
+			Compute: 1,
+			Refs:    []compiler.Ref{compiler.W(t, compiler.C(row), compiler.C(seg+rng.Intn(8)))},
+		})
+	}
+	return compiler.Nest{
+		Loops: []compiler.Loop{compiler.For("j", 8)},
+		Body:  body,
+	}
+}

@@ -1,0 +1,192 @@
+package workloads
+
+import (
+	"testing"
+
+	"mdacache/internal/compiler"
+	"mdacache/internal/isa"
+)
+
+func compileFor(t *testing.T, name string, n int, logical2D bool) *compiler.Program {
+	t.Helper()
+	p, err := compiler.Compile(Build(name, n), compiler.Target{Logical2D: logical2D})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return p
+}
+
+func TestAllKernelsCompileBothTargets(t *testing.T) {
+	for _, name := range Names {
+		for _, l2d := range []bool{false, true} {
+			p := compileFor(t, name, 64, l2d)
+			tr := p.Trace()
+			n := 0
+			for {
+				op, ok := tr.Next()
+				if !ok {
+					break
+				}
+				if !l2d && op.Orient == isa.Col {
+					t.Fatalf("%s: column op on 1-D target", name)
+				}
+				n++
+			}
+			if n == 0 {
+				t.Fatalf("%s (2d=%v): empty trace", name, l2d)
+			}
+		}
+	}
+}
+
+// TestColumnPreferenceExercised checks the Fig. 10 headline: on a 2-D
+// target every benchmark exercises column preference, averaging roughly
+// 40% of data volume across the suite.
+func TestColumnPreferenceExercised(t *testing.T) {
+	var sum float64
+	for _, name := range Names {
+		p := compileFor(t, name, 64, true)
+		mix := p.MeasureMix()
+		col := mix.ColShare()
+		if col <= 0 {
+			t.Errorf("%s: no column traffic (Fig. 10 shows all benchmarks use columns)", name)
+		}
+		if col >= 1 {
+			t.Errorf("%s: 100%% column traffic is implausible", name)
+		}
+		sum += col
+	}
+	avg := sum / float64(len(Names))
+	if avg < 0.2 || avg > 0.8 {
+		t.Errorf("suite-average column share = %.2f, expected a substantial mix (~0.4)", avg)
+	}
+}
+
+func TestSgemmMixShape(t *testing.T) {
+	p := compileFor(t, "sgemm", 64, true)
+	mix := p.MeasureMix()
+	// A is streamed in row vectors, B in column vectors, equal volume.
+	if mix.Ops[isa.Row][1] != mix.Ops[isa.Col][1] {
+		t.Fatalf("sgemm row/col vector imbalance: %d vs %d", mix.Ops[isa.Row][1], mix.Ops[isa.Col][1])
+	}
+	if mix.Ops[isa.Col][0] != 0 {
+		t.Fatalf("sgemm should have no scalar column ops, got %d", mix.Ops[isa.Col][0])
+	}
+	// 64³/8 vectors each direction, 64² scalar stores.
+	want := uint64(64 * 64 * 64 / 8)
+	if mix.Ops[isa.Row][1] != want {
+		t.Fatalf("sgemm row vectors = %d, want %d", mix.Ops[isa.Row][1], want)
+	}
+	if mix.Ops[isa.Row][0] != 64*64 {
+		t.Fatalf("sgemm scalar stores = %d, want %d", mix.Ops[isa.Row][0], 64*64)
+	}
+}
+
+func TestSobelIsColumnDominated(t *testing.T) {
+	p := compileFor(t, "sobel", 64, true)
+	mix := p.MeasureMix()
+	if mix.ColShare() < 0.9 {
+		t.Fatalf("vertical sobel should be column-dominated, got %.2f", mix.ColShare())
+	}
+}
+
+func TestHtapMixesDiffer(t *testing.T) {
+	m1 := compileFor(t, "htap1", 512, true).MeasureMix()
+	m2 := compileFor(t, "htap2", 512, true).MeasureMix()
+	if m1.ColShare() <= m2.ColShare() {
+		t.Fatalf("htap1 (analytics) should be more column-heavy than htap2: %.2f vs %.2f",
+			m1.ColShare(), m2.ColShare())
+	}
+	if m2.Share(isa.Row, true) == 0 {
+		t.Fatal("htap2 should issue row-vector transactions")
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	a := compileFor(t, "htap1", 128, true).MeasureMix()
+	b := compileFor(t, "htap1", 128, true).MeasureMix()
+	if a != b {
+		t.Fatal("kernel generation must be deterministic")
+	}
+}
+
+func TestScalingChangesFootprint(t *testing.T) {
+	small := compileFor(t, "sgemm", 64, true).FootprintBytes()
+	large := compileFor(t, "sgemm", 128, true).FootprintBytes()
+	if large != 4*small {
+		t.Fatalf("footprint scaling: %d vs %d", small, large)
+	}
+}
+
+func TestValidNames(t *testing.T) {
+	for _, n := range Names {
+		if !Valid(n) {
+			t.Errorf("%s should be valid", n)
+		}
+	}
+	if Valid("nosuch") {
+		t.Error("unknown name accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Build of unknown benchmark must panic")
+		}
+	}()
+	Build("nosuch", 64)
+}
+
+func TestTrmmTriangularOpCount(t *testing.T) {
+	// strmm's k loop runs i+1 iterations: total inner iterations is
+	// n²(n+1)/2, so its trace must be much shorter than sgemm's.
+	sg := compileFor(t, "sgemm", 64, true)
+	tm := compileFor(t, "strmm", 64, true)
+	nsg := isa.Count(sg.Trace())
+	ntm := isa.Count(tm.Trace())
+	if ntm >= nsg {
+		t.Fatalf("strmm (%d ops) should be shorter than sgemm (%d ops)", ntm, nsg)
+	}
+}
+
+// TestGoldenOpCounts pins the exact op counts of every kernel at N=32 on
+// both targets — a regression guard for the compiler's vectorization,
+// peeling and hoisting decisions. If a deliberate codegen change shifts
+// these, re-derive them with a one-off Count() run and update.
+func TestGoldenOpCounts(t *testing.T) {
+	golden := []struct {
+		name string
+		l2d  bool
+		ops  int
+	}{
+		{"sgemm", false, 66560},
+		{"sgemm", true, 9216},
+		{"ssyr2k", false, 69888},
+		{"ssyr2k", true, 23296},
+		{"ssyrk", false, 51968},
+		{"ssyrk", true, 17024},
+		{"strmm", false, 34816},
+		{"strmm", true, 11520},
+		{"sobel", false, 9016},
+		{"sobel", true, 5176},
+		{"htap1", false, 608},
+		{"htap1", true, 216},
+		{"htap2", false, 416},
+		{"htap2", true, 220},
+	}
+	for _, g := range golden {
+		p := compileFor(t, g.name, 32, g.l2d)
+		if got := isa.Count(p.Trace()); got != g.ops {
+			t.Errorf("%s (2d=%v): %d ops, want %d", g.name, g.l2d, got, g.ops)
+		}
+	}
+}
+
+// TestVectorizationFactor checks the headline compiler effect: the 2-D
+// target shrinks dense-kernel traces by roughly the vector width.
+func TestVectorizationFactor(t *testing.T) {
+	scalar := isa.Count(compileFor(t, "sgemm", 32, false).Trace())
+	vector := isa.Count(compileFor(t, "sgemm", 32, true).Trace())
+	factor := float64(scalar) / float64(vector)
+	if factor < 6 || factor > 8.5 {
+		t.Fatalf("vectorization factor %.2f, want ≈7-8", factor)
+	}
+}
