@@ -257,7 +257,11 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 // mixOf compiles a benchmark for the 2-D target and returns its access mix.
 func mixOf(bench string) (compiler.Mix, error) {
-	prog, err := compiler.Compile(workloads.Build(bench, benchN), compiler.Target{Logical2D: true})
+	kern, err := workloads.Build(bench, benchN)
+	if err != nil {
+		return compiler.Mix{}, err
+	}
+	prog, err := compiler.Compile(kern, compiler.Target{Logical2D: true})
 	if err != nil {
 		return compiler.Mix{}, err
 	}

@@ -7,10 +7,17 @@
 //	mdabench -fig 12 -scale 4          # normalized cycles, all LLC sizes
 //	mdabench -fig all -scale 4 -v      # the whole evaluation with progress
 //	mdabench -fig 15 -scale 4          # occupancy sparklines
+//	mdabench -fig all -resume s.json   # checkpoint; re-run resumes
 //
 // -scale 1 is the paper's exact configuration (hours of simulation);
 // -scale 4 (default) divides matrix dims by 4 and cache capacities by 16,
 // preserving all working-set/capacity ratios.
+//
+// Fault tolerance: -timeout and -max-cycles bound each simulation (a stuck
+// design point aborts with diagnostics instead of hanging the sweep), -resume
+// persists finished runs to a JSON state file so an interrupted sweep picks
+// up where it stopped, and in -fig all mode a failing figure is reported and
+// skipped rather than aborting the remaining figures.
 package main
 
 import (
@@ -24,12 +31,18 @@ import (
 	"mdacache/internal/stats"
 )
 
+// figNames is every figure/ablation in "all"-mode order.
+var figNames = []string{"10", "11", "12", "13", "14", "15", "16", "17", "layout", "dense", "design3", "tiling", "looporder", "tech", "mapping", "repl", "subrow", "report"}
+
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure: 10, 11, 12, 13, 14, 15, 16, 17, layout, dense, design3, tiling, looporder, tech, mapping, repl, subrow, report, all")
-		scale = flag.Int("scale", 4, "scale divisor (1 = paper scale)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		verb  = flag.Bool("v", false, "log each simulation as it runs")
+		fig       = flag.String("fig", "all", "figure: "+strings.Join(figNames, ", ")+", or all")
+		scale     = flag.Int("scale", 4, "scale divisor (1 = paper scale)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verb      = flag.Bool("v", false, "log each simulation as it runs")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited)")
+		maxCycles = flag.Uint64("max-cycles", 0, "simulated-cycle budget per simulation (0 = unlimited)")
+		resume    = flag.String("resume", "", "JSON state file: checkpoint finished runs and resume from them")
 	)
 	flag.Parse()
 
@@ -38,6 +51,19 @@ func main() {
 		log = os.Stderr
 	}
 	suite := experiments.NewSuite(*scale, log)
+	suite.Timeout = *timeout
+	suite.MaxCycles = *maxCycles
+	if *resume != "" {
+		ckpt, err := experiments.LoadCheckpoint(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdabench:", err)
+			os.Exit(1)
+		}
+		if n := ckpt.Len(); n > 0 && *verb {
+			fmt.Fprintf(os.Stderr, "resuming from %s (%d finished runs)\n", *resume, n)
+		}
+		suite.Checkpoint = ckpt
+	}
 
 	emit := func(t *stats.Table) {
 		if *csv {
@@ -47,33 +73,45 @@ func main() {
 		}
 	}
 
-	run := func(name string) {
+	run := func(name string) error {
 		switch name {
 		case "10":
 			t, err := suite.Fig10()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "11":
 			t, err := suite.Fig11()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "12":
 			ts, err := suite.Fig12()
-			check(err)
+			if err != nil {
+				return err
+			}
 			for _, t := range ts {
 				emit(t)
 			}
 		case "13":
 			t, err := suite.Fig13()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "14":
 			t, err := suite.Fig14()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "15":
 			rs, err := suite.Fig15()
-			check(err)
+			if err != nil {
+				return err
+			}
 			for _, r := range rs {
 				fmt.Printf("== Fig. 15: %s column-line occupancy over time ==\n", r.Bench)
 				for i, ser := range r.Series {
@@ -83,72 +121,104 @@ func main() {
 			}
 		case "16":
 			t, err := suite.Fig16()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "17":
 			t, err := suite.Fig17()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "layout":
 			t, err := suite.AblationLayout()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "dense":
 			t, err := suite.AblationDense()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "design3":
 			t, err := suite.AblationDesign3()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "tiling":
 			t, err := suite.AblationTiling()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "looporder":
 			t, err := suite.AblationLoopOrder()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "tech":
 			t, err := suite.AblationTech()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "mapping":
 			t, err := suite.AblationMapping()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "subrow":
 			t, err := suite.AblationSubBuffers()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "repl":
 			t, err := suite.AblationRepl()
-			check(err)
+			if err != nil {
+				return err
+			}
 			emit(t)
 		case "report":
 			claims, err := suite.Report()
-			check(err)
+			if err != nil {
+				return err
+			}
 			fmt.Print(experiments.ClaimsMarkdown(claims))
 		default:
-			fmt.Fprintf(os.Stderr, "mdabench: unknown figure %q\n", name)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "mdabench: unknown figure %q (valid: %s, all)\n", name, strings.Join(figNames, ", "))
+			os.Exit(2)
 		}
+		return nil
 	}
 
 	if *fig == "all" {
-		for _, f := range []string{"10", "11", "12", "13", "14", "15", "16", "17", "layout", "dense", "design3", "tiling", "looporder", "tech", "mapping", "repl", "subrow", "report"} {
-			run(f)
+		// One broken figure must not cost the rest of the evaluation: run
+		// every figure, collect failures, and summarise them at the end.
+		var failed []string
+		for _, f := range figNames {
+			if err := run(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mdabench: figure %s failed: %v\n", f, err)
+				failed = append(failed, f)
+			}
+		}
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "mdabench: %d/%d figures failed: %s\n",
+				len(failed), len(figNames), strings.Join(failed, ", "))
+			os.Exit(1)
 		}
 		return
 	}
 	for _, f := range strings.Split(*fig, ",") {
-		run(strings.TrimSpace(f))
-	}
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdabench:", err)
-		os.Exit(1)
+		if err := run(strings.TrimSpace(f)); err != nil {
+			fmt.Fprintln(os.Stderr, "mdabench:", err)
+			os.Exit(1)
+		}
 	}
 }

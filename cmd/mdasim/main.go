@@ -7,12 +7,16 @@
 //	mdasim -bench sgemm -design 1P2L -n 128 -scale 4
 //	mdasim -bench htap1 -design 2P2L -llc 2 -scale 2
 //	mdasim -printconfig -design 1P2L
+//	mdasim -bench sgemm -write-fail-prob 0.01 -fault-seed 7   # NVM faults
+//	mdasim -bench sgemm -timeout 30s -max-cycles 1e9          # watchdog
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"mdacache/internal/compiler"
@@ -48,12 +52,19 @@ func main() {
 		traceFile = flag.String("trace", "", "run a serialized trace (see mdatrace) instead of compiling -bench")
 		predict   = flag.Bool("predict", false, "enable dynamic orientation prediction in the L1 (1P2L designs)")
 		csvOut    = flag.Bool("csv", false, "emit a flat metric,value CSV instead of tables")
+		failProb  = flag.Float64("write-fail-prob", 0, "NVM write-fault injection: per-attempt verify-failure probability (0 disables)")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault-injection PRNG")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget; expiry aborts with diagnostics (0 = unlimited)")
+		maxCycles = flag.Uint64("max-cycles", 0, "simulated-cycle budget; excess aborts with diagnostics (0 = unlimited)")
 	)
 	flag.Parse()
 
 	d, ok := designByName[strings.ToLower(*design)]
 	if !ok {
-		fatalf("unknown design %q", *design)
+		usagef("unknown design %q (valid: %s)", *design, strings.Join(designNames(), ", "))
+	}
+	if *traceFile == "" && !workloads.Valid(*bench) {
+		usagef("unknown benchmark %q (valid: %s)", *bench, strings.Join(workloads.Names, ", "))
 	}
 	if *n == 0 {
 		*n = 512 / *scale
@@ -69,6 +80,10 @@ func main() {
 		SlowWrite:         *slowWr,
 		OccupancyInterval: *occEvery,
 		PredictOrient:     *predict,
+		WriteFailProb:     *failProb,
+		FaultSeed:         *faultSeed,
+		Timeout:           *timeout,
+		MaxCycles:         *maxCycles,
 	}
 	if *tiled1D {
 		spec.LayoutOverride = compiler.LayoutTiled
@@ -142,6 +157,8 @@ func reportCSV(res *core.Results) {
 	row("mem_col_activations", res.Mem.Activations[isa.Col])
 	row("mem_bytes_read", res.Mem.BytesRead)
 	row("mem_bytes_written", res.Mem.BytesWritten)
+	row("mem_write_retries", res.Mem.WriteRetries)
+	row("mem_write_faults", res.Mem.WriteFaults)
 	row("mem_energy_pj", fmt.Sprintf("%.0f", res.Mem.Energy.TotalPJ()))
 }
 
@@ -164,16 +181,42 @@ func runTraceFile(spec experiments.RunSpec, path string) (*core.Results, error) 
 	if err != nil {
 		return nil, err
 	}
-	res := m.Run(tr)
+	ctx := context.Background()
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
+		defer cancel()
+	}
+	res, err := m.RunCtx(ctx, tr)
+	if err != nil {
+		return nil, err
+	}
 	if err := tr.Err(); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
+// designNames lists the -design values in stable order.
+func designNames() []string {
+	names := make([]string, 0, len(designByName))
+	for n := range designByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "mdasim: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usagef reports a bad invocation (unknown benchmark/design) on exit code 2,
+// the conventional usage-error status.
+func usagef(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdasim: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func printConfig(cfg core.Config) {
@@ -220,6 +263,10 @@ func report(spec experiments.RunSpec, res *core.Results) {
 	fmt.Print(m)
 	fmt.Printf("\nmemory traffic: %.2f MB read, %.2f MB written, avg read latency %.1f cycles\n",
 		float64(res.Mem.BytesRead)/1e6, float64(res.Mem.BytesWritten)/1e6, res.Mem.AvgReadLatency())
+	if res.Mem.WriteRetries > 0 {
+		fmt.Printf("injected write faults: %d retries across %d line writes\n",
+			res.Mem.WriteRetries, res.Mem.Writes[isa.Row]+res.Mem.Writes[isa.Col])
+	}
 	e := &res.Mem.Energy
 	fmt.Printf("memory energy: %.1f uJ (activations %.1f, buffers %.1f, bus %.1f, writes %.1f)\n",
 		e.TotalUJ(), e.ActivationPJ/1e6, e.BufferPJ/1e6, e.BusPJ/1e6, e.WritePJ/1e6)

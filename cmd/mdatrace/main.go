@@ -48,10 +48,11 @@ func main() {
 }
 
 func compileMode(bench string, n int, target string, tile int, out string, show bool, head int, dump bool) {
-	if !workloads.Valid(bench) {
-		fatalf("unknown benchmark %q", bench)
+	kern, err := workloads.Build(bench, n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdatrace: %v\n", err)
+		os.Exit(2)
 	}
-	kern := workloads.Build(bench, n)
 	if tile > 0 {
 		sizes := map[string]int{"i": tile, "j": tile, "k": tile}
 		compiler.TileKernel(kern, sizes)
@@ -110,6 +111,9 @@ func fileMode(path string, show bool, head int) {
 	}
 	if head > 0 {
 		printHead(tr, head)
+		if err := tr.Err(); err != nil {
+			fatalf("reading trace: %v", err)
+		}
 		return
 	}
 	// Default (and -stats): tally the whole trace.

@@ -59,7 +59,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := machine.Run(prog.Trace())
+		res, err := machine.Run(prog.Trace())
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println(label)
 		fmt.Printf("  ops: %d (%d vector, %d column-oriented)\n",
 			res.Ops, res.Vectors, res.L1().ByOrient[isa.Col])

@@ -36,7 +36,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := machine.Run(prog.Trace())
+	res, err := machine.Run(prog.Trace())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 4. Read the results.
 	fmt.Printf("executed %d memory ops in %d cycles\n", res.Ops, res.Cycles)

@@ -63,6 +63,10 @@ type Level interface {
 	// Stats returns the level's counters.
 	Stats() *LevelStats
 
+	// MSHRInFlight reports the number of misses currently outstanding in
+	// the level's MSHR file — the watchdog's per-level stall diagnostic.
+	MSHRInFlight() int
+
 	// Drain flushes all dirty state to the level below at the given cycle.
 	// Used at end of simulation for functional verification.
 	Drain(at uint64)

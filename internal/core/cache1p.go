@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math/bits"
 
 	"mdacache/internal/isa"
@@ -342,21 +341,39 @@ func (c *Cache1P) chargePortOffPath(at uint64, probes int) (start uint64) {
 	return c.port.Acquire(at, occ)
 }
 
-func (c *Cache1P) checkOrient(o isa.Orient) {
+// checkOrient validates that column traffic only reaches logically-2-D
+// caches. A violation — a workload compiled for the wrong hierarchy, or a
+// corrupt trace — records a typed sim.ErrInvalidAccess on the event queue
+// (halting the run) and returns false; callers drop the request.
+func (c *Cache1P) checkOrient(o isa.Orient) bool {
 	if !c.logical2D && o == isa.Col {
-		panic(fmt.Sprintf("core: column access reached logically 1-D cache %s (compile the workload for a 1-D hierarchy)", c.p.Name))
+		c.q.Failf(c.p.Name, "access", sim.ErrInvalidAccess,
+			"column access reached logically 1-D cache (compile the workload for a 1-D hierarchy)")
+		return false
 	}
+	return true
 }
 
-func checkCanonical(name string, id isa.LineID) {
+// checkCanonical validates a vector line identity. Non-canonical lines come
+// from mis-compiled or corrupt traces; they fail the run with a typed error
+// rather than panicking.
+func checkCanonical(q *sim.EventQueue, name string, id isa.LineID) bool {
 	if !id.IsCanonical() {
-		panic(fmt.Sprintf("core: %s received non-canonical line %v", name, id))
+		q.Failf(name, "access", sim.ErrInvalidAccess,
+			"non-canonical line %v (mis-compiled or corrupt trace)", id)
+		return false
 	}
+	return true
 }
+
+// MSHRInFlight implements Level.
+func (c *Cache1P) MSHRInFlight() int { return c.mshr.inFlight() }
 
 // CPUAccess implements Level: one processor memory operation.
 func (c *Cache1P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uint64)) {
-	c.checkOrient(op.Orient)
+	if !c.checkOrient(op.Orient) {
+		return
+	}
 	c.stats.Accesses++
 	c.stats.ByOrient[op.Orient]++
 	if op.Vector {
@@ -368,7 +385,9 @@ func (c *Cache1P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 		c.prefetchObserve(at, op)
 	}
 	if op.Vector {
-		checkCanonical(c.p.Name, isa.LineID{Base: op.Addr, Orient: op.Orient})
+		if !checkCanonical(c.q, c.p.Name, isa.LineID{Base: op.Addr, Orient: op.Orient}) {
+			return
+		}
 		if op.Kind == isa.Load {
 			c.vectorLoad(at, op, done)
 		} else {
@@ -557,8 +576,9 @@ func (c *Cache1P) vectorStore(at uint64, op isa.Op, done func(uint64, uint64)) {
 
 // Fill implements Backend for the level above: serve a full line.
 func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPerLine]uint64)) {
-	c.checkOrient(id.Orient)
-	checkCanonical(c.p.Name, id)
+	if !c.checkOrient(id.Orient) || !checkCanonical(c.q, c.p.Name, id) {
+		return
+	}
 	c.stats.Accesses++
 	c.stats.VectorAccesses++
 	c.stats.ByOrient[id.Orient]++
@@ -585,8 +605,9 @@ func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPer
 // It is treated as a write for the Fig. 9 duplicate policy: masked (dirty)
 // words evict their other-orientation copies.
 func (c *Cache1P) Writeback(at uint64, id isa.LineID, mask uint8, data [isa.WordsPerLine]uint64) {
-	c.checkOrient(id.Orient)
-	checkCanonical(c.p.Name, id)
+	if !c.checkOrient(id.Orient) || !checkCanonical(c.q, c.p.Name, id) {
+		return
+	}
 	c.stats.WritebacksIn++
 	probes := 1
 	if c.logical2D {

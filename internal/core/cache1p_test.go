@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"mdacache/internal/isa"
@@ -379,12 +380,10 @@ func Test1P1LRejectsColumns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("column op on 1P1L must panic")
-		}
-	}()
 	c.CPUAccess(0, scalarLoad(0, isa.Col), func(uint64, uint64) {})
+	if err := q.Err(); !errors.Is(err, sim.ErrInvalidAccess) {
+		t.Fatalf("column op on 1P1L: err = %v, want sim.ErrInvalidAccess", err)
+	}
 }
 
 func TestLRUReplacement(t *testing.T) {

@@ -345,11 +345,16 @@ func (c *Cache2P) countAccess(op isa.Op) {
 	}
 }
 
+// MSHRInFlight implements Level.
+func (c *Cache2P) MSHRInFlight() int { return c.mshr.inFlight() }
+
 // CPUAccess implements Level (used when a Cache2P is the L1 — Design 3).
 func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uint64)) {
 	c.countAccess(op)
 	id := isa.LineFor(op)
-	checkCanonical(c.p.Name, id)
+	if !checkCanonical(c.q, c.p.Name, id) {
+		return
+	}
 	t := c.find(id.Tile())
 	switch {
 	case op.Vector && op.Kind == isa.Store:
@@ -454,7 +459,9 @@ func (c *Cache2P) applyScalarStore(t *tile, addr, value uint64) {
 // Fill implements Backend for the level above.
 func (c *Cache2P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPerLine]uint64)) {
 	c.countAccess(isa.Op{Addr: id.Base, Orient: id.Orient, Vector: true})
-	checkCanonical(c.p.Name, id)
+	if !checkCanonical(c.q, c.p.Name, id) {
+		return
+	}
 	if t := c.find(id.Tile()); t != nil {
 		if t.lineValid(id) {
 			start := c.chargePort(at, 1, false)
@@ -480,7 +487,9 @@ func (c *Cache2P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPer
 // fill avoids the 512-byte fetch on upper-level writebacks).
 func (c *Cache2P) Writeback(at uint64, id isa.LineID, mask uint8, data [isa.WordsPerLine]uint64) {
 	c.stats.WritebacksIn++
-	checkCanonical(c.p.Name, id)
+	if !checkCanonical(c.q, c.p.Name, id) {
+		return
+	}
 	start := c.chargePort(at, 1, true)
 	t := c.ensureTile(start, id.Tile())
 	t.writeLine(id, 0xff, data) // all words valid at the writer; masked ones dirty

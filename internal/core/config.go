@@ -136,6 +136,11 @@ type Config struct {
 	// OccupancySampleInterval, when non-zero, records row/column line
 	// occupancy of every level each interval cycles (Fig. 15).
 	OccupancySampleInterval uint64
+
+	// MaxCycles, when non-zero, bounds the simulated cycle count: a run
+	// still pending past the budget aborts with sim.ErrCycleLimit and stall
+	// diagnostics instead of spinning forever. The watchdog's cycle budget.
+	MaxCycles uint64
 }
 
 // KB is a convenience for cache sizes.

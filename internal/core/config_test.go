@@ -195,16 +195,14 @@ func TestHitLatency(t *testing.T) {
 	}
 }
 
-func TestMachineRunPanicsOnDeadlock(t *testing.T) {
-	// A machine whose trace can never complete (simulated by a trace that
-	// is consumed while the queue drains) must not hang silently. We build
-	// a healthy machine and just verify Run completes and returns results —
-	// the deadlock path is covered by the panic in Run.
+func TestMachineRunHealthy(t *testing.T) {
+	// A healthy machine must complete and return results with a nil error —
+	// the deadlock/budget/timeout paths are covered in watchdog_test.go.
 	m, err := Build(DefaultConfig(D1DiffSet, 1*MB).Scale(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := m.Run(isa.NewSliceTrace([]isa.Op{{Addr: 0}}))
+	res := mustRun(t, m, isa.NewSliceTrace([]isa.Op{{Addr: 0}}))
 	if res.Ops != 1 || res.Cycles == 0 {
 		t.Fatalf("results: %+v", res)
 	}
@@ -224,7 +222,7 @@ func TestOccupancySampling(t *testing.T) {
 			ops[i].Addr = isa.LineOf(ops[i].Addr, isa.Col).Base
 		}
 	}
-	res := m.Run(isa.NewSliceTrace(ops))
+	res := mustRun(t, m, isa.NewSliceTrace(ops))
 	if len(res.Occupancy) == 0 {
 		t.Fatal("no occupancy samples recorded")
 	}

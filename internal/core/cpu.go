@@ -66,6 +66,14 @@ func (c *CPU) Start(trace isa.TraceReader, finished func(endCycle uint64)) {
 	c.q.Schedule(c.q.Now(), c.pump)
 }
 
+// InFlight reports the number of ops currently in the out-of-order window
+// (stall diagnostics).
+func (c *CPU) InFlight() int { return len(c.inflight) }
+
+// Held reports whether an op is parked on the overlap-ordering rule (stall
+// diagnostics).
+func (c *CPU) Held() bool { return c.held != nil }
+
 // conflicts reports whether op overlaps an in-flight op's words with a
 // store on either side.
 func (c *CPU) conflicts(op isa.Op) bool {

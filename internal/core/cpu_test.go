@@ -30,6 +30,7 @@ func (s *slowLevel) Peek(isa.LineID) [isa.WordsPerLine]uint64 {
 func (s *slowLevel) Occupancy() (int, int) { return 0, 0 }
 func (s *slowLevel) Stats() *LevelStats    { return &s.stats }
 func (s *slowLevel) Drain(uint64)          {}
+func (s *slowLevel) MSHRInFlight() int     { return 0 }
 
 func runCPU(t *testing.T, window int, latency uint64, ops []isa.Op) (*CPU, *slowLevel, uint64) {
 	t.Helper()

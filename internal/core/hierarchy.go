@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"mdacache/internal/isa"
 	"mdacache/internal/mem"
@@ -109,9 +111,32 @@ func (r *Results) LLC() *LevelStats { return &r.Levels[len(r.Levels)-1] }
 // L1 returns the first-level cache's stats.
 func (r *Results) L1() *LevelStats { return &r.Levels[0] }
 
+// watchdogStride is how many events the run loop executes between watchdog
+// checks (context deadline, cycle budget). Large enough that the check cost
+// vanishes, small enough that a runaway simulation is caught promptly.
+const watchdogStride = 1 << 16
+
 // Run drives the machine over the trace to completion and returns the
 // results. A Machine is single-use: build a fresh one per run.
-func (m *Machine) Run(trace isa.TraceReader) *Results {
+//
+// Abnormal conditions return a *sim.Error instead of panicking: a hierarchy
+// that stops making progress yields sim.ErrDeadlock with a diagnostic dump
+// (see StallDiag), a run exceeding Cfg.MaxCycles yields sim.ErrCycleLimit,
+// and structural violations reported by components (sim.ErrInvalidAccess,
+// sim.ErrWriteFault) propagate as recorded.
+func (m *Machine) Run(trace isa.TraceReader) (*Results, error) {
+	return m.RunCtx(context.Background(), trace)
+}
+
+// RunCtx is Run under a context: cancellation or a deadline aborts the
+// simulation with sim.ErrTimeout (checked every watchdogStride events), so a
+// sweep can bound the wall-clock cost of any single design point.
+func (m *Machine) RunCtx(ctx context.Context, trace isa.TraceReader) (*Results, error) {
+	defer func() {
+		if c, ok := trace.(isa.Closer); ok {
+			c.Close()
+		}
+	}()
 	var end uint64
 	m.running = true
 	m.CPU.Start(trace, func(endCycle uint64) {
@@ -136,14 +161,88 @@ func (m *Machine) Run(trace isa.TraceReader) *Results {
 		}
 		m.Q.After(iv, sampler)
 	}
-	m.Q.Run(0)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, m.stallErr(sim.ErrTimeout, err.Error())
+		}
+		n := m.Q.RunBounded(m.Cfg.MaxCycles, watchdogStride)
+		if err := m.Q.Err(); err != nil {
+			return nil, err
+		}
+		if n < watchdogStride {
+			break // queue drained or cycle budget reached
+		}
+	}
+	if m.Cfg.MaxCycles != 0 && m.Q.Pending() > 0 {
+		return nil, m.stallErr(sim.ErrCycleLimit, "")
+	}
 	if m.running {
-		panic("core: event queue drained before the trace completed (deadlock in the hierarchy)")
+		return nil, m.stallErr(sim.ErrDeadlock, "")
 	}
-	if c, ok := trace.(isa.Closer); ok {
-		c.Close()
+	return m.results(end), nil
+}
+
+// stallErr wraps a watchdog sentinel in a sim.Error carrying the machine's
+// stall diagnostics.
+func (m *Machine) stallErr(sentinel error, note string) error {
+	detail := m.Diagnose().String()
+	if note != "" {
+		detail = note + "; " + detail
 	}
-	return m.results(end)
+	return &sim.Error{
+		Cycle:     m.Q.Now(),
+		Component: "hierarchy",
+		Op:        "run",
+		Err:       sentinel,
+		Detail:    detail,
+	}
+}
+
+// MSHRSnapshot is one cache level's in-flight miss count at stall time.
+type MSHRSnapshot struct {
+	Level    string
+	InFlight int
+}
+
+// StallDiag captures where outstanding work was stuck when a run aborted:
+// event-queue depth, the CPU's in-flight window, per-level MSHR occupancy and
+// the memory controller's queue depths. It is embedded (via String) in the
+// Detail of every watchdog sim.Error.
+type StallDiag struct {
+	Cycle       uint64
+	Pending     int // scheduled-but-unrun events
+	CPUInFlight int // ops in the out-of-order window
+	CPUHeld     bool
+	MSHRs       []MSHRSnapshot
+	MemReadQ    int
+	MemWriteQ   int
+}
+
+// String renders the diagnostics on one line.
+func (d StallDiag) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle=%d pending-events=%d cpu-inflight=%d cpu-held=%v",
+		d.Cycle, d.Pending, d.CPUInFlight, d.CPUHeld)
+	for _, s := range d.MSHRs {
+		fmt.Fprintf(&b, " %s-mshr=%d", s.Level, s.InFlight)
+	}
+	fmt.Fprintf(&b, " mem-readq=%d mem-writeq=%d", d.MemReadQ, d.MemWriteQ)
+	return b.String()
+}
+
+// Diagnose snapshots the machine's outstanding-work state.
+func (m *Machine) Diagnose() StallDiag {
+	d := StallDiag{
+		Cycle:       m.Q.Now(),
+		Pending:     m.Q.Pending(),
+		CPUInFlight: m.CPU.InFlight(),
+		CPUHeld:     m.CPU.Held(),
+	}
+	for _, lvl := range m.Levels {
+		d.MSHRs = append(d.MSHRs, MSHRSnapshot{Level: lvl.Stats().Name, InFlight: lvl.MSHRInFlight()})
+	}
+	d.MemReadQ, d.MemWriteQ = m.Memory.QueueDepths()
+	return d
 }
 
 func (m *Machine) results(end uint64) *Results {

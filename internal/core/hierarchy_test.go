@@ -28,7 +28,7 @@ func TestWritebackCascade(t *testing.T) {
 		for i := uint64(0); i < 128; i++ {
 			ops = append(ops, isa.Op{Addr: i * isa.TileSize, Kind: isa.Store, Value: i + 1})
 		}
-		m.Run(isa.NewSliceTrace(ops))
+		mustRun(t, m, isa.NewSliceTrace(ops))
 		m.DrainAll()
 		for i := uint64(0); i < 128; i++ {
 			if got := m.Memory.Store().ReadWord(i * isa.TileSize); got != i+1 {
@@ -48,7 +48,7 @@ func TestCrossLevelColumnFlow(t *testing.T) {
 	for w := uint(0); w < 8; w++ {
 		m.Memory.Store().WriteWord(col.WordAddr(w), 100+uint64(w))
 	}
-	res := m.Run(isa.NewSliceTrace([]isa.Op{
+	res := mustRun(t, m, isa.NewSliceTrace([]isa.Op{
 		{Addr: col.Base, Orient: isa.Col, Vector: true},
 	}))
 	if res.Mem.Reads[isa.Col] != 1 {
@@ -71,7 +71,7 @@ func TestDirtyColumnThroughTileCache(t *testing.T) {
 	ops := []isa.Op{
 		{Addr: col.Base, Orient: isa.Col, Vector: true, Kind: isa.Store, Value: 1000},
 	}
-	m.Run(isa.NewSliceTrace(ops))
+	mustRun(t, m, isa.NewSliceTrace(ops))
 	m.DrainAll()
 	for w := uint(0); w < 8; w++ {
 		if got := m.Memory.Store().ReadWord(col.WordAddr(w)); got != 1000+uint64(w) {
@@ -89,7 +89,7 @@ func TestMixedOrientationSharing(t *testing.T) {
 		col := isa.LineID{Base: 0, Orient: isa.Col}
 		var loaded uint64
 		m.CPU.OnLoad = func(op isa.Op, v uint64) { loaded = v }
-		m.Run(isa.NewSliceTrace([]isa.Op{
+		mustRun(t, m, isa.NewSliceTrace([]isa.Op{
 			{Addr: row.Base, Orient: isa.Row, Vector: true, Kind: isa.Store, Value: 500},
 			{Addr: col.Base, Orient: isa.Col, Vector: true, Kind: isa.Load},
 		}))
@@ -108,7 +108,7 @@ func TestBaselineUsesPrefetcher(t *testing.T) {
 	for i := uint64(0); i < 256; i++ {
 		ops = append(ops, isa.Op{Addr: i * isa.LineSize, PC: 1})
 	}
-	res := m.Run(isa.NewSliceTrace(ops))
+	res := mustRun(t, m, isa.NewSliceTrace(ops))
 	if res.L1().PrefetchIssued == 0 || res.L1().PrefetchUseful == 0 {
 		t.Fatalf("baseline prefetcher inactive: %+v", res.L1())
 	}
@@ -122,7 +122,7 @@ func TestMDAHierarchiesDontPrefetch(t *testing.T) {
 	for i := uint64(0); i < 64; i++ {
 		ops = append(ops, isa.Op{Addr: i * isa.LineSize, PC: 1})
 	}
-	res := m.Run(isa.NewSliceTrace(ops))
+	res := mustRun(t, m, isa.NewSliceTrace(ops))
 	if res.L1().PrefetchIssued != 0 {
 		t.Fatal("1P2L should not prefetch in the paper's configuration")
 	}
@@ -132,7 +132,7 @@ func TestMDAHierarchiesDontPrefetch(t *testing.T) {
 // all levels: a word dirty only in L1 must be visible via the LLC's Peek.
 func TestPeekChainThreeLevels(t *testing.T) {
 	m := buildTiny(t, D1DiffSet)
-	m.Run(isa.NewSliceTrace([]isa.Op{
+	mustRun(t, m, isa.NewSliceTrace([]isa.Op{
 		{Addr: 0, Kind: isa.Store, Value: 777},
 	}))
 	llc := m.Levels[len(m.Levels)-1]
@@ -149,7 +149,7 @@ func TestPeekChainThreeLevels(t *testing.T) {
 // TestResultsAccessors sanity-checks the Results helper methods.
 func TestResultsAccessors(t *testing.T) {
 	m := buildTiny(t, D1DiffSet)
-	res := m.Run(isa.NewSliceTrace([]isa.Op{{Addr: 0}}))
+	res := mustRun(t, m, isa.NewSliceTrace([]isa.Op{{Addr: 0}}))
 	if res.L1().Name != "L1" || res.LLC().Name != "L3" {
 		t.Fatalf("accessors: %q %q", res.L1().Name, res.LLC().Name)
 	}
@@ -169,7 +169,7 @@ func TestStreamTraceThroughMachine(t *testing.T) {
 			}
 		}
 	})
-	res := m.Run(tr)
+	res := mustRun(t, m, tr)
 	if res.Ops != 100 {
 		t.Fatalf("ops = %d", res.Ops)
 	}
@@ -181,7 +181,7 @@ func TestDeterministicRuns(t *testing.T) {
 	run := func() uint64 {
 		m := buildTiny(t, D2Sparse)
 		ops := randomTrace(42, 2000, 16, false)
-		return m.Run(isa.NewSliceTrace(ops)).Cycles
+		return mustRun(t, m, isa.NewSliceTrace(ops)).Cycles
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("non-deterministic: %d vs %d", a, b)
@@ -196,7 +196,7 @@ func TestEventQueueEmptiesAfterRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.Run(isa.NewSliceTrace(randomTrace(7, 500, 8, false)))
+	mustRun(t, m, isa.NewSliceTrace(randomTrace(7, 500, 8, false)))
 	if m.Q.Pending() != 0 {
 		t.Fatalf("pending events after run: %d", m.Q.Pending())
 	}

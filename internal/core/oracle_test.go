@@ -129,7 +129,7 @@ func runOracle(t *testing.T, d Design, seed uint64, nops, tiles int) {
 			loadErrs++
 		}
 	}
-	res := m.Run(isa.NewSliceTrace(ops))
+	res := mustRun(t, m, isa.NewSliceTrace(ops))
 	if res.Cycles == 0 || res.Ops != uint64(len(ops)) {
 		t.Fatalf("results: cycles=%d ops=%d", res.Cycles, res.Ops)
 	}
@@ -190,7 +190,7 @@ func TestStatsConsistency(t *testing.T) {
 			t.Fatal(err)
 		}
 		ops := randomTrace(3, 3000, 16, d == D0Baseline)
-		res := m.Run(isa.NewSliceTrace(ops))
+		res := mustRun(t, m, isa.NewSliceTrace(ops))
 		for _, lvl := range res.Levels {
 			if lvl.Hits+lvl.Misses != lvl.Accesses {
 				t.Errorf("%s/%s: hits %d + misses %d != accesses %d",

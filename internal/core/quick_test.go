@@ -75,7 +75,7 @@ func TestQuickOracleProperty(t *testing.T) {
 					ok = false
 				}
 			}
-			m.Run(isa.NewSliceTrace(ops))
+			mustRun(t, m, isa.NewSliceTrace(ops))
 			m.DrainAll()
 			store := m.Memory.Store()
 			for addr, want := range oracleWords(ops) {

@@ -103,7 +103,7 @@ func TestReplPolicyOracle(t *testing.T) {
 				bad = true
 			}
 		}
-		m.Run(isa.NewSliceTrace(ops))
+		mustRun(t, m, isa.NewSliceTrace(ops))
 		m.DrainAll()
 		if bad {
 			t.Fatalf("%v: load mismatch", repl)

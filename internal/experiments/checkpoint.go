@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mdacache/internal/core"
+)
+
+// SpecKey renders a RunSpec into the stable string used to identify its run
+// in a checkpoint file. Two specs with identical fields share a key.
+func SpecKey(spec RunSpec) string { return fmt.Sprintf("%+v", spec) }
+
+// checkpointEntry is one finished run in the state file: either Results
+// (success) or Err (the run failed and the failure is being memoised).
+type checkpointEntry struct {
+	Key     string        `json:"key"`
+	Err     string        `json:"err,omitempty"`
+	Results *core.Results `json:"results,omitempty"`
+}
+
+type checkpointFile struct {
+	Version int               `json:"version"`
+	Entries []checkpointEntry `json:"entries"`
+}
+
+const checkpointVersion = 1
+
+// Checkpoint persists per-run results of a sweep to a JSON state file so an
+// interrupted sweep resumes from where it stopped instead of re-simulating
+// completed design points. Every Record rewrites the file atomically
+// (temp file + rename), so a crash mid-write never corrupts existing state.
+type Checkpoint struct {
+	path    string
+	entries map[string]checkpointEntry
+}
+
+// LoadCheckpoint opens (or initialises) the state file at path. A missing
+// file yields an empty checkpoint; a malformed one is an error rather than
+// silently discarded state.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, entries: make(map[string]checkpointEntry)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint %s is corrupt: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("experiments: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	for _, e := range f.Entries {
+		c.entries[e.Key] = e
+	}
+	return c, nil
+}
+
+// Len reports how many finished runs the checkpoint holds.
+func (c *Checkpoint) Len() int { return len(c.entries) }
+
+// Results returns the stored results for key, if the run completed
+// successfully.
+func (c *Checkpoint) Results(key string) (*core.Results, bool) {
+	e, ok := c.entries[key]
+	if !ok || e.Err != "" {
+		return nil, false
+	}
+	return e.Results, true
+}
+
+// Failed returns the stored failure annotation for key, if the run completed
+// by failing. The simulator is deterministic, so re-running a failed design
+// point reproduces the failure; delete the state file to force a retry.
+func (c *Checkpoint) Failed(key string) (string, bool) {
+	e, ok := c.entries[key]
+	if !ok || e.Err == "" {
+		return "", false
+	}
+	return e.Err, true
+}
+
+// Record stores one finished run (results on success, errMsg on failure) and
+// rewrites the state file atomically.
+func (c *Checkpoint) Record(key string, r *core.Results, errMsg string) error {
+	c.entries[key] = checkpointEntry{Key: key, Err: errMsg, Results: r}
+	return c.flush()
+}
+
+func (c *Checkpoint) flush() error {
+	f := checkpointFile{Version: checkpointVersion}
+	for _, e := range c.entries {
+		f.Entries = append(f.Entries, e)
+	}
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".mdacache-ckpt-*")
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, c.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"mdacache/internal/compiler"
 	"mdacache/internal/core"
@@ -19,6 +20,16 @@ type Suite struct {
 	Scale   int
 	Benches []string
 	Log     io.Writer // optional progress log
+
+	// Checkpoint, when set, persists every finished simulation so an
+	// interrupted figure sweep resumes instead of restarting (see
+	// LoadCheckpoint).
+	Checkpoint *Checkpoint
+
+	// MaxCycles and Timeout bound each simulation the suite launches
+	// (0 = unlimited); see RunSpec.
+	MaxCycles uint64
+	Timeout   time.Duration
 
 	cache map[RunSpec]*core.Results
 }
@@ -57,8 +68,18 @@ func (s *Suite) logf(format string, args ...interface{}) {
 // run executes (or reuses) one simulation.
 func (s *Suite) run(spec RunSpec) (*core.Results, error) {
 	spec.Scale = s.Scale
+	spec.MaxCycles = s.MaxCycles
+	spec.Timeout = s.Timeout
 	if r, ok := s.cache[spec]; ok {
 		return r, nil
+	}
+	key := SpecKey(spec)
+	if s.Checkpoint != nil {
+		if r, ok := s.Checkpoint.Results(key); ok {
+			s.logf("resuming %v from checkpoint", spec)
+			s.cache[spec] = r
+			return r, nil
+		}
 	}
 	s.logf("running %v ...", spec)
 	r, err := Run(spec)
@@ -68,6 +89,11 @@ func (s *Suite) run(spec RunSpec) (*core.Results, error) {
 	s.logf("  -> %d cycles, %d ops, %.1f MB memory traffic",
 		r.Cycles, r.Ops, float64(r.Mem.TotalBytes())/1e6)
 	s.cache[spec] = r
+	if s.Checkpoint != nil {
+		if cerr := s.Checkpoint.Record(key, r, ""); cerr != nil {
+			s.logf("checkpoint write failed: %v", cerr)
+		}
+	}
 	return r, nil
 }
 
@@ -548,7 +574,11 @@ func (s *Suite) AblationMapping() (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cycles[mi] = float64(m.Run(prog.Trace()).Cycles)
+			r, err := m.Run(prog.Trace())
+			if err != nil {
+				return nil, err
+			}
+			cycles[mi] = float64(r.Cycles)
 		}
 		label := "default"
 		if assoc > 0 {

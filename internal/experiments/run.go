@@ -5,7 +5,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"mdacache/internal/compiler"
 	"mdacache/internal/core"
@@ -62,6 +65,20 @@ type RunSpec struct {
 
 	// OccupancyInterval samples Fig. 15 occupancy every N cycles (0 = off).
 	OccupancyInterval uint64
+
+	// MaxCycles aborts the run with sim.ErrCycleLimit once the simulated
+	// clock passes this budget (0 = unlimited).
+	MaxCycles uint64
+
+	// Timeout bounds the wall-clock time of the run; expiry aborts it with
+	// sim.ErrTimeout (0 = unlimited).
+	Timeout time.Duration
+
+	// WriteFailProb and FaultSeed configure NVM write-fault injection in
+	// main memory (see mem.Params). 0 probability keeps the fault path
+	// entirely disabled.
+	WriteFailProb float64
+	FaultSeed     uint64
 }
 
 func (s RunSpec) String() string {
@@ -105,7 +122,10 @@ func (s RunSpec) Config() (core.Config, error) {
 	if s.SubBuffers > 0 {
 		cfg.Mem.BuffersPerBank = s.SubBuffers
 	}
+	cfg.Mem.WriteFailProb = s.WriteFailProb
+	cfg.Mem.FaultSeed = s.FaultSeed
 	cfg.OccupancySampleInterval = s.OccupancyInterval
+	cfg.MaxCycles = s.MaxCycles
 	return cfg, cfg.Validate()
 }
 
@@ -116,7 +136,11 @@ const layoutTiled = compiler.LayoutTiled
 // its Fig. 10 access-type distribution (no simulation needed — the mix is a
 // property of the compiled trace).
 func measureMix(bench string, n int) (compiler.Mix, error) {
-	prog, err := compiler.Compile(workloads.Build(bench, n), compiler.Target{Logical2D: true})
+	kern, err := workloads.Build(bench, n)
+	if err != nil {
+		return compiler.Mix{}, err
+	}
+	prog, err := compiler.Compile(kern, compiler.Target{Logical2D: true})
 	if err != nil {
 		return compiler.Mix{}, err
 	}
@@ -125,10 +149,16 @@ func measureMix(bench string, n int) (compiler.Mix, error) {
 
 // Run executes the spec and returns the machine results.
 func Run(spec RunSpec) (*core.Results, error) {
-	if !workloads.Valid(spec.Bench) {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", spec.Bench)
+	return RunCtx(context.Background(), spec)
+}
+
+// RunCtx is Run under a context; cancellation aborts the simulation with
+// sim.ErrTimeout.
+func RunCtx(ctx context.Context, spec RunSpec) (*core.Results, error) {
+	kern, err := workloads.Build(spec.Bench, spec.N)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	kern := workloads.Build(spec.Bench, spec.N)
 	if spec.TileSize > 0 {
 		sizes := map[string]int{}
 		for _, idx := range []string{"i", "j", "k"} {
@@ -136,7 +166,7 @@ func Run(spec RunSpec) (*core.Results, error) {
 		}
 		compiler.TileKernel(kern, sizes)
 	}
-	return RunKernel(kern, spec)
+	return RunKernelCtx(ctx, kern, spec)
 }
 
 // RunKernel compiles an arbitrary kernel for the spec's design point and
@@ -144,6 +174,21 @@ func Run(spec RunSpec) (*core.Results, error) {
 // interchange, custom schedules). The kernel is mutated by compilation;
 // build a fresh one per call.
 func RunKernel(kern *compiler.Kernel, spec RunSpec) (*core.Results, error) {
+	return RunKernelCtx(context.Background(), kern, spec)
+}
+
+// RunKernelCtx compiles and runs kern with crash isolation: a panic anywhere
+// in compilation or simulation is recovered into an error instead of taking
+// down the caller, so one broken design point cannot abort a sweep. The
+// spec's Timeout (wall clock) and MaxCycles (simulated clock) budgets are
+// both enforced here.
+func RunKernelCtx(ctx context.Context, kern *compiler.Kernel, spec RunSpec) (res *core.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("experiments: %v panicked: %v\n%s", spec, r, debug.Stack())
+		}
+	}()
 	cfg, err := spec.Config()
 	if err != nil {
 		return nil, err
@@ -159,5 +204,10 @@ func RunKernel(kern *compiler.Kernel, spec RunSpec) (*core.Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(prog.Trace()), nil
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
+		defer cancel()
+	}
+	return m.RunCtx(ctx, prog.Trace())
 }

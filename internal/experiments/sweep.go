@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"mdacache/internal/core"
+	"mdacache/internal/stats"
+)
+
+// SweepOptions configures a crash-isolated sweep over many RunSpecs.
+type SweepOptions struct {
+	// Timeout is the per-run wall-clock budget (0 = unlimited). Specs that
+	// carry their own Timeout keep it.
+	Timeout time.Duration
+
+	// MaxCycles is the per-run simulated-cycle budget (0 = unlimited). Specs
+	// that carry their own MaxCycles keep it.
+	MaxCycles uint64
+
+	// Retries is how many additional attempts a failed run gets before its
+	// failure is recorded. Deterministic failures (deadlock, bad spec) fail
+	// every attempt; retries matter once runs carry injected faults.
+	Retries int
+
+	// StatePath names the JSON checkpoint file ("" disables checkpointing).
+	// An existing file resumes the sweep: completed runs — successes and
+	// failures alike — are reloaded instead of re-simulated.
+	StatePath string
+
+	// Log receives per-run progress lines (nil = silent).
+	Log io.Writer
+}
+
+// SweepRun is the outcome of one design point in a sweep.
+type SweepRun struct {
+	Spec     RunSpec
+	Key      string
+	Results  *core.Results // nil when the run failed
+	Err      string        // failure annotation ("" on success)
+	Attempts int           // simulation attempts this process made (0 if resumed)
+	Resumed  bool          // satisfied from the checkpoint file
+}
+
+// OK reports whether the run produced results.
+func (r SweepRun) OK() bool { return r.Err == "" }
+
+// RunSweep executes every spec under crash isolation: a panicking, deadlocked
+// or otherwise failing design point is annotated in its SweepRun and the
+// sweep moves on, so one broken configuration cannot cost the results of the
+// other N-1. The returned slice always has one entry per spec, in order.
+//
+// The error return is reserved for infrastructure problems — a corrupt
+// checkpoint file, an unwritable state path, or ctx cancelled mid-sweep (the
+// completed prefix is still returned alongside ctx.Err()). Per-run failures
+// never surface there.
+func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRun, error) {
+	logf := func(format string, args ...interface{}) {
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, format+"\n", args...)
+		}
+	}
+	var ckpt *Checkpoint
+	if opt.StatePath != "" {
+		var err error
+		ckpt, err = LoadCheckpoint(opt.StatePath)
+		if err != nil {
+			return nil, err
+		}
+		if ckpt.Len() > 0 {
+			logf("sweep: resuming from %s (%d finished runs)", opt.StatePath, ckpt.Len())
+		}
+	}
+
+	runs := make([]SweepRun, 0, len(specs))
+	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return runs, err
+		}
+		if spec.Timeout == 0 {
+			spec.Timeout = opt.Timeout
+		}
+		if spec.MaxCycles == 0 {
+			spec.MaxCycles = opt.MaxCycles
+		}
+		run := SweepRun{Spec: spec, Key: SpecKey(spec)}
+		if ckpt != nil {
+			if r, ok := ckpt.Results(run.Key); ok {
+				run.Results, run.Resumed = r, true
+				logf("sweep: %v resumed from checkpoint", spec)
+				runs = append(runs, run)
+				continue
+			}
+			if msg, ok := ckpt.Failed(run.Key); ok {
+				run.Err, run.Resumed = msg, true
+				logf("sweep: %v resumed from checkpoint (failed: %s)", spec, msg)
+				runs = append(runs, run)
+				continue
+			}
+		}
+		for attempt := 0; attempt <= opt.Retries; attempt++ {
+			run.Attempts++
+			logf("sweep: running %v (attempt %d) ...", spec, run.Attempts)
+			r, err := RunCtx(ctx, spec)
+			if err == nil {
+				run.Results, run.Err = r, ""
+				break
+			}
+			run.Err = err.Error()
+			if ctx.Err() != nil {
+				// The whole sweep was cancelled; don't burn retries on it.
+				runs = append(runs, run)
+				return runs, ctx.Err()
+			}
+		}
+		if run.Err != "" {
+			logf("sweep: %v FAILED after %d attempt(s): %s", spec, run.Attempts, run.Err)
+		}
+		if ckpt != nil {
+			if err := ckpt.Record(run.Key, run.Results, run.Err); err != nil {
+				return runs, err
+			}
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+// SweepTable renders sweep outcomes — including failures — as a table.
+func SweepTable(runs []SweepRun) *stats.Table {
+	t := stats.NewTable("Sweep results", "spec", "status", "cycles", "attempts")
+	for _, r := range runs {
+		status := "ok"
+		if r.Resumed {
+			status = "resumed"
+		}
+		cycles := interface{}("-")
+		if r.OK() {
+			cycles = r.Results.Cycles
+		} else {
+			status = "FAILED: " + r.Err
+		}
+		t.AddRow(r.Spec.String(), status, cycles, r.Attempts)
+	}
+	return t
+}

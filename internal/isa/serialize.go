@@ -3,9 +3,40 @@ package isa
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// Trace-corruption sentinels, wrapped in *TraceError with the byte offset.
+var (
+	ErrNotTrace     = errors.New("not a trace file")
+	ErrTraceVersion = errors.New("unsupported trace version")
+	ErrTruncated    = errors.New("truncated trace")
+	ErrCorruptOp    = errors.New("corrupt op record")
+)
+
+// TraceError reports malformed or truncated trace input with enough context
+// to locate the damage: the byte offset of the failing header or record and
+// the zero-based index of the record (0 for header errors).
+type TraceError struct {
+	Offset int64  // byte offset where the failure was detected
+	Record uint64 // zero-based index of the failing op record
+	Err    error  // sentinel (ErrTruncated, ErrCorruptOp, ...)
+	Msg    string // human detail
+}
+
+// Error implements error.
+func (e *TraceError) Error() string {
+	s := fmt.Sprintf("isa: %v at byte %d (record %d)", e.Err, e.Offset, e.Record)
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	return s
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *TraceError) Unwrap() error { return e.Err }
 
 // Trace file format: a fixed 16-byte header ("MDATRACE", version, flags)
 // followed by fixed-width little-endian op records. The format is streaming
@@ -106,25 +137,31 @@ func WriteTrace(w io.Writer, tr TraceReader) (uint64, error) {
 
 // FileTrace reads ops from a serialized trace. It implements TraceReader.
 type FileTrace struct {
-	r   *bufio.Reader
-	rec [opRecordSize]byte
-	err error
+	r     *bufio.Reader
+	rec   [opRecordSize]byte
+	off   int64  // byte offset of the next unread record
+	count uint64 // records decoded so far
+	err   error
 }
 
-// NewFileTrace validates the header and returns a streaming reader.
+// NewFileTrace validates the header and returns a streaming reader. Header
+// problems — short input, bad magic, unknown version — return a *TraceError
+// locating the damage.
 func NewFileTrace(r io.Reader) (*FileTrace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("isa: trace header: %w", err)
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, &TraceError{Offset: int64(n), Err: ErrTruncated,
+			Msg: fmt.Sprintf("header is %d bytes, want 16", n)}
 	}
 	if string(hdr[:8]) != traceMagic {
-		return nil, fmt.Errorf("isa: not a trace file (magic %q)", hdr[:8])
+		return nil, &TraceError{Err: ErrNotTrace, Msg: fmt.Sprintf("magic %q", hdr[:8])}
 	}
 	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != traceVersion {
-		return nil, fmt.Errorf("isa: unsupported trace version %d", v)
+		return nil, &TraceError{Offset: 8, Err: ErrTraceVersion,
+			Msg: fmt.Sprintf("version %d, want %d", v, traceVersion)}
 	}
-	return &FileTrace{r: br}, nil
+	return &FileTrace{r: br, off: 16}, nil
 }
 
 // Next implements TraceReader. Read errors terminate the stream; check Err.
@@ -132,9 +169,15 @@ func (t *FileTrace) Next() (Op, bool) {
 	if t.err != nil {
 		return Op{}, false
 	}
-	if _, err := io.ReadFull(t.r, t.rec[:]); err != nil {
-		if err != io.EOF {
-			t.err = err
+	if n, err := io.ReadFull(t.r, t.rec[:]); err != nil {
+		switch {
+		case err == io.EOF:
+			// Clean end of stream.
+		case err == io.ErrUnexpectedEOF:
+			t.err = &TraceError{Offset: t.off, Record: t.count, Err: ErrTruncated,
+				Msg: fmt.Sprintf("record is %d bytes, want %d", n, opRecordSize)}
+		default:
+			t.err = &TraceError{Offset: t.off, Record: t.count, Err: err}
 		}
 		return Op{}, false
 	}
@@ -144,9 +187,12 @@ func (t *FileTrace) Next() (Op, bool) {
 	op.PC = binary.LittleEndian.Uint32(t.rec[16:20])
 	op.Gap = binary.LittleEndian.Uint32(t.rec[20:24])
 	if err := unpackFlags(t.rec[24], &op); err != nil {
-		t.err = err
+		t.err = &TraceError{Offset: t.off + opRecordSize - 1, Record: t.count,
+			Err: ErrCorruptOp, Msg: err.Error()}
 		return Op{}, false
 	}
+	t.off += opRecordSize
+	t.count++
 	return op, true
 }
 

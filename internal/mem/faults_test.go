@@ -1,0 +1,134 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// writeSync pushes one line write through the controller and settles the
+// queue.
+func writeSync(q *sim.EventQueue, m *Memory, line isa.LineID, data [8]uint64) {
+	m.Writeback(q.Now(), line, 0xff, data)
+	q.Run(0)
+}
+
+func TestWriteFaultsRetryAndConverge(t *testing.T) {
+	p := DefaultParams()
+	p.WriteFailProb = 0.3
+	p.FaultSeed = 12345
+	q, m := newTestMemory(t, p)
+
+	var data [8]uint64
+	for i := range data {
+		data[i] = 1000 + uint64(i)
+	}
+	for i := uint64(0); i < 64; i++ {
+		line := isa.LineID{Base: i * isa.TileSize, Orient: isa.Row}
+		writeSync(q, m, line, data)
+	}
+	if err := q.Err(); err != nil {
+		t.Fatalf("run failed under retryable faults: %v", err)
+	}
+	st := m.Stats()
+	// At 30% per-attempt failure, 64 writes see ~27 retries; zero means the
+	// injector never fired.
+	if st.WriteRetries == 0 {
+		t.Fatal("no write retries counted with WriteFailProb=0.3")
+	}
+	if st.WriteFaults != 0 {
+		t.Fatalf("hard faults despite retries converging: %d", st.WriteFaults)
+	}
+	// Retries re-pay write energy, so energy exceeds the fault-free cost.
+	q2, m2 := newTestMemory(t, DefaultParams())
+	for i := uint64(0); i < 64; i++ {
+		line := isa.LineID{Base: i * isa.TileSize, Orient: isa.Row}
+		writeSync(q2, m2, line, data)
+	}
+	if m.Stats().Energy.WritePJ <= m2.Stats().Energy.WritePJ {
+		t.Fatalf("retry energy not counted: %f <= %f",
+			m.Stats().Energy.WritePJ, m2.Stats().Energy.WritePJ)
+	}
+	// Data lands correctly despite the retries.
+	got := m.Store().ReadLine(isa.LineID{Base: 0, Orient: isa.Row})
+	if got != data {
+		t.Fatalf("data corrupted by retries: %v", got)
+	}
+}
+
+func TestWriteFaultExhaustionIsHardError(t *testing.T) {
+	p := DefaultParams()
+	p.WriteFailProb = 0.99
+	p.WriteRetryLimit = 2
+	p.FaultSeed = 7
+	q, m := newTestMemory(t, p)
+
+	var data [8]uint64
+	for i := uint64(0); i < 32; i++ {
+		m.Writeback(q.Now(), isa.LineID{Base: i * isa.TileSize, Orient: isa.Row}, 0xff, data)
+	}
+	q.Run(0)
+	err := q.Err()
+	if !errors.Is(err, sim.ErrWriteFault) {
+		t.Fatalf("err = %v, want sim.ErrWriteFault", err)
+	}
+	var serr *sim.Error
+	if !errors.As(err, &serr) || serr.Component != "mem" {
+		t.Fatalf("fault error lacks component context: %v", err)
+	}
+	if m.Stats().WriteFaults == 0 {
+		t.Fatal("hard fault not counted")
+	}
+}
+
+func TestZeroProbabilityIsBitIdentical(t *testing.T) {
+	// The acceptance criterion: WriteFailProb=0 must leave the fault path
+	// unentered — identical timing and identical stats to the default params.
+	run := func(p Params) (Stats, uint64) {
+		q, m := newTestMemory(t, p)
+		var data [8]uint64
+		var lastDone uint64
+		for i := uint64(0); i < 32; i++ {
+			line := isa.LineID{Base: i * isa.TileSize, Orient: isa.Row}
+			writeSync(q, m, line, data)
+			done, _ := fillSync(t, q, m, q.Now(), line)
+			lastDone = done
+		}
+		return *m.Stats(), lastDone
+	}
+	base, baseEnd := run(DefaultParams())
+
+	p := DefaultParams()
+	p.WriteFailProb = 0
+	p.FaultSeed = 99 // seed alone must change nothing when prob is 0
+	injected, injEnd := run(p)
+
+	if base != injected {
+		t.Fatalf("stats differ with WriteFailProb=0:\n base %+v\n with %+v", base, injected)
+	}
+	if baseEnd != injEnd {
+		t.Fatalf("timing differs with WriteFailProb=0: %d vs %d", baseEnd, injEnd)
+	}
+}
+
+func TestFaultInjectionDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		p := DefaultParams()
+		p.WriteFailProb = 0.3
+		p.FaultSeed = seed
+		q, m := newTestMemory(t, p)
+		var data [8]uint64
+		for i := uint64(0); i < 64; i++ {
+			writeSync(q, m, isa.LineID{Base: i * isa.TileSize, Orient: isa.Row}, data)
+		}
+		return m.Stats().WriteRetries
+	}
+	if a, b := run(5), run(5); a != b {
+		t.Fatalf("same seed diverged: %d vs %d retries", a, b)
+	}
+	if a, b := run(5), run(6); a == b {
+		t.Logf("different seeds coincided at %d retries (possible but unlikely)", a)
+	}
+}

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -287,13 +288,11 @@ func TestRowOnlyRejectsColumns(t *testing.T) {
 	p := DefaultParams()
 	p.RowOnly = true
 	q, m := newTestMemory(t, p)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("column fill on row-only memory must panic")
-		}
-	}()
 	m.Fill(0, isa.LineID{Base: 0, Orient: isa.Col}, func(uint64, [8]uint64) {})
 	q.Run(0)
+	if err := q.Err(); !errors.Is(err, sim.ErrInvalidAccess) {
+		t.Fatalf("column fill on row-only memory: err = %v, want sim.ErrInvalidAccess", err)
+	}
 }
 
 func TestParamsValidate(t *testing.T) {

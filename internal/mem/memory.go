@@ -1,7 +1,6 @@
 package mem
 
 import (
-	"fmt"
 	"math/bits"
 
 	"mdacache/internal/isa"
@@ -19,6 +18,10 @@ type Stats struct {
 	BytesWritten uint64
 	ReadLatency  uint64 // summed arrive→critical-word latency, for averages
 	Energy       EnergyStats
+
+	// Fault-injection counters (WriteFailProb > 0 only).
+	WriteRetries uint64 // re-driven write bursts after a failed verify
+	WriteFaults  uint64 // bursts that exhausted the retry budget (aborts the run)
 }
 
 // TotalReads returns reads across both orientations.
@@ -113,6 +116,10 @@ type Memory struct {
 	store *Store
 	chans []*channelState
 	stats Stats
+
+	// faultRNG drives write-fault injection; nil when WriteFailProb is 0,
+	// so the disabled model has strictly zero cost.
+	faultRNG *sim.RNG
 }
 
 // New constructs a memory attached to the event queue.
@@ -120,7 +127,13 @@ func New(q *sim.EventQueue, p Params) (*Memory, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if p.WriteFailProb > 0 && p.WriteRetryLimit == 0 {
+		p.WriteRetryLimit = DefaultWriteRetryLimit
+	}
 	m := &Memory{q: q, p: p, geo: NewGeometry(p), store: NewStore()}
+	if p.WriteFailProb > 0 {
+		m.faultRNG = sim.NewRNG(p.FaultSeed)
+	}
 	for c := 0; c < p.Channels; c++ {
 		ch := &channelState{banks: make([]*bankState, m.geo.BanksPerChannel())}
 		for b := range ch.banks {
@@ -151,7 +164,9 @@ func (m *Memory) place(line isa.LineID) (*channelState, *bankState) {
 // (critical-word-first transfer, §IV-B(d)) with the full line data.
 func (m *Memory) Fill(at uint64, line isa.LineID, done func(at uint64, data [isa.WordsPerLine]uint64)) {
 	if m.p.RowOnly && line.Orient == isa.Col {
-		panic(fmt.Sprintf("mem: column fill %v on row-only memory", line))
+		m.q.Failf("mem", "fill", sim.ErrInvalidAccess,
+			"column fill %v on row-only memory (compile the workload for a 1-D hierarchy)", line)
+		return
 	}
 	ch, bank := m.place(line)
 	req := &request{line: line, arrive: at, done: done, bank: bank}
@@ -172,7 +187,9 @@ func (m *Memory) Fill(at uint64, line isa.LineID, done func(at uint64, data [isa
 // cache ports reorder service timing.
 func (m *Memory) Writeback(at uint64, line isa.LineID, mask uint8, data [isa.WordsPerLine]uint64) {
 	if m.p.RowOnly && line.Orient == isa.Col {
-		panic(fmt.Sprintf("mem: column writeback %v on row-only memory", line))
+		m.q.Failf("mem", "writeback", sim.ErrInvalidAccess,
+			"column writeback %v on row-only memory (compile the workload for a 1-D hierarchy)", line)
+		return
 	}
 	if mask == 0 {
 		return
@@ -303,6 +320,9 @@ func (m *Memory) serve(ch *channelState, req *request, now uint64) {
 		m.stats.BytesWritten += words * isa.WordSize
 		m.stats.Energy.WritePJ += float64(words) * p.Energy.WriteWordPJ
 		bank.nextFree = busEnd + p.WriteRec
+		if m.faultRNG != nil {
+			bank.nextFree += m.injectWriteFaults(req, words)
+		}
 		return
 	}
 
@@ -315,6 +335,32 @@ func (m *Memory) serve(ch *channelState, req *request, now uint64) {
 	m.q.Schedule(crit, func() {
 		done(crit, m.store.ReadLine(line))
 	})
+}
+
+// injectWriteFaults models the crosspoint array's verify-and-retry loop for
+// one write burst: each attempt fails verification with probability
+// WriteFailProb (seeded PRNG, deterministic); each retry re-drives the burst,
+// occupying the bank for another WriteRec plus the controller's backoff and
+// paying the write energy again. Returns the extra bank-busy cycles. A burst
+// that exhausts WriteRetryLimit is a hard fault: the run aborts with
+// sim.ErrWriteFault. Only called when injection is enabled.
+func (m *Memory) injectWriteFaults(req *request, words uint64) (extra uint64) {
+	p := &m.p
+	retries := 0
+	for m.faultRNG.Float64() < p.WriteFailProb {
+		retries++
+		if retries > p.WriteRetryLimit {
+			m.stats.WriteFaults++
+			m.q.Failf("mem", "write", sim.ErrWriteFault,
+				"line %v: verify failed %d times (prob=%g, limit=%d)",
+				req.line, retries, p.WriteFailProb, p.WriteRetryLimit)
+			return extra
+		}
+		m.stats.WriteRetries++
+		m.stats.Energy.WritePJ += float64(words) * p.Energy.WriteWordPJ
+		extra += p.WriteRec + p.WriteRetryBackoff
+	}
+	return extra
 }
 
 // Peek returns the line's current backing-store contents. It is the

@@ -79,7 +79,33 @@ type Params struct {
 	// construction time. Used to sanity-check that logically-1-D hierarchies
 	// never emit column traffic.
 	RowOnly bool
+
+	// WriteFailProb enables transient write-fault injection: the per-attempt
+	// probability that a crosspoint array write fails its verify step and
+	// must be re-driven by the controller (NVM writes are the failure-prone
+	// operation in every resistive technology). 0 disables injection and is
+	// guaranteed zero-cost: the fault path is never entered and timing and
+	// statistics are bit-identical to a build without the model.
+	WriteFailProb float64
+
+	// WriteRetryLimit bounds verify-and-retry attempts per write burst.
+	// Exhausting it is a hard fault: the run aborts with sim.ErrWriteFault.
+	// 0 selects DefaultWriteRetryLimit when injection is enabled.
+	WriteRetryLimit int
+
+	// WriteRetryBackoff is the extra bank-busy penalty, in cycles, added per
+	// retry on top of the rewrite's WriteRec (controller backoff between
+	// verify and re-drive).
+	WriteRetryBackoff uint64
+
+	// FaultSeed seeds the deterministic fault-injection PRNG, so injected
+	// failure patterns are reproducible run-to-run.
+	FaultSeed uint64
 }
+
+// DefaultWriteRetryLimit is the controller's retry budget per write burst
+// when fault injection is enabled and no explicit limit is configured.
+const DefaultWriteRetryLimit = 8
 
 // DefaultParams returns the baseline STT-MRAM MDA memory configuration
 // (Everspin-flavoured timings, Table I: 4 channels, open page, FRFCFS-WQF).
@@ -177,6 +203,10 @@ func (p Params) Validate() error {
 		return paramErr("BuffersPerBank must be positive")
 	case p.WriteQueueCap <= 0 || p.DrainHigh > p.WriteQueueCap || p.DrainLow >= p.DrainHigh:
 		return paramErr("write queue thresholds must satisfy 0 <= DrainLow < DrainHigh <= WriteQueueCap")
+	case p.WriteFailProb < 0 || p.WriteFailProb >= 1:
+		return paramErr("WriteFailProb must be in [0, 1)")
+	case p.WriteRetryLimit < 0:
+		return paramErr("WriteRetryLimit must be non-negative")
 	}
 	return nil
 }

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel failure classes. Components wrap these in an *Error so callers can
+// both classify a failure (errors.Is) and read the simulation context it
+// happened in (errors.As).
+var (
+	// ErrDeadlock: the event queue drained while trace ops were still
+	// outstanding — some component dropped a completion callback.
+	ErrDeadlock = errors.New("deadlock: event queue drained with operations outstanding")
+
+	// ErrCycleLimit: the simulation exceeded its configured cycle budget
+	// with work still pending.
+	ErrCycleLimit = errors.New("simulated-cycle budget exceeded")
+
+	// ErrTimeout: the wall-clock budget (context deadline or cancellation)
+	// expired before the simulation finished.
+	ErrTimeout = errors.New("wall-clock timeout")
+
+	// ErrInvalidAccess: a request violated a structural contract — e.g. a
+	// column access reached a row-only memory or a logically 1-D cache.
+	// Usually a workload compiled for the wrong hierarchy, or a corrupt
+	// trace.
+	ErrInvalidAccess = errors.New("invalid access")
+
+	// ErrWriteFault: an NVM array write failed verification more times than
+	// the controller's retry budget allows.
+	ErrWriteFault = errors.New("NVM write fault: retry limit exhausted")
+)
+
+// Error is a structured simulation failure: the sentinel class plus the
+// context needed to debug it — which component, performing what operation, at
+// which simulated cycle, with an optional diagnostic dump.
+type Error struct {
+	Cycle     uint64 // simulated cycle at which the failure was detected
+	Component string // reporting component ("L1", "mem", "hierarchy", ...)
+	Op        string // operation in progress ("fill", "writeback", "run", ...)
+	Err       error  // sentinel class (ErrDeadlock, ErrInvalidAccess, ...)
+	Detail    string // free-form diagnostics (queue depths, offending line, ...)
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	s := fmt.Sprintf("sim: %s %s at cycle %d: %v", e.Component, e.Op, e.Cycle, e.Err)
+	if e.Detail != "" {
+		s += " [" + e.Detail + "]"
+	}
+	return s
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Failf is a convenience for components: it records a structured error on the
+// queue, stamped with the current cycle.
+func (q *EventQueue) Failf(component, op string, sentinel error, format string, args ...interface{}) {
+	q.Fail(&Error{
+		Cycle:     q.Now(),
+		Component: component,
+		Op:        op,
+		Err:       sentinel,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}

@@ -70,10 +70,24 @@ func (h *eventHeap) pop() event {
 
 // EventQueue is a discrete-event scheduler. The zero value is ready to use.
 type EventQueue struct {
-	h   eventHeap
-	now uint64
-	seq uint64
+	h    eventHeap
+	now  uint64
+	seq  uint64
+	fail error
 }
+
+// Fail records a simulation failure. The first failure wins; Run and Step
+// stop executing events once one is recorded, so a component deep inside an
+// event callback can abort the run without unwinding through every caller.
+// Drivers check Err after the queue stops.
+func (q *EventQueue) Fail(err error) {
+	if q.fail == nil {
+		q.fail = err
+	}
+}
+
+// Err returns the first failure recorded via Fail (nil while healthy).
+func (q *EventQueue) Err() error { return q.fail }
 
 // Now returns the current simulated cycle.
 func (q *EventQueue) Now() uint64 { return q.now }
@@ -98,9 +112,9 @@ func (q *EventQueue) After(delay uint64, fn func()) {
 func (q *EventQueue) Pending() int { return len(q.h) }
 
 // Step pops and runs the earliest event, advancing Now to its cycle. It
-// returns false when the queue is empty.
+// returns false when the queue is empty or a failure has been recorded.
 func (q *EventQueue) Step() bool {
-	if len(q.h) == 0 {
+	if len(q.h) == 0 || q.fail != nil {
 		return false
 	}
 	e := q.h.pop()
@@ -109,10 +123,18 @@ func (q *EventQueue) Step() bool {
 	return true
 }
 
-// Run drains the queue until it is empty or the cycle limit is exceeded. It
-// returns the number of events executed. A limit of 0 means no limit.
+// Run drains the queue until it is empty, the cycle limit is exceeded, or a
+// failure is recorded. It returns the number of events executed. A limit of
+// 0 means no limit.
 func (q *EventQueue) Run(cycleLimit uint64) (executed uint64) {
-	for len(q.h) > 0 {
+	return q.RunBounded(cycleLimit, 0)
+}
+
+// RunBounded is Run with an additional event budget: it also stops after
+// maxEvents events (0 = unbounded). Drivers use it to interleave watchdog
+// checks — wall-clock deadlines, progress monitoring — with queue progress.
+func (q *EventQueue) RunBounded(cycleLimit, maxEvents uint64) (executed uint64) {
+	for len(q.h) > 0 && q.fail == nil {
 		if cycleLimit != 0 && q.h[0].at > cycleLimit {
 			break
 		}
@@ -120,6 +142,9 @@ func (q *EventQueue) Run(cycleLimit uint64) (executed uint64) {
 		q.now = e.at
 		e.fn()
 		executed++
+		if maxEvents != 0 && executed == maxEvents {
+			break
+		}
 	}
 	return executed
 }

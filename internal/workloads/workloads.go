@@ -12,6 +12,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"mdacache/internal/compiler"
 	"mdacache/internal/sim"
@@ -20,26 +21,27 @@ import (
 // Names lists the benchmark names in the paper's presentation order.
 var Names = []string{"sgemm", "ssyr2k", "ssyrk", "strmm", "sobel", "htap1", "htap2"}
 
-// Build constructs the named kernel for dimension n. It panics on an
-// unknown name (the set is closed; callers validate against Names).
-func Build(name string, n int) *compiler.Kernel {
+// Build constructs the named kernel for dimension n. An unknown name returns
+// a descriptive error listing the valid benchmarks.
+func Build(name string, n int) (*compiler.Kernel, error) {
 	switch name {
 	case "sgemm":
-		return Sgemm(n)
+		return Sgemm(n), nil
 	case "ssyr2k":
-		return Ssyr2k(n)
+		return Ssyr2k(n), nil
 	case "ssyrk":
-		return Ssyrk(n)
+		return Ssyrk(n), nil
 	case "strmm":
-		return Strmm(n)
+		return Strmm(n), nil
 	case "sobel":
-		return Sobel(n)
+		return Sobel(n), nil
 	case "htap1":
-		return Htap1(n)
+		return Htap1(n), nil
 	case "htap2":
-		return Htap2(n)
+		return Htap2(n), nil
 	default:
-		panic(fmt.Sprintf("workloads: unknown benchmark %q", name))
+		return nil, fmt.Errorf("workloads: unknown benchmark %q (valid: %s)",
+			name, strings.Join(Names, ", "))
 	}
 }
 

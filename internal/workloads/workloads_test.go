@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"strings"
 	"testing"
 
 	"mdacache/internal/compiler"
@@ -9,7 +10,11 @@ import (
 
 func compileFor(t *testing.T, name string, n int, logical2D bool) *compiler.Program {
 	t.Helper()
-	p, err := compiler.Compile(Build(name, n), compiler.Target{Logical2D: logical2D})
+	kern, err := Build(name, n)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	p, err := compiler.Compile(kern, compiler.Target{Logical2D: logical2D})
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
@@ -127,12 +132,11 @@ func TestValidNames(t *testing.T) {
 	if Valid("nosuch") {
 		t.Error("unknown name accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Build of unknown benchmark must panic")
-		}
-	}()
-	Build("nosuch", 64)
+	if _, err := Build("nosuch", 64); err == nil {
+		t.Error("Build of unknown benchmark must return an error")
+	} else if !strings.Contains(err.Error(), "sgemm") {
+		t.Errorf("Build error should list valid benchmarks, got: %v", err)
+	}
 }
 
 func TestTrmmTriangularOpCount(t *testing.T) {
