@@ -8,24 +8,36 @@
 //	mdabench -fig all -scale 4 -v      # the whole evaluation with progress
 //	mdabench -fig 15 -scale 4          # occupancy sparklines
 //	mdabench -fig all -resume s.json   # checkpoint; re-run resumes
+//	mdabench -fig all -workers 8       # 8 figures simulate concurrently
 //
 // -scale 1 is the paper's exact configuration (hours of simulation);
 // -scale 4 (default) divides matrix dims by 4 and cache capacities by 16,
 // preserving all working-set/capacity ratios.
 //
+// Parallelism: in -fig all mode, -workers (default GOMAXPROCS) figures
+// simulate concurrently. Every simulation is deterministic per design point
+// and the suite deduplicates simulations shared between figures, so the
+// printed output is byte-identical for any worker count; a wall-clock
+// summary with the achieved speedup is printed to stderr at the end.
+//
 // Fault tolerance: -timeout and -max-cycles bound each simulation (a stuck
 // design point aborts with diagnostics instead of hanging the sweep), -resume
 // persists finished runs to a JSON state file so an interrupted sweep picks
-// up where it stopped, and in -fig all mode a failing figure is reported and
-// skipped rather than aborting the remaining figures.
+// up where it stopped (checkpoints written by parallel runs resume cleanly),
+// and in -fig all mode a failing figure is reported and skipped rather than
+// aborting the remaining figures.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"mdacache/internal/experiments"
 	"mdacache/internal/stats"
@@ -43,6 +55,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited)")
 		maxCycles = flag.Uint64("max-cycles", 0, "simulated-cycle budget per simulation (0 = unlimited)")
 		resume    = flag.String("resume", "", "JSON state file: checkpoint finished runs and resume from them")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "figures simulated concurrently in -fig all mode (1 = sequential); results and output order are identical for any value")
 	)
 	flag.Parse()
 
@@ -65,132 +78,135 @@ func main() {
 		suite.Checkpoint = ckpt
 	}
 
-	emit := func(t *stats.Table) {
+	emit := func(w io.Writer, t *stats.Table) {
 		if *csv {
-			fmt.Print(t.CSV())
+			fmt.Fprint(w, t.CSV())
 		} else {
-			fmt.Println(t)
+			fmt.Fprintln(w, t)
 		}
 	}
 
-	run := func(name string) error {
+	// render produces one figure's complete output on w. Figures render
+	// into private buffers when run concurrently (-workers), so their
+	// tables never interleave and the printed order stays fixed.
+	render := func(name string, w io.Writer) error {
 		switch name {
 		case "10":
 			t, err := suite.Fig10()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "11":
 			t, err := suite.Fig11()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "12":
 			ts, err := suite.Fig12()
 			if err != nil {
 				return err
 			}
 			for _, t := range ts {
-				emit(t)
+				emit(w, t)
 			}
 		case "13":
 			t, err := suite.Fig13()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "14":
 			t, err := suite.Fig14()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "15":
 			rs, err := suite.Fig15()
 			if err != nil {
 				return err
 			}
 			for _, r := range rs {
-				fmt.Printf("== Fig. 15: %s column-line occupancy over time ==\n", r.Bench)
+				fmt.Fprintf(w, "== Fig. 15: %s column-line occupancy over time ==\n", r.Bench)
 				for i, ser := range r.Series {
-					fmt.Printf("%-3s (peak %5.1f%%)  %s\n", r.Levels[i], 100*ser.MaxY(), ser.Sparkline(64))
+					fmt.Fprintf(w, "%-3s (peak %5.1f%%)  %s\n", r.Levels[i], 100*ser.MaxY(), ser.Sparkline(64))
 				}
-				fmt.Println()
+				fmt.Fprintln(w)
 			}
 		case "16":
 			t, err := suite.Fig16()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "17":
 			t, err := suite.Fig17()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "layout":
 			t, err := suite.AblationLayout()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "dense":
 			t, err := suite.AblationDense()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "design3":
 			t, err := suite.AblationDesign3()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "tiling":
 			t, err := suite.AblationTiling()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "looporder":
 			t, err := suite.AblationLoopOrder()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "tech":
 			t, err := suite.AblationTech()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "mapping":
 			t, err := suite.AblationMapping()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "subrow":
 			t, err := suite.AblationSubBuffers()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "repl":
 			t, err := suite.AblationRepl()
 			if err != nil {
 				return err
 			}
-			emit(t)
+			emit(w, t)
 		case "report":
 			claims, err := suite.Report()
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.ClaimsMarkdown(claims))
+			fmt.Fprint(w, experiments.ClaimsMarkdown(claims))
 		default:
 			fmt.Fprintf(os.Stderr, "mdabench: unknown figure %q (valid: %s, all)\n", name, strings.Join(figNames, ", "))
 			os.Exit(2)
@@ -201,13 +217,70 @@ func main() {
 	if *fig == "all" {
 		// One broken figure must not cost the rest of the evaluation: run
 		// every figure, collect failures, and summarise them at the end.
-		var failed []string
-		for _, f := range figNames {
-			if err := run(f); err != nil {
-				fmt.Fprintf(os.Stderr, "mdabench: figure %s failed: %v\n", f, err)
-				failed = append(failed, f)
-			}
+		// Figures fan out across -workers goroutines (the suite deduplicates
+		// shared simulations and every simulation is deterministic, so the
+		// output is identical for any worker count); each figure's output is
+		// buffered and printed strictly in figNames order as it completes.
+		start := time.Now()
+		pool := *workers
+		if pool < 1 {
+			pool = 1
 		}
+		if pool > len(figNames) {
+			pool = len(figNames)
+		}
+		type figResult struct {
+			out     bytes.Buffer
+			err     error
+			elapsed time.Duration
+		}
+		results := make([]figResult, len(figNames))
+		done := make([]chan struct{}, len(figNames))
+		for i := range done {
+			done[i] = make(chan struct{})
+		}
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < pool; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					r := &results[i]
+					t0 := time.Now()
+					r.err = render(figNames[i], &r.out)
+					r.elapsed = time.Since(t0)
+					close(done[i])
+				}
+			}()
+		}
+		go func() {
+			for i := range figNames {
+				work <- i
+			}
+			close(work)
+			wg.Wait()
+		}()
+
+		var failed []string
+		var serial time.Duration
+		for i, f := range figNames {
+			<-done[i]
+			r := &results[i]
+			serial += r.elapsed
+			if r.err != nil {
+				fmt.Fprintf(os.Stderr, "mdabench: figure %s failed: %v\n", f, r.err)
+				failed = append(failed, f)
+				continue
+			}
+			os.Stdout.Write(r.out.Bytes())
+		}
+		wall := time.Since(start)
+		speedup := float64(serial) / float64(wall)
+		fmt.Fprintf(os.Stderr,
+			"mdabench: %d figures in %s wall clock (%s of figure time, %.1fx speedup, %d workers)\n",
+			len(figNames)-len(failed), wall.Round(time.Millisecond),
+			serial.Round(time.Millisecond), speedup, pool)
 		if len(failed) > 0 {
 			fmt.Fprintf(os.Stderr, "mdabench: %d/%d figures failed: %s\n",
 				len(failed), len(figNames), strings.Join(failed, ", "))
@@ -216,7 +289,7 @@ func main() {
 		return
 	}
 	for _, f := range strings.Split(*fig, ",") {
-		if err := run(strings.TrimSpace(f)); err != nil {
+		if err := render(strings.TrimSpace(f), os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "mdabench:", err)
 			os.Exit(1)
 		}

@@ -1,12 +1,17 @@
 // Sweep reproduces the spirit of the paper's §VIII sensitivity study on a
 // single kernel: it sweeps the LLC capacity across the working-set boundary
 // and shows how each design's benefit over the baseline varies with the
-// working-set/capacity ratio.
+// working-set/capacity ratio. The design points fan out across a parallel
+// worker pool (experiments.RunSweep): results are bit-identical to a
+// sequential sweep, only the wall-clock time changes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
+	"time"
 
 	"mdacache/internal/core"
 	"mdacache/internal/experiments"
@@ -22,35 +27,47 @@ func main() {
 	// strmm at 64×64 touches 2 matrices ≈ 64 KB; scaled LLCs below span
 	// capacity ratios from heavily non-resident to fully resident.
 	llcs := []int{core.MB / 2, core.MB, 2 * core.MB, 4 * core.MB, 8 * core.MB}
+	designs := []core.Design{core.D0Baseline, core.D1DiffSet, core.D2Sparse}
+
+	// One RunSpec per (LLC, design), in table order: RunSweep returns its
+	// results in spec order no matter which worker finishes first.
+	var specs []experiments.RunSpec
+	for _, llc := range llcs {
+		for _, d := range designs {
+			specs = append(specs, experiments.RunSpec{
+				Bench: bench, N: n, Design: d, LLCBytes: llc, Scale: scale,
+			})
+		}
+	}
+
+	start := time.Now()
+	runs, err := experiments.RunSweep(context.Background(), specs, experiments.SweepOptions{
+		Workers: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	t := stats.NewTable(
 		fmt.Sprintf("%s: normalized cycles vs LLC capacity (scale 1/%d)", bench, scale),
 		"LLC (scaled)", "1P2L", "2P2L", "baseline L1 hit", "1P2L mem MB")
-	for _, llc := range llcs {
-		base, err := experiments.Run(experiments.RunSpec{
-			Bench: bench, N: n, Design: core.D0Baseline, LLCBytes: llc, Scale: scale,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		row := []interface{}{fmt.Sprintf("%d KB", llc/scale/scale/1024)}
-		var memMB float64
-		for _, d := range []core.Design{core.D1DiffSet, core.D2Sparse} {
-			res, err := experiments.Run(experiments.RunSpec{
-				Bench: bench, N: n, Design: d, LLCBytes: llc, Scale: scale,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			row = append(row, float64(res.Cycles)/float64(base.Cycles))
-			if d == core.D1DiffSet {
-				memMB = float64(res.Mem.TotalBytes()) / 1e6
+	for i, llc := range llcs {
+		row := runs[i*len(designs) : (i+1)*len(designs)]
+		for _, r := range row {
+			if !r.OK() {
+				log.Fatalf("%v failed: %s", r.Spec, r.Err)
 			}
 		}
-		row = append(row, base.L1().HitRate(), memMB)
-		t.AddRow(row...)
+		base, d1, d2 := row[0].Results, row[1].Results, row[2].Results
+		t.AddRow(fmt.Sprintf("%d KB", llc/scale/scale/1024),
+			float64(d1.Cycles)/float64(base.Cycles),
+			float64(d2.Cycles)/float64(base.Cycles),
+			base.L1().HitRate(),
+			float64(d1.Mem.TotalBytes())/1e6)
 	}
 	fmt.Print(t)
+	fmt.Printf("\n%d design points in %s with %d workers.\n",
+		len(specs), time.Since(start).Round(time.Millisecond), runtime.GOMAXPROCS(0))
 	fmt.Println("\nOnce the working set is resident (right side) both designs converge")
 	fmt.Println("to the pure vectorization gain; below residency the column-transfer")
 	fmt.Println("bandwidth advantage is added on top (the §VIII sensitivity).")

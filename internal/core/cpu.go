@@ -32,6 +32,12 @@ type CPU struct {
 	exhausted bool
 	pumping   bool
 
+	// tokenCounter issues in-flight op tokens. Per-CPU (not package-level)
+	// state so concurrent machines — parallel sweep workers — never share a
+	// counter: sharing would be a data race and would make token values
+	// depend on goroutine interleaving.
+	tokenCounter uint64
+
 	// OnLoad, if set, observes every completed load (op, loaded value).
 	// Used by the functional-verification tests.
 	OnLoad func(op isa.Op, value uint64)
@@ -140,8 +146,6 @@ func (c *CPU) pump() {
 	c.maybeFinish()
 }
 
-var tokenCounter uint64
-
 func (c *CPU) issue(op isa.Op) {
 	c.Ops++
 	c.ByKind[op.Kind]++
@@ -158,8 +162,8 @@ func (c *CPU) issue(op isa.Op) {
 	}
 	issueAt := c.cursor
 
-	tokenCounter++
-	tok := tokenCounter
+	c.tokenCounter++
+	tok := c.tokenCounter
 	c.inflight = append(c.inflight, inflightOp{
 		token: tok, line: isa.LineFor(op), addr: op.Addr,
 		store: op.Kind == isa.Store, vector: op.Vector,

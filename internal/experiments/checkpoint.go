@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"mdacache/internal/core"
 )
@@ -12,6 +14,29 @@ import (
 // SpecKey renders a RunSpec into the stable string used to identify its run
 // in a checkpoint file. Two specs with identical fields share a key.
 func SpecKey(spec RunSpec) string { return fmt.Sprintf("%+v", spec) }
+
+// CheckpointError is the typed error for every checkpoint failure: an
+// unreadable state file, corrupt or truncated JSON, a version mismatch, or a
+// failed atomic rewrite. Callers distinguish "no usable checkpoint" from
+// simulation failures with errors.As.
+type CheckpointError struct {
+	Path string // state file involved ("" when unknown)
+	Op   string // "load", "decode", "version", "flush"
+	Err  error  // underlying cause
+}
+
+func (e *CheckpointError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("experiments: checkpoint %s: %v", e.Op, e.Err)
+	}
+	return fmt.Sprintf("experiments: checkpoint %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *CheckpointError) Unwrap() error { return e.Err }
+
+func ckptErr(path, op string, err error) *CheckpointError {
+	return &CheckpointError{Path: path, Op: op, Err: err}
+}
 
 // checkpointEntry is one finished run in the state file: either Results
 // (success) or Err (the run failed and the failure is being memoised).
@@ -30,16 +55,21 @@ const checkpointVersion = 1
 
 // Checkpoint persists per-run results of a sweep to a JSON state file so an
 // interrupted sweep resumes from where it stopped instead of re-simulating
-// completed design points. Every Record rewrites the file atomically
+// completed design points. Every flush rewrites the file atomically
 // (temp file + rename), so a crash mid-write never corrupts existing state.
+//
+// A Checkpoint is safe for concurrent use: parallel sweep workers record
+// finished runs from many goroutines (see SweepOptions.Workers).
 type Checkpoint struct {
+	mu      sync.Mutex
 	path    string
 	entries map[string]checkpointEntry
+	dirty   int // entries recorded since the last flush
 }
 
 // LoadCheckpoint opens (or initialises) the state file at path. A missing
-// file yields an empty checkpoint; a malformed one is an error rather than
-// silently discarded state.
+// file yields an empty checkpoint; a malformed one is a *CheckpointError
+// rather than silently discarded state.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	c := &Checkpoint{path: path, entries: make(map[string]checkpointEntry)}
 	data, err := os.ReadFile(path)
@@ -47,27 +77,41 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return c, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+		return nil, ckptErr(path, "load", err)
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("experiments: checkpoint %s is corrupt: %w", path, err)
+		return nil, ckptErr(path, "decode", err)
 	}
 	if f.Version != checkpointVersion {
-		return nil, fmt.Errorf("experiments: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+		return nil, ckptErr(path, "version",
+			fmt.Errorf("state file has version %d, want %d", f.Version, checkpointVersion))
 	}
 	for _, e := range f.Entries {
+		if e.Key == "" {
+			return nil, ckptErr(path, "decode", errors.New("entry with empty key"))
+		}
+		if e.Err == "" && e.Results == nil {
+			return nil, ckptErr(path, "decode",
+				fmt.Errorf("entry %q has neither results nor an error", e.Key))
+		}
 		c.entries[e.Key] = e
 	}
 	return c, nil
 }
 
 // Len reports how many finished runs the checkpoint holds.
-func (c *Checkpoint) Len() int { return len(c.entries) }
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
 // Results returns the stored results for key, if the run completed
 // successfully.
 func (c *Checkpoint) Results(key string) (*core.Results, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	if !ok || e.Err != "" {
 		return nil, false
@@ -79,6 +123,8 @@ func (c *Checkpoint) Results(key string) (*core.Results, bool) {
 // by failing. The simulator is deterministic, so re-running a failed design
 // point reproduces the failure; delete the state file to force a retry.
 func (c *Checkpoint) Failed(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	if !ok || e.Err == "" {
 		return "", false
@@ -89,37 +135,73 @@ func (c *Checkpoint) Failed(key string) (string, bool) {
 // Record stores one finished run (results on success, errMsg on failure) and
 // rewrites the state file atomically.
 func (c *Checkpoint) Record(key string, r *core.Results, errMsg string) error {
-	c.entries[key] = checkpointEntry{Key: key, Err: errMsg, Results: r}
-	return c.flush()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.record(key, r, errMsg)
+	return c.flushLocked()
 }
 
-func (c *Checkpoint) flush() error {
+// RecordBuffered stores one finished run without flushing to disk. Pair it
+// with Flush for periodic persistence: a parallel sweep records every run but
+// rewrites the (growing) state file only every FlushEvery runs, keeping the
+// checkpoint cost sublinear while still bounding how much a crash can lose.
+func (c *Checkpoint) RecordBuffered(key string, r *core.Results, errMsg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.record(key, r, errMsg)
+}
+
+// Dirty reports how many recorded runs have not yet been flushed.
+func (c *Checkpoint) Dirty() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dirty
+}
+
+// Flush rewrites the state file atomically if any buffered records are
+// pending. Flushing a clean checkpoint is a no-op.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirty == 0 {
+		return nil
+	}
+	return c.flushLocked()
+}
+
+func (c *Checkpoint) record(key string, r *core.Results, errMsg string) {
+	c.entries[key] = checkpointEntry{Key: key, Err: errMsg, Results: r}
+	c.dirty++
+}
+
+func (c *Checkpoint) flushLocked() error {
 	f := checkpointFile{Version: checkpointVersion}
 	for _, e := range c.entries {
 		f.Entries = append(f.Entries, e)
 	}
 	data, err := json.MarshalIndent(f, "", " ")
 	if err != nil {
-		return fmt.Errorf("experiments: checkpoint: %w", err)
+		return ckptErr(c.path, "flush", err)
 	}
 	dir := filepath.Dir(c.path)
 	tmp, err := os.CreateTemp(dir, ".mdacache-ckpt-*")
 	if err != nil {
-		return fmt.Errorf("experiments: checkpoint: %w", err)
+		return ckptErr(c.path, "flush", err)
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("experiments: checkpoint: %w", err)
+		return ckptErr(c.path, "flush", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("experiments: checkpoint: %w", err)
+		return ckptErr(c.path, "flush", err)
 	}
 	if err := os.Rename(tmpName, c.path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("experiments: checkpoint: %w", err)
+		return ckptErr(c.path, "flush", err)
 	}
+	c.dirty = 0
 	return nil
 }

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mdacache/internal/core"
+)
+
+// validCheckpointBytes marshals a healthy state file for the fuzz corpus.
+func validCheckpointBytes(t testing.TB, entries ...checkpointEntry) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(checkpointFile{Version: checkpointVersion, Entries: entries}, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzLoadCheckpoint feeds arbitrary bytes through the sweep checkpoint
+// loader, mirroring isa.FuzzFileTrace: corrupt, truncated or adversarial
+// state files must yield a typed *CheckpointError — never a panic, and never
+// a silently-empty checkpoint — while everything the loader accepts must
+// satisfy the Checkpoint invariants (usable keys, results XOR error).
+func FuzzLoadCheckpoint(f *testing.F) {
+	ok := validCheckpointBytes(f,
+		checkpointEntry{Key: "spec-a", Results: &core.Results{Cycles: 42}},
+		checkpointEntry{Key: "spec-b", Err: "deadlock"},
+	)
+	f.Add([]byte{})
+	f.Add([]byte("not json at all"))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":99,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"entries":[{}]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"key":""}]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"key":"k"}]}`)) // no results, no err
+	f.Add([]byte(`{"version":1,"entries":{"key":"k"}}`))   // wrong shape
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`null`))
+	f.Add(ok)
+	f.Add(ok[:len(ok)/2]) // mid-stream truncation
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "state.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ckpt, err := LoadCheckpoint(path)
+		if err != nil {
+			var cerr *CheckpointError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("load rejection is untyped: %T %v", err, err)
+			}
+			if cerr.Path != path {
+				t.Fatalf("error names path %q, want %q", cerr.Path, path)
+			}
+			return
+		}
+		// Accepted: every entry must be reachable through the public
+		// accessors and carry either results or a failure, never both
+		// absent (which a resume would treat as finished-with-nothing).
+		ckpt.mu.Lock()
+		keys := make([]string, 0, len(ckpt.entries))
+		for k := range ckpt.entries {
+			keys = append(keys, k)
+		}
+		ckpt.mu.Unlock()
+		for _, k := range keys {
+			_, isOK := ckpt.Results(k)
+			_, isFail := ckpt.Failed(k)
+			if isOK == isFail {
+				t.Fatalf("entry %q accepted with results=%v failed=%v", k, isOK, isFail)
+			}
+		}
+		// And an accepted checkpoint must round-trip through a flush.
+		if err := ckpt.Record("fuzz-roundtrip", &core.Results{Cycles: 1}, ""); err != nil {
+			t.Fatalf("flush of accepted checkpoint failed: %v", err)
+		}
+		re, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("re-load of flushed checkpoint failed: %v", err)
+		}
+		if re.Len() != len(keys)+1 {
+			t.Fatalf("round-trip lost entries: %d, want %d", re.Len(), len(keys)+1)
+		}
+	})
+}
+
+// TestLoadCheckpointTypedErrors pins the typed-error contract outside the
+// fuzzer: each corruption class yields a *CheckpointError with a telling Op.
+func TestLoadCheckpointTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		op   string
+	}{
+		{"garbage", "not json", "decode"},
+		{"truncated", `{"version":1,"entr`, "decode"},
+		{"bad version", `{"version":7,"entries":[]}`, "version"},
+		{"empty key", `{"version":1,"entries":[{"key":"","err":"x"}]}`, "decode"},
+		{"no payload", `{"version":1,"entries":[{"key":"k"}]}`, "decode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "state.json")
+			if err := os.WriteFile(path, []byte(tc.data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadCheckpoint(path)
+			var cerr *CheckpointError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("got %T (%v), want *CheckpointError", err, err)
+			}
+			if cerr.Op != tc.op {
+				t.Fatalf("op = %q, want %q", cerr.Op, tc.op)
+			}
+		})
+	}
+	// A directory in place of the state file is a load error, not a panic.
+	dir := t.TempDir()
+	_, err := LoadCheckpoint(dir)
+	var cerr *CheckpointError
+	if !errors.As(err, &cerr) || cerr.Op != "load" {
+		t.Fatalf("directory path: got %v, want load CheckpointError", err)
+	}
+}

@@ -23,4 +23,10 @@
 //	Suite.AblationRepl       — replacement policies
 //	Suite.AblationSubBuffers — §IX-B multiple sub-row buffers
 //	Suite.Report             — paper-vs-measured claims table
+//
+// Sweep infrastructure:
+//
+//	RunSweep          — crash-isolated parallel sweep (SweepOptions.Workers)
+//	Checkpoint        — mutex-guarded, atomically-flushed resume state
+//	CheckDeterminism  — harness proving Workers=N ≡ Workers=1, bit for bit
 package experiments

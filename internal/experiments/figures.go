@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"mdacache/internal/compiler"
@@ -31,16 +32,24 @@ type Suite struct {
 	MaxCycles uint64
 	Timeout   time.Duration
 
-	cache map[RunSpec]*core.Results
+	// mu guards cache and inflight; the suite is safe for concurrent
+	// figure generation (mdabench -workers runs independent figures in
+	// parallel). Simulations are deterministic per spec, so concurrency
+	// changes wall-clock time only, never results.
+	mu       sync.Mutex
+	cache    map[RunSpec]*core.Results
+	inflight map[RunSpec]chan struct{}
+	logMu    sync.Mutex
 }
 
 // NewSuite returns a suite at the given scale over all seven benchmarks.
 func NewSuite(scale int, log io.Writer) *Suite {
 	return &Suite{
-		Scale:   scale,
-		Benches: append([]string(nil), workloads.Names...),
-		Log:     log,
-		cache:   make(map[RunSpec]*core.Results),
+		Scale:    scale,
+		Benches:  append([]string(nil), workloads.Names...),
+		Log:      log,
+		cache:    make(map[RunSpec]*core.Results),
+		inflight: make(map[RunSpec]chan struct{}),
 	}
 }
 
@@ -61,23 +70,65 @@ var MDADesigns = []core.Design{core.D1DiffSet, core.D1SameSet, core.D2Sparse}
 
 func (s *Suite) logf(format string, args ...interface{}) {
 	if s.Log != nil {
+		s.logMu.Lock()
 		fmt.Fprintf(s.Log, format+"\n", args...)
+		s.logMu.Unlock()
 	}
 }
 
-// run executes (or reuses) one simulation.
+// run executes (or reuses) one simulation. Concurrent callers asking for the
+// same spec share one simulation (single-flight): the first caller runs it,
+// the rest block until the result lands in the cache.
 func (s *Suite) run(spec RunSpec) (*core.Results, error) {
 	spec.Scale = s.Scale
 	spec.MaxCycles = s.MaxCycles
 	spec.Timeout = s.Timeout
-	if r, ok := s.cache[spec]; ok {
-		return r, nil
+	for {
+		s.mu.Lock()
+		if s.cache == nil {
+			s.cache = make(map[RunSpec]*core.Results)
+		}
+		if s.inflight == nil {
+			s.inflight = make(map[RunSpec]chan struct{})
+		}
+		if r, ok := s.cache[spec]; ok {
+			s.mu.Unlock()
+			return r, nil
+		}
+		if wait, ok := s.inflight[spec]; ok {
+			s.mu.Unlock()
+			<-wait
+			// The leader finished (or failed); re-check the cache. On
+			// failure every waiter re-runs and reports the error itself.
+			s.mu.Lock()
+			if r, ok := s.cache[spec]; ok {
+				s.mu.Unlock()
+				return r, nil
+			}
+			s.mu.Unlock()
+			continue
+		}
+		ch := make(chan struct{})
+		s.inflight[spec] = ch
+		s.mu.Unlock()
+		r, err := s.simulate(spec)
+		s.mu.Lock()
+		if err == nil {
+			s.cache[spec] = r
+		}
+		delete(s.inflight, spec)
+		s.mu.Unlock()
+		close(ch)
+		return r, err
 	}
+}
+
+// simulate runs one spec, consulting the checkpoint first.
+func (s *Suite) simulate(spec RunSpec) (*core.Results, error) {
 	key := SpecKey(spec)
 	if s.Checkpoint != nil {
 		if r, ok := s.Checkpoint.Results(key); ok {
 			s.logf("resuming %v from checkpoint", spec)
-			s.cache[spec] = r
 			return r, nil
 		}
 	}
@@ -88,7 +139,6 @@ func (s *Suite) run(spec RunSpec) (*core.Results, error) {
 	}
 	s.logf("  -> %d cycles, %d ops, %.1f MB memory traffic",
 		r.Cycles, r.Ops, float64(r.Mem.TotalBytes())/1e6)
-	s.cache[spec] = r
 	if s.Checkpoint != nil {
 		if cerr := s.Checkpoint.Record(key, r, ""); cerr != nil {
 			s.logf("checkpoint write failed: %v", cerr)

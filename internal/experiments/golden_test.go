@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"mdacache/internal/core"
+	"mdacache/internal/isa"
+)
+
+// TestGoldenSweepStats pins the exact key Results fields of one small kernel
+// (sobel, N=16, 1 KB-class scaled LLC) on every evaluated design — a
+// regression guard for the cache models, duplicate-coherence policy and
+// memory scheduler, in the style of workloads.TestGoldenOpCounts. If a
+// deliberate model change shifts these, re-derive them with a one-off run
+// and update; an *accidental* shift is the test doing its job. The spec is
+// sized so the MDA designs exercise duplicate eviction/flush (Fig. 9) and
+// the baseline evicts enough to write main memory.
+func TestGoldenSweepStats(t *testing.T) {
+	goldenSpec := func(d core.Design) RunSpec {
+		return RunSpec{Bench: "sobel", N: 16, Design: d, LLCBytes: 256 * 1024, Scale: 16}
+	}
+	golden := []struct {
+		design core.Design
+		cycles uint64 // end-to-end execution time
+		ops    uint64 // trace length actually executed
+		hits   uint64 // demand hits, summed over cache levels
+		misses uint64 // demand misses, summed over cache levels
+		dupEv  uint64 // Fig. 9 duplicate evictions, all levels
+		dupFl  uint64 // Fig. 9 duplicate flushes, all levels
+		rowRd  uint64 // main-memory row-line reads
+		colRd  uint64 // main-memory column-line reads
+		rowWr  uint64 // main-memory row-line writes
+		colWr  uint64 // main-memory column-line writes
+	}{
+		{core.D0Baseline, 2813, 1968, 1504, 1050, 0, 0, 107, 0, 0, 0},
+		{core.D1DiffSet, 3399, 1968, 714, 1382, 35, 2, 4, 60, 0, 7},
+		{core.D1SameSet, 2958, 1968, 1051, 1045, 23, 1, 4, 60, 0, 0},
+		{core.D2Sparse, 3399, 1968, 716, 1380, 35, 2, 2, 60, 0, 0},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.design.String(), func(t *testing.T) {
+			r, err := Run(goldenSpec(g.design))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var hits, misses, dupEv, dupFl uint64
+			for _, lv := range r.Levels {
+				hits += lv.Hits
+				misses += lv.Misses
+				dupEv += lv.DuplicateEvictions
+				dupFl += lv.DuplicateFlushes
+			}
+			check := func(name string, got, want uint64) {
+				if got != want {
+					t.Errorf("%s: got %d, want %d", name, got, want)
+				}
+			}
+			check("cycles", r.Cycles, g.cycles)
+			check("ops", r.Ops, g.ops)
+			check("hits", hits, g.hits)
+			check("misses", misses, g.misses)
+			check("duplicate evictions", dupEv, g.dupEv)
+			check("duplicate flushes", dupFl, g.dupFl)
+			check("mem row reads", r.Mem.Reads[isa.Row], g.rowRd)
+			check("mem col reads", r.Mem.Reads[isa.Col], g.colRd)
+			check("mem row writes", r.Mem.Writes[isa.Row], g.rowWr)
+			check("mem col writes", r.Mem.Writes[isa.Col], g.colWr)
+		})
+	}
+	// The pinned numbers must show the paper's structural effects, or the
+	// golden table is guarding the wrong configuration: MDA designs fetch
+	// true columns (column reads dominate) and exercise duplicate coherence.
+	r, err := Run(goldenSpec(core.D1DiffSet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dups uint64
+	for _, lv := range r.Levels {
+		dups += lv.DuplicateEvictions
+	}
+	if r.Mem.Reads[isa.Col] == 0 || dups == 0 {
+		t.Error("golden spec no longer exercises column reads / duplicate coherence; re-size it")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"time"
 
 	"mdacache/internal/core"
@@ -25,13 +27,47 @@ type SweepOptions struct {
 	// every attempt; retries matter once runs carry injected faults.
 	Retries int
 
+	// Workers bounds how many design points simulate concurrently.
+	// 0 uses runtime.GOMAXPROCS(0); 1 reproduces the sequential behaviour.
+	// Simulations are deterministic per spec (every machine owns its event
+	// queue and fault RNG, seeded from the spec), so the returned slice is
+	// bit-identical for any worker count — only wall-clock time changes.
+	Workers int
+
 	// StatePath names the JSON checkpoint file ("" disables checkpointing).
 	// An existing file resumes the sweep: completed runs — successes and
-	// failures alike — are reloaded instead of re-simulated.
+	// failures alike — are reloaded instead of re-simulated. The checkpoint
+	// is safe under concurrent workers: records are mutex-guarded and every
+	// flush rewrites the file atomically, so a sweep killed mid-flight
+	// resumes cleanly.
 	StatePath string
 
-	// Log receives per-run progress lines (nil = silent).
+	// FlushEvery is how many finished runs may accumulate between checkpoint
+	// flushes (<=1 flushes after every run). Larger values amortise the
+	// atomic file rewrite across fast runs; a crash loses at most
+	// FlushEvery-1 finished runs. The checkpoint is always flushed before
+	// RunSweep returns.
+	FlushEvery int
+
+	// Log receives per-run progress lines (nil = silent). Lines from
+	// concurrent workers are serialized through a single goroutine, so they
+	// never interleave mid-line regardless of Workers.
 	Log io.Writer
+}
+
+// workerCount resolves the effective pool size for n specs.
+func (opt SweepOptions) workerCount(n int) int {
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // SweepRun is the outcome of one design point in a sweep.
@@ -47,21 +83,58 @@ type SweepRun struct {
 // OK reports whether the run produced results.
 func (r SweepRun) OK() bool { return r.Err == "" }
 
+// sweepLogger serializes progress lines from concurrent workers onto one
+// io.Writer. A nil sweepLogger is silent.
+type sweepLogger struct {
+	lines chan string
+	done  chan struct{}
+}
+
+func newSweepLogger(w io.Writer) *sweepLogger {
+	if w == nil {
+		return nil
+	}
+	l := &sweepLogger{lines: make(chan string, 64), done: make(chan struct{})}
+	go func() {
+		defer close(l.done)
+		for line := range l.lines {
+			fmt.Fprintln(w, line)
+		}
+	}()
+	return l
+}
+
+func (l *sweepLogger) logf(format string, args ...interface{}) {
+	if l == nil {
+		return
+	}
+	l.lines <- fmt.Sprintf(format, args...)
+}
+
+// close drains the queue and stops the goroutine; no logf may follow.
+func (l *sweepLogger) close() {
+	if l == nil {
+		return
+	}
+	close(l.lines)
+	<-l.done
+}
+
 // RunSweep executes every spec under crash isolation: a panicking, deadlocked
 // or otherwise failing design point is annotated in its SweepRun and the
 // sweep moves on, so one broken configuration cannot cost the results of the
-// other N-1. The returned slice always has one entry per spec, in order.
+// other N-1. Design points fan out across SweepOptions.Workers goroutines;
+// the returned slice always has one entry per spec, in spec order, regardless
+// of completion order, and is bit-identical for any worker count.
 //
 // The error return is reserved for infrastructure problems — a corrupt
 // checkpoint file, an unwritable state path, or ctx cancelled mid-sweep (the
 // completed prefix is still returned alongside ctx.Err()). Per-run failures
 // never surface there.
 func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRun, error) {
-	logf := func(format string, args ...interface{}) {
-		if opt.Log != nil {
-			fmt.Fprintf(opt.Log, format+"\n", args...)
-		}
-	}
+	log := newSweepLogger(opt.Log)
+	defer log.close()
+
 	var ckpt *Checkpoint
 	if opt.StatePath != "" {
 		var err error
@@ -70,15 +143,18 @@ func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRu
 			return nil, err
 		}
 		if ckpt.Len() > 0 {
-			logf("sweep: resuming from %s (%d finished runs)", opt.StatePath, ckpt.Len())
+			log.logf("sweep: resuming from %s (%d finished runs)", opt.StatePath, ckpt.Len())
 		}
 	}
+	flushEvery := opt.FlushEvery
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
 
-	runs := make([]SweepRun, 0, len(specs))
-	for _, spec := range specs {
-		if err := ctx.Err(); err != nil {
-			return runs, err
-		}
+	runs := make([]SweepRun, len(specs))
+	done := make([]bool, len(specs))
+	var pending []int // indices that still need simulation, in spec order
+	for i, spec := range specs {
 		if spec.Timeout == 0 {
 			spec.Timeout = opt.Timeout
 		}
@@ -89,41 +165,110 @@ func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRu
 		if ckpt != nil {
 			if r, ok := ckpt.Results(run.Key); ok {
 				run.Results, run.Resumed = r, true
-				logf("sweep: %v resumed from checkpoint", spec)
-				runs = append(runs, run)
+				log.logf("sweep: %v resumed from checkpoint", spec)
+				runs[i], done[i] = run, true
 				continue
 			}
 			if msg, ok := ckpt.Failed(run.Key); ok {
 				run.Err, run.Resumed = msg, true
-				logf("sweep: %v resumed from checkpoint (failed: %s)", spec, msg)
-				runs = append(runs, run)
+				log.logf("sweep: %v resumed from checkpoint (failed: %s)", spec, msg)
+				runs[i], done[i] = run, true
 				continue
 			}
 		}
-		for attempt := 0; attempt <= opt.Retries; attempt++ {
-			run.Attempts++
-			logf("sweep: running %v (attempt %d) ...", spec, run.Attempts)
-			r, err := RunCtx(ctx, spec)
-			if err == nil {
-				run.Results, run.Err = r, ""
-				break
-			}
-			run.Err = err.Error()
-			if ctx.Err() != nil {
-				// The whole sweep was cancelled; don't burn retries on it.
-				runs = append(runs, run)
-				return runs, ctx.Err()
-			}
+		runs[i] = run
+		pending = append(pending, i)
+	}
+
+	// sctx stops the pool early on an infrastructure failure; per-run
+	// failures never cancel it.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errMu    sync.Mutex
+		infraErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if infraErr == nil {
+			infraErr = err
 		}
-		if run.Err != "" {
-			logf("sweep: %v FAILED after %d attempt(s): %s", spec, run.Attempts, run.Err)
-		}
-		if ckpt != nil {
-			if err := ckpt.Record(run.Key, run.Results, run.Err); err != nil {
-				return runs, err
+		errMu.Unlock()
+		cancel()
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := opt.workerCount(len(pending)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				run := runs[i]
+				spec := run.Spec
+				for attempt := 0; attempt <= opt.Retries; attempt++ {
+					run.Attempts++
+					log.logf("sweep: running %v (attempt %d) ...", spec, run.Attempts)
+					r, err := RunCtx(sctx, spec)
+					if err == nil {
+						run.Results, run.Err = r, ""
+						break
+					}
+					run.Err = err.Error()
+					if sctx.Err() != nil {
+						// The whole sweep was cancelled; don't burn
+						// retries on it.
+						break
+					}
+				}
+				if run.Err != "" {
+					log.logf("sweep: %v FAILED after %d attempt(s): %s", spec, run.Attempts, run.Err)
+				}
+				if ckpt != nil && sctx.Err() == nil {
+					ckpt.RecordBuffered(run.Key, run.Results, run.Err)
+					if ckpt.Dirty() >= flushEvery {
+						if err := ckpt.Flush(); err != nil {
+							setErr(err)
+						}
+					}
+				}
+				runs[i], done[i] = run, true
+				if sctx.Err() != nil {
+					return
+				}
 			}
+		}()
+	}
+feed:
+	for _, i := range pending {
+		select {
+		case work <- i:
+		case <-sctx.Done():
+			break feed
 		}
-		runs = append(runs, run)
+	}
+	close(work)
+	wg.Wait()
+
+	if ckpt != nil {
+		if err := ckpt.Flush(); err != nil {
+			setErr(err)
+		}
+	}
+	errMu.Lock()
+	err := infraErr
+	errMu.Unlock()
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		// Return the contiguous completed prefix, mirroring the sequential
+		// semantics: everything before the first unfinished spec.
+		n := 0
+		for n < len(done) && done[n] {
+			n++
+		}
+		return runs[:n], err
 	}
 	return runs, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"path/filepath"
 	"strings"
@@ -83,6 +84,88 @@ func TestSweepCheckpointResume(t *testing.T) {
 	}
 	if r1[0].OK() || r2[0].OK() || !r2[0].Resumed {
 		t.Fatalf("failure not memoised: %+v then %+v", r1[0], r2[0])
+	}
+}
+
+func TestSweepCancelledReturnsContiguousPrefix(t *testing.T) {
+	// A sweep cancelled mid-flight must return ctx.Err() plus the contiguous
+	// completed prefix — never a slice with holes, which would misalign any
+	// caller indexing results by spec position (examples/sweep does exactly
+	// that).
+	state := filepath.Join(t.TempDir(), "sweep.json")
+	specs := []RunSpec{
+		testSpec("sgemm", core.D0Baseline),
+		testSpec("sgemm", core.D1DiffSet),
+		testSpec("sobel", core.D0Baseline),
+	}
+	// Complete spec 0 so the cancelled pass below has a resumable prefix.
+	if _, err := RunSweep(context.Background(), specs[:1], SweepOptions{StatePath: state}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runs, err := RunSweep(ctx, specs, SweepOptions{StatePath: state, Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if len(runs) < 1 {
+		t.Fatalf("resumed spec 0 missing from prefix: %d runs", len(runs))
+	}
+	for i, r := range runs {
+		if r.Key == "" || (r.Results == nil && r.Err == "") {
+			t.Fatalf("prefix entry %d is unfinished: %+v", i, r)
+		}
+	}
+	if !runs[0].Resumed || runs[0].Results == nil {
+		t.Fatalf("spec 0 should be resumed from the checkpoint: %+v", runs[0])
+	}
+	// Re-running with a live context finishes the sweep; the checkpoint is
+	// intact despite the cancellation.
+	full, err := RunSweep(context.Background(), specs, SweepOptions{StatePath: state, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(specs) || !full[0].Resumed {
+		t.Fatalf("post-cancel resume broken: %+v", full)
+	}
+}
+
+func TestSweepLogIsLineAtomic(t *testing.T) {
+	// Progress lines from concurrent workers funnel through one goroutine;
+	// the captured log must consist solely of complete, well-formed lines.
+	var buf bytes.Buffer
+	specs := []RunSpec{
+		testSpec("sgemm", core.D0Baseline),
+		testSpec("sgemm", core.D1DiffSet),
+		testSpec("sgemm", core.D1SameSet),
+		testSpec("sgemm", core.D2Sparse),
+		{Bench: "nosuch", N: 16, Design: core.D0Baseline, LLCBytes: 1 * core.MB, Scale: 16},
+	}
+	if _, err := RunSweep(context.Background(), specs, SweepOptions{Workers: 4, Log: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("log does not end in a newline: %q", out)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	running, failed := 0, 0
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "sweep: ") {
+			t.Fatalf("interleaved or malformed log line: %q", line)
+		}
+		if strings.Contains(line, "running") {
+			running++
+		}
+		if strings.Contains(line, "FAILED") {
+			failed++
+		}
+	}
+	if running != len(specs) {
+		t.Fatalf("%d 'running' lines for %d specs:\n%s", running, len(specs), out)
+	}
+	if failed != 1 {
+		t.Fatalf("%d FAILED lines, want 1:\n%s", failed, out)
 	}
 }
 
