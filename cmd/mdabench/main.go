@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"mdacache/internal/experiments"
+	"mdacache/internal/obs"
 	"mdacache/internal/stats"
 )
 
@@ -56,6 +57,7 @@ func main() {
 		maxCycles = flag.Uint64("max-cycles", 0, "simulated-cycle budget per simulation (0 = unlimited)")
 		resume    = flag.String("resume", "", "JSON state file: checkpoint finished runs and resume from them")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "figures simulated concurrently in -fig all mode (1 = sequential); results and output order are identical for any value")
+		profile   = flag.Bool("profile", false, "print a per-run phase profile (compile/build/simulate wall time, cycles, events) to stderr at the end")
 	)
 	flag.Parse()
 
@@ -66,6 +68,14 @@ func main() {
 	suite := experiments.NewSuite(*scale, log)
 	suite.Timeout = *timeout
 	suite.MaxCycles = *maxCycles
+	if *profile {
+		suite.Profiles = &obs.ProfileLog{}
+		defer func() {
+			if ps := suite.Profiles.Profiles(); len(ps) > 0 {
+				fmt.Fprint(os.Stderr, experiments.ProfileTable(ps))
+			}
+		}()
+	}
 	if *resume != "" {
 		ckpt, err := experiments.LoadCheckpoint(*resume)
 		if err != nil {

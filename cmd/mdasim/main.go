@@ -9,10 +9,13 @@
 //	mdasim -printconfig -design 1P2L
 //	mdasim -bench sgemm -write-fail-prob 0.01 -fault-seed 7   # NVM faults
 //	mdasim -bench sgemm -timeout 30s -max-cycles 1e9          # watchdog
+//	mdasim -bench sobel -trace-out t.json -trace-format chrome  # Perfetto trace
+//	mdasim -bench sobel -metrics-out -                          # metrics JSON
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +26,7 @@ import (
 	"mdacache/internal/core"
 	"mdacache/internal/experiments"
 	"mdacache/internal/isa"
+	"mdacache/internal/obs"
 	"mdacache/internal/stats"
 	"mdacache/internal/workloads"
 )
@@ -56,6 +60,12 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault-injection PRNG")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget; expiry aborts with diagnostics (0 = unlimited)")
 		maxCycles = flag.Uint64("max-cycles", 0, "simulated-cycle budget; excess aborts with diagnostics (0 = unlimited)")
+
+		traceOut    = flag.String("trace-out", "", "write per-event simulation trace to this file")
+		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl, or chrome (open in Perfetto / chrome://tracing)")
+		traceCats   = flag.String("trace-cats", "all", "categories to trace: comma-separated from cache,mshr,mem,fault,cpu (or all)")
+		traceSample = flag.Int("trace-sample", 1, "keep 1 of every N events per category (deterministic sampling)")
+		metricsOut  = flag.String("metrics-out", "", "write the end-of-run metrics-registry snapshot as JSON ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -98,22 +108,70 @@ func main() {
 		return
 	}
 
+	var ins experiments.Instrument
+	if *traceOut != "" {
+		format, err := obs.ParseFormat(*traceFormat)
+		if err != nil {
+			usagef("%v", err)
+		}
+		cats, err := obs.ParseCategories(*traceCats)
+		if err != nil {
+			usagef("%v", err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		ins.Tracer = obs.NewTracer(f, obs.TraceConfig{
+			Format:      format,
+			Cats:        cats,
+			SampleEvery: *traceSample,
+		})
+	}
+
 	var res *core.Results
 	var err error
 	if *traceFile != "" {
 		spec.Bench = "trace:" + *traceFile
-		res, err = runTraceFile(spec, *traceFile)
+		res, err = runTraceFile(spec, *traceFile, ins.Tracer)
 	} else {
-		res, err = experiments.Run(spec)
+		res, err = experiments.RunInstrumented(spec, ins)
+	}
+	if cerr := ins.Tracer.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("writing %s: %w", *traceOut, cerr)
 	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if ins.Tracer != nil {
+		fmt.Fprintf(os.Stderr, "mdasim: wrote %d events to %s (%s)\n",
+			ins.Tracer.Emitted(), *traceOut, *traceFormat)
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, res); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	if *csvOut {
 		reportCSV(res)
 		return
 	}
 	report(spec, res)
+}
+
+// writeMetrics dumps the run's metric snapshot as indented JSON.
+func writeMetrics(path string, res *core.Results) error {
+	data, err := json.MarshalIndent(res.Metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // reportCSV emits every counter as one metric,value row — convenient for
@@ -163,11 +221,12 @@ func reportCSV(res *core.Results) {
 }
 
 // runTraceFile replays a serialized trace through the spec's machine.
-func runTraceFile(spec experiments.RunSpec, path string) (*core.Results, error) {
+func runTraceFile(spec experiments.RunSpec, path string, tracer *obs.Tracer) (*core.Results, error) {
 	cfg, err := spec.Config()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Tracer = tracer
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,9 @@
 //	mdatrace -stats sgemm.trc                              # summarise
 //	mdatrace -head 20 sgemm.trc                            # peek
 //	mdatrace -bench sobel -n 64 -target 1d -stats -        # pipe through
+//	mdatrace -validate events.jsonl                        # check a simulation
+//	                                                       # event trace written
+//	                                                       # by mdasim -trace-out
 package main
 
 import (
@@ -19,24 +22,32 @@ import (
 
 	"mdacache/internal/compiler"
 	"mdacache/internal/isa"
+	"mdacache/internal/obs"
 	"mdacache/internal/stats"
 	"mdacache/internal/workloads"
 )
 
 func main() {
 	var (
-		bench  = flag.String("bench", "", "benchmark to compile: "+strings.Join(workloads.Names, ", "))
-		n      = flag.Int("n", 64, "matrix dimension")
-		target = flag.String("target", "2d", "compile target: 1d or 2d")
-		tile   = flag.Int("tile", 0, "iteration-space tile size (0 = untiled)")
-		out    = flag.String("o", "", "write the compiled trace to this file")
-		show   = flag.Bool("stats", false, "print access-mix statistics")
-		head   = flag.Int("head", 0, "print the first N ops")
-		print_ = flag.Bool("print", false, "print the kernel's pseudocode and compilation decisions")
+		bench    = flag.String("bench", "", "benchmark to compile: "+strings.Join(workloads.Names, ", "))
+		n        = flag.Int("n", 64, "matrix dimension")
+		target   = flag.String("target", "2d", "compile target: 1d or 2d")
+		tile     = flag.Int("tile", 0, "iteration-space tile size (0 = untiled)")
+		out      = flag.String("o", "", "write the compiled trace to this file")
+		show     = flag.Bool("stats", false, "print access-mix statistics")
+		head     = flag.Int("head", 0, "print the first N ops")
+		print_   = flag.Bool("print", false, "print the kernel's pseudocode and compilation decisions")
+		validate = flag.Bool("validate", false, "validate a simulation event trace (jsonl or chrome, from mdasim -trace-out) against the schema")
 	)
 	flag.Parse()
 
 	switch {
+	case *validate:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "mdatrace: -validate needs one event-trace file ('-' = stdin)")
+			os.Exit(2)
+		}
+		validateMode(flag.Arg(0))
 	case *bench != "":
 		compileMode(*bench, *n, *target, *tile, *out, *show, *head, *print_)
 	case flag.NArg() == 1:
@@ -45,6 +56,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdatrace: give -bench to compile or a trace file to read")
 		os.Exit(1)
 	}
+}
+
+// validateMode schema-checks a simulation event trace and prints a summary.
+func validateMode(path string) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	sum, err := obs.ValidateTrace(r)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	fmt.Printf("%s: OK, %s\n", path, sum)
 }
 
 func compileMode(bench string, n int, target string, tile int, out string, show bool, head int, dump bool) {

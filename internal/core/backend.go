@@ -16,7 +16,12 @@
 // travelled through. The test suite checks this against a flat oracle.
 package core
 
-import "mdacache/internal/isa"
+import (
+	"strings"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/obs"
+)
 
 // Backend is the interface a cache level (or the CPU-side of the hierarchy)
 // uses to talk to the next level below — another cache or the MDA main
@@ -124,4 +129,43 @@ func (s *LevelStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// instrumentable is implemented by levels that accept observability wiring.
+// It is an optional interface (not part of Level) so test stubs stay small.
+type instrumentable interface {
+	Instrument(reg *obs.Registry, tr *obs.Tracer)
+}
+
+// lowerName lowercases a level name for metric naming ("L1" -> "l1").
+func lowerName(s string) string { return strings.ToLower(s) }
+
+// registerLevelStats publishes every LevelStats counter in the registry,
+// aliasing the struct's own storage: increments stay plain adds on the hot
+// path and the legacy struct remains an exact view of the registry (and vice
+// versa). Names are "<level>.<counter>", e.g. "l1.hits", "l3.mshr_stalls".
+func registerLevelStats(reg *obs.Registry, s *LevelStats) {
+	p := lowerName(s.Name) + "."
+	reg.Counter(p+"accesses", &s.Accesses)
+	reg.Counter(p+"hits", &s.Hits)
+	reg.Counter(p+"misses", &s.Misses)
+	reg.Counter(p+"scalar_accesses", &s.ScalarAccesses)
+	reg.Counter(p+"vector_accesses", &s.VectorAccesses)
+	reg.Counter(p+"accesses.row", &s.ByOrient[isa.Row])
+	reg.Counter(p+"accesses.col", &s.ByOrient[isa.Col])
+	reg.Counter(p+"hits_wrong_orient", &s.HitsWrongOrient)
+	reg.Counter(p+"partial_hits", &s.PartialHits)
+	reg.Counter(p+"fills_issued", &s.FillsIssued)
+	reg.Counter(p+"writebacks", &s.Writebacks)
+	reg.Counter(p+"writebacks_in", &s.WritebacksIn)
+	reg.Counter(p+"evictions", &s.Evictions)
+	reg.Counter(p+"bytes_from_below", &s.BytesFromBelow)
+	reg.Counter(p+"bytes_to_below", &s.BytesToBelow)
+	reg.Counter(p+"duplicate_evictions", &s.DuplicateEvictions)
+	reg.Counter(p+"duplicate_flushes", &s.DuplicateFlushes)
+	reg.Counter(p+"mshr_coalesced", &s.MSHRCoalesced)
+	reg.Counter(p+"mshr_stalls", &s.MSHRStalls)
+	reg.Counter(p+"extra_tag_probes", &s.ExtraTagProbes)
+	reg.Counter(p+"prefetch_issued", &s.PrefetchIssued)
+	reg.Counter(p+"prefetch_useful", &s.PrefetchUseful)
 }

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"mdacache/internal/isa"
+	"mdacache/internal/obs"
 	"mdacache/internal/sim"
 )
 
@@ -44,6 +45,35 @@ type Cache1P struct {
 
 	useCounter uint64
 	stats      LevelStats
+
+	tr      *obs.Tracer    // nil = tracing off (one nil check per event site)
+	fillLat *obs.Histogram // issue→arrival latency of fills (registry-only)
+}
+
+// Instrument publishes the level's counters in the registry (aliasing the
+// LevelStats storage) and attaches the tracer. Called by Build; caches
+// constructed directly (unit tests) run uninstrumented.
+func (c *Cache1P) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	c.tr = tr
+	registerLevelStats(reg, &c.stats)
+	c.fillLat = reg.Histogram(lowerName(c.p.Name) + ".fill_latency")
+}
+
+// traceEv emits a cache-category instant event. Callers guard with
+// `if c.tr != nil` so the off path costs a single branch.
+func (c *Cache1P) traceEv(at uint64, event string, id isa.LineID, v uint64) {
+	if c.tr.Enabled(obs.CatCache) {
+		c.tr.Instant(at, obs.CatCache, c.p.Name, event,
+			obs.Fields{Addr: id.Base, Orient: int8(id.Orient), V: v})
+	}
+}
+
+// traceMSHR emits an MSHR-category instant event carrying the in-flight depth.
+func (c *Cache1P) traceMSHR(at uint64, event string, id isa.LineID) {
+	if c.tr.Enabled(obs.CatMSHR) {
+		c.tr.Instant(at, obs.CatMSHR, c.p.Name, event,
+			obs.Fields{Addr: id.Base, Orient: int8(id.Orient), V: uint64(c.mshr.inFlight())})
+	}
 }
 
 // NewCache1P builds a physically-1-D cache above the given backend.
@@ -120,6 +150,9 @@ func (c *Cache1P) noteDemandHit(l *line) {
 		l.prefetched = false
 		c.stats.PrefetchUseful++
 	}
+	if c.tr != nil {
+		c.traceEv(c.q.Now(), "hit", l.id, 0)
+	}
 }
 
 // intersectingDo invokes fn for every valid line of the opposite
@@ -149,6 +182,9 @@ func (c *Cache1P) intersectingDo(id isa.LineID, fn func(m *line)) {
 func (c *Cache1P) writebackLine(at uint64, l *line) {
 	c.stats.Writebacks++
 	c.stats.BytesToBelow += uint64(bits.OnesCount8(l.dirty)) * isa.WordSize
+	if c.tr != nil {
+		c.traceEv(at, "writeback", l.id, uint64(l.dirty))
+	}
 	c.below.Writeback(at, l.id, l.dirty, l.data)
 }
 
@@ -167,6 +203,9 @@ func (c *Cache1P) evictDuplicate(at uint64, m *line) {
 	c.flushLine(at, m)
 	m.valid = false
 	c.stats.DuplicateEvictions++
+	if c.tr != nil {
+		c.traceEv(at, "dup_evict", m.id, 0)
+	}
 }
 
 // victim picks the replacement way in a set: an invalid way if one exists,
@@ -240,6 +279,9 @@ func (c *Cache1P) install(at uint64, id isa.LineID, data *[isa.WordsPerLine]uint
 func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func(at uint64, data [isa.WordsPerLine]uint64)) {
 	if e := c.mshr.lookup(id); e != nil {
 		c.stats.MSHRCoalesced++
+		if c.tr != nil {
+			c.traceMSHR(at, "mshr_coalesce", id)
+		}
 		if e.prefetch && !prefetch {
 			// A demand miss caught an in-flight prefetch: partial coverage.
 			c.stats.PrefetchUseful++
@@ -255,10 +297,17 @@ func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func
 			return // drop prefetches under MSHR pressure
 		}
 		c.stats.MSHRStalls++
+		if c.tr != nil {
+			c.traceMSHR(at, "mshr_stall", id)
+		}
 		c.mshr.stall(func(rat uint64) { c.requestFill(rat, id, false, done) })
 		return
 	}
 	e := c.mshr.allocate(id, prefetch)
+	e.born = at
+	if c.tr != nil {
+		c.traceMSHR(at, "mshr_alloc", id)
+	}
 	if done != nil {
 		e.targets = append(e.targets, done)
 	}
@@ -270,6 +319,9 @@ func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func
 			if off, ok := m.id.WordOffset(addr); ok && m.dirty&(1<<off) != 0 {
 				c.flushLine(at, m)
 				c.stats.DuplicateFlushes++
+				if c.tr != nil {
+					c.traceEv(at, "dup_flush", m.id, 0)
+				}
 			}
 		}
 	})
@@ -285,12 +337,22 @@ func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func
 // the waiting targets.
 func (c *Cache1P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint64, prefetch bool) {
 	c.stats.BytesFromBelow += isa.LineSize
+	if e := c.mshr.lookup(id); e != nil {
+		c.fillLat.Observe(at - e.born)
+		if c.tr.Enabled(obs.CatCache) {
+			c.tr.Span(e.born, at-e.born, obs.CatCache, c.p.Name, "fill",
+				obs.Fields{Addr: id.Base, Orient: int8(id.Orient)})
+		}
+	}
 	c.intersectingDo(id, func(m *line) {
 		addr, _ := m.id.Intersection(id)
 		moff, _ := m.id.WordOffset(addr)
 		if m.dirty&(1<<moff) != 0 {
 			c.flushLine(at, m)
 			c.stats.DuplicateFlushes++
+			if c.tr != nil {
+				c.traceEv(at, "dup_flush", m.id, 0)
+			}
 		}
 	})
 	// The timing payload may predate writes that passed the in-flight fill;
@@ -299,6 +361,9 @@ func (c *Cache1P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint
 	c.install(at, id, &data, 0, 0, prefetch)
 	deliverAt := at + c.p.DataLat
 	targets, retry := c.mshr.complete(id)
+	if c.tr != nil {
+		c.traceMSHR(at, "mshr_retire", id)
+	}
 	for _, t := range targets {
 		t(deliverAt, data)
 	}
@@ -313,6 +378,10 @@ func (c *Cache1P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint
 func (c *Cache1P) chargePort(at uint64, probes int) (start, extraLat uint64) {
 	if probes > 1 {
 		c.stats.ExtraTagProbes += uint64(probes - 1)
+		if c.tr.Enabled(obs.CatCache) {
+			c.tr.Instant(at, obs.CatCache, c.p.Name, "dup_probe",
+				obs.Fields{Orient: obs.OrientNone, V: uint64(probes - 1)})
+		}
 	}
 	start = c.port.Acquire(at, uint64(probes))
 	return start, uint64(probes-1) * c.p.TagLat
@@ -333,6 +402,10 @@ func (c *Cache1P) chargePortOffPath(at uint64, probes int) (start uint64) {
 	occ := uint64(probes)
 	if probes > 1 {
 		c.stats.ExtraTagProbes += uint64(probes - 1)
+		if c.tr.Enabled(obs.CatCache) {
+			c.tr.Instant(at, obs.CatCache, c.p.Name, "dup_probe",
+				obs.Fields{Orient: obs.OrientNone, V: uint64(probes - 1)})
+		}
 		occ = 2
 		if c.p.Mapping == SameSet {
 			occ = 1 // all candidates live in one set: one wide read
@@ -450,6 +523,9 @@ func (c *Cache1P) scalarLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 	}
 	start, extra := c.chargePort(at, probes)
 	c.stats.Misses++
+	if c.tr != nil {
+		c.traceEv(at, "miss", pref, 0)
+	}
 	addr := op.Addr
 	c.requestFill(start+c.p.TagLat+extra, pref, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
 		off, _ := pref.WordOffset(addr)
@@ -500,6 +576,9 @@ func (c *Cache1P) scalarStore(at uint64, op isa.Op, done func(uint64, uint64)) {
 		return
 	}
 	c.stats.Misses++
+	if c.tr != nil {
+		c.traceEv(at, "miss", pref, 0)
+	}
 	addr, value := op.Addr, op.Value
 	c.requestFill(start+c.p.TagLat+extra, pref, false, func(rat uint64, _ [isa.WordsPerLine]uint64) {
 		l := c.find(pref)
@@ -535,6 +614,9 @@ func (c *Cache1P) vectorLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 	}
 	start := c.chargePortOffPath(at, probes)
 	c.stats.Misses++
+	if c.tr != nil {
+		c.traceEv(at, "miss", id, 0)
+	}
 	c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
 		v := data[0]
 		c.q.Schedule(rat, func() { done(c.q.Now(), v) })
@@ -569,6 +651,9 @@ func (c *Cache1P) vectorStore(at uint64, op isa.Op, done func(uint64, uint64)) {
 	} else {
 		// Write-allocate without fetch: the store covers the whole line.
 		c.stats.Misses++
+		if c.tr != nil {
+			c.traceEv(at, "miss", id, 0)
+		}
 		c.install(start, id, &data, 0xff, 0xff, false)
 	}
 	c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), 0) })
@@ -596,6 +681,9 @@ func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPer
 	}
 	start := c.chargePortOffPath(at, probes)
 	c.stats.Misses++
+	if c.tr != nil {
+		c.traceEv(at, "miss", id, 0)
+	}
 	c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
 		c.q.Schedule(rat, func() { done(c.q.Now(), data) })
 	})
@@ -633,6 +721,9 @@ func (c *Cache1P) prefetchObserve(at uint64, op isa.Op) {
 			continue
 		}
 		c.stats.PrefetchIssued++
+		if c.tr != nil {
+			c.traceEv(at, "prefetch", id, 0)
+		}
 		c.requestFill(at, id, true, nil)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"mdacache/internal/isa"
+	"mdacache/internal/obs"
 	"mdacache/internal/sim"
 )
 
@@ -102,6 +103,34 @@ type Cache2P struct {
 
 	useCounter uint64
 	stats      LevelStats
+
+	tr      *obs.Tracer    // nil = tracing off
+	fillLat *obs.Histogram // issue→arrival latency of fills (registry-only)
+}
+
+// Instrument publishes the level's counters in the registry and attaches the
+// tracer (see Cache1P.Instrument).
+func (c *Cache2P) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	c.tr = tr
+	registerLevelStats(reg, &c.stats)
+	c.fillLat = reg.Histogram(lowerName(c.p.Name) + ".fill_latency")
+}
+
+// traceEv emits a cache-category instant event; callers guard with
+// `if c.tr != nil`.
+func (c *Cache2P) traceEv(at uint64, event string, id isa.LineID, v uint64) {
+	if c.tr.Enabled(obs.CatCache) {
+		c.tr.Instant(at, obs.CatCache, c.p.Name, event,
+			obs.Fields{Addr: id.Base, Orient: int8(id.Orient), V: v})
+	}
+}
+
+// traceMSHR emits an MSHR-category instant event with the in-flight depth.
+func (c *Cache2P) traceMSHR(at uint64, event string, id isa.LineID) {
+	if c.tr.Enabled(obs.CatMSHR) {
+		c.tr.Instant(at, obs.CatMSHR, c.p.Name, event,
+			obs.Fields{Addr: id.Base, Orient: int8(id.Orient), V: uint64(c.mshr.inFlight())})
+	}
 }
 
 // NewCache2P builds a tile cache above the given backend.
@@ -178,6 +207,9 @@ func (c *Cache2P) evictTile(at uint64, t *tile) {
 func (c *Cache2P) writebackLine(at uint64, t *tile, id isa.LineID, mask uint8) {
 	c.stats.Writebacks++
 	c.stats.BytesToBelow += uint64(bits.OnesCount8(mask)) * isa.WordSize
+	if c.tr != nil {
+		c.traceEv(at, "writeback", id, uint64(mask))
+	}
 	c.below.Writeback(at, id, mask, t.readLine(id))
 }
 
@@ -254,6 +286,9 @@ func markLine(t *tile, id isa.LineID, dirty bool) {
 func (c *Cache2P) requestFill(at uint64, id isa.LineID, background bool, done func(at uint64, data [isa.WordsPerLine]uint64)) {
 	if e := c.mshr.lookup(id); e != nil {
 		c.stats.MSHRCoalesced++
+		if c.tr != nil {
+			c.traceMSHR(at, "mshr_coalesce", id)
+		}
 		if done != nil {
 			e.targets = append(e.targets, done)
 		}
@@ -264,10 +299,17 @@ func (c *Cache2P) requestFill(at uint64, id isa.LineID, background bool, done fu
 			return // drop background (dense-mode) fills under pressure
 		}
 		c.stats.MSHRStalls++
+		if c.tr != nil {
+			c.traceMSHR(at, "mshr_stall", id)
+		}
 		c.mshr.stall(func(rat uint64) { c.requestFill(rat, id, false, done) })
 		return
 	}
 	e := c.mshr.allocate(id, background)
+	e.born = at
+	if c.tr != nil {
+		c.traceMSHR(at, "mshr_alloc", id)
+	}
 	if done != nil {
 		e.targets = append(e.targets, done)
 	}
@@ -299,6 +341,13 @@ func (c *Cache2P) requestFill(at uint64, id isa.LineID, background bool, done fu
 
 func (c *Cache2P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint64) {
 	c.stats.BytesFromBelow += isa.LineSize
+	if e := c.mshr.lookup(id); e != nil {
+		c.fillLat.Observe(at - e.born)
+		if c.tr.Enabled(obs.CatCache) {
+			c.tr.Span(e.born, at-e.born, obs.CatCache, c.p.Name, "fill",
+				obs.Fields{Addr: id.Base, Orient: int8(id.Orient)})
+		}
+	}
 	// Latch the freshest committed data below the cache rather than the
 	// (possibly overtaken) timing payload — see Backend.Peek.
 	data := c.below.Peek(id)
@@ -317,6 +366,9 @@ func (c *Cache2P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint
 	merged := t.readLine(id)
 	deliverAt := at + c.p.DataLat + c.p.WriteAsymmetry
 	targets, retry := c.mshr.complete(id)
+	if c.tr != nil {
+		c.traceMSHR(at, "mshr_retire", id)
+	}
 	for _, fn := range targets {
 		fn(deliverAt, merged)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"mdacache/internal/isa"
 	"mdacache/internal/mem"
+	"mdacache/internal/obs"
 )
 
 // Design selects one of the cache-hierarchy design points of §IV-C.
@@ -141,6 +142,13 @@ type Config struct {
 	// still pending past the budget aborts with sim.ErrCycleLimit and stall
 	// diagnostics instead of spinning forever. The watchdog's cycle budget.
 	MaxCycles uint64
+
+	// Tracer, when non-nil, receives per-component simulation events (cache
+	// hits/misses/fills, MSHR traffic, bank activity, fault retries). The
+	// metrics registry is always built; only event tracing is optional. Set
+	// programmatically (mdasim -trace-out): never part of a RunSpec, so
+	// sweep checkpoint keys are unaffected.
+	Tracer *obs.Tracer `json:"-"`
 }
 
 // KB is a convenience for cache sizes.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"mdacache/internal/isa"
+	"mdacache/internal/obs"
 	"mdacache/internal/sim"
 )
 
@@ -49,6 +50,19 @@ type CPU struct {
 	Vectors     uint64
 	OrderStalls uint64 // ops delayed by the overlap-ordering rule
 	finished    func(endCycle uint64)
+	tr          *obs.Tracer
+}
+
+// instrument registers the CPU's counters and attaches the tracer.
+func (c *CPU) instrument(reg *obs.Registry, tr *obs.Tracer) {
+	c.tr = tr
+	reg.Counter("cpu.ops", &c.Ops)
+	reg.Counter("cpu.loads", &c.ByKind[isa.Load])
+	reg.Counter("cpu.stores", &c.ByKind[isa.Store])
+	reg.Counter("cpu.ops.row", &c.ByOrient[isa.Row])
+	reg.Counter("cpu.ops.col", &c.ByOrient[isa.Col])
+	reg.Counter("cpu.vectors", &c.Vectors)
+	reg.Counter("cpu.order_stalls", &c.OrderStalls)
 }
 
 type inflightOp struct {
@@ -135,6 +149,10 @@ func (c *CPU) pump() {
 		if c.conflicts(op) {
 			if c.held == nil {
 				c.OrderStalls++
+				if c.tr.Enabled(obs.CatCPU) {
+					c.tr.Instant(c.q.Now(), obs.CatCPU, "cpu", "order_stall",
+						obs.Fields{Addr: op.Addr, Orient: int8(op.Orient)})
+				}
 				held := op
 				c.held = &held
 			}

@@ -7,6 +7,7 @@ import (
 
 	"mdacache/internal/isa"
 	"mdacache/internal/mem"
+	"mdacache/internal/obs"
 	"mdacache/internal/sim"
 )
 
@@ -19,8 +20,16 @@ type Machine struct {
 	Levels []Level // ordered L1 → LLC
 	Memory *mem.Memory
 
+	// Registry is the machine's metrics registry: every component counter
+	// (cache levels, memory controller, CPU) under a canonical name, plus
+	// histograms only the registry carries (fill/read latencies). Per-machine
+	// state — never package-level — so concurrent sweep workers stay
+	// deterministic.
+	Registry *obs.Registry
+
 	running    bool
 	pendingOcc []OccupancySample
+	eventsRun  uint64 // events executed by the run loop ("sim.events")
 }
 
 // Build wires the design point described by cfg.
@@ -54,6 +63,20 @@ func Build(cfg Config) (*Machine, error) {
 	}
 	m.Levels = built
 	m.CPU = NewCPU(q, built[0], cfg.Window)
+
+	// Observability: the registry is always on (it aliases counters the
+	// components increment anyway); the tracer is cfg.Tracer, nil meaning
+	// off at the cost of one nil check per event site.
+	reg := obs.NewRegistry()
+	m.Registry = reg
+	memory.Instrument(reg, cfg.Tracer)
+	for _, lvl := range built {
+		if in, ok := lvl.(instrumentable); ok {
+			in.Instrument(reg, cfg.Tracer)
+		}
+	}
+	m.CPU.instrument(reg, cfg.Tracer)
+	reg.Counter("sim.events", &m.eventsRun)
 	return m, nil
 }
 
@@ -103,6 +126,12 @@ type Results struct {
 	Levels      []LevelStats
 	Mem         mem.Stats
 	Occupancy   []OccupancySample
+
+	// Metrics is the registry snapshot at end of run: the same counters as
+	// Levels/Mem under canonical names, plus registry-only metrics
+	// (latency histograms, event counts). Deterministic and part of every
+	// checkpoint; the determinism harness diffs it across worker counts.
+	Metrics obs.Snapshot
 }
 
 // LLC returns the last-level cache's stats.
@@ -166,6 +195,7 @@ func (m *Machine) RunCtx(ctx context.Context, trace isa.TraceReader) (*Results, 
 			return nil, m.stallErr(sim.ErrTimeout, err.Error())
 		}
 		n := m.Q.RunBounded(m.Cfg.MaxCycles, watchdogStride)
+		m.eventsRun += uint64(n)
 		if err := m.Q.Err(); err != nil {
 			return nil, err
 		}
@@ -259,6 +289,7 @@ func (m *Machine) results(end uint64) *Results {
 	for _, lvl := range m.Levels {
 		r.Levels = append(r.Levels, *lvl.Stats())
 	}
+	r.Metrics = m.Registry.Snapshot()
 	return r
 }
 

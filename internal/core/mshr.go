@@ -22,6 +22,7 @@ type mshrFile struct {
 type mshrEntry struct {
 	line     isa.LineID
 	prefetch bool
+	born     uint64 // allocation cycle, for fill-latency accounting
 	targets  []func(at uint64, data [isa.WordsPerLine]uint64)
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+
+	"mdacache/internal/obs"
 )
 
 // CheckDeterminism is the parallel-sweep determinism harness: it runs specs
@@ -73,7 +75,8 @@ func DiffRuns(a, b []SweepRun) error {
 
 // diffResults names the first field-level divergence between two result sets
 // so a determinism failure points at the leaking subsystem instead of dumping
-// two multi-KB structs.
+// two multi-KB structs. Metric snapshots get finer-grained treatment: the
+// diff names the first diverging metric instead of printing two whole maps.
 func diffResults(a, b interface{}) string {
 	va, vb := reflect.ValueOf(a).Elem(), reflect.ValueOf(b).Elem()
 	t := va.Type()
@@ -82,9 +85,14 @@ func diffResults(a, b interface{}) string {
 		if !fa.CanInterface() {
 			continue
 		}
-		if !reflect.DeepEqual(fa.Interface(), fb.Interface()) {
-			return fmt.Sprintf("field %s: %v vs %v", t.Field(i).Name, fa.Interface(), fb.Interface())
+		if reflect.DeepEqual(fa.Interface(), fb.Interface()) {
+			continue
 		}
+		if sa, ok := fa.Interface().(obs.Snapshot); ok {
+			sb := fb.Interface().(obs.Snapshot)
+			return fmt.Sprintf("field %s: %s", t.Field(i).Name, obs.DiffSnapshots(sa, sb))
+		}
+		return fmt.Sprintf("field %s: %v vs %v", t.Field(i).Name, fa.Interface(), fb.Interface())
 	}
 	return "unlocated divergence"
 }

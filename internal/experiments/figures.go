@@ -9,6 +9,7 @@ import (
 	"mdacache/internal/compiler"
 	"mdacache/internal/core"
 	"mdacache/internal/isa"
+	"mdacache/internal/obs"
 	"mdacache/internal/stats"
 	"mdacache/internal/workloads"
 )
@@ -31,6 +32,12 @@ type Suite struct {
 	// (0 = unlimited); see RunSpec.
 	MaxCycles uint64
 	Timeout   time.Duration
+
+	// Profiles, when non-nil, collects a phase profile for every
+	// simulation the suite actually runs (checkpoint-resumed and
+	// cache-shared runs contribute nothing — they cost no simulation
+	// time). Safe under concurrent figure generation.
+	Profiles *obs.ProfileLog
 
 	// mu guards cache and inflight; the suite is safe for concurrent
 	// figure generation (mdabench -workers runs independent figures in
@@ -133,10 +140,15 @@ func (s *Suite) simulate(spec RunSpec) (*core.Results, error) {
 		}
 	}
 	s.logf("running %v ...", spec)
-	r, err := Run(spec)
+	var ins Instrument
+	if s.Profiles != nil {
+		ins.Profile = &obs.RunProfile{Name: spec.String()}
+	}
+	r, err := RunInstrumented(spec, ins)
 	if err != nil {
 		return nil, err
 	}
+	s.Profiles.Add(ins.Profile)
 	s.logf("  -> %d cycles, %d ops, %.1f MB memory traffic",
 		r.Cycles, r.Ops, float64(r.Mem.TotalBytes())/1e6)
 	if s.Checkpoint != nil {
@@ -222,7 +234,10 @@ func (s *Suite) Fig12() ([]*stats.Table, error) {
 			}
 			t.AddRow(row...)
 		}
-		t.AddRow("Average", stats.Mean(means[0]), stats.Mean(means[1]), stats.Mean(means[2]))
+		// Normalized ratios average geometrically (the paper's convention
+		// for speedup-style figures); GeoMean skips non-positive entries,
+		// so a degenerate zero-cycle ratio cannot zero out the whole row.
+		t.AddRow("Average", stats.GeoMean(means[0]), stats.GeoMean(means[1]), stats.GeoMean(means[2]))
 		tables = append(tables, t)
 	}
 	return tables, nil
@@ -254,7 +269,7 @@ func (s *Suite) Fig13() (*stats.Table, error) {
 		}
 		t.AddRow(row...)
 	}
-	t.AddRow("Average", stats.Mean(means[0]), stats.Mean(means[1]))
+	t.AddRow("Average", stats.GeoMean(means[0]), stats.GeoMean(means[1]))
 	return t, nil
 }
 

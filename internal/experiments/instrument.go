@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"mdacache/internal/compiler"
+	"mdacache/internal/core"
+	"mdacache/internal/obs"
+	"mdacache/internal/stats"
+	"mdacache/internal/workloads"
+)
+
+// Instrument carries the optional observability hooks for one run. The zero
+// value is fully off: no tracing, no profiling, and no cost beyond a nil
+// check per event site.
+type Instrument struct {
+	// Tracer receives the run's simulation events (nil = tracing off). The
+	// tracer is attached to the machine via core.Config.Tracer; it never
+	// becomes part of the RunSpec, so checkpoint keys and determinism are
+	// unaffected.
+	Tracer *obs.Tracer
+
+	// Profile, when non-nil, accumulates a wall/sim-time breakdown of the
+	// run's phases (compile, build, simulate). Profiles measure wall-clock
+	// time and are therefore non-deterministic; they are deliberately kept
+	// out of core.Results so determinism comparisons never see them.
+	Profile *obs.RunProfile
+}
+
+// RunInstrumented is Run with observability hooks.
+func RunInstrumented(spec RunSpec, ins Instrument) (*core.Results, error) {
+	return RunInstrumentedCtx(context.Background(), spec, ins)
+}
+
+// RunInstrumentedCtx is RunCtx with observability hooks: the kernel build and
+// tiling are charged to the "compile" phase of ins.Profile.
+func RunInstrumentedCtx(ctx context.Context, spec RunSpec, ins Instrument) (*core.Results, error) {
+	t0 := time.Now()
+	kern, err := workloads.Build(spec.Bench, spec.N)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	if spec.TileSize > 0 {
+		sizes := map[string]int{}
+		for _, idx := range []string{"i", "j", "k"} {
+			sizes[idx] = spec.TileSize
+		}
+		compiler.TileKernel(kern, sizes)
+	}
+	ins.Profile.Add(obs.ProfilePhase{Name: "workload", Wall: time.Since(t0)})
+	return RunKernelInstrumentedCtx(ctx, kern, spec, ins)
+}
+
+// RunKernelInstrumentedCtx is RunKernelCtx with observability hooks. Phase
+// accounting: "compile" covers trace compilation, "build" machine
+// construction, "simulate" the event loop (with simulated cycles and executed
+// event counts attached).
+func RunKernelInstrumentedCtx(ctx context.Context, kern *compiler.Kernel, spec RunSpec, ins Instrument) (res *core.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("experiments: %v panicked: %v\n%s", spec, r, debug.Stack())
+		}
+	}()
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Tracer = ins.Tracer
+
+	t0 := time.Now()
+	prog, err := compiler.Compile(kern, compiler.Target{
+		Logical2D: spec.Design.Logical2D(),
+		Layout:    spec.LayoutOverride,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ins.Profile.Add(obs.ProfilePhase{Name: "compile", Wall: time.Since(t0)})
+
+	t0 = time.Now()
+	m, err := core.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ins.Profile.Add(obs.ProfilePhase{Name: "build", Wall: time.Since(t0)})
+
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
+		defer cancel()
+	}
+	t0 = time.Now()
+	res, err = m.RunCtx(ctx, prog.Trace())
+	if err != nil {
+		return nil, err
+	}
+	events, _ := res.Metrics.Counter("sim.events")
+	ins.Profile.Add(obs.ProfilePhase{
+		Name:   "simulate",
+		Wall:   time.Since(t0),
+		Cycles: res.Cycles,
+		Events: events,
+	})
+	return res, nil
+}
+
+// ProfileTable renders run profiles as a table: one row per phase plus a
+// total row per run.
+func ProfileTable(profiles []*obs.RunProfile) *stats.Table {
+	t := stats.NewTable("Run profiles", "run", "phase", "wall", "sim-cycles", "events")
+	for _, p := range profiles {
+		if p == nil {
+			continue
+		}
+		for _, ph := range p.Phases {
+			cyc, ev := interface{}("-"), interface{}("-")
+			if ph.Cycles > 0 {
+				cyc = ph.Cycles
+			}
+			if ph.Events > 0 {
+				ev = ph.Events
+			}
+			t.AddRow(p.Name, ph.Name, ph.Wall.Round(time.Microsecond).String(), cyc, ev)
+		}
+		t.AddRow(p.Name, "total", p.Total().Round(time.Microsecond).String(), "", "")
+	}
+	return t
+}

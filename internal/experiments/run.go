@@ -7,7 +7,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime/debug"
 	"time"
 
 	"mdacache/internal/compiler"
@@ -155,18 +154,7 @@ func Run(spec RunSpec) (*core.Results, error) {
 // RunCtx is Run under a context; cancellation aborts the simulation with
 // sim.ErrTimeout.
 func RunCtx(ctx context.Context, spec RunSpec) (*core.Results, error) {
-	kern, err := workloads.Build(spec.Bench, spec.N)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
-	}
-	if spec.TileSize > 0 {
-		sizes := map[string]int{}
-		for _, idx := range []string{"i", "j", "k"} {
-			sizes[idx] = spec.TileSize
-		}
-		compiler.TileKernel(kern, sizes)
-	}
-	return RunKernelCtx(ctx, kern, spec)
+	return RunInstrumentedCtx(ctx, spec, Instrument{})
 }
 
 // RunKernel compiles an arbitrary kernel for the spec's design point and
@@ -182,32 +170,6 @@ func RunKernel(kern *compiler.Kernel, spec RunSpec) (*core.Results, error) {
 // down the caller, so one broken design point cannot abort a sweep. The
 // spec's Timeout (wall clock) and MaxCycles (simulated clock) budgets are
 // both enforced here.
-func RunKernelCtx(ctx context.Context, kern *compiler.Kernel, spec RunSpec) (res *core.Results, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			res = nil
-			err = fmt.Errorf("experiments: %v panicked: %v\n%s", spec, r, debug.Stack())
-		}
-	}()
-	cfg, err := spec.Config()
-	if err != nil {
-		return nil, err
-	}
-	prog, err := compiler.Compile(kern, compiler.Target{
-		Logical2D: spec.Design.Logical2D(),
-		Layout:    spec.LayoutOverride,
-	})
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.Build(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if spec.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
-		defer cancel()
-	}
-	return m.RunCtx(ctx, prog.Trace())
+func RunKernelCtx(ctx context.Context, kern *compiler.Kernel, spec RunSpec) (*core.Results, error) {
+	return RunKernelInstrumentedCtx(ctx, kern, spec, Instrument{})
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mdacache/internal/core"
+	"mdacache/internal/obs"
 	"mdacache/internal/stats"
 )
 
@@ -53,6 +54,12 @@ type SweepOptions struct {
 	// concurrent workers are serialized through a single goroutine, so they
 	// never interleave mid-line regardless of Workers.
 	Log io.Writer
+
+	// Profile attaches a wall/sim-time phase breakdown to every simulated
+	// run (SweepRun.Profile). Resumed runs carry no profile — nothing was
+	// simulated. Profiles are wall-clock measurements and never part of
+	// Results, so they cannot perturb determinism checks or checkpoints.
+	Profile bool
 }
 
 // workerCount resolves the effective pool size for n specs.
@@ -78,6 +85,11 @@ type SweepRun struct {
 	Err      string        // failure annotation ("" on success)
 	Attempts int           // simulation attempts this process made (0 if resumed)
 	Resumed  bool          // satisfied from the checkpoint file
+
+	// Profile is the run's phase breakdown when SweepOptions.Profile was
+	// set (nil otherwise, and for resumed runs). Excluded from the
+	// checkpoint and from DiffRuns: wall-clock time is not deterministic.
+	Profile *obs.RunProfile `json:"-"`
 }
 
 // OK reports whether the run produced results.
@@ -209,9 +221,16 @@ func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRu
 				for attempt := 0; attempt <= opt.Retries; attempt++ {
 					run.Attempts++
 					log.logf("sweep: running %v (attempt %d) ...", spec, run.Attempts)
-					r, err := RunCtx(sctx, spec)
+					var ins Instrument
+					if opt.Profile {
+						// Fresh profile per attempt so a retried run
+						// reports only the attempt that produced results.
+						ins.Profile = &obs.RunProfile{Name: spec.String()}
+					}
+					r, err := RunInstrumentedCtx(sctx, spec, ins)
 					if err == nil {
 						run.Results, run.Err = r, ""
+						run.Profile = ins.Profile
 						break
 					}
 					run.Err = err.Error()

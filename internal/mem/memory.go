@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"mdacache/internal/isa"
+	"mdacache/internal/obs"
 	"mdacache/internal/sim"
 )
 
@@ -120,6 +121,35 @@ type Memory struct {
 	// faultRNG drives write-fault injection; nil when WriteFailProb is 0,
 	// so the disabled model has strictly zero cost.
 	faultRNG *sim.RNG
+
+	tr      *obs.Tracer    // nil = tracing off
+	readLat *obs.Histogram // arrive→critical-word latency (registry-only)
+}
+
+// Instrument publishes the controller's counters in the registry — aliasing
+// the Stats struct's own storage, so the struct remains a live view — and
+// attaches the tracer. Names are "mem.*".
+func (m *Memory) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	m.tr = tr
+	s := &m.stats
+	reg.Counter("mem.reads.row", &s.Reads[isa.Row])
+	reg.Counter("mem.reads.col", &s.Reads[isa.Col])
+	reg.Counter("mem.writes.row", &s.Writes[isa.Row])
+	reg.Counter("mem.writes.col", &s.Writes[isa.Col])
+	reg.Counter("mem.buffer_hits.row", &s.BufferHits[isa.Row])
+	reg.Counter("mem.buffer_hits.col", &s.BufferHits[isa.Col])
+	reg.Counter("mem.activations.row", &s.Activations[isa.Row])
+	reg.Counter("mem.activations.col", &s.Activations[isa.Col])
+	reg.Counter("mem.bytes_read", &s.BytesRead)
+	reg.Counter("mem.bytes_written", &s.BytesWritten)
+	reg.Counter("mem.read_latency_sum", &s.ReadLatency)
+	reg.Counter("mem.write_retries", &s.WriteRetries)
+	reg.Counter("mem.write_faults", &s.WriteFaults)
+	reg.Float("mem.energy.activation_pj", &s.Energy.ActivationPJ)
+	reg.Float("mem.energy.buffer_pj", &s.Energy.BufferPJ)
+	reg.Float("mem.energy.bus_pj", &s.Energy.BusPJ)
+	reg.Float("mem.energy.write_pj", &s.Energy.WritePJ)
+	m.readLat = reg.Histogram("mem.read_latency")
 }
 
 // New constructs a memory attached to the event queue.
@@ -290,6 +320,10 @@ func (m *Memory) serve(ch *channelState, req *request, now uint64) {
 	if !p.ClosePage && bank.lookup(req.line) {
 		m.stats.BufferHits[orient]++
 		m.stats.Energy.BufferPJ += p.Energy.BufferHitPJ
+		if m.tr.Enabled(obs.CatMem) {
+			m.tr.Instant(start, obs.CatMem, "mem", "buffer_hit",
+				obs.Fields{Addr: req.line.Base, Orient: int8(orient)})
+		}
 	} else {
 		if !p.ClosePage && bank.anyOpen(orient) && len(bank.open[orient]) >= p.BuffersPerBank {
 			arrayLat += p.Precharge
@@ -297,6 +331,10 @@ func (m *Memory) serve(ch *channelState, req *request, now uint64) {
 		arrayLat += p.RCD
 		m.stats.Activations[orient]++
 		m.stats.Energy.ActivationPJ += p.Energy.ActivatePJ
+		if m.tr.Enabled(obs.CatMem) {
+			m.tr.Instant(start, obs.CatMem, "mem", "activate",
+				obs.Fields{Addr: req.line.Base, Orient: int8(orient)})
+		}
 	}
 	if orient == isa.Col {
 		arrayLat += p.ColDecodeExtra
@@ -320,6 +358,10 @@ func (m *Memory) serve(ch *channelState, req *request, now uint64) {
 		m.stats.BytesWritten += words * isa.WordSize
 		m.stats.Energy.WritePJ += float64(words) * p.Energy.WriteWordPJ
 		bank.nextFree = busEnd + p.WriteRec
+		if m.tr.Enabled(obs.CatMem) {
+			m.tr.Span(req.arrive, busEnd-req.arrive, obs.CatMem, "mem", "write",
+				obs.Fields{Addr: req.line.Base, Orient: int8(orient), V: words})
+		}
 		if m.faultRNG != nil {
 			bank.nextFree += m.injectWriteFaults(req, words)
 		}
@@ -331,6 +373,11 @@ func (m *Memory) serve(ch *channelState, req *request, now uint64) {
 	bank.nextFree = busEnd
 	crit := busStart + p.CriticalWordBeats
 	m.stats.ReadLatency += crit - req.arrive
+	m.readLat.Observe(crit - req.arrive)
+	if m.tr.Enabled(obs.CatMem) {
+		m.tr.Span(req.arrive, crit-req.arrive, obs.CatMem, "mem", "read",
+			obs.Fields{Addr: req.line.Base, Orient: int8(orient)})
+	}
 	line, done := req.line, req.done
 	m.q.Schedule(crit, func() {
 		done(crit, m.store.ReadLine(line))
@@ -351,12 +398,20 @@ func (m *Memory) injectWriteFaults(req *request, words uint64) (extra uint64) {
 		retries++
 		if retries > p.WriteRetryLimit {
 			m.stats.WriteFaults++
+			if m.tr.Enabled(obs.CatFault) {
+				m.tr.Instant(m.q.Now(), obs.CatFault, "mem", "write_fault",
+					obs.Fields{Addr: req.line.Base, Orient: int8(req.line.Orient), V: uint64(retries)})
+			}
 			m.q.Failf("mem", "write", sim.ErrWriteFault,
 				"line %v: verify failed %d times (prob=%g, limit=%d)",
 				req.line, retries, p.WriteFailProb, p.WriteRetryLimit)
 			return extra
 		}
 		m.stats.WriteRetries++
+		if m.tr.Enabled(obs.CatFault) {
+			m.tr.Instant(m.q.Now(), obs.CatFault, "mem", "write_retry",
+				obs.Fields{Addr: req.line.Base, Orient: int8(req.line.Orient), V: uint64(retries)})
+		}
 		m.stats.Energy.WritePJ += float64(words) * p.Energy.WriteWordPJ
 		extra += p.WriteRec + p.WriteRetryBackoff
 	}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestCounterAliasesStorage(t *testing.T) {
+	r := NewRegistry()
+	var hits uint64
+	r.Counter("l1.hits", &hits)
+
+	if v, ok := r.Snapshot().Counter("l1.hits"); !ok || v != 0 {
+		t.Fatalf("fresh counter = %d, %v; want 0, true (zero counters stay visible)", v, ok)
+	}
+	hits = 41
+	hits++
+	if v, _ := r.Snapshot().Counter("l1.hits"); v != 42 {
+		t.Fatalf("after incrementing the aliased field: %d, want 42", v)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	var c uint64
+	var f float64
+	r.Counter("c", &c) // must not panic
+	r.Float("f", &f)
+	r.Gauge("g").Set(3)
+	r.Gauge("g2").SetMax(5)
+	r.Histogram("h").Observe(7)
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("nil-registry gauge value = %d, want 0", got)
+	}
+	if got := r.Histogram("h").Count(); got != 0 {
+		t.Fatalf("nil-registry histogram count = %d, want 0", got)
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Hists != nil {
+		t.Fatalf("nil-registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	var a, b uint64
+	r.Counter("x", &a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	r.Counter("x", &b)
+}
+
+func TestCrossKindDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	var a uint64
+	r.Counter("x", &a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("histogram reusing a counter name did not panic")
+		}
+	}()
+	r.Histogram("x")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(4)
+	g.SetMax(2) // below current: ignored
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("gauge = %d, want 9", g.Value())
+	}
+	if got := r.Snapshot().Gauges["depth"]; got != 9 {
+		t.Fatalf("snapshot gauge = %d, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []uint64{0, 1, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got := h.Mean(); got != 107.0/6.0 {
+		t.Fatalf("mean = %g, want %g", got, 107.0/6.0)
+	}
+	hs := r.Snapshot().Hists["lat"]
+	if hs.Min != 0 || hs.Max != 100 || hs.Sum != 107 {
+		t.Fatalf("snapshot = %+v, want min 0 max 100 sum 107", hs)
+	}
+	// bits.Len64: 0→bucket 0, 1→1, {2,3}→2, 100→7. Sparse, sorted.
+	want := []HistBucket{{Log2: 0, N: 1}, {Log2: 1, N: 2}, {Log2: 2, N: 2}, {Log2: 7, N: 1}}
+	if !reflect.DeepEqual(hs.Buckets, want) {
+		t.Fatalf("buckets = %v, want %v", hs.Buckets, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	var c uint64 = 7
+	var f float64 = 2.5
+	r.Counter("c", &c)
+	r.Float("f", &f)
+	r.Gauge("g").Set(-3)
+	r.Histogram("h").Observe(12)
+	s := r.Snapshot()
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed the snapshot:\n  %+v\nvs\n  %+v", s, back)
+	}
+	if d := DiffSnapshots(s, back); d != "" {
+		t.Fatalf("DiffSnapshots after round trip: %s", d)
+	}
+}
+
+func TestSumCounters(t *testing.T) {
+	r := NewRegistry()
+	var l1, l2, other uint64 = 10, 32, 5
+	r.Counter("l1.hits", &l1)
+	r.Counter("l2.hits", &l2)
+	r.Counter("l1.misses", &other)
+	if got := r.Snapshot().SumCounters(".hits"); got != 42 {
+		t.Fatalf("SumCounters(.hits) = %d, want 42", got)
+	}
+}
+
+func TestDiffSnapshots(t *testing.T) {
+	mk := func(v uint64) Snapshot {
+		return Snapshot{Counters: map[string]uint64{"a": 1, "b": v}}
+	}
+	if d := DiffSnapshots(mk(2), mk(2)); d != "" {
+		t.Fatalf("equal snapshots diff: %q", d)
+	}
+	if d := DiffSnapshots(mk(2), mk(3)); d != "counter b: 2 vs 3" {
+		t.Fatalf("diff = %q", d)
+	}
+	// A key present on one side only is a difference too.
+	if d := DiffSnapshots(mk(2), Snapshot{Counters: map[string]uint64{"a": 1}}); d == "" {
+		t.Fatal("missing key not reported")
+	}
+	a := Snapshot{Hists: map[string]HistSnapshot{"h": {Count: 1, Sum: 5}}}
+	b := Snapshot{Hists: map[string]HistSnapshot{"h": {Count: 1, Sum: 6}}}
+	if d := DiffSnapshots(a, b); d == "" {
+		t.Fatal("histogram divergence not reported")
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(100, func() { h.Observe(17) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v times per call", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { nilH.Observe(17) }); n != 0 {
+		t.Fatalf("nil Histogram.Observe allocates %v times per call", n)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// ProfilePhase is one timed section of a run: wall-clock cost plus, for the
+// simulate phase, how much simulated time and how many events it covered.
+type ProfilePhase struct {
+	Name string `json:"name"`
+	// Wall is host wall-clock time spent in the phase.
+	Wall time.Duration `json:"wall"`
+	// Cycles is simulated cycles advanced during the phase (simulate only).
+	Cycles uint64 `json:"cycles,omitempty"`
+	// Events is simulation events executed during the phase (simulate only).
+	Events uint64 `json:"events,omitempty"`
+}
+
+// RunProfile is the phase breakdown of one simulation run. Wall-clock values
+// are inherently non-deterministic, so profiles ride alongside results
+// (SweepRun.Profile) and are never part of determinism comparisons or
+// checkpoints.
+type RunProfile struct {
+	// Name identifies the run (the spec's string form).
+	Name   string         `json:"name"`
+	Phases []ProfilePhase `json:"phases"`
+}
+
+// Add appends a phase. Nil-safe so call sites need no profiling branch.
+func (p *RunProfile) Add(ph ProfilePhase) {
+	if p == nil {
+		return
+	}
+	p.Phases = append(p.Phases, ph)
+}
+
+// Total returns the summed wall time of all phases.
+func (p *RunProfile) Total() time.Duration {
+	if p == nil {
+		return 0
+	}
+	var t time.Duration
+	for _, ph := range p.Phases {
+		t += ph.Wall
+	}
+	return t
+}
+
+// Phase returns the named phase, or a zero phase when absent.
+func (p *RunProfile) Phase(name string) ProfilePhase {
+	if p != nil {
+		for _, ph := range p.Phases {
+			if ph.Name == name {
+				return ph
+			}
+		}
+	}
+	return ProfilePhase{}
+}
+
+// ProfileLog collects RunProfiles from concurrently executing runs.
+type ProfileLog struct {
+	mu sync.Mutex
+	ps []*RunProfile
+}
+
+// Add records p. Nil-safe on both receiver and argument.
+func (l *ProfileLog) Add(p *RunProfile) {
+	if l == nil || p == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ps = append(l.ps, p)
+	l.mu.Unlock()
+}
+
+// Profiles returns a copy of the collected profiles in arrival order.
+func (l *ProfileLog) Profiles() []*RunProfile {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*RunProfile, len(l.ps))
+	copy(out, l.ps)
+	return out
+}

@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+)
+
+// Category classifies trace events so filtering can keep only the interesting
+// subsystem. Categories are a bitmask in TraceConfig.Cats.
+type Category uint32
+
+const (
+	// CatCache covers hit/miss/fill/writeback/duplicate-probe events from
+	// every cache level.
+	CatCache Category = 1 << iota
+	// CatMSHR covers miss-status-holding-register alloc/retire/coalesce/stall.
+	CatMSHR
+	// CatMem covers the memory controller and banks: activate, buffer-hit,
+	// read/write service spans.
+	CatMem
+	// CatFault covers NVM write-fault injection: retries and hard faults.
+	CatFault
+	// CatCPU covers in-order front-end events (ordering stalls).
+	CatCPU
+
+	// CatAll enables every category.
+	CatAll = CatCache | CatMSHR | CatMem | CatFault | CatCPU
+)
+
+// categoryNames maps bit position to the wire name, in declaration order.
+var categoryNames = [nCategories]string{"cache", "mshr", "mem", "fault", "cpu"}
+
+// nCategories is the number of single-bit categories.
+const nCategories = 5
+
+// String returns the wire name of a single-bit category, or a best-effort
+// joined form for masks.
+func (c Category) String() string {
+	if c == 0 {
+		return "none"
+	}
+	var out string
+	for i, name := range categoryNames {
+		if c&(1<<i) != 0 {
+			if out != "" {
+				out += ","
+			}
+			out += name
+		}
+	}
+	if out == "" {
+		return "unknown"
+	}
+	return out
+}
+
+// ParseCategories converts a comma-separated list ("cache,mem") into a mask.
+// "all" or "" selects every category.
+func ParseCategories(s string) (Category, error) {
+	if s == "" || s == "all" {
+		return CatAll, nil
+	}
+	var mask Category
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ',' {
+			continue
+		}
+		name := s[start:i]
+		start = i + 1
+		found := false
+		for bit, n := range categoryNames {
+			if n == name {
+				mask |= 1 << bit
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("obs: unknown trace category %q (valid: cache, mshr, mem, fault, cpu, all)", name)
+		}
+	}
+	return mask, nil
+}
+
+// Format selects the tracer's output encoding.
+type Format int
+
+const (
+	// FormatJSONL emits one JSON object per line — easy to grep and stream.
+	FormatJSONL Format = iota
+	// FormatChrome emits the Chrome trace_event JSON array, which Perfetto
+	// (ui.perfetto.dev) and chrome://tracing load directly.
+	FormatChrome
+)
+
+// ParseFormat converts a flag value into a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "jsonl":
+		return FormatJSONL, nil
+	case "chrome":
+		return FormatChrome, nil
+	}
+	return 0, fmt.Errorf("obs: unknown trace format %q (valid: jsonl, chrome)", s)
+}
+
+// TraceConfig gates what the tracer emits. The zero value records every
+// category, unsampled, as JSONL.
+type TraceConfig struct {
+	Format Format
+	// Cats is the category mask; 0 means all.
+	Cats Category
+	// SampleEvery keeps 1 of every N events per category (deterministic —
+	// a modular counter, not a RNG). Values <= 1 keep everything.
+	SampleEvery int
+}
+
+// Fields carries the fixed per-event payload. A fixed struct instead of a
+// map keeps emission allocation-free and the schema stable for validation.
+type Fields struct {
+	// Addr is the byte address the event concerns (0 when not applicable).
+	Addr uint64
+	// Orient is -1 (none), 0 (row) or 1 (column) — mirrors isa.Orient
+	// without importing it.
+	Orient int8
+	// V is an event-specific value: dirty mask for writebacks, tag probes
+	// for duplicate probes, retry count for faults, in-flight depth for
+	// MSHR events.
+	V uint64
+}
+
+// OrientNone marks an event with no row/column orientation.
+const OrientNone int8 = -1
+
+func orientName(o int8) string {
+	switch o {
+	case 0:
+		return "row"
+	case 1:
+		return "col"
+	}
+	return ""
+}
+
+// Tracer streams simulation events to w in the configured format. One tracer
+// belongs to one machine (it is not concurrency-safe); Close must be called
+// to flush and, for the Chrome format, terminate the JSON array. A nil
+// *Tracer is a valid, disabled tracer: Enabled reports false and every emit
+// is a no-op, so instrumented components pay one nil check when tracing is
+// off.
+type Tracer struct {
+	w       *bufio.Writer
+	cfg     TraceConfig
+	tids    map[string]int // component -> Chrome thread id
+	seen    [nCategories]uint64
+	emitted uint64
+	first   bool // next Chrome event is the array's first element
+	closed  bool
+	err     error
+	buf     []byte // reused line buffer
+}
+
+// NewTracer wraps w. For FormatChrome the opening of the JSON array is
+// written immediately, so a tracer that emits nothing still produces a valid
+// (empty) trace once closed.
+func NewTracer(w io.Writer, cfg TraceConfig) *Tracer {
+	if cfg.Cats == 0 {
+		cfg.Cats = CatAll
+	}
+	t := &Tracer{
+		w:     bufio.NewWriterSize(w, 1<<16),
+		cfg:   cfg,
+		tids:  make(map[string]int),
+		first: true,
+		buf:   make([]byte, 0, 256),
+	}
+	if cfg.Format == FormatChrome {
+		t.w.WriteString("[\n")
+	}
+	return t
+}
+
+// Enabled reports whether events in cat would be recorded. Call it before
+// assembling event arguments: on a nil or filtered tracer it is a single
+// branch, which is the entire cost of disabled tracing.
+func (t *Tracer) Enabled(cat Category) bool {
+	return t != nil && !t.closed && t.cfg.Cats&cat != 0
+}
+
+// sample applies per-category 1-of-N sampling; deterministic by construction.
+func (t *Tracer) sample(cat Category) bool {
+	if t.cfg.SampleEvery <= 1 {
+		return true
+	}
+	i := bits.TrailingZeros32(uint32(cat))
+	if i >= len(t.seen) {
+		i = len(t.seen) - 1
+	}
+	t.seen[i]++
+	return (t.seen[i]-1)%uint64(t.cfg.SampleEvery) == 0
+}
+
+// Instant records a point event at simulated cycle `at`.
+func (t *Tracer) Instant(at uint64, cat Category, comp, event string, f Fields) {
+	t.emit(at, 0, false, cat, comp, event, f)
+}
+
+// Span records an event covering [start, start+dur) simulated cycles —
+// memory service windows, fill round-trips. Rendered as a complete ("X")
+// event in the Chrome format.
+func (t *Tracer) Span(start, dur uint64, cat Category, comp, event string, f Fields) {
+	t.emit(start, dur, true, cat, comp, event, f)
+}
+
+func (t *Tracer) emit(at, dur uint64, span bool, cat Category, comp, event string, f Fields) {
+	if !t.Enabled(cat) || !t.sample(cat) {
+		return
+	}
+	t.emitted++
+	switch t.cfg.Format {
+	case FormatJSONL:
+		t.jsonl(at, dur, cat, comp, event, f)
+	case FormatChrome:
+		t.chrome(at, dur, span, cat, comp, event, f)
+	}
+}
+
+// jsonl writes one fixed-schema line:
+//
+//	{"cycle":N,"cat":"s","comp":"s","event":"s","dur":N,"addr":N,"orient":"s","v":N}
+//
+// Component and event names are simulator-controlled identifiers (no JSON
+// escaping needed); every key is always present so consumers never branch on
+// missing fields.
+func (t *Tracer) jsonl(at, dur uint64, cat Category, comp, event string, f Fields) {
+	b := t.buf[:0]
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendUint(b, at, 10)
+	b = append(b, `,"cat":"`...)
+	b = append(b, cat.String()...)
+	b = append(b, `","comp":"`...)
+	b = append(b, comp...)
+	b = append(b, `","event":"`...)
+	b = append(b, event...)
+	b = append(b, `","dur":`...)
+	b = strconv.AppendUint(b, dur, 10)
+	b = append(b, `,"addr":`...)
+	b = strconv.AppendUint(b, f.Addr, 10)
+	b = append(b, `,"orient":"`...)
+	b = append(b, orientName(f.Orient)...)
+	b = append(b, `","v":`...)
+	b = strconv.AppendUint(b, f.V, 10)
+	b = append(b, "}\n"...)
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// tid maps a component name to a stable Chrome thread id, emitting the
+// thread_name metadata event on first use so Perfetto labels the track.
+func (t *Tracer) tid(comp string) int {
+	if id, ok := t.tids[comp]; ok {
+		return id
+	}
+	id := len(t.tids) + 1
+	t.tids[comp] = id
+	t.sep()
+	fmt.Fprintf(t.w, `{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"%s"}}`, id, comp)
+	return id
+}
+
+// sep writes the element separator for the Chrome JSON array.
+func (t *Tracer) sep() {
+	if t.first {
+		t.first = false
+	} else {
+		t.w.WriteString(",\n")
+	}
+}
+
+// chrome writes one trace_event object. Simulated cycles map 1:1 to
+// microseconds of trace time (ts/dur), which keeps Perfetto's timeline in
+// cycle units.
+func (t *Tracer) chrome(at, dur uint64, span bool, cat Category, comp, event string, f Fields) {
+	id := t.tid(comp)
+	t.sep()
+	ph, extra := `"i","s":"t"`, ""
+	if span {
+		ph = `"X"`
+		extra = fmt.Sprintf(`,"dur":%d`, dur)
+	}
+	if _, err := fmt.Fprintf(t.w,
+		`{"name":"%s","cat":"%s","ph":%s,"ts":%d%s,"pid":1,"tid":%d,"args":{"addr":%d,"orient":"%s","v":%d}}`,
+		event, cat.String(), ph, at, extra, id, f.Addr, orientName(f.Orient), f.V); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// Emitted returns the number of events written (post-filter, post-sampling).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.emitted
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// Close flushes buffered output and terminates the Chrome JSON array. The
+// tracer is disabled afterwards. Safe on nil and safe to call twice.
+func (t *Tracer) Close() error {
+	if t == nil || t.closed {
+		return nil
+	}
+	t.closed = true
+	if t.cfg.Format == FormatChrome {
+		t.w.WriteString("\n]\n")
+	}
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseCategories(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Category
+	}{
+		{"", CatAll},
+		{"all", CatAll},
+		{"cache", CatCache},
+		{"cache,mem", CatCache | CatMem},
+		{"mshr,fault,cpu", CatMSHR | CatFault | CatCPU},
+	} {
+		got, err := ParseCategories(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseCategories(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseCategories("cache,bogus"); err == nil {
+		t.Error("unknown category accepted")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	if f, err := ParseFormat("jsonl"); err != nil || f != FormatJSONL {
+		t.Errorf("jsonl: %v, %v", f, err)
+	}
+	if f, err := ParseFormat("chrome"); err != nil || f != FormatChrome {
+		t.Errorf("chrome: %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled(CatCache) {
+		t.Fatal("nil tracer claims enabled")
+	}
+	tr.Instant(1, CatCache, "L1", "hit", Fields{}) // must not panic
+	tr.Span(1, 2, CatMem, "mem", "read", Fields{})
+	if tr.Emitted() != 0 || tr.Err() != nil || tr.Close() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+func TestJSONLSchema(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TraceConfig{})
+	tr.Instant(5, CatCache, "L1", "miss", Fields{Addr: 4096, Orient: 1, V: 3})
+	tr.Span(10, 7, CatMem, "mem", "read", Fields{Addr: 64, Orient: 0})
+	tr.Instant(11, CatCache, "L1", "dup_probe", Fields{Orient: OrientNone, V: 2})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Emitted() != 3 {
+		t.Fatalf("emitted %d, want 3", tr.Emitted())
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	var ev struct {
+		Cycle  uint64 `json:"cycle"`
+		Cat    string `json:"cat"`
+		Comp   string `json:"comp"`
+		Event  string `json:"event"`
+		Dur    uint64 `json:"dur"`
+		Addr   uint64 `json:"addr"`
+		Orient string `json:"orient"`
+		V      uint64 `json:"v"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if ev.Cycle != 5 || ev.Cat != "cache" || ev.Comp != "L1" || ev.Event != "miss" ||
+		ev.Addr != 4096 || ev.Orient != "col" || ev.V != 3 {
+		t.Fatalf("line 0 = %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Dur != 7 || ev.Orient != "row" {
+		t.Fatalf("span line = %+v, want dur 7 orient row", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Orient != "" {
+		t.Fatalf("OrientNone rendered as %q, want empty", ev.Orient)
+	}
+
+	if _, err := ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("emitted JSONL fails validation: %v", err)
+	}
+}
+
+func TestChromeFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TraceConfig{Format: FormatChrome})
+	tr.Instant(5, CatCache, "L1", "miss", Fields{Addr: 4096, Orient: 1})
+	tr.Span(9, 20, CatCache, "L1", "fill", Fields{Addr: 4096, Orient: 1})
+	tr.Instant(12, CatMem, "mem", "activate", Fields{Addr: 64, Orient: 0})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	// 3 events + 2 thread_name metadata records (L1, mem).
+	if len(events) != 5 {
+		t.Fatalf("%d array elements, want 5", len(events))
+	}
+	var names, phases []string
+	for _, e := range events {
+		names = append(names, e["name"].(string))
+		phases = append(phases, e["ph"].(string))
+	}
+	if names[0] != "thread_name" || phases[0] != "M" {
+		t.Fatalf("first element should be thread metadata, got %v/%v", names[0], phases[0])
+	}
+	if phases[2] != "X" && phases[1] != "X" {
+		t.Fatalf("span not rendered as complete event: %v", phases)
+	}
+
+	sum, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("emitted chrome trace fails validation: %v", err)
+	}
+	if sum.Events != 3 {
+		t.Fatalf("validator counted %d events, want 3 (metadata excluded)", sum.Events)
+	}
+}
+
+func TestChromeEmptyTraceIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TraceConfig{Format: FormatChrome})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty chrome trace is not valid JSON: %v\n%q", err, buf.String())
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty trace has %d elements", len(events))
+	}
+}
+
+func TestCategoryFilter(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TraceConfig{Cats: CatMem})
+	if tr.Enabled(CatCache) {
+		t.Fatal("filtered category reports enabled")
+	}
+	tr.Instant(1, CatCache, "L1", "hit", Fields{})
+	tr.Instant(2, CatMem, "mem", "activate", Fields{})
+	tr.Close()
+	if tr.Emitted() != 1 {
+		t.Fatalf("emitted %d, want 1", tr.Emitted())
+	}
+	if !strings.Contains(buf.String(), "activate") || strings.Contains(buf.String(), "hit") {
+		t.Fatalf("filter leaked: %s", buf.String())
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf, TraceConfig{SampleEvery: 3})
+		for i := 0; i < 9; i++ {
+			tr.Instant(uint64(i), CatCache, "L1", "hit", Fields{Addr: uint64(i)})
+		}
+		// A second category keeps its own modular counter.
+		for i := 0; i < 2; i++ {
+			tr.Instant(uint64(i), CatMem, "mem", "read", Fields{})
+		}
+		tr.Close()
+		if tr.Emitted() != 4 { // 9/3 cache + first mem event
+			t.Fatalf("emitted %d, want 4", tr.Emitted())
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("sampling is not deterministic across identical runs")
+	}
+}
+
+func TestTracerAfterCloseIsInert(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TraceConfig{})
+	tr.Instant(1, CatCache, "L1", "hit", Fields{})
+	tr.Close()
+	n := buf.Len()
+	tr.Instant(2, CatCache, "L1", "hit", Fields{})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if buf.Len() != n || tr.Emitted() != 1 {
+		t.Fatal("closed tracer still emits")
+	}
+}
+
+func TestJSONLEmitAllocFree(t *testing.T) {
+	tr := NewTracer(io.Discard, TraceConfig{})
+	f := Fields{Addr: 123456, Orient: 1, V: 9}
+	tr.Instant(0, CatCache, "L1", "hit", f) // warm the line buffer
+	if n := testing.AllocsPerRun(200, func() {
+		tr.Instant(1, CatCache, "L1", "hit", f)
+	}); n != 0 {
+		t.Fatalf("JSONL emit allocates %v times per event", n)
+	}
+}
+
+func TestValidateTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty jsonl":     "",
+		"not json":        "garbage\n",
+		"bad category":    `{"cycle":1,"cat":"nope","comp":"L1","event":"hit","dur":0,"addr":0,"orient":"","v":0}` + "\n",
+		"bad orient":      `{"cycle":1,"cat":"cache","comp":"L1","event":"hit","dur":0,"addr":0,"orient":"diag","v":0}` + "\n",
+		"missing cycle":   `{"cat":"cache","comp":"L1","event":"hit","dur":0,"addr":0,"orient":"","v":0}` + "\n",
+		"empty event":     `{"cycle":1,"cat":"cache","comp":"L1","event":"","dur":0,"addr":0,"orient":"","v":0}` + "\n",
+		"chrome not json": "[\n{bad}\n]\n",
+		"chrome bad ph":   `[{"name":"x","cat":"cache","ph":"Q","ts":1,"pid":1,"tid":1,"args":{}}]`,
+		"chrome X no dur": `[{"name":"x","cat":"cache","ph":"X","ts":1,"pid":1,"tid":1,"args":{}}]`,
+		"chrome no args":  `[{"name":"x","cat":"cache","ph":"i","ts":1,"pid":1,"tid":1}]`,
+	}
+	for name, in := range cases {
+		if _, err := ValidateTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateTraceAcceptsFromReader(t *testing.T) {
+	// Exercise the format sniffing on a buffered reader boundary.
+	good := `{"cycle":1,"cat":"cache","comp":"L1","event":"hit","dur":0,"addr":0,"orient":"row","v":0}` + "\n"
+	sum, err := ValidateTrace(bufio.NewReader(strings.NewReader(good)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 1 || sum.ByCat["cache"] != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}

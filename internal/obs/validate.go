@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TraceSummary is what ValidateTrace learned about a well-formed trace.
+type TraceSummary struct {
+	// Format is "jsonl" or "chrome".
+	Format string
+	// Events counts payload events (Chrome metadata records excluded).
+	Events int
+	// ByCat counts events per category name.
+	ByCat map[string]int
+}
+
+func (s *TraceSummary) String() string {
+	var cats []string
+	for _, name := range categoryNames {
+		if n := s.ByCat[name]; n > 0 {
+			cats = append(cats, fmt.Sprintf("%s=%d", name, n))
+		}
+	}
+	return fmt.Sprintf("%s trace: %d events (%s)", s.Format, s.Events, strings.Join(cats, " "))
+}
+
+// validCats is the closed set of category names the simulator emits.
+func validCat(name string) bool {
+	for _, n := range categoryNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateTrace schema-checks a trace produced by Tracer, auto-detecting the
+// format: input starting with '[' or '{' followed by "traceEvents" is Chrome
+// trace_event JSON, anything else is treated as JSONL. It returns a summary
+// on success and a descriptive error on the first violation, so CI catches
+// format drift before Perfetto users do.
+func ValidateTrace(r io.Reader) (*TraceSummary, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("trace is empty: %w", err)
+	}
+	if head[0] == '[' {
+		return validateChrome(br)
+	}
+	return validateJSONL(br)
+}
+
+// chromeEvent mirrors the fields the validator checks; args stays loose so
+// metadata events (process/thread names) pass too.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	TS   *float64         `json:"ts"`
+	Dur  *float64         `json:"dur"`
+	PID  *int             `json:"pid"`
+	TID  *int             `json:"tid"`
+	Args *json.RawMessage `json:"args"`
+}
+
+func validateChrome(r io.Reader) (*TraceSummary, error) {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("chrome trace: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("chrome trace: expected top-level array, got %v", tok)
+	}
+	sum := &TraceSummary{Format: "chrome", ByCat: make(map[string]int)}
+	for i := 0; dec.More(); i++ {
+		var ev chromeEvent
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("chrome trace: event %d: %w", i, err)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("chrome trace: event %d: missing name", i)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return nil, fmt.Errorf("chrome trace: event %d (%s): missing pid/tid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M": // metadata: no ts, no cat
+			continue
+		case "i", "I":
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return nil, fmt.Errorf("chrome trace: event %d (%s): complete event without non-negative dur", i, ev.Name)
+			}
+		default:
+			return nil, fmt.Errorf("chrome trace: event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.TS == nil || *ev.TS < 0 {
+			return nil, fmt.Errorf("chrome trace: event %d (%s): missing or negative ts", i, ev.Name)
+		}
+		if !validCat(ev.Cat) {
+			return nil, fmt.Errorf("chrome trace: event %d (%s): unknown category %q", i, ev.Name, ev.Cat)
+		}
+		if ev.Args == nil {
+			return nil, fmt.Errorf("chrome trace: event %d (%s): missing args", i, ev.Name)
+		}
+		sum.Events++
+		sum.ByCat[ev.Cat]++
+	}
+	if tok, err = dec.Token(); err != nil {
+		return nil, fmt.Errorf("chrome trace: unterminated array: %w", err)
+	}
+	return sum, nil
+}
+
+// jsonlEvent is the fixed JSONL schema; pointers distinguish "absent" from
+// zero so the validator rejects dropped keys.
+type jsonlEvent struct {
+	Cycle  *uint64 `json:"cycle"`
+	Cat    *string `json:"cat"`
+	Comp   *string `json:"comp"`
+	Event  *string `json:"event"`
+	Dur    *uint64 `json:"dur"`
+	Addr   *uint64 `json:"addr"`
+	Orient *string `json:"orient"`
+	V      *uint64 `json:"v"`
+}
+
+func validateJSONL(r *bufio.Reader) (*TraceSummary, error) {
+	sum := &TraceSummary{Format: "jsonl", ByCat: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var ev jsonlEvent
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			return nil, fmt.Errorf("jsonl trace: line %d: %w", line, err)
+		}
+		switch {
+		case ev.Cycle == nil:
+			return nil, fmt.Errorf("jsonl trace: line %d: missing cycle", line)
+		case ev.Cat == nil || !validCat(*ev.Cat):
+			return nil, fmt.Errorf("jsonl trace: line %d: missing or unknown cat", line)
+		case ev.Comp == nil || *ev.Comp == "":
+			return nil, fmt.Errorf("jsonl trace: line %d: missing comp", line)
+		case ev.Event == nil || *ev.Event == "":
+			return nil, fmt.Errorf("jsonl trace: line %d: missing event", line)
+		case ev.Dur == nil || ev.Addr == nil || ev.V == nil:
+			return nil, fmt.Errorf("jsonl trace: line %d: missing dur/addr/v", line)
+		case ev.Orient == nil || (*ev.Orient != "" && *ev.Orient != "row" && *ev.Orient != "col"):
+			return nil, fmt.Errorf("jsonl trace: line %d: bad orient", line)
+		}
+		sum.Events++
+		sum.ByCat[*ev.Cat]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("jsonl trace: %w", err)
+	}
+	if sum.Events == 0 {
+		return nil, fmt.Errorf("jsonl trace: no events")
+	}
+	return sum, nil
+}

@@ -38,15 +38,24 @@ func (t *Table) AddRow(cells ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Ragged input is tolerated:
+// widths are sized to the widest row (not just the header), and rows shorter
+// than the widest are padded with empty cells so every line spans the full
+// column set.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -56,7 +65,11 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "== %s ==\n", t.Title)
 	}
 	line := func(cells []string) {
-		for i, c := range cells {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
 			if i > 0 {
 				b.WriteString("  ")
 			}
@@ -65,7 +78,7 @@ func (t *Table) String() string {
 		b.WriteByte('\n')
 	}
 	line(t.Header)
-	sep := make([]string, len(t.Header))
+	sep := make([]string, cols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
@@ -99,19 +112,31 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// GeoMean returns the geometric mean of positive values (0 if none).
+// GeoMean returns the geometric mean of the positive values in vals.
+// Non-positive values are skipped rather than poisoning the aggregate (a
+// geometric mean is only defined over positive inputs; a single stray zero
+// used to zero entire normalized-cycle figures). When no value qualifies the
+// result is NaN, which renders visibly instead of masquerading as a real 0.
 func GeoMean(vals []float64) float64 {
-	if len(vals) == 0 {
-		return 0
-	}
-	sum := 0.0
+	g, _ := GeoMeanN(vals)
+	return g
+}
+
+// GeoMeanN is GeoMean plus the count of values that actually contributed
+// (positive, non-NaN), so callers can report how much input was discarded.
+func GeoMeanN(vals []float64) (float64, int) {
+	sum, n := 0.0, 0
 	for _, v := range vals {
-		if v <= 0 {
-			return 0
+		if v <= 0 || math.IsNaN(v) {
+			continue
 		}
 		sum += math.Log(v)
+		n++
 	}
-	return math.Exp(sum / float64(len(vals)))
+	if n == 0 {
+		return math.NaN(), 0
+	}
+	return math.Exp(sum / float64(n)), n
 }
 
 // Mean returns the arithmetic mean (0 if empty).
@@ -148,26 +173,40 @@ type Series struct {
 }
 
 // Sparkline renders the series as a fixed-width ASCII sparkline scaled to
-// [0, max(Y)].
+// [min(0, min(Y)), max(Y)]: zero stays anchored at the ramp's floor for
+// all-non-negative data, and negative samples extend the scale downwards
+// instead of producing a negative ramp index.
 func (s *Series) Sparkline(width int) string {
 	if len(s.Y) == 0 || width <= 0 {
 		return ""
 	}
 	ramp := []rune("▁▂▃▄▅▆▇█")
-	max := 0.0
+	lo, hi := 0.0, 0.0
 	for _, v := range s.Y {
-		if v > max {
-			max = v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
 		}
 	}
+	span := hi - lo
 	out := make([]rune, width)
 	for i := 0; i < width; i++ {
 		j := i * len(s.Y) / width
 		v := 0.0
-		if max > 0 {
-			v = s.Y[j] / max
+		if span > 0 {
+			v = (s.Y[j] - lo) / span
 		}
 		k := int(v * float64(len(ramp)-1))
+		// Clamp: guards rounding at the edges and NaN samples (whose
+		// conversion to int is unspecified).
+		if k < 0 {
+			k = 0
+		}
+		if k > len(ramp)-1 {
+			k = len(ramp) - 1
+		}
 		out[i] = ramp[k]
 	}
 	return string(out)

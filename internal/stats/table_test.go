@@ -28,6 +28,33 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableRagged is the regression test for the widths[i] out-of-range
+// panic: rows wider than the header must render (sizing every column), and
+// short rows must be padded to the full column count.
+func TestTableRagged(t *testing.T) {
+	tab := NewTable("ragged", "only-one-header")
+	tab.AddRow("a", "extra-col", "even-more")
+	tab.AddRow("just-a")
+	tab.AddRow()
+	out := tab.String() // must not panic
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "even-more") {
+		t.Fatal("extra cells dropped")
+	}
+	// The separator spans every column, including those absent from the
+	// header, and all full-width lines are equally long.
+	sep := lines[2]
+	if !strings.Contains(sep, "-") || len(sep) < len("only-one-header  a-extra-col") {
+		t.Fatalf("separator does not span ragged columns: %q", sep)
+	}
+	if len(lines[1]) != len(sep) || len(lines[3]) != len(sep) {
+		t.Fatalf("padded lines disagree on width:\n%s", out)
+	}
+}
+
 func TestTableCSV(t *testing.T) {
 	tab := NewTable("t", "a", "b")
 	tab.AddRow("x,y", `quote"me`)
@@ -42,8 +69,22 @@ func TestGeoMean(t *testing.T) {
 	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-9 {
 		t.Fatalf("geomean = %g", g)
 	}
-	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
-		t.Fatal("degenerate geomean")
+	// Non-positive values are skipped, not allowed to zero the aggregate:
+	// GeoMean({1, 4, 0, -3}) is the geomean of {1, 4}.
+	if g := GeoMean([]float64{1, 4, 0, -3}); math.Abs(g-2) > 1e-9 {
+		t.Fatalf("geomean with non-positives = %g, want 2", g)
+	}
+	if g, n := GeoMeanN([]float64{1, 4, 0, -3, math.NaN()}); n != 2 || math.Abs(g-2) > 1e-9 {
+		t.Fatalf("GeoMeanN = (%g, %d), want (2, 2)", g, n)
+	}
+	// No qualifying values: NaN (visibly undefined), never a fake 0.
+	for _, vals := range [][]float64{nil, {}, {0}, {-1, -2}} {
+		if g := GeoMean(vals); !math.IsNaN(g) {
+			t.Fatalf("GeoMean(%v) = %g, want NaN", vals, g)
+		}
+		if g, n := GeoMeanN(vals); n != 0 || !math.IsNaN(g) {
+			t.Fatalf("GeoMeanN(%v) = (%g, %d), want (NaN, 0)", vals, g, n)
+		}
 	}
 }
 
@@ -83,12 +124,58 @@ func TestSparkline(t *testing.T) {
 	}
 }
 
+// TestSparklineNegative is the regression test for the negative ramp index
+// panic: series containing negative samples must render, scaled over
+// [min(Y), max(Y)] with the most negative sample at the ramp's floor.
+func TestSparklineNegative(t *testing.T) {
+	s := Series{Y: []float64{-2, -1, 0, 1, 2}}
+	line := s.Sparkline(5) // must not panic
+	runes := []rune(line)
+	if len(runes) != 5 {
+		t.Fatalf("width = %d (%q)", len(runes), line)
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	if runes[0] != ramp[0] {
+		t.Fatalf("most negative sample not at ramp floor: %q", line)
+	}
+	if runes[4] != ramp[len(ramp)-1] {
+		t.Fatalf("maximum sample not at ramp ceiling: %q", line)
+	}
+	if runes[0] >= runes[4] {
+		t.Fatalf("sparkline not increasing: %q", line)
+	}
+
+	// All-negative series: still renders, min at floor, max below ceiling
+	// only if zero anchoring pushes it up — scale is [min(Y), 0].
+	all := (&Series{Y: []float64{-4, -1}}).Sparkline(2)
+	if got := []rune(all); len(got) != 2 || got[0] != ramp[0] {
+		t.Fatalf("all-negative sparkline = %q", all)
+	}
+}
+
+// TestSparklineAllZero: a flat zero series must render the ramp floor, not
+// divide by a zero span or panic.
+func TestSparklineAllZero(t *testing.T) {
+	s := Series{Y: []float64{0, 0, 0, 0}}
+	line := s.Sparkline(4)
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	for _, r := range line {
+		if r != ramp[0] {
+			t.Fatalf("all-zero series not flat at ramp floor: %q", line)
+		}
+	}
+	if len([]rune(line)) != 4 {
+		t.Fatalf("width = %d", len([]rune(line)))
+	}
+}
+
 func TestSparklineBoundsProperty(t *testing.T) {
 	f := func(raw []float64, w uint8) bool {
 		width := int(w%40) + 1
 		ys := make([]float64, 0, len(raw))
+		// Negative values included since the negative-ramp-index fix.
 		for _, v := range raw {
-			if !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
 				ys = append(ys, v)
 			}
 		}
