@@ -60,6 +60,12 @@ func main() {
 		profile   = flag.Bool("profile", false, "print a per-run phase profile (compile/build/simulate wall time, cycles, events) to stderr at the end")
 	)
 	flag.Parse()
+	if *scale < 1 {
+		usagef("-scale must be >= 1 (got %d)", *scale)
+	}
+	if flag.NArg() > 0 {
+		usagef("unexpected arguments: %v", flag.Args())
+	}
 
 	var log io.Writer
 	if *verb {
@@ -79,8 +85,11 @@ func main() {
 	if *resume != "" {
 		ckpt, err := experiments.LoadCheckpoint(*resume)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mdabench:", err)
-			os.Exit(1)
+			// A missing file is a valid first run (LoadCheckpoint returns an
+			// empty checkpoint); an unreadable or corrupt one is a bad
+			// invocation — resuming from it would silently redo (and then
+			// overwrite) finished work, so refuse with a usage error.
+			usagef("%v", err)
 		}
 		if n := ckpt.Len(); n > 0 && *verb {
 			fmt.Fprintf(os.Stderr, "resuming from %s (%d finished runs)\n", *resume, n)
@@ -304,4 +313,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// usagef reports a bad invocation on exit code 2, the conventional
+// usage-error status.
+func usagef(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdabench: "+format+"\n", args...)
+	os.Exit(2)
 }

@@ -1,0 +1,136 @@
+// Command mdacheck runs the cross-design conformance harness: seeded random
+// traces replayed on every cache design and checked against a functional
+// reference model (identical load values, identical final memory image,
+// metric conservation identities).
+//
+// Examples:
+//
+//	mdacheck -n 1000                 # check seeds 0..999
+//	mdacheck -seed 0x2a              # reproduce one seed (prints its spec)
+//	mdacheck -n 200 -designs all     # include the ablation designs
+//	mdacheck -n 100 -faults on       # force fault injection everywhere
+//	mdacheck -seed 7 -break-coherence  # demo: watch the harness catch a bug
+//
+// On failure, mdacheck prints the shrunk trace and a one-line repro command
+// and exits 1. Exit code 2 means the invocation itself was invalid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdacache/internal/check"
+	"mdacache/internal/core"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 0, "check exactly this seed (overrides -n)")
+		n        = flag.Int("n", 256, "number of corpus seeds to check (seeds 0..n-1)")
+		designs  = flag.String("designs", "paper", "design set: paper (1P1L,1P2L,1P2L_SameSet,2P2L) or all (+2P2L_Dense,2P2L_L1)")
+		faults   = flag.String("faults", "auto", "fault injection: auto (per-seed), on, off")
+		breakCoh = flag.Bool("break-coherence", false, "disable duplicate-coherence eviction (verifies the harness catches it)")
+		noShrink = flag.Bool("no-shrink", false, "skip trace minimisation on failure")
+		maxFail  = flag.Int("max-failures", 1, "stop after this many failing seeds")
+		verbose  = flag.Bool("v", false, "print each seed's spec as it runs")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		usagef("unexpected arguments: %v", flag.Args())
+	}
+
+	opt := check.Options{NoShrink: *noShrink}
+	switch *designs {
+	case "paper":
+		// nil selects check.PaperDesigns.
+	case "all":
+		opt.Designs = check.AllDesigns
+	default:
+		usagef("invalid -designs %q (valid: paper, all)", *designs)
+	}
+	switch *faults {
+	case "auto":
+		opt.Faults = check.FaultAuto
+	case "on":
+		opt.Faults = check.FaultOn
+	case "off":
+		opt.Faults = check.FaultOff
+	default:
+		usagef("invalid -faults %q (valid: auto, on, off)", *faults)
+	}
+	opt.BreakCoherence = *breakCoh
+	if *n <= 0 && !seedSet() {
+		usagef("-n must be positive")
+	}
+	if *maxFail <= 0 {
+		usagef("-max-failures must be positive")
+	}
+
+	seeds := make([]uint64, 0, *n)
+	if seedSet() {
+		seeds = append(seeds, *seed)
+	} else {
+		for s := 0; s < *n; s++ {
+			seeds = append(seeds, uint64(s))
+		}
+	}
+
+	failures := 0
+	for _, s := range seeds {
+		spec := check.SpecForSeed(s)
+		if *verbose {
+			fmt.Printf("mdacheck: %v\n", spec)
+		}
+		if f := check.CheckSpec(spec, opt); f != nil {
+			fmt.Print(f)
+			failures++
+			if failures >= *maxFail {
+				break
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("mdacheck: %d failing seed(s) of %d checked\n", failures, len(seeds))
+		os.Exit(1)
+	}
+	dn := "paper designs"
+	if *designs == "all" {
+		dn = "all designs"
+	}
+	fmt.Printf("mdacheck: %d seed(s) conform across %s (designs: %s, faults: %s)\n",
+		len(seeds), dn, designSetString(opt.Designs), *faults)
+}
+
+// seedSet reports whether -seed was passed explicitly (0 is a valid seed).
+func seedSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			set = true
+		}
+	})
+	return set
+}
+
+func designSetString(ds []core.Design) string {
+	if ds == nil {
+		ds = check.PaperDesigns
+	}
+	out := ""
+	for i, d := range ds {
+		if i > 0 {
+			out += ","
+		}
+		out += d.String()
+	}
+	return out
+}
+
+// usagef reports a bad invocation on exit code 2, the conventional
+// usage-error status.
+func usagef(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdacheck: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

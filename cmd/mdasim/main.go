@@ -76,6 +76,28 @@ func main() {
 	if *traceFile == "" && !workloads.Valid(*bench) {
 		usagef("unknown benchmark %q (valid: %s)", *bench, strings.Join(workloads.Names, ", "))
 	}
+	if *scale < 1 {
+		usagef("-scale must be >= 1 (got %d)", *scale)
+	}
+	if *n < 0 {
+		usagef("-n must be non-negative (got %d)", *n)
+	}
+	if *failProb < 0 || *failProb >= 1 {
+		usagef("-write-fail-prob must be in [0, 1) (got %g)", *failProb)
+	}
+	if *traceSample < 1 {
+		usagef("-trace-sample must be >= 1 (got %d)", *traceSample)
+	}
+	// Trace flags modify -trace-out; set without it they would be silently
+	// ignored, which hides typos like -trace-format without an output.
+	if *traceOut == "" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "trace-format", "trace-cats", "trace-sample":
+				usagef("-%s requires -trace-out", f.Name)
+			}
+		})
+	}
 	if *n == 0 {
 		*n = 512 / *scale
 	}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdacache/internal/clitest"
+)
+
+func TestMain(m *testing.M) {
+	clitest.Main(m, "mdacache/cmd/mdasim")
+}
+
+// TestSmoke runs one tiny simulation end to end and sanity-checks the report.
+func TestSmoke(t *testing.T) {
+	res := clitest.Run(t, "mdasim", "-bench", "sgemm", "-design", "1P2L", "-scale", "32")
+	if res.Code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", res.Code, res.Stderr)
+	}
+	for _, want := range []string{"sgemm on 1P2L", "Cache levels", "MDA main memory"} {
+		if !strings.Contains(res.Stdout, want) {
+			t.Errorf("report lacks %q:\n%s", want, res.Stdout)
+		}
+	}
+}
+
+// TestSmokePrintConfig checks the no-simulation path.
+func TestSmokePrintConfig(t *testing.T) {
+	res := clitest.Run(t, "mdasim", "-printconfig", "-design", "2P2L")
+	if res.Code != 0 || !strings.Contains(res.Stdout, "Configuration") {
+		t.Fatalf("exit %d, stdout:\n%s", res.Code, res.Stdout)
+	}
+}
+
+// TestSmokeCSVAndMetrics checks the machine-readable outputs.
+func TestSmokeCSVAndMetrics(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.json")
+	res := clitest.Run(t, "mdasim", "-bench", "sobel", "-scale", "32", "-csv", "-metrics-out", out)
+	if res.Code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "cycles,") {
+		t.Errorf("CSV output lacks cycles row:\n%s", res.Stdout)
+	}
+}
+
+// TestSmokeTraceOut checks event-trace emission.
+func TestSmokeTraceOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.jsonl")
+	res := clitest.Run(t, "mdasim", "-bench", "sgemm", "-scale", "32", "-trace-out", out, "-trace-format", "jsonl")
+	if res.Code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stderr, "wrote") {
+		t.Errorf("no trace summary on stderr:\n%s", res.Stderr)
+	}
+}
+
+// TestUsageErrors pins exit code 2 + a diagnostic for every invalid flag
+// combination the CLI rejects.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"unknown design", []string{"-design", "3P3L"}, "unknown design"},
+		{"unknown bench", []string{"-bench", "nope"}, "unknown benchmark"},
+		{"zero scale", []string{"-bench", "sgemm", "-scale", "0"}, "-scale must be"},
+		{"negative n", []string{"-bench", "sgemm", "-n", "-4"}, "-n must be"},
+		{"bad fail prob", []string{"-bench", "sgemm", "-write-fail-prob", "1.5"}, "-write-fail-prob"},
+		{"orphan trace-format", []string{"-bench", "sgemm", "-trace-format", "chrome"}, "requires -trace-out"},
+		{"orphan trace-cats", []string{"-bench", "sgemm", "-trace-cats", "mem"}, "requires -trace-out"},
+		{"orphan trace-sample", []string{"-bench", "sgemm", "-trace-sample", "2"}, "requires -trace-out"},
+		{"bad trace-sample", []string{"-bench", "sgemm", "-trace-out", "x", "-trace-sample", "0"}, "-trace-sample"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res := clitest.Run(t, "mdasim", c.args...)
+			if res.Code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr:\n%s", res.Code, res.Stderr)
+			}
+			if !strings.Contains(res.Stderr, c.want) {
+				t.Errorf("stderr lacks %q:\n%s", c.want, res.Stderr)
+			}
+		})
+	}
+}

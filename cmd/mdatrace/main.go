@@ -40,22 +40,42 @@ func main() {
 		validate = flag.Bool("validate", false, "validate a simulation event trace (jsonl or chrome, from mdasim -trace-out) against the schema")
 	)
 	flag.Parse()
+	if *target != "1d" && *target != "2d" {
+		usagef("invalid -target %q (valid: 1d, 2d)", *target)
+	}
+	if *n < 1 {
+		usagef("-n must be >= 1 (got %d)", *n)
+	}
+	if *tile < 0 {
+		usagef("-tile must be non-negative (got %d)", *tile)
+	}
 
 	switch {
 	case *validate:
+		if *bench != "" {
+			usagef("-validate and -bench are mutually exclusive")
+		}
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "mdatrace: -validate needs one event-trace file ('-' = stdin)")
-			os.Exit(2)
+			usagef("-validate needs one event-trace file ('-' = stdin)")
 		}
 		validateMode(flag.Arg(0))
 	case *bench != "":
+		if flag.NArg() > 0 {
+			usagef("unexpected arguments with -bench: %v", flag.Args())
+		}
 		compileMode(*bench, *n, *target, *tile, *out, *show, *head, *print_)
 	case flag.NArg() == 1:
 		fileMode(flag.Arg(0), *show, *head)
 	default:
-		fmt.Fprintln(os.Stderr, "mdatrace: give -bench to compile or a trace file to read")
-		os.Exit(1)
+		usagef("give -bench to compile or a trace file to read")
 	}
+}
+
+// usagef reports a bad invocation on exit code 2, the conventional
+// usage-error status.
+func usagef(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdatrace: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 // validateMode schema-checks a simulation event trace and prints a summary.

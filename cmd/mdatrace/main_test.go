@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdacache/internal/clitest"
+)
+
+func TestMain(m *testing.M) {
+	clitest.Main(m, "mdacache/cmd/mdatrace")
+}
+
+// TestSmokeCompileDumpRead compiles a benchmark to a trace file, then reads
+// it back through the file path — the full round trip.
+func TestSmokeCompileDumpRead(t *testing.T) {
+	trc := filepath.Join(t.TempDir(), "sgemm.trc")
+	res := clitest.Run(t, "mdatrace", "-bench", "sgemm", "-n", "16", "-o", trc, "-stats")
+	if res.Code != 0 {
+		t.Fatalf("compile: exit %d\nstderr:\n%s", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stderr, "wrote") || !strings.Contains(res.Stdout, "Access mix") {
+		t.Fatalf("unexpected output\nstdout:\n%s\nstderr:\n%s", res.Stdout, res.Stderr)
+	}
+	read := clitest.Run(t, "mdatrace", trc)
+	if read.Code != 0 {
+		t.Fatalf("read: exit %d\nstderr:\n%s", read.Code, read.Stderr)
+	}
+	if !strings.Contains(read.Stdout, "ops") {
+		t.Errorf("read output lacks op count:\n%s", read.Stdout)
+	}
+}
+
+// TestSmokeHead checks -head printing.
+func TestSmokeHead(t *testing.T) {
+	res := clitest.Run(t, "mdatrace", "-bench", "sobel", "-n", "16", "-head", "5")
+	if res.Code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", res.Code, res.Stderr)
+	}
+	if n := strings.Count(strings.TrimSpace(res.Stdout), "\n") + 1; n != 5 {
+		t.Errorf("-head 5 printed %d lines:\n%s", n, res.Stdout)
+	}
+}
+
+// TestUsageErrors pins exit code 2 for invalid invocations.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no input", nil, "give -bench"},
+		{"bad target", []string{"-bench", "sgemm", "-target", "3d"}, "-target"},
+		{"zero n", []string{"-bench", "sgemm", "-n", "0"}, "-n must be"},
+		{"negative tile", []string{"-bench", "sgemm", "-tile", "-2"}, "-tile"},
+		{"unknown bench", []string{"-bench", "nope"}, "nope"},
+		{"validate no file", []string{"-validate"}, "-validate needs"},
+		{"validate plus bench", []string{"-validate", "-bench", "sgemm", "x"}, "mutually exclusive"},
+		{"bench plus positional", []string{"-bench", "sgemm", "stray.trc"}, "unexpected arguments"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res := clitest.Run(t, "mdatrace", c.args...)
+			if res.Code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr:\n%s", res.Code, res.Stderr)
+			}
+			if !strings.Contains(res.Stderr, c.want) {
+				t.Errorf("stderr lacks %q:\n%s", c.want, res.Stderr)
+			}
+		})
+	}
+}

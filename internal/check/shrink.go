@@ -1,0 +1,70 @@
+package check
+
+import "mdacache/internal/isa"
+
+// maxShrinkEvals bounds the number of predicate evaluations one shrink may
+// spend. Each evaluation replays the candidate trace on every design, so the
+// cap keeps a failing soak run from stalling; the bound is generous for the
+// ≤256-op traces the generator emits.
+const maxShrinkEvals = 200
+
+// ShrinkOps reduces a failing trace to a smaller one that still fails,
+// using the caller's predicate (fails must return true for ops itself).
+//
+// Two phases, both deterministic:
+//
+//  1. Binary-search the minimal failing *prefix* — hierarchy state is
+//     cumulative, so a failure at op k usually only needs ops ≤ k.
+//  2. ddmin-lite: repeatedly try deleting chunks (halving the chunk size
+//     down to single ops) and keep any deletion that still fails.
+//
+// The result is not guaranteed globally minimal, only locally: no single
+// remaining op can be removed without losing the failure (unless the eval
+// cap was hit first).
+func ShrinkOps(ops []isa.Op, fails func([]isa.Op) bool) []isa.Op {
+	if len(ops) == 0 {
+		return ops
+	}
+	evals := 0
+	check := func(c []isa.Op) bool {
+		if evals >= maxShrinkEvals {
+			return false
+		}
+		evals++
+		return fails(c)
+	}
+
+	// Phase 1: minimal failing prefix. Invariant: prefix of length hi fails.
+	lo, hi := 1, len(ops)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if check(ops[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cur := append([]isa.Op(nil), ops[:hi]...)
+
+	// Phase 2: chunked deletion. Start with half-trace chunks and halve on
+	// every pass that removes nothing.
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]isa.Op, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if len(cand) > 0 && check(cand) {
+				cur = cand
+				removed = true
+				// Do not advance start: the next chunk slid into place.
+			} else {
+				start += chunk
+			}
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+	return cur
+}

@@ -1,0 +1,49 @@
+package clitest
+
+import (
+	"strings"
+	"testing"
+)
+
+// examples lists every examples/* main. slow marks the ones skipped under
+// -short (multi-second sweeps); the rest finish in well under a second.
+var examples = []struct {
+	name string
+	slow bool
+}{
+	{name: "quickstart"},
+	{name: "customkernel"},
+	{name: "htap"},
+	{name: "matmul", slow: true},
+	{name: "sweep", slow: true},
+}
+
+func TestMain(m *testing.M) {
+	pkgs := make([]string, len(examples))
+	for i, e := range examples {
+		pkgs[i] = "mdacache/examples/" + e.name
+	}
+	Main(m, pkgs...)
+}
+
+// TestExamplesRun smoke-tests every example: it must exit 0 and print a
+// non-trivial report. Examples are the repo's de-facto API documentation, so
+// a library change that breaks one should fail the suite, not a reader.
+func TestExamplesRun(t *testing.T) {
+	for _, e := range examples {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			if e.slow && testing.Short() {
+				t.Skip("slow example; skipped under -short")
+			}
+			t.Parallel()
+			res := Run(t, e.name)
+			if res.Code != 0 {
+				t.Fatalf("exit %d\nstderr:\n%s", res.Code, res.Stderr)
+			}
+			if len(strings.TrimSpace(res.Stdout)) < 40 {
+				t.Fatalf("suspiciously small report:\n%q", res.Stdout)
+			}
+		})
+	}
+}

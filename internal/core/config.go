@@ -91,6 +91,12 @@ type CacheParams struct {
 	// overrides the static preference bit once confident. Off by default —
 	// the paper evaluates static mappings only.
 	PredictOrient bool
+
+	// BreakDupCoherence disables the Fig. 9 write-to-duplicate eviction,
+	// deliberately leaving stale other-orientation copies resident after a
+	// write. It exists ONLY so the internal/check conformance harness can
+	// prove it detects coherence bugs; no experiment configuration sets it.
+	BreakDupCoherence bool
 }
 
 // HitLatency returns the load-to-use latency of a hit.
@@ -177,6 +183,59 @@ func DefaultConfig(d Design, llcBytes int) Config {
 		},
 		Mem:    mem.DefaultParams(),
 		Window: 128,
+	}
+	cfg.applyDesign()
+	return cfg
+}
+
+// SmallConfig returns a deliberately small three-level hierarchy for
+// randomized functional verification: caches tiny enough that short traces
+// force heavy eviction, duplication and writeback traffic, over a reduced
+// MDA memory (2 channels × 4 banks). variant selects a geometry preset:
+//
+//	0 — 1/4/8 KB, 2/4/4-way, roomy MSHRs (the oracle-test shape)
+//	1 — 1/2/4 KB, 2-way everywhere, 2–4 MSHRs and an 8-op window, so MSHR
+//	    stalls, coalescing and ordering holds fire constantly
+//
+// Exported for the internal/check conformance harness (and mdacheck), which
+// needs design-correct wiring (mappings, prefetcher, row-only memory)
+// without re-deriving applyDesign.
+func SmallConfig(d Design, variant int) Config {
+	cfg := Config{
+		Design: d,
+		L1: CacheParams{
+			Name: "L1", SizeBytes: 1 * KB, Assoc: 2,
+			TagLat: 2, DataLat: 2, MSHRs: 4,
+		},
+		L2: CacheParams{
+			Name: "L2", SizeBytes: 4 * KB, Assoc: 4,
+			TagLat: 6, DataLat: 9, Sequential: true, MSHRs: 8,
+		},
+		L3: CacheParams{
+			Name: "L3", SizeBytes: 8 * KB, Assoc: 4,
+			TagLat: 8, DataLat: 12, Sequential: true, MSHRs: 8,
+		},
+		Window: 16,
+	}
+	if variant == 1 {
+		cfg.L2 = CacheParams{
+			Name: "L2", SizeBytes: 2 * KB, Assoc: 2,
+			TagLat: 6, DataLat: 9, Sequential: true, MSHRs: 4,
+		}
+		cfg.L3 = CacheParams{
+			Name: "L3", SizeBytes: 4 * KB, Assoc: 2,
+			TagLat: 8, DataLat: 12, Sequential: true, MSHRs: 4,
+		}
+		cfg.L1.MSHRs = 2
+		cfg.Window = 8
+	}
+	cfg.Mem = mem.DefaultParams()
+	cfg.Mem.Channels = 2
+	cfg.Mem.Banks = 4
+	cfg.Mem.TileColsPerBank = 16
+	if d == D3AllTile {
+		// Tile-granular levels need ≥ assoc × 512 B and divisibility.
+		cfg.L1.SizeBytes = 2 * KB
 	}
 	cfg.applyDesign()
 	return cfg

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mdacache/internal/isa"
+)
+
+// TestOrientPredictorTable drives the predictor through the edge cases as a
+// table: negative strides, saturation, recovery length after a stride break,
+// and the keep-hypothesis rule for tile-crossing jumps.
+func TestOrientPredictorTable(t *testing.T) {
+	// walk emits n accesses starting at base with the given stride.
+	walk := func(p *orientPredictor, pc uint32, base uint64, stride int64, n int) {
+		a := int64(base)
+		for i := 0; i < n; i++ {
+			p.observe(pc, uint64(a))
+			a += stride
+		}
+	}
+	cases := []struct {
+		name  string
+		train func(p *orientPredictor)
+		// prediction asked with a Row fallback; want is the expectation.
+		want isa.Orient
+	}{
+		{
+			name:  "negative word stride is a row walk",
+			train: func(p *orientPredictor) { walk(p, 1, 1<<20, -isa.WordSize, 6) },
+			want:  isa.Row,
+		},
+		{
+			name:  "negative line stride is a column walk",
+			train: func(p *orientPredictor) { walk(p, 1, 1<<20, -isa.LineSize, 6) },
+			want:  isa.Col,
+		},
+		{
+			name: "saturated confidence still resets on one break",
+			train: func(p *orientPredictor) {
+				walk(p, 1, 0, isa.LineSize, 100) // conf saturates at the cap
+				p.observe(1, 1<<30)              // single wild jump: conf = 0
+			},
+			want: isa.Row, // fallback: confidence gone despite saturation
+		},
+		{
+			name: "recovery after a break takes exactly the threshold",
+			train: func(p *orientPredictor) {
+				walk(p, 1, 0, isa.LineSize, 100)
+				// Re-train: jump establishes the new last address, then
+				// orientConfThresh+1 accesses yield orientConfThresh
+				// same-stride confirmations. The saturation cap exists so
+				// this is enough — an uncapped counter would demand the
+				// whole training history be un-learned first.
+				walk(p, 1, 1<<30, isa.WordSize, orientConfThresh+2)
+			},
+			want: isa.Row,
+		},
+		{
+			name: "tile-crossing jump keeps the column hypothesis",
+			train: func(p *orientPredictor) {
+				walk(p, 1, 0, isa.LineSize, 10) // confident column walk
+				// One non-line jump (e.g. next array, same shape), then the
+				// column walk resumes: the default branch kept orient=Col,
+				// so one stride re-establishment plus two 64-byte
+				// confirmations restore confidence.
+				walk(p, 1, 1<<21, isa.LineSize, 4)
+			},
+			want: isa.Col,
+		},
+		{
+			name: "short column walk below threshold keeps fallback",
+			train: func(p *orientPredictor) {
+				walk(p, 1, 0, isa.LineSize, 2) // one stride sample: conf 0→1
+			},
+			want: isa.Row,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p := newOrientPredictor()
+			c.train(p)
+			if got := p.predict(1, isa.Row); got != c.want {
+				t.Fatalf("predict = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestOrientPredictorConfidenceSaturates pins the cap itself: confidence
+// never exceeds orientConfThresh+2 no matter how long the walk.
+func TestOrientPredictorConfidenceSaturates(t *testing.T) {
+	p := newOrientPredictor()
+	for a := uint64(0); a < 10000*isa.WordSize; a += isa.WordSize {
+		p.observe(7, a)
+	}
+	if e := p.table[7]; e == nil || e.conf != orientConfThresh+2 {
+		t.Fatalf("conf = %+v, want cap %d", e, orientConfThresh+2)
+	}
+}
+
+// TestOrientPredictorTableCapResets pins the pathological-PC-count fallback:
+// at pfTableCap tracked PCs the table is dropped wholesale, prior
+// predictions are forgotten (back to the static bit), and training restarts
+// cleanly.
+func TestOrientPredictorTableCapResets(t *testing.T) {
+	p := newOrientPredictor()
+	// PC 0 becomes a confident column predictor.
+	for a := uint64(0); a < 8*isa.LineSize; a += isa.LineSize {
+		p.observe(0, a)
+	}
+	if got := p.predict(0, isa.Row); got != isa.Col {
+		t.Fatal("setup: PC 0 should predict Col")
+	}
+	// Fill the table to the cap with one-shot PCs.
+	for pc := uint32(1); len(p.table) < pfTableCap; pc++ {
+		p.observe(pc, uint64(pc))
+	}
+	// The next new PC triggers the reset.
+	p.observe(1 << 20, 0)
+	if len(p.table) != 1 {
+		t.Fatalf("after reset: table has %d entries, want 1", len(p.table))
+	}
+	if got := p.predict(0, isa.Row); got != isa.Row {
+		t.Fatalf("after reset: PC 0 predicts %v, want the Row fallback", got)
+	}
+	// Training still works post-reset.
+	for a := uint64(0); a < 8*isa.LineSize; a += isa.LineSize {
+		p.observe(0, a)
+	}
+	if got := p.predict(0, isa.Row); got != isa.Col {
+		t.Fatal("post-reset training failed")
+	}
+}
+
+// TestOrientPredictorManyPCsIndependent checks per-PC isolation: interleaved
+// walks with different shapes train independent entries.
+func TestOrientPredictorManyPCsIndependent(t *testing.T) {
+	p := newOrientPredictor()
+	row, col := uint64(0), uint64(1<<24)
+	for i := 0; i < 10; i++ {
+		p.observe(1, row)
+		p.observe(2, col)
+		row += isa.WordSize
+		col += isa.LineSize
+	}
+	if got := p.predict(1, isa.Col); got != isa.Row {
+		t.Errorf("PC 1 = %v, want Row", got)
+	}
+	if got := p.predict(2, isa.Row); got != isa.Col {
+		t.Errorf("PC 2 = %v, want Col", got)
+	}
+	if testing.Verbose() {
+		fmt.Println("table size:", len(p.table))
+	}
+}

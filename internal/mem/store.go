@@ -1,6 +1,10 @@
 package mem
 
-import "mdacache/internal/isa"
+import (
+	"sort"
+
+	"mdacache/internal/isa"
+)
 
 // Store is the functional backing store: the actual 64-bit words held by the
 // memory, organised as a sparse map of 512-byte tiles. Tiles are stored
@@ -71,3 +75,24 @@ func (s *Store) WriteLine(line isa.LineID, mask uint8, data [isa.WordsPerLine]ui
 
 // Tiles returns the number of distinct tiles ever written.
 func (s *Store) Tiles() int { return len(s.tiles) }
+
+// ForEachWord invokes fn for every non-zero word in the store, in ascending
+// address order (deterministic despite the tile map). The conformance
+// harness walks the store this way to detect ghost writes: words the memory
+// holds that the reference model never stored.
+func (s *Store) ForEachWord(fn func(addr, v uint64)) {
+	bases := make([]uint64, 0, len(s.tiles))
+	for b := range s.tiles {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, b := range bases {
+		t := s.tiles[b]
+		for i := range t {
+			if t[i] != 0 {
+				// Word index i is row-major: addr = base + i*WordSize.
+				fn(b+uint64(i)*isa.WordSize, t[i])
+			}
+		}
+	}
+}

@@ -243,7 +243,13 @@ func htapTable(n int) (rows, cols int) {
 	if rows < 64 {
 		rows = 64
 	}
-	return rows, n / 2
+	cols = n / 2
+	// Transactions read aligned 8-field segments, so the table needs at
+	// least one: tiny -scale runs previously panicked here (Intn(cols/8)).
+	if cols < 8 {
+		cols = 8
+	}
+	return rows, cols
 }
 
 // Htap1 is the analytics-dominated HTAP benchmark: full-column scans
