@@ -41,6 +41,7 @@ import (
 
 	"mdacache/internal/experiments"
 	"mdacache/internal/obs"
+	"mdacache/internal/perf"
 	"mdacache/internal/stats"
 )
 
@@ -58,6 +59,9 @@ func main() {
 		resume    = flag.String("resume", "", "JSON state file: checkpoint finished runs and resume from them")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "figures simulated concurrently in -fig all mode (1 = sequential); results and output order are identical for any value")
 		profile   = flag.Bool("profile", false, "print a per-run phase profile (compile/build/simulate wall time, cycles, events) to stderr at the end")
+		benchOut  = flag.String("bench-out", "", "run the simulator benchmark suite and write a BENCH_<n>.json baseline to this path (skips figure rendering)")
+		benchSte  = flag.String("bench-suite", "full", "benchmark suite for -bench-out: quick (PR smoke) or full (baseline)")
+		benchBase = flag.String("bench-baseline", "", "after -bench-out, compare against this earlier BENCH_<n>.json and print per-scenario speedups")
 	)
 	flag.Parse()
 	if *scale < 1 {
@@ -65,6 +69,13 @@ func main() {
 	}
 	if flag.NArg() > 0 {
 		usagef("unexpected arguments: %v", flag.Args())
+	}
+	if *benchBase != "" && *benchOut == "" {
+		usagef("-bench-baseline requires -bench-out")
+	}
+	if *benchOut != "" {
+		runBench(*benchOut, *benchSte, *benchBase)
+		return
 	}
 
 	var log io.Writer
@@ -312,6 +323,43 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mdabench:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runBench records a performance baseline of the simulator itself (see
+// internal/perf and the "Benchmarking" section of EXPERIMENTS.md). The
+// scenario set mirrors the root bench_test.go figures; the JSON artifact is
+// the committed BENCH_<n>.json trajectory.
+func runBench(out, suite, baseline string) {
+	// Benchmarking is minutes of silence without progress lines; always
+	// narrate to stderr (stdout stays reserved for the compare table).
+	progress := io.Writer(os.Stderr)
+	fmt.Fprintf(progress, "mdabench: running %s benchmark suite (this takes a while)\n", suite)
+	b, err := perf.Run(suite, progress)
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown suite") {
+			usagef("%v", err)
+		}
+		fmt.Fprintln(os.Stderr, "mdabench:", err)
+		os.Exit(1)
+	}
+	if err := b.WriteFile(out); err != nil {
+		fmt.Fprintln(os.Stderr, "mdabench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(progress, "mdabench: wrote %s (%d scenarios)\n", out, len(b.Results))
+	if baseline != "" {
+		old, err := perf.LoadBaseline(baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdabench:", err)
+			os.Exit(1)
+		}
+		deltas, geo := perf.Compare(old, b)
+		if len(deltas) == 0 {
+			fmt.Fprintln(os.Stderr, "mdabench: no overlapping scenarios between baselines")
+			os.Exit(1)
+		}
+		fmt.Print(perf.FormatCompare(deltas, geo))
 	}
 }
 

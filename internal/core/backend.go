@@ -32,8 +32,11 @@ import (
 // process arrivals in order, so the write is visible to the fill. Data
 // returned by Fill is the full line; done fires at critical-word delivery.
 type Backend interface {
-	// Fill reads one line. done receives the completion cycle and data.
-	Fill(at uint64, line isa.LineID, done func(at uint64, data [isa.WordsPerLine]uint64))
+	// Fill reads one line. done receives the completion cycle and a pointer
+	// to the line data; the pointee is owned by the callee and valid only
+	// for the duration of the call — copy it to keep it. (Passing a pointer
+	// keeps the hot fill path from copying [8]uint64 through every level.)
+	Fill(at uint64, line isa.LineID, done func(at uint64, data *[isa.WordsPerLine]uint64))
 
 	// Writeback writes a line. data holds all 8 words (all valid at the
 	// writer); mask selects the dirty words the receiver must persist.

@@ -35,13 +35,21 @@ type Cache1P struct {
 	logical2D bool
 	below     Backend
 
-	nsets int
-	sets  [][]line
-	mshr  *mshrFile
-	port  sim.Resource
-	pf    *stridePrefetcher
-	opred *orientPredictor
-	rng   *sim.RNG // random-replacement source
+	nsets   int
+	setMask uint64 // nsets-1 when nsets is a power of two, else 0 (modulo path)
+	sameSet bool   // logical2D && Mapping == SameSet, hoisted off the index path
+	hitLat  uint64 // HitLatency(), computed once
+	sets    [][]line
+	mshr    *mshrFile
+	port    sim.Resource
+	pf      *stridePrefetcher
+	opred   *orientPredictor
+	rng     *sim.RNG // random-replacement source
+
+	// orientCount tracks valid resident lines per orientation so the
+	// 8-probe intersecting-line walks exit immediately while the other
+	// orientation has no residents at all (the common phase-local case).
+	orientCount [2]int
 
 	useCounter uint64
 	stats      LevelStats
@@ -84,10 +92,17 @@ func NewCache1P(q *sim.EventQueue, p CacheParams, logical2D bool, below Backend)
 	nsets := p.SizeBytes / (isa.LineSize * p.Assoc)
 	c := &Cache1P{
 		q: q, p: p, logical2D: logical2D, below: below,
-		nsets: nsets,
-		mshr:  newMSHRFile(p.MSHRs),
-		stats: LevelStats{Name: p.Name},
+		nsets:   nsets,
+		sameSet: logical2D && p.Mapping == SameSet,
+		hitLat:  p.HitLatency(),
+		stats:   LevelStats{Name: p.Name},
 	}
+	if nsets&(nsets-1) == 0 {
+		c.setMask = uint64(nsets - 1)
+	}
+	c.mshr = newMSHRFile(p.MSHRs, func(e *mshrEntry) {
+		e.onFill = func(at uint64, data *[isa.WordsPerLine]uint64) { c.fillArrived(at, e, data) }
+	})
 	c.sets = make([][]line, nsets)
 	backing := make([]line, nsets*p.Assoc)
 	for i := range c.sets {
@@ -118,10 +133,14 @@ func (c *Cache1P) Stats() *LevelStats { return &c.stats }
 // Same-Set: both orientations index with the tile number alone, so all 16
 // lines of a tile compete within one set.
 func (c *Cache1P) setIndex(id isa.LineID) int {
-	if c.logical2D && c.p.Mapping == SameSet {
-		return int((id.Tile() >> 9) % uint64(c.nsets))
+	num := id.Tile() >> 9
+	if !c.sameSet {
+		num = num*isa.LinesPerTile + uint64(id.Index())
 	}
-	num := (id.Tile()>>9)*isa.LinesPerTile + uint64(id.Index())
+	if c.setMask != 0 {
+		return int(num & c.setMask)
+	}
+	// Scaled configurations can produce a non-power-of-two set count.
 	return int(num % uint64(c.nsets))
 }
 
@@ -161,8 +180,11 @@ func (c *Cache1P) intersectingDo(id isa.LineID, fn func(m *line)) {
 	if !c.logical2D {
 		return
 	}
-	tile := id.Tile()
 	other := id.Orient.Other()
+	if c.orientCount[other] == 0 {
+		return // no resident lines of the other orientation anywhere
+	}
+	tile := id.Tile()
 	for i := uint(0); i < isa.LinesPerTile; i++ {
 		var mid isa.LineID
 		if other == isa.Row {
@@ -205,6 +227,7 @@ func (c *Cache1P) evictDuplicate(at uint64, m *line) {
 	}
 	c.flushLine(at, m)
 	m.valid = false
+	c.orientCount[m.id.Orient]--
 	c.stats.DuplicateEvictions++
 	if c.tr != nil {
 		c.traceEv(at, "dup_evict", m.id, 0)
@@ -267,19 +290,21 @@ func (c *Cache1P) install(at uint64, id isa.LineID, data *[isa.WordsPerLine]uint
 	v := c.victim(set)
 	if v.valid {
 		c.stats.Evictions++
+		c.orientCount[v.id.Orient]--
 		if v.dirty != 0 {
 			c.writebackLine(at, v)
 		}
 	}
 	*v = line{id: id, valid: true, dirty: dirtyMask, prefetched: prefetched, data: *data}
+	c.orientCount[id.Orient]++
 	c.touch(v)
 	v.rrpv = srripInsertRRPV
 	return v
 }
 
-// requestFill starts (or joins) a miss for id. done, if non-nil, is invoked
-// with the completion cycle and the installed line's data.
-func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func(at uint64, data [isa.WordsPerLine]uint64)) {
+// requestFill starts (or joins) a miss for id. t describes the consumer to
+// wake with the installed line's data (tNone for prefetches).
+func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, t fillTarget) {
 	if e := c.mshr.lookup(id); e != nil {
 		c.stats.MSHRCoalesced++
 		if c.tr != nil {
@@ -290,8 +315,8 @@ func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func
 			c.stats.PrefetchUseful++
 			e.prefetch = false
 		}
-		if done != nil {
-			e.targets = append(e.targets, done)
+		if t.kind != tNone {
+			e.targets = append(e.targets, t)
 		}
 		return
 	}
@@ -303,7 +328,7 @@ func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func
 		if c.tr != nil {
 			c.traceMSHR(at, "mshr_stall", id)
 		}
-		c.mshr.stall(func(rat uint64) { c.requestFill(rat, id, false, done) })
+		c.mshr.stall(id, t)
 		return
 	}
 	e := c.mshr.allocate(id, prefetch)
@@ -311,8 +336,8 @@ func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func
 	if c.tr != nil {
 		c.traceMSHR(at, "mshr_alloc", id)
 	}
-	if done != nil {
-		e.targets = append(e.targets, done)
+	if t.kind != tNone {
+		e.targets = append(e.targets, t)
 	}
 	// 2-D MSHR ordering (§IV-B): modified intersecting lines are written
 	// back *before* the fill is issued, so the level below observes the
@@ -329,23 +354,20 @@ func (c *Cache1P) requestFill(at uint64, id isa.LineID, prefetch bool, done func
 		}
 	})
 	c.stats.FillsIssued++
-	c.below.Fill(at, id, func(rat uint64, data [isa.WordsPerLine]uint64) {
-		c.fillArrived(rat, id, data, e.prefetch)
-	})
+	c.below.Fill(at, id, e.onFill)
 }
 
 // fillArrived completes a miss: flush any words modified locally since the
 // fill was issued (keeping the Fig. 9 invariant that a modified word has a
 // single copy), latch the freshest committed data below, install, and wake
 // the waiting targets.
-func (c *Cache1P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint64, prefetch bool) {
+func (c *Cache1P) fillArrived(at uint64, e *mshrEntry, _ *[isa.WordsPerLine]uint64) {
+	id := e.line
 	c.stats.BytesFromBelow += isa.LineSize
-	if e := c.mshr.lookup(id); e != nil {
-		c.fillLat.Observe(at - e.born)
-		if c.tr.Enabled(obs.CatCache) {
-			c.tr.Span(e.born, at-e.born, obs.CatCache, c.p.Name, "fill",
-				obs.Fields{Addr: id.Base, Orient: int8(id.Orient)})
-		}
+	c.fillLat.Observe(at - e.born)
+	if c.tr.Enabled(obs.CatCache) {
+		c.tr.Span(e.born, at-e.born, obs.CatCache, c.p.Name, "fill",
+			obs.Fields{Addr: id.Base, Orient: int8(id.Orient)})
 	}
 	c.intersectingDo(id, func(m *line) {
 		addr, _ := m.id.Intersection(id)
@@ -361,17 +383,48 @@ func (c *Cache1P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint
 	// The timing payload may predate writes that passed the in-flight fill;
 	// latch the current committed state below instead (see Backend.Peek).
 	data := c.below.Peek(id)
-	c.install(at, id, &data, 0, 0, prefetch)
+	c.install(at, id, &data, 0, 0, e.prefetch)
 	deliverAt := at + c.p.DataLat
-	targets, retry := c.mshr.complete(id)
+	w, stalled := c.mshr.complete(e)
 	if c.tr != nil {
 		c.traceMSHR(at, "mshr_retire", id)
 	}
-	for _, t := range targets {
-		t(deliverAt, data)
+	for i := range e.targets {
+		c.dispatchTarget(at, deliverAt, id, &e.targets[i], &data)
 	}
-	if retry != nil {
-		retry(at)
+	if stalled {
+		c.requestFill(at, w.line, false, w.target)
+	}
+	c.mshr.release(e)
+}
+
+// dispatchTarget wakes one fill consumer, mirroring exactly what the
+// pre-encoding closures did: word and line deliveries snapshot the merged
+// data now and fire at deliverAt; store targets apply (or refetch) now with
+// deliverAt timing.
+func (c *Cache1P) dispatchTarget(at, deliverAt uint64, id isa.LineID, t *fillTarget, data *[isa.WordsPerLine]uint64) {
+	switch t.kind {
+	case tWord:
+		c.q.ScheduleArg(deliverAt, t.done1, data[t.off])
+	case tLine:
+		c.q.ScheduleData(deliverAt, t.done8, data)
+	case tStore:
+		l := c.find(id)
+		if l == nil {
+			// The just-installed line was evicted within the same cycle by
+			// a conflicting waiter; re-install via a fresh fill.
+			c.requestFill(deliverAt, id, false, fillTarget{
+				kind: tStoreFinal, addr: t.addr, value: t.value, done1: t.done1,
+			})
+			return
+		}
+		c.applyStoreWord(deliverAt, l, t.addr, t.value)
+		c.q.ScheduleArg(deliverAt, t.done1, 0)
+	case tStoreFinal:
+		if l := c.find(id); l != nil {
+			c.applyStoreWord(deliverAt, l, t.addr, t.value)
+		}
+		c.q.ScheduleArg(deliverAt, t.done1, 0)
 	}
 }
 
@@ -491,8 +544,7 @@ func (c *Cache1P) scalarLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 		c.stats.Hits++
 		c.noteDemandHit(l)
 		off, _ := pref.WordOffset(op.Addr)
-		v := l.data[off]
-		c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), v) })
+		c.q.ScheduleArg(start+c.hitLat, done, l.data[off])
 		return
 	}
 	if c.logical2D {
@@ -515,8 +567,7 @@ func (c *Cache1P) scalarLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 			c.stats.HitsWrongOrient++
 			c.noteDemandHit(m)
 			off, _ := other.WordOffset(op.Addr)
-			v := m.data[off]
-			c.q.Schedule(start+c.p.HitLatency()+extraLat, func() { done(c.q.Now(), v) })
+			c.q.ScheduleArg(start+c.hitLat+extraLat, done, m.data[off])
 			return
 		}
 	}
@@ -529,12 +580,8 @@ func (c *Cache1P) scalarLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 	if c.tr != nil {
 		c.traceEv(at, "miss", pref, 0)
 	}
-	addr := op.Addr
-	c.requestFill(start+c.p.TagLat+extra, pref, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
-		off, _ := pref.WordOffset(addr)
-		v := data[off]
-		c.q.Schedule(rat, func() { done(c.q.Now(), v) })
-	})
+	off, _ := pref.WordOffset(op.Addr)
+	c.requestFill(start+c.p.TagLat+extra, pref, false, fillTarget{kind: tWord, off: uint8(off), done1: done})
 }
 
 // applyStoreWord performs the word write into target line l, first evicting
@@ -575,30 +622,15 @@ func (c *Cache1P) scalarStore(at uint64, op isa.Op, done func(uint64, uint64)) {
 		}
 		c.noteDemandHit(target)
 		c.applyStoreWord(start, target, op.Addr, op.Value)
-		c.q.Schedule(start+c.p.HitLatency()+extra, func() { done(c.q.Now(), 0) })
+		c.q.ScheduleArg(start+c.hitLat+extra, done, 0)
 		return
 	}
 	c.stats.Misses++
 	if c.tr != nil {
 		c.traceEv(at, "miss", pref, 0)
 	}
-	addr, value := op.Addr, op.Value
-	c.requestFill(start+c.p.TagLat+extra, pref, false, func(rat uint64, _ [isa.WordsPerLine]uint64) {
-		l := c.find(pref)
-		if l == nil {
-			// The just-installed line was evicted within the same cycle by
-			// a conflicting waiter; re-install via a fresh fill.
-			c.requestFill(rat, pref, false, func(rat2 uint64, _ [isa.WordsPerLine]uint64) {
-				if l2 := c.find(pref); l2 != nil {
-					c.applyStoreWord(rat2, l2, addr, value)
-				}
-				c.q.Schedule(rat2, func() { done(c.q.Now(), 0) })
-			})
-			return
-		}
-		c.applyStoreWord(rat, l, addr, value)
-		c.q.Schedule(rat, func() { done(c.q.Now(), 0) })
-	})
+	c.requestFill(start+c.p.TagLat+extra, pref, false,
+		fillTarget{kind: tStore, addr: op.Addr, value: op.Value, done1: done})
 }
 
 func (c *Cache1P) vectorLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
@@ -607,8 +639,7 @@ func (c *Cache1P) vectorLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 		start, _ := c.chargePort(at, 1)
 		c.stats.Hits++
 		c.noteDemandHit(l)
-		v := l.data[0]
-		c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), v) })
+		c.q.ScheduleArg(start+c.hitLat, done, l.data[0])
 		return
 	}
 	probes := 1
@@ -620,10 +651,7 @@ func (c *Cache1P) vectorLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 	if c.tr != nil {
 		c.traceEv(at, "miss", id, 0)
 	}
-	c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
-		v := data[0]
-		c.q.Schedule(rat, func() { done(c.q.Now(), v) })
-	})
+	c.requestFill(start+c.p.TagLat, id, false, fillTarget{kind: tWord, off: 0, done1: done})
 }
 
 // vectorPayload synthesises the 8 stored words of a vector store from the
@@ -659,11 +687,11 @@ func (c *Cache1P) vectorStore(at uint64, op isa.Op, done func(uint64, uint64)) {
 		}
 		c.install(start, id, &data, 0xff, 0xff, false)
 	}
-	c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), 0) })
+	c.q.ScheduleArg(start+c.hitLat, done, 0)
 }
 
 // Fill implements Backend for the level above: serve a full line.
-func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPerLine]uint64)) {
+func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, *[isa.WordsPerLine]uint64)) {
 	if !c.checkOrient(id.Orient) || !checkCanonical(c.q, c.p.Name, id) {
 		return
 	}
@@ -674,8 +702,9 @@ func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPer
 		start, _ := c.chargePort(at, 1)
 		c.stats.Hits++
 		c.noteDemandHit(l)
-		data := l.data
-		c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), data) })
+		// ScheduleData snapshots the line at schedule time, matching the
+		// by-value capture this path used before the encoding change.
+		c.q.ScheduleData(start+c.hitLat, done, &l.data)
 		return
 	}
 	probes := 1
@@ -687,9 +716,7 @@ func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPer
 	if c.tr != nil {
 		c.traceEv(at, "miss", id, 0)
 	}
-	c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
-		c.q.Schedule(rat, func() { done(c.q.Now(), data) })
-	})
+	c.requestFill(start+c.p.TagLat, id, false, fillTarget{kind: tLine, done8: done})
 }
 
 // Writeback implements Backend for the level above: absorb a dirty line.
@@ -727,7 +754,7 @@ func (c *Cache1P) prefetchObserve(at uint64, op isa.Op) {
 		if c.tr != nil {
 			c.traceEv(at, "prefetch", id, 0)
 		}
-		c.requestFill(at, id, true, nil)
+		c.requestFill(at, id, true, fillTarget{})
 	}
 }
 

@@ -30,10 +30,10 @@ func newStub(q *sim.EventQueue) *stubBackend {
 	return &stubBackend{q: q, store: mem.NewStore(), latency: 100}
 }
 
-func (s *stubBackend) Fill(at uint64, line isa.LineID, done func(uint64, [isa.WordsPerLine]uint64)) {
+func (s *stubBackend) Fill(at uint64, line isa.LineID, done func(uint64, *[isa.WordsPerLine]uint64)) {
 	s.fills = append(s.fills, line)
 	data := s.store.ReadLine(line)
-	s.q.Schedule(at+s.latency, func() { done(s.q.Now(), data) })
+	s.q.Schedule(at+s.latency, func() { done(s.q.Now(), &data) })
 }
 
 func (s *stubBackend) Writeback(at uint64, line isa.LineID, mask uint8, data [isa.WordsPerLine]uint64) {

@@ -95,11 +95,13 @@ type Cache2P struct {
 	dense bool
 	below Backend
 
-	nsets int
-	sets  [][]tile
-	mshr  *mshrFile
-	port  sim.Resource
-	rng   *sim.RNG // random-replacement source
+	nsets   int
+	setMask uint64 // nsets-1 when nsets is a power of two, else 0 (modulo path)
+	hitLat  uint64 // HitLatency(), computed once
+	sets    [][]tile
+	mshr    *mshrFile
+	port    sim.Resource
+	rng     *sim.RNG // random-replacement source
 
 	useCounter uint64
 	stats      LevelStats
@@ -141,10 +143,16 @@ func NewCache2P(q *sim.EventQueue, p CacheParams, dense bool, below Backend) (*C
 	nsets := p.SizeBytes / (isa.TileSize * p.Assoc)
 	c := &Cache2P{
 		q: q, p: p, dense: dense, below: below,
-		nsets: nsets,
-		mshr:  newMSHRFile(p.MSHRs),
-		stats: LevelStats{Name: p.Name},
+		nsets:  nsets,
+		hitLat: p.HitLatency(),
+		stats:  LevelStats{Name: p.Name},
 	}
+	if nsets&(nsets-1) == 0 {
+		c.setMask = uint64(nsets - 1)
+	}
+	c.mshr = newMSHRFile(p.MSHRs, func(e *mshrEntry) {
+		e.onFill = func(at uint64, data *[isa.WordsPerLine]uint64) { c.fillArrived(at, e, data) }
+	})
 	c.sets = make([][]tile, nsets)
 	backing := make([]tile, nsets*p.Assoc)
 	for i := range c.sets {
@@ -160,6 +168,10 @@ func NewCache2P(q *sim.EventQueue, p CacheParams, dense bool, below Backend) (*C
 func (c *Cache2P) Stats() *LevelStats { return &c.stats }
 
 func (c *Cache2P) setIndex(tileBase uint64) int {
+	if c.setMask != 0 {
+		return int((tileBase >> 9) & c.setMask)
+	}
+	// Scaled configurations can produce a non-power-of-two set count.
 	return int((tileBase >> 9) % uint64(c.nsets))
 }
 
@@ -282,15 +294,15 @@ func markLine(t *tile, id isa.LineID, dirty bool) {
 // requestFill starts (or joins) a miss for one line of a tile. On arrival
 // only absent words are merged — resident words (which may be dirty via
 // intersecting lines) always take precedence, preserving single-copy
-// semantics.
-func (c *Cache2P) requestFill(at uint64, id isa.LineID, background bool, done func(at uint64, data [isa.WordsPerLine]uint64)) {
+// semantics. t describes the consumer to wake (tNone for background fills).
+func (c *Cache2P) requestFill(at uint64, id isa.LineID, background bool, t fillTarget) {
 	if e := c.mshr.lookup(id); e != nil {
 		c.stats.MSHRCoalesced++
 		if c.tr != nil {
 			c.traceMSHR(at, "mshr_coalesce", id)
 		}
-		if done != nil {
-			e.targets = append(e.targets, done)
+		if t.kind != tNone {
+			e.targets = append(e.targets, t)
 		}
 		return
 	}
@@ -302,7 +314,7 @@ func (c *Cache2P) requestFill(at uint64, id isa.LineID, background bool, done fu
 		if c.tr != nil {
 			c.traceMSHR(at, "mshr_stall", id)
 		}
-		c.mshr.stall(func(rat uint64) { c.requestFill(rat, id, false, done) })
+		c.mshr.stall(id, t)
 		return
 	}
 	e := c.mshr.allocate(id, background)
@@ -310,13 +322,11 @@ func (c *Cache2P) requestFill(at uint64, id isa.LineID, background bool, done fu
 	if c.tr != nil {
 		c.traceMSHR(at, "mshr_alloc", id)
 	}
-	if done != nil {
-		e.targets = append(e.targets, done)
+	if t.kind != tNone {
+		e.targets = append(e.targets, t)
 	}
 	c.stats.FillsIssued++
-	c.below.Fill(at, id, func(rat uint64, data [isa.WordsPerLine]uint64) {
-		c.fillArrived(rat, id, data)
-	})
+	c.below.Fill(at, id, e.onFill)
 	if c.dense && !background {
 		// Dense 2P2L: the rest of the 2-D block follows the missing line
 		// (§IV-B(d): "all rows/columns within the 2-D block will follow").
@@ -334,19 +344,18 @@ func (c *Cache2P) requestFill(at uint64, id isa.LineID, background bool, done fu
 			if t := c.find(tileBase); t != nil && t.lineValid(sib) {
 				continue
 			}
-			c.requestFill(at, sib, true, nil)
+			c.requestFill(at, sib, true, fillTarget{})
 		}
 	}
 }
 
-func (c *Cache2P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint64) {
+func (c *Cache2P) fillArrived(at uint64, e *mshrEntry, _ *[isa.WordsPerLine]uint64) {
+	id := e.line
 	c.stats.BytesFromBelow += isa.LineSize
-	if e := c.mshr.lookup(id); e != nil {
-		c.fillLat.Observe(at - e.born)
-		if c.tr.Enabled(obs.CatCache) {
-			c.tr.Span(e.born, at-e.born, obs.CatCache, c.p.Name, "fill",
-				obs.Fields{Addr: id.Base, Orient: int8(id.Orient)})
-		}
+	c.fillLat.Observe(at - e.born)
+	if c.tr.Enabled(obs.CatCache) {
+		c.tr.Span(e.born, at-e.born, obs.CatCache, c.p.Name, "fill",
+			obs.Fields{Addr: id.Base, Orient: int8(id.Orient)})
 	}
 	// Latch the freshest committed data below the cache rather than the
 	// (possibly overtaken) timing payload — see Backend.Peek.
@@ -365,15 +374,39 @@ func (c *Cache2P) fillArrived(at uint64, id isa.LineID, _ [isa.WordsPerLine]uint
 	c.touch(t)
 	merged := t.readLine(id)
 	deliverAt := at + c.p.DataLat + c.p.WriteAsymmetry
-	targets, retry := c.mshr.complete(id)
+	w, stalled := c.mshr.complete(e)
 	if c.tr != nil {
 		c.traceMSHR(at, "mshr_retire", id)
 	}
-	for _, fn := range targets {
-		fn(deliverAt, merged)
+	for i := range e.targets {
+		c.dispatchTarget(deliverAt, id, &e.targets[i], &merged)
 	}
-	if retry != nil {
-		retry(at)
+	if stalled {
+		c.requestFill(at, w.line, false, w.target)
+	}
+	c.mshr.release(e)
+}
+
+// dispatchTarget wakes one fill consumer, mirroring exactly what the
+// pre-encoding closures did: word and line deliveries snapshot the merged
+// data now and fire at deliverAt; store targets apply (or refetch) now.
+func (c *Cache2P) dispatchTarget(deliverAt uint64, id isa.LineID, t *fillTarget, data *[isa.WordsPerLine]uint64) {
+	switch t.kind {
+	case tWord:
+		c.q.ScheduleArg(deliverAt, t.done1, data[t.off])
+	case tLine:
+		c.q.ScheduleData(deliverAt, t.done8, data)
+	case tStore2P:
+		nt := c.find(isa.TileBase(t.addr))
+		r, col := isa.RowInTile(t.addr), isa.ColInTile(t.addr)
+		if nt == nil || !nt.wordValid(r, col) {
+			// Evicted by a same-cycle conflicting waiter: refetch with the
+			// same target (the pre-encoding closure retried itself).
+			c.requestFill(deliverAt, id, false, *t)
+			return
+		}
+		c.applyScalarStore(nt, t.addr, t.value)
+		c.q.ScheduleArg(deliverAt, t.done1, 0)
 	}
 }
 
@@ -421,7 +454,7 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 		} else {
 			c.stats.Misses++
 		}
-		c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), 0) })
+		c.q.ScheduleArg(start+c.hitLat, done, 0)
 		return
 
 	case op.Vector: // vector load
@@ -429,8 +462,7 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 			start := c.chargePort(at, 1, false)
 			c.stats.Hits++
 			c.promote(t)
-			v := t.readLine(id)[0]
-			c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), v) })
+			c.q.ScheduleArg(start+c.hitLat, done, t.readLine(id)[0])
 			return
 		}
 		if t != nil && t.linePartial(id) {
@@ -438,10 +470,7 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 		}
 		start := c.chargePort(at, 1, false)
 		c.stats.Misses++
-		c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
-			v := data[0]
-			c.q.Schedule(rat, func() { done(c.q.Now(), v) })
-		})
+		c.requestFill(start+c.p.TagLat, id, false, fillTarget{kind: tWord, off: 0, done1: done})
 		return
 
 	case op.Kind == isa.Load:
@@ -450,18 +479,13 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 			start := c.chargePort(at, 1, false)
 			c.stats.Hits++
 			c.promote(t)
-			v := t.data[r*isa.WordsPerLine+col]
-			c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), v) })
+			c.q.ScheduleArg(start+c.hitLat, done, t.data[r*isa.WordsPerLine+col])
 			return
 		}
 		start := c.chargePort(at, 1, false)
 		c.stats.Misses++
-		addr := op.Addr
-		c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
-			off, _ := id.WordOffset(addr)
-			v := data[off]
-			c.q.Schedule(rat, func() { done(c.q.Now(), v) })
-		})
+		off, _ := id.WordOffset(op.Addr)
+		c.requestFill(start+c.p.TagLat, id, false, fillTarget{kind: tWord, off: uint8(off), done1: done})
 		return
 
 	default: // scalar store
@@ -470,24 +494,13 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 			start := c.chargePort(at, 1, true)
 			c.stats.Hits++
 			c.applyScalarStore(t, op.Addr, op.Value)
-			c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), 0) })
+			c.q.ScheduleArg(start+c.hitLat, done, 0)
 			return
 		}
 		start := c.chargePort(at, 1, true)
 		c.stats.Misses++
-		addr, value := op.Addr, op.Value
-		var onFill func(rat uint64, data [isa.WordsPerLine]uint64)
-		onFill = func(rat uint64, _ [isa.WordsPerLine]uint64) {
-			nt := c.find(isa.TileBase(addr))
-			if nt == nil || !nt.wordValid(r, col) {
-				// Evicted by a same-cycle conflicting waiter: refetch.
-				c.requestFill(rat, id, false, onFill)
-				return
-			}
-			c.applyScalarStore(nt, addr, value)
-			c.q.Schedule(rat, func() { done(c.q.Now(), 0) })
-		}
-		c.requestFill(start+c.p.TagLat, id, false, onFill)
+		c.requestFill(start+c.p.TagLat, id, false,
+			fillTarget{kind: tStore2P, addr: op.Addr, value: op.Value, done1: done})
 		return
 	}
 }
@@ -509,7 +522,7 @@ func (c *Cache2P) applyScalarStore(t *tile, addr, value uint64) {
 }
 
 // Fill implements Backend for the level above.
-func (c *Cache2P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPerLine]uint64)) {
+func (c *Cache2P) Fill(at uint64, id isa.LineID, done func(uint64, *[isa.WordsPerLine]uint64)) {
 	c.countAccess(isa.Op{Addr: id.Base, Orient: id.Orient, Vector: true})
 	if !checkCanonical(c.q, c.p.Name, id) {
 		return
@@ -520,7 +533,7 @@ func (c *Cache2P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPer
 			c.stats.Hits++
 			c.promote(t)
 			data := t.readLine(id)
-			c.q.Schedule(start+c.p.HitLatency(), func() { done(c.q.Now(), data) })
+			c.q.ScheduleData(start+c.hitLat, done, &data)
 			return
 		}
 		if t.linePartial(id) {
@@ -529,9 +542,7 @@ func (c *Cache2P) Fill(at uint64, id isa.LineID, done func(uint64, [isa.WordsPer
 	}
 	start := c.chargePort(at, 1, false)
 	c.stats.Misses++
-	c.requestFill(start+c.p.TagLat, id, false, func(rat uint64, data [isa.WordsPerLine]uint64) {
-		c.q.Schedule(rat, func() { done(c.q.Now(), data) })
-	})
+	c.requestFill(start+c.p.TagLat, id, false, fillTarget{kind: tLine, done8: done})
 }
 
 // Writeback implements Backend for the level above: absorb a line into its

@@ -26,7 +26,7 @@ func fill(t *testing.T, q *sim.EventQueue, c Backend, id isa.LineID) [isa.WordsP
 	t.Helper()
 	var data [isa.WordsPerLine]uint64
 	got := false
-	c.Fill(q.Now(), id, func(_ uint64, d [isa.WordsPerLine]uint64) { data, got = d, true })
+	c.Fill(q.Now(), id, func(_ uint64, d *[isa.WordsPerLine]uint64) { data, got = *d, true })
 	q.Run(0)
 	if !got {
 		t.Fatal("fill never completed")

@@ -25,13 +25,22 @@ type CPU struct {
 	l1     Level
 	window int
 
-	trace     isa.TraceReader
-	inflight  []inflightOp
-	held      *isa.Op // next op, waiting for an overlap conflict to clear
-	cursor    uint64  // next program-order issue cycle
-	lastDone  uint64
-	exhausted bool
-	pumping   bool
+	trace    isa.TraceReader
+	inflight []inflightOp
+	// inflightStores counts in-flight stores so conflicts() can skip its
+	// window scan for loads when no store is outstanding — the common case
+	// on load-heavy traces.
+	inflightStores int
+	heldOp         isa.Op // next op, waiting for an overlap conflict to clear
+	heldSet        bool
+	cursor         uint64 // next program-order issue cycle
+	lastDone       uint64
+	exhausted      bool
+	pumping        bool
+
+	// freeSlots pools issue slots; each slot's issue/done callbacks are bound
+	// once at creation, so steady-state issue→complete allocates nothing.
+	freeSlots *cpuSlot
 
 	// tokenCounter issues in-flight op tokens. Per-CPU (not package-level)
 	// state so concurrent machines — parallel sweep workers — never share a
@@ -73,6 +82,44 @@ type inflightOp struct {
 	vector bool
 }
 
+// cpuSlot carries one issued op from its issue event to its completion
+// callback. Slots are pooled (one live per in-flight op, so at most `window`)
+// and their two closures are created once per slot, not once per op.
+type cpuSlot struct {
+	c       *CPU
+	op      isa.Op
+	token   uint64
+	issueAt uint64
+	next    *cpuSlot
+	issueFn func()
+	doneFn  func(doneAt, value uint64)
+}
+
+func (c *CPU) getSlot() *cpuSlot {
+	if s := c.freeSlots; s != nil {
+		c.freeSlots = s.next
+		s.next = nil
+		return s
+	}
+	s := &cpuSlot{c: c}
+	s.issueFn = func() { s.c.l1.CPUAccess(s.issueAt, s.op, s.doneFn) }
+	s.doneFn = func(doneAt, value uint64) {
+		cc := s.c
+		if doneAt > cc.lastDone {
+			cc.lastDone = doneAt
+		}
+		if s.op.Kind == isa.Load && cc.OnLoad != nil {
+			cc.OnLoad(s.op, value)
+		}
+		tok := s.token
+		s.next = cc.freeSlots
+		cc.freeSlots = s
+		cc.retire(tok)
+		cc.pump()
+	}
+	return s
+}
+
 // NewCPU builds a core above l1 with the given in-flight window.
 func NewCPU(q *sim.EventQueue, l1 Level, window int) *CPU {
 	return &CPU{q: q, l1: l1, window: window}
@@ -92,13 +139,16 @@ func (c *CPU) InFlight() int { return len(c.inflight) }
 
 // Held reports whether an op is parked on the overlap-ordering rule (stall
 // diagnostics).
-func (c *CPU) Held() bool { return c.held != nil }
+func (c *CPU) Held() bool { return c.heldSet }
 
 // conflicts reports whether op overlaps an in-flight op's words with a
 // store on either side.
 func (c *CPU) conflicts(op isa.Op) bool {
-	id := isa.LineFor(op)
 	isStore := op.Kind == isa.Store
+	if !isStore && c.inflightStores == 0 {
+		return false // a load can only conflict with an in-flight store
+	}
+	id := isa.LineFor(op)
 	for i := range c.inflight {
 		e := &c.inflight[i]
 		if !e.store && !isStore {
@@ -136,8 +186,8 @@ func (c *CPU) pump() {
 	defer func() { c.pumping = false }()
 	for len(c.inflight) < c.window && !c.exhausted {
 		var op isa.Op
-		if c.held != nil {
-			op = *c.held
+		if c.heldSet {
+			op = c.heldOp
 		} else {
 			next, ok := c.trace.Next()
 			if !ok {
@@ -147,18 +197,18 @@ func (c *CPU) pump() {
 			op = next
 		}
 		if c.conflicts(op) {
-			if c.held == nil {
+			if !c.heldSet {
 				c.OrderStalls++
 				if c.tr.Enabled(obs.CatCPU) {
 					c.tr.Instant(c.q.Now(), obs.CatCPU, "cpu", "order_stall",
 						obs.Fields{Addr: op.Addr, Orient: int8(op.Orient)})
 				}
-				held := op
-				c.held = &held
+				c.heldOp = op
+				c.heldSet = true
 			}
 			break // retried when an in-flight op completes
 		}
-		c.held = nil
+		c.heldSet = false
 		c.issue(op)
 	}
 	c.maybeFinish()
@@ -182,36 +232,40 @@ func (c *CPU) issue(op isa.Op) {
 
 	c.tokenCounter++
 	tok := c.tokenCounter
+	isStore := op.Kind == isa.Store
+	if isStore {
+		c.inflightStores++
+	}
 	c.inflight = append(c.inflight, inflightOp{
 		token: tok, line: isa.LineFor(op), addr: op.Addr,
-		store: op.Kind == isa.Store, vector: op.Vector,
+		store: isStore, vector: op.Vector,
 	})
 
-	c.q.Schedule(issueAt, func() {
-		c.l1.CPUAccess(issueAt, op, func(doneAt uint64, value uint64) {
-			if doneAt > c.lastDone {
-				c.lastDone = doneAt
-			}
-			if op.Kind == isa.Load && c.OnLoad != nil {
-				c.OnLoad(op, value)
-			}
-			c.retire(tok)
-			c.pump()
-		})
-	})
+	s := c.getSlot()
+	s.op = op
+	s.token = tok
+	s.issueAt = issueAt
+	c.q.Schedule(issueAt, s.issueFn)
 }
 
 func (c *CPU) retire(token uint64) {
+	// Swap-remove: conflicts() is an order-independent predicate over the
+	// window, so in-flight order need not be preserved.
 	for i := range c.inflight {
 		if c.inflight[i].token == token {
-			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			if c.inflight[i].store {
+				c.inflightStores--
+			}
+			last := len(c.inflight) - 1
+			c.inflight[i] = c.inflight[last]
+			c.inflight = c.inflight[:last]
 			return
 		}
 	}
 }
 
 func (c *CPU) maybeFinish() {
-	if c.exhausted && len(c.inflight) == 0 && c.held == nil && c.finished != nil {
+	if c.exhausted && len(c.inflight) == 0 && !c.heldSet && c.finished != nil {
 		fin := c.finished
 		c.finished = nil
 		end := c.lastDone

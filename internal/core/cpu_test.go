@@ -20,7 +20,7 @@ func (s *slowLevel) CPUAccess(at uint64, op isa.Op, done func(uint64, uint64)) {
 	s.order = append(s.order, op)
 	s.q.Schedule(at+s.latency, func() { done(s.q.Now(), 0) })
 }
-func (s *slowLevel) Fill(uint64, isa.LineID, func(uint64, [isa.WordsPerLine]uint64)) {
+func (s *slowLevel) Fill(uint64, isa.LineID, func(uint64, *[isa.WordsPerLine]uint64)) {
 	panic("unused")
 }
 func (s *slowLevel) Writeback(uint64, isa.LineID, uint8, [isa.WordsPerLine]uint64) { panic("unused") }

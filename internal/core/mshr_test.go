@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+)
+
+func lineAt(i int) isa.LineID {
+	return isa.LineID{Base: uint64(i) * isa.LineSize, Orient: isa.Row}
+}
+
+// TestMSHRWaiterRingFIFO forces the waiter ring to grow past its initial
+// capacity and checks that stalled accesses are replayed strictly in stall
+// order.
+func TestMSHRWaiterRingFIFO(t *testing.T) {
+	f := newMSHRFile(1, nil)
+	e := f.allocate(lineAt(0), false)
+	const n = 20 // > initial ring capacity (8), forces two growths
+	for i := 1; i <= n; i++ {
+		f.stall(lineAt(i), fillTarget{kind: tWord, off: uint8(i % 8)})
+	}
+	for i := 1; i <= n; i++ {
+		w, ok := f.complete(e)
+		f.release(e)
+		if !ok {
+			t.Fatalf("waiter %d missing", i)
+		}
+		if w.line != lineAt(i) {
+			t.Fatalf("waiter %d out of order: got %v, want %v", i, w.line, lineAt(i))
+		}
+		if w.target.off != uint8(i%8) {
+			t.Fatalf("waiter %d target corrupted: off = %d", i, w.target.off)
+		}
+		e = f.allocate(w.line, false)
+	}
+	if _, ok := f.complete(e); ok {
+		t.Fatal("ring should be empty after draining every waiter")
+	}
+	f.release(e)
+}
+
+// TestMSHRWaiterRingBoundedCapacity is the regression test for the waiter
+// leak: the old implementation popped with `waiters = waiters[1:]`, which
+// both pinned every popped element's backing array and reallocated under
+// sustained cycling. Steady stall/complete cycling must leave the ring at
+// its minimal capacity.
+func TestMSHRWaiterRingBoundedCapacity(t *testing.T) {
+	f := newMSHRFile(1, nil)
+	e := f.allocate(lineAt(0), false)
+	for i := 0; i < 10000; i++ {
+		f.stall(lineAt(1), fillTarget{done1: func(uint64, uint64) {}})
+		w, ok := f.complete(e)
+		if !ok {
+			t.Fatal("expected a stalled waiter")
+		}
+		f.release(e)
+		e = f.allocate(w.line, false)
+	}
+	if c := f.waiterCap(); c > 8 {
+		t.Fatalf("waiter ring grew to capacity %d under steady stall/complete cycling", c)
+	}
+	f.complete(e)
+	f.release(e)
+	// Every popped slot must have been zeroed so the ring never pins dead
+	// completion callbacks for the GC.
+	for i := range f.waiters {
+		if f.waiters[i].target.done1 != nil {
+			t.Fatalf("popped waiter slot %d still pins its callback", i)
+		}
+	}
+}
+
+// TestMSHRSwapRemoveKeepsLookupsExact exercises entry removal from the middle
+// of the file: swap-delete must not break exact-key lookups of the survivors.
+func TestMSHRSwapRemoveKeepsLookupsExact(t *testing.T) {
+	f := newMSHRFile(4, nil)
+	var ents [4]*mshrEntry
+	for i := range ents {
+		ents[i] = f.allocate(lineAt(i), false)
+	}
+	if !f.full() {
+		t.Fatal("file should be full")
+	}
+	f.complete(ents[1]) // middle removal swaps the tail into slot 1
+	f.release(ents[1])
+	if f.lookup(lineAt(1)) != nil {
+		t.Fatal("completed entry still visible")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if f.lookup(lineAt(i)) != ents[i] {
+			t.Fatalf("entry %d lost after swap-remove", i)
+		}
+	}
+	if f.inFlight() != 3 {
+		t.Fatalf("inFlight = %d, want 3", f.inFlight())
+	}
+}

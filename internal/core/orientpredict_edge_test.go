@@ -118,7 +118,7 @@ func TestOrientPredictorTableCapResets(t *testing.T) {
 		p.observe(pc, uint64(pc))
 	}
 	// The next new PC triggers the reset.
-	p.observe(1 << 20, 0)
+	p.observe(1<<20, 0)
 	if len(p.table) != 1 {
 		t.Fatalf("after reset: table has %d entries, want 1", len(p.table))
 	}

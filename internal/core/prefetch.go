@@ -9,9 +9,15 @@ import "mdacache/internal/isa"
 // hierarchy a column traversal appears as a large stride (one matrix pitch),
 // which the prefetcher covers — at the cost of fetching a full row line per
 // element, exactly the bandwidth waste the paper contrasts MDA caching with.
+//
+// Entries live in a preallocated slab indexed by a PC→slot map, and the
+// per-trigger address list is a reused buffer, so observe allocates nothing
+// in steady state (the prefetcher fires on every access of every op stream).
 type stridePrefetcher struct {
 	degree int
-	table  map[uint32]*pfEntry
+	idx    map[uint32]int32
+	slab   []pfEntry
+	addrs  []uint64 // reused result buffer; valid until the next observe
 }
 
 type pfEntry struct {
@@ -26,22 +32,31 @@ const (
 )
 
 func newStridePrefetcher(degree int) *stridePrefetcher {
-	return &stridePrefetcher{degree: degree, table: make(map[uint32]*pfEntry, pfTableCap)}
+	return &stridePrefetcher{
+		degree: degree,
+		idx:    make(map[uint32]int32, pfTableCap),
+		slab:   make([]pfEntry, 0, pfTableCap),
+		addrs:  make([]uint64, 0, degree),
+	}
 }
 
 // observe trains on one access and returns the word addresses whose lines
-// should be prefetched (empty until the PC's stride is confident).
+// should be prefetched (empty until the PC's stride is confident). The
+// returned slice is owned by the prefetcher and valid until the next observe.
 func (p *stridePrefetcher) observe(op isa.Op) []uint64 {
-	e := p.table[op.PC]
-	if e == nil {
-		if len(p.table) >= pfTableCap {
+	i, ok := p.idx[op.PC]
+	if !ok {
+		if len(p.slab) >= pfTableCap {
 			// Cheap eviction: reset the table; steady-state kernels have
 			// few static memory instructions, so this almost never fires.
-			p.table = make(map[uint32]*pfEntry, pfTableCap)
+			clear(p.idx)
+			p.slab = p.slab[:0]
 		}
-		p.table[op.PC] = &pfEntry{lastAddr: op.Addr}
+		p.idx[op.PC] = int32(len(p.slab))
+		p.slab = append(p.slab, pfEntry{lastAddr: op.Addr})
 		return nil
 	}
+	e := &p.slab[i]
 	stride := int64(op.Addr) - int64(e.lastAddr)
 	if stride == e.stride && stride != 0 {
 		if e.conf < pfConfThresh+p.degree {
@@ -55,7 +70,7 @@ func (p *stridePrefetcher) observe(op isa.Op) []uint64 {
 	if e.conf < pfConfThresh {
 		return nil
 	}
-	addrs := make([]uint64, 0, p.degree)
+	addrs := p.addrs[:0]
 	prev := isa.LineOf(op.Addr, isa.Row).Base
 	for i := 1; i <= p.degree; i++ {
 		next := int64(op.Addr) + int64(i)*e.stride
@@ -68,5 +83,6 @@ func (p *stridePrefetcher) observe(op isa.Op) []uint64 {
 			prev = lb
 		}
 	}
+	p.addrs = addrs
 	return addrs
 }

@@ -16,14 +16,14 @@ type stuckLevel struct {
 	stats LevelStats
 }
 
-func (s *stuckLevel) CPUAccess(uint64, isa.Op, func(uint64, uint64))   {}
-func (s *stuckLevel) Fill(uint64, isa.LineID, func(uint64, [8]uint64)) {}
-func (s *stuckLevel) Writeback(uint64, isa.LineID, uint8, [8]uint64)   {}
-func (s *stuckLevel) Peek(isa.LineID) [isa.WordsPerLine]uint64         { return [8]uint64{} }
-func (s *stuckLevel) Occupancy() (int, int)                            { return 0, 0 }
-func (s *stuckLevel) Stats() *LevelStats                               { return &s.stats }
-func (s *stuckLevel) Drain(uint64)                                     {}
-func (s *stuckLevel) MSHRInFlight() int                                { return 3 }
+func (s *stuckLevel) CPUAccess(uint64, isa.Op, func(uint64, uint64))    {}
+func (s *stuckLevel) Fill(uint64, isa.LineID, func(uint64, *[8]uint64)) {}
+func (s *stuckLevel) Writeback(uint64, isa.LineID, uint8, [8]uint64)    {}
+func (s *stuckLevel) Peek(isa.LineID) [isa.WordsPerLine]uint64          { return [8]uint64{} }
+func (s *stuckLevel) Occupancy() (int, int)                             { return 0, 0 }
+func (s *stuckLevel) Stats() *LevelStats                                { return &s.stats }
+func (s *stuckLevel) Drain(uint64)                                      {}
+func (s *stuckLevel) MSHRInFlight() int                                 { return 3 }
 
 // stuckMachine wires a real machine, then replaces its L1 with a level that
 // drops every access on the floor.

@@ -134,7 +134,7 @@ func fillSync(t *testing.T, q *sim.EventQueue, m *Memory, at uint64, line isa.Li
 	var doneAt uint64
 	var data [8]uint64
 	got := false
-	m.Fill(at, line, func(a uint64, d [8]uint64) { doneAt, data, got = a, d, true })
+	m.Fill(at, line, func(a uint64, d *[8]uint64) { doneAt, data, got = a, *d, true })
 	q.Run(0)
 	if !got {
 		t.Fatal("fill never completed")
@@ -288,7 +288,7 @@ func TestRowOnlyRejectsColumns(t *testing.T) {
 	p := DefaultParams()
 	p.RowOnly = true
 	q, m := newTestMemory(t, p)
-	m.Fill(0, isa.LineID{Base: 0, Orient: isa.Col}, func(uint64, [8]uint64) {})
+	m.Fill(0, isa.LineID{Base: 0, Orient: isa.Col}, func(uint64, *[8]uint64) {})
 	q.Run(0)
 	if err := q.Err(); !errors.Is(err, sim.ErrInvalidAccess) {
 		t.Fatalf("column fill on row-only memory: err = %v, want sim.ErrInvalidAccess", err)

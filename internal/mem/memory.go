@@ -49,8 +49,18 @@ type request struct {
 	mask   uint8 // valid words for writes
 	write  bool
 	arrive uint64
-	done   func(at uint64, data [isa.WordsPerLine]uint64)
+	crit   uint64 // critical-word delivery cycle (reads, set by serve)
+	done   func(at uint64, data *[isa.WordsPerLine]uint64)
 	bank   *bankState
+	ch     *channelState
+
+	// Pooling: requests are recycled via an intrusive freelist, and the two
+	// closures each request needs (queue insertion, read completion) are
+	// bound once at creation, so steady-state traffic allocates nothing.
+	m      *Memory
+	next   *request
+	enqFn  func()
+	compFn func(now, arg uint64)
 }
 
 // bankState tracks the open-line buffers of one bank. Each orientation has
@@ -103,9 +113,10 @@ type channelState struct {
 
 	// retryArmed/retryTime deduplicate bank-busy retry events: at most one
 	// outstanding retry per channel per deadline, keeping the event queue
-	// bounded under heavy load.
+	// bounded under heavy load. retryFn is the pre-bound retry callback.
 	retryArmed bool
 	retryTime  uint64
+	retryFn    func()
 }
 
 // Memory is the MDA main memory: functional backing store plus the timing
@@ -117,6 +128,12 @@ type Memory struct {
 	store *Store
 	chans []*channelState
 	stats Stats
+
+	freeReqs *request
+	// scratch is the line buffer handed to read completions. Safe to share:
+	// the Backend.Fill contract says the pointee is valid only for the
+	// duration of the callback, and each completion refills it first.
+	scratch [isa.WordsPerLine]uint64
 
 	// faultRNG drives write-fault injection; nil when WriteFailProb is 0,
 	// so the disabled model has strictly zero cost.
@@ -169,9 +186,51 @@ func New(q *sim.EventQueue, p Params) (*Memory, error) {
 		for b := range ch.banks {
 			ch.banks[b] = &bankState{}
 		}
+		ch.retryFn = func() {
+			ch.retryArmed = false
+			m.issue(ch)
+		}
 		m.chans = append(m.chans, ch)
 	}
 	return m, nil
+}
+
+// getReq returns a pooled request with its closures pre-bound.
+func (m *Memory) getReq() *request {
+	if r := m.freeReqs; r != nil {
+		m.freeReqs = r.next
+		r.next = nil
+		return r
+	}
+	r := &request{m: m}
+	r.enqFn = func() {
+		ch := r.ch
+		if r.write {
+			ch.writeQ = append(ch.writeQ, r)
+		} else {
+			ch.readQ = append(ch.readQ, r)
+		}
+		r.m.kick(ch)
+	}
+	r.compFn = func(now, _ uint64) {
+		mm := r.m
+		done, line, crit := r.done, r.line, r.crit
+		mm.putReq(r)
+		// Read the functional store at delivery time, not request time: the
+		// value must reflect writes committed while the read was queued.
+		mm.scratch = mm.store.ReadLine(line)
+		done(crit, &mm.scratch)
+	}
+	return r
+}
+
+// putReq recycles a request, dropping its callback and queue references.
+func (m *Memory) putReq(r *request) {
+	r.done = nil
+	r.bank = nil
+	r.ch = nil
+	r.next = m.freeReqs
+	m.freeReqs = r
 }
 
 // Store exposes the functional backing store for preloading and oracle
@@ -192,18 +251,17 @@ func (m *Memory) place(line isa.LineID) (*channelState, *bankState) {
 
 // Fill requests a line read. done is invoked when the critical word arrives
 // (critical-word-first transfer, §IV-B(d)) with the full line data.
-func (m *Memory) Fill(at uint64, line isa.LineID, done func(at uint64, data [isa.WordsPerLine]uint64)) {
+func (m *Memory) Fill(at uint64, line isa.LineID, done func(at uint64, data *[isa.WordsPerLine]uint64)) {
 	if m.p.RowOnly && line.Orient == isa.Col {
 		m.q.Failf("mem", "fill", sim.ErrInvalidAccess,
 			"column fill %v on row-only memory (compile the workload for a 1-D hierarchy)", line)
 		return
 	}
 	ch, bank := m.place(line)
-	req := &request{line: line, arrive: at, done: done, bank: bank}
-	m.q.Schedule(at, func() {
-		ch.readQ = append(ch.readQ, req)
-		m.kick(ch)
-	})
+	req := m.getReq()
+	req.line, req.mask, req.write = line, 0, false
+	req.arrive, req.done, req.bank, req.ch = at, done, bank, ch
+	m.q.Schedule(at, req.enqFn)
 }
 
 // Writeback requests a line write of the words selected by mask.
@@ -226,11 +284,10 @@ func (m *Memory) Writeback(at uint64, line isa.LineID, mask uint8, data [isa.Wor
 	}
 	m.store.WriteLine(line, mask, data) // functional commit in call order
 	ch, bank := m.place(line)
-	req := &request{line: line, mask: mask, write: true, arrive: at, bank: bank}
-	m.q.Schedule(at, func() {
-		ch.writeQ = append(ch.writeQ, req)
-		m.kick(ch)
-	})
+	req := m.getReq()
+	req.line, req.mask, req.write = line, mask, true
+	req.arrive, req.done, req.bank, req.ch = at, nil, bank, ch
+	m.q.Schedule(at, req.enqFn)
 }
 
 // kick runs the channel's issue loop. It is invoked on every arrival and
@@ -273,10 +330,7 @@ func (m *Memory) issue(ch *channelState) {
 			}
 			if !ch.retryArmed || retry < ch.retryTime {
 				ch.retryArmed, ch.retryTime = true, retry
-				m.q.Schedule(retry, func() {
-					ch.retryArmed = false
-					m.issue(ch)
-				})
+				m.q.Schedule(retry, ch.retryFn)
 			}
 			return
 		}
@@ -365,6 +419,7 @@ func (m *Memory) serve(ch *channelState, req *request, now uint64) {
 		if m.faultRNG != nil {
 			bank.nextFree += m.injectWriteFaults(req, words)
 		}
+		m.putReq(req)
 		return
 	}
 
@@ -378,10 +433,8 @@ func (m *Memory) serve(ch *channelState, req *request, now uint64) {
 		m.tr.Span(req.arrive, crit-req.arrive, obs.CatMem, "mem", "read",
 			obs.Fields{Addr: req.line.Base, Orient: int8(orient)})
 	}
-	line, done := req.line, req.done
-	m.q.Schedule(crit, func() {
-		done(crit, m.store.ReadLine(line))
-	})
+	req.crit = crit
+	m.q.ScheduleArg(crit, req.compFn, 0)
 }
 
 // injectWriteFaults models the crosspoint array's verify-and-retry loop for

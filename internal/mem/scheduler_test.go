@@ -10,7 +10,7 @@ import (
 // completion cycle.
 func fillAsync(m *Memory, at uint64, line isa.LineID) *uint64 {
 	done := new(uint64)
-	m.Fill(at, line, func(a uint64, _ [8]uint64) { *done = a })
+	m.Fill(at, line, func(a uint64, _ *[8]uint64) { *done = a })
 	return done
 }
 
@@ -107,7 +107,7 @@ func TestManyRequestsAllComplete(t *testing.T) {
 	count := 0
 	for i := 0; i < n; i++ {
 		m.Fill(uint64(i), isa.LineID{Base: uint64(i%32) * isa.TileSize, Orient: isa.Row},
-			func(uint64, [8]uint64) { count++ })
+			func(uint64, *[8]uint64) { count++ })
 	}
 	executed := q.Run(0)
 	if count != n {

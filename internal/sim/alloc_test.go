@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// TestSteadyStateSchedulingAllocFree pins the tentpole property of the event
+// queue rework: once the heap and slot pool have reached their high-water
+// mark, scheduling and dispatching events — in all three callback encodings —
+// allocates nothing.
+func TestSteadyStateSchedulingAllocFree(t *testing.T) {
+	q := &EventQueue{}
+	fn := func() {}
+	fnA := func(now, arg uint64) {}
+	fnD := func(now uint64, d *LineData) {}
+	var buf LineData
+
+	// Warm the heap and slot pool to their steady-state size.
+	for i := 0; i < 8; i++ {
+		q.Schedule(q.Now(), fn)
+		q.ScheduleArg(q.Now(), fnA, uint64(i))
+		q.ScheduleData(q.Now(), fnD, &buf)
+	}
+	q.Run(0)
+
+	if n := testing.AllocsPerRun(500, func() {
+		q.Schedule(q.Now(), fn)
+		q.ScheduleArg(q.Now(), fnA, 1)
+		q.ScheduleData(q.Now(), fnD, &buf)
+		q.Run(0)
+	}); n != 0 {
+		t.Fatalf("steady-state scheduling allocates %v times per cycle, want 0", n)
+	}
+}
+
+// TestSlotPoolReuse checks the freelist actually recycles: after draining,
+// scheduling again must not grow the slot array.
+func TestSlotPoolReuse(t *testing.T) {
+	q := &EventQueue{}
+	fn := func() {}
+	for i := 0; i < 16; i++ {
+		q.Schedule(uint64(i), fn)
+	}
+	q.Run(0)
+	grown := len(q.slots)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 16; i++ {
+			q.Schedule(q.Now()+uint64(i), fn)
+		}
+		q.Run(0)
+	}
+	if len(q.slots) != grown {
+		t.Fatalf("slot pool grew from %d to %d under steady load", grown, len(q.slots))
+	}
+}
