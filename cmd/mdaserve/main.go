@@ -1,0 +1,130 @@
+// Command mdaserve runs the MDACache simulation service: a long-running HTTP
+// daemon that accepts simulation and sweep jobs, enforces per-job budgets,
+// sheds load when the queue is full, streams per-run progress, and survives
+// crashes — job state and sweep checkpoints live under -state-dir, and a
+// restarted daemon resumes interrupted jobs exactly where they stopped.
+//
+// Examples:
+//
+//	mdaserve -state-dir /var/lib/mdaserve                 # durable daemon
+//	mdaserve -addr 127.0.0.1:0 -state-dir ./state         # ephemeral port
+//	mdaserve -max-active 2 -workers 4 -max-queue 32       # sizing
+//	mdaserve -timeout 5m -max-cycles 2e9                  # default budgets
+//
+// Submit work with curl:
+//
+//	curl -s localhost:8080/jobs -d '{"specs":[{"bench":"sgemm","design":"1P2L"}]}'
+//	curl -s localhost:8080/jobs/<id>?wait=10000
+//	curl -Ns localhost:8080/jobs/<id>/events
+//
+// SIGINT/SIGTERM drain gracefully: admission stops, in-flight jobs get
+// -drain-timeout to finish, stragglers are checkpointed for the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"mdacache/internal/experiments"
+	"mdacache/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		stateDir  = flag.String("state-dir", "", "durable job-state directory; empty disables persistence and resume")
+		maxQueue  = flag.Int("max-queue", 64, "queued-job bound; submissions beyond it get 429")
+		maxActive = flag.Int("max-active", 1, "jobs running concurrently")
+		workers   = flag.Int("workers", 0, "sweep worker pool per job (0 = GOMAXPROCS)")
+		maxCycles = flag.Uint64("max-cycles", 0, "default per-run simulated-cycle budget (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 30*time.Minute, "default per-run wall-clock budget")
+		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before checkpointing them")
+		flushN    = flag.Int("flush-every", 1, "runs per checkpoint flush (1 = flush after every run)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		usagef("unexpected arguments: %v", flag.Args())
+	}
+	if *maxQueue < 1 || *maxActive < 1 {
+		usagef("-max-queue and -max-active must be >= 1")
+	}
+	if *timeout < 0 || *drainFor < 0 {
+		usagef("-timeout and -drain-timeout must be non-negative")
+	}
+
+	srv, err := serve.New(serve.Options{
+		StateDir:          *stateDir,
+		MaxQueue:          *maxQueue,
+		MaxActive:         *maxActive,
+		Workers:           *workers,
+		DefaultMaxCycles:  *maxCycles,
+		DefaultRunTimeout: *timeout,
+		DrainTimeout:      *drainFor,
+		FlushEvery:        *flushN,
+		Log:               os.Stderr,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
+	fmt.Printf("mdaserve: listening on %s\n", ln.Addr())
+	if *stateDir != "" {
+		// Publish the bound address (meaningful with :0) so clients and the
+		// test harness can find a daemon by its state dir alone.
+		if err := experiments.WriteFileAtomic(filepath.Join(*stateDir, "addr"),
+			[]byte(ln.Addr().String()+"\n")); err != nil {
+			fatalf("write addr file: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "mdaserve: %v: draining\n", sig)
+	case err := <-serveErr:
+		fatalf("serve: %v", err)
+	}
+
+	// Drain: stop taking connections, then let the job layer finish or
+	// checkpoint its work. The HTTP server gets a moment beyond the job
+	// drain so in-flight status requests complete.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor+10*time.Second)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+	}
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "mdaserve: drain: %v\n", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "mdaserve: drained")
+}
+
+func usagef(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdaserve: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdaserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"mdacache/internal/compiler"
@@ -30,15 +29,6 @@ import (
 	"mdacache/internal/stats"
 	"mdacache/internal/workloads"
 )
-
-var designByName = map[string]core.Design{
-	"1p1l":         core.D0Baseline,
-	"1p2l":         core.D1DiffSet,
-	"1p2l_sameset": core.D1SameSet,
-	"2p2l":         core.D2Sparse,
-	"2p2l_dense":   core.D2Dense,
-	"2p2l_l1":      core.D3AllTile,
-}
 
 func main() {
 	var (
@@ -69,9 +59,9 @@ func main() {
 	)
 	flag.Parse()
 
-	d, ok := designByName[strings.ToLower(*design)]
+	d, ok := core.ParseDesign(*design)
 	if !ok {
-		usagef("unknown design %q (valid: %s)", *design, strings.Join(designNames(), ", "))
+		usagef("unknown design %q (valid: %s)", *design, strings.Join(core.DesignNames(), ", "))
 	}
 	if *traceFile == "" && !workloads.Valid(*bench) {
 		usagef("unknown benchmark %q (valid: %s)", *bench, strings.Join(workloads.Names, ", "))
@@ -276,16 +266,6 @@ func runTraceFile(spec experiments.RunSpec, path string, tracer *obs.Tracer) (*c
 		return nil, err
 	}
 	return res, nil
-}
-
-// designNames lists the -design values in stable order.
-func designNames() []string {
-	names := make([]string, 0, len(designByName))
-	for n := range designByName {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }
 
 func fatalf(format string, args ...interface{}) {

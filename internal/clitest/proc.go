@@ -1,0 +1,105 @@
+package clitest
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Proc is a long-running invocation started by Start — a daemon under test.
+// Unlike Run, the process outlives the call; tests drive it via Signal/Kill
+// and collect its exit with Wait. Output is captured continuously and
+// available at any time via Stdout/Stderr.
+type Proc struct {
+	t       testing.TB
+	cmd     *exec.Cmd
+	stdout  syncBuffer
+	stderr  syncBuffer
+	waitErr chan error
+}
+
+// Start launches the named built binary with args and returns immediately.
+// The process is killed (if still alive) when the test ends.
+func Start(t testing.TB, name string, args ...string) *Proc {
+	t.Helper()
+	p := &Proc{t: t, waitErr: make(chan error, 1)}
+	p.cmd = exec.Command(Bin(t, name), args...)
+	p.cmd.Stdout = &p.stdout
+	p.cmd.Stderr = &p.stderr
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("clitest: starting %s: %v", name, err)
+	}
+	go func() { p.waitErr <- p.cmd.Wait() }()
+	t.Cleanup(func() {
+		p.Kill()
+		p.waitExit(10 * time.Second)
+	})
+	return p
+}
+
+// Kill delivers SIGKILL — the harness's stand-in for `kill -9` / a crash. No
+// drain, no cleanup handler runs in the target. Idempotent; killing an
+// already-exited process is a no-op.
+func (p *Proc) Kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}
+
+// Signal delivers sig (e.g. syscall.SIGTERM for a graceful-drain test).
+func (p *Proc) Signal(sig os.Signal) {
+	p.t.Helper()
+	if err := p.cmd.Process.Signal(sig); err != nil {
+		p.t.Fatalf("clitest: signaling: %v", err)
+	}
+}
+
+// Wait blocks until the process exits (or timeout) and returns its exit code.
+// A SIGKILLed process reports -1, matching os/exec.
+func (p *Proc) Wait(timeout time.Duration) int {
+	p.t.Helper()
+	if !p.waitExit(timeout) {
+		p.t.Fatalf("clitest: process still running after %s\nstderr:\n%s", timeout, p.Stderr())
+	}
+	return p.cmd.ProcessState.ExitCode()
+}
+
+// waitExit waits for process exit without failing the test; reports success.
+// The exit error (if any) is rearmed so a later Wait call still sees it.
+func (p *Proc) waitExit(timeout time.Duration) bool {
+	select {
+	case err := <-p.waitErr:
+		p.waitErr <- err
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Stdout returns everything the process has written to stdout so far.
+func (p *Proc) Stdout() string { return p.stdout.String() }
+
+// Stderr returns everything the process has written to stderr so far.
+func (p *Proc) Stderr() string { return p.stderr.String() }
+
+// syncBuffer makes a bytes.Buffer safe against the exec goroutine writing
+// while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"mdacache/internal/isa"
 	"mdacache/internal/mem"
@@ -42,6 +43,29 @@ func (d Design) String() string {
 		return n
 	}
 	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// ParseDesign maps a design name — case-insensitive, as printed by
+// Design.String — to its value. It is the inverse every user-facing surface
+// (CLI flags, service APIs) shares, so "1P2L" means the same design
+// everywhere.
+func ParseDesign(name string) (Design, bool) {
+	for d, n := range designNames {
+		if strings.EqualFold(n, name) {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// DesignNames lists the canonical design names in definition order, for
+// usage messages and validation errors.
+func DesignNames() []string {
+	names := make([]string, 0, len(designNames))
+	for d := D0Baseline; int(d) < len(designNames); d++ {
+		names = append(names, designNames[d])
+	}
+	return names
 }
 
 // Logical2D reports whether the design's upper (SRAM) levels are logically

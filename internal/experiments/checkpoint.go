@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 
 	"mdacache/internal/core"
+	"mdacache/internal/sim"
 )
 
 // SpecKey renders a RunSpec into the stable string used to identify its run
@@ -40,9 +42,12 @@ func ckptErr(path, op string, err error) *CheckpointError {
 
 // checkpointEntry is one finished run in the state file: either Results
 // (success) or Err (the run failed and the failure is being memoised).
+// Code classifies Err under the sim wire taxonomy; files written before the
+// field existed decode with an empty code, which readers treat as unknown.
 type checkpointEntry struct {
 	Key     string        `json:"key"`
 	Err     string        `json:"err,omitempty"`
+	Code    sim.Code      `json:"code,omitempty"`
 	Results *core.Results `json:"results,omitempty"`
 }
 
@@ -119,25 +124,26 @@ func (c *Checkpoint) Results(key string) (*core.Results, bool) {
 	return e.Results, true
 }
 
-// Failed returns the stored failure annotation for key, if the run completed
-// by failing. The simulator is deterministic, so re-running a failed design
+// Failed returns the stored failure annotation and taxonomy code for key, if
+// the run completed by failing. Only deterministic failures are memoised
+// (RunSweep never records wall-clock timeouts), so re-running a failed design
 // point reproduces the failure; delete the state file to force a retry.
-func (c *Checkpoint) Failed(key string) (string, bool) {
+func (c *Checkpoint) Failed(key string) (msg string, code sim.Code, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[key]
-	if !ok || e.Err == "" {
-		return "", false
+	e, found := c.entries[key]
+	if !found || e.Err == "" {
+		return "", "", false
 	}
-	return e.Err, true
+	return e.Err, e.Code, true
 }
 
-// Record stores one finished run (results on success, errMsg on failure) and
-// rewrites the state file atomically.
-func (c *Checkpoint) Record(key string, r *core.Results, errMsg string) error {
+// Record stores one finished run (results on success, errMsg/code on failure)
+// and rewrites the state file atomically.
+func (c *Checkpoint) Record(key string, r *core.Results, errMsg string, code sim.Code) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.record(key, r, errMsg)
+	c.record(key, r, errMsg, code)
 	return c.flushLocked()
 }
 
@@ -145,10 +151,10 @@ func (c *Checkpoint) Record(key string, r *core.Results, errMsg string) error {
 // with Flush for periodic persistence: a parallel sweep records every run but
 // rewrites the (growing) state file only every FlushEvery runs, keeping the
 // checkpoint cost sublinear while still bounding how much a crash can lose.
-func (c *Checkpoint) RecordBuffered(key string, r *core.Results, errMsg string) {
+func (c *Checkpoint) RecordBuffered(key string, r *core.Results, errMsg string, code sim.Code) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.record(key, r, errMsg)
+	c.record(key, r, errMsg, code)
 }
 
 // Dirty reports how many recorded runs have not yet been flushed.
@@ -169,8 +175,8 @@ func (c *Checkpoint) Flush() error {
 	return c.flushLocked()
 }
 
-func (c *Checkpoint) record(key string, r *core.Results, errMsg string) {
-	c.entries[key] = checkpointEntry{Key: key, Err: errMsg, Results: r}
+func (c *Checkpoint) record(key string, r *core.Results, errMsg string, code sim.Code) {
+	c.entries[key] = checkpointEntry{Key: key, Err: errMsg, Code: code, Results: r}
 	c.dirty++
 }
 
@@ -183,25 +189,71 @@ func (c *Checkpoint) flushLocked() error {
 	if err != nil {
 		return ckptErr(c.path, "flush", err)
 	}
-	dir := filepath.Dir(c.path)
-	tmp, err := os.CreateTemp(dir, ".mdacache-ckpt-*")
-	if err != nil {
+	if err := WriteFileAtomic(c.path, data); err != nil {
 		return ckptErr(c.path, "flush", err)
+	}
+	c.dirty = 0
+	return nil
+}
+
+// WriteFileAtomic writes data to path with full crash durability: the bytes
+// land in a temp file in the same directory, are fsynced, renamed over path,
+// and then the containing directory is fsynced so the rename itself survives
+// a crash. A reader therefore sees either the old contents or the new, never
+// a torn file — and after WriteFileAtomic returns, never the old one again,
+// even if the machine dies immediately after.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return ckptErr(c.path, "flush", err)
+		return err
+	}
+	// Sync file data before the rename: rename-before-data-reaches-disk is
+	// exactly the window where a crash "immediately after flush" loses the
+	// checkpoint on journaled filesystems.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return ckptErr(c.path, "flush", err)
+		return err
 	}
-	if err := os.Rename(tmpName, c.path); err != nil {
+	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return ckptErr(c.path, "flush", err)
+		return err
 	}
-	c.dirty = 0
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Filesystems
+// that refuse to fsync directories (some network and FUSE mounts) report
+// EINVAL/ENOTSUP; those are ignored — the rename is still atomic, durability
+// is simply the best the mount offers.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if isSyncUnsupported(err) {
+			return nil
+		}
+		return err
+	}
 	return nil
+}
+
+func isSyncUnsupported(err error) bool {
+	return errors.Is(err, errors.ErrUnsupported) ||
+		errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP)
 }

@@ -69,13 +69,13 @@ func FuzzLoadCheckpoint(f *testing.F) {
 		ckpt.mu.Unlock()
 		for _, k := range keys {
 			_, isOK := ckpt.Results(k)
-			_, isFail := ckpt.Failed(k)
+			_, _, isFail := ckpt.Failed(k)
 			if isOK == isFail {
 				t.Fatalf("entry %q accepted with results=%v failed=%v", k, isOK, isFail)
 			}
 		}
 		// And an accepted checkpoint must round-trip through a flush.
-		if err := ckpt.Record("fuzz-roundtrip", &core.Results{Cycles: 1}, ""); err != nil {
+		if err := ckpt.Record("fuzz-roundtrip", &core.Results{Cycles: 1}, "", ""); err != nil {
 			t.Fatalf("flush of accepted checkpoint failed: %v", err)
 		}
 		re, err := LoadCheckpoint(path)

@@ -44,6 +44,20 @@ func CheckDeterminism(ctx context.Context, specs []RunSpec, workers int, opt Swe
 // equal, or an error naming the first divergence. Attempts and Resumed are
 // compared too: a deterministic sweep retries and resumes identically.
 func DiffRuns(a, b []SweepRun) error {
+	return diffRuns(a, b, true)
+}
+
+// DiffRunResults compares what the sweeps computed — keys, failure
+// annotations and bit-for-bit results — while ignoring execution provenance
+// (Attempts, Resumed, Profile). This is the comparison for crash-recovery
+// proofs: a sweep killed mid-flight and resumed from its checkpoint must
+// produce DiffRunResults-clean output against an uninterrupted golden run,
+// even though the resumed runs carry different provenance by construction.
+func DiffRunResults(a, b []SweepRun) error {
+	return diffRuns(a, b, false)
+}
+
+func diffRuns(a, b []SweepRun, provenance bool) error {
 	if len(a) != len(b) {
 		return fmt.Errorf("experiments: sweeps differ in length: %d vs %d runs", len(a), len(b))
 	}
@@ -54,9 +68,11 @@ func DiffRuns(a, b []SweepRun) error {
 			return fmt.Errorf("experiments: run %d: key %q vs %q (ordering diverged)", i, x.Key, y.Key)
 		case x.Err != y.Err:
 			return fmt.Errorf("experiments: run %d (%v): error %q vs %q", i, x.Spec, x.Err, y.Err)
-		case x.Attempts != y.Attempts:
+		case x.ErrCode != y.ErrCode:
+			return fmt.Errorf("experiments: run %d (%v): error code %q vs %q", i, x.Spec, x.ErrCode, y.ErrCode)
+		case provenance && x.Attempts != y.Attempts:
 			return fmt.Errorf("experiments: run %d (%v): attempts %d vs %d", i, x.Spec, x.Attempts, y.Attempts)
-		case x.Resumed != y.Resumed:
+		case provenance && x.Resumed != y.Resumed:
 			return fmt.Errorf("experiments: run %d (%v): resumed %v vs %v", i, x.Spec, x.Resumed, y.Resumed)
 		case (x.Results == nil) != (y.Results == nil):
 			return fmt.Errorf("experiments: run %d (%v): results presence %v vs %v",

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdacache/internal/core"
+	"mdacache/internal/sim"
+)
+
+// TestCheckpointFlushDurable is the regression test for the fsync-after-rename
+// hardening: a flushed checkpoint must be fully on disk under its final name —
+// reloadable, byte-complete, and with no temp files left behind that a crash
+// cleanup could confuse for state.
+func TestCheckpointFlushDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	ckpt, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Record("k1", &core.Results{Cycles: 42}, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Record("k2", nil, "deadlock: stuck", sim.CodeDeadlock); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload: both entries survive with payloads and codes intact.
+	re, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := re.Results("k1"); !ok || r.Cycles != 42 {
+		t.Fatalf("k1 lost: %+v ok=%v", r, ok)
+	}
+	msg, code, ok := re.Failed("k2")
+	if !ok || msg != "deadlock: stuck" || code != sim.CodeDeadlock {
+		t.Fatalf("k2 lost: msg=%q code=%q ok=%v", msg, code, ok)
+	}
+
+	// The atomic-write protocol must not leave temp files around.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("flush leaked temp file %q", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("state dir holds %d entries, want just the checkpoint", len(entries))
+	}
+}
+
+// TestCheckpointFlushIntoMissingDir: when the containing directory vanishes
+// (operator deleted the state dir mid-run), the flush fails with a typed
+// *CheckpointError instead of panicking or silently dropping state.
+func TestCheckpointFlushIntoMissingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "gone")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := LoadCheckpoint(filepath.Join(dir, "state.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	err = ckpt.Record("k", &core.Results{Cycles: 1}, "", "")
+	var cerr *CheckpointError
+	if !errors.As(err, &cerr) || cerr.Op != "flush" {
+		t.Fatalf("got %v, want flush *CheckpointError", err)
+	}
+}
+
+// TestWriteFileAtomic pins the helper's contract: replaces existing content,
+// never leaves a partial file, and cleans its temp file on failure.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "second" {
+		t.Fatalf("content = %q, want %q", data, "second")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries after two writes, want 1", len(entries))
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, "no-such-subdir", "x"), []byte("y")); err == nil {
+		t.Fatal("write into a missing directory must fail")
+	}
+}

@@ -152,7 +152,7 @@ func (s *Suite) simulate(spec RunSpec) (*core.Results, error) {
 	s.logf("  -> %d cycles, %d ops, %.1f MB memory traffic",
 		r.Cycles, r.Ops, float64(r.Mem.TotalBytes())/1e6)
 	if s.Checkpoint != nil {
-		if cerr := s.Checkpoint.Record(key, r, ""); cerr != nil {
+		if cerr := s.Checkpoint.Record(key, r, "", ""); cerr != nil {
 			s.logf("checkpoint write failed: %v", cerr)
 		}
 	}

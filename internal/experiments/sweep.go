@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 
 	"mdacache/internal/core"
 	"mdacache/internal/obs"
+	"mdacache/internal/sim"
 	"mdacache/internal/stats"
 )
 
@@ -60,6 +62,33 @@ type SweepOptions struct {
 	// simulated. Profiles are wall-clock measurements and never part of
 	// Results, so they cannot perturb determinism checks or checkpoints.
 	Profile bool
+
+	// FlushRetries is how many times a failed checkpoint flush is retried
+	// (with exponential backoff, starting at FlushBackoff) before it is
+	// declared an infrastructure failure and aborts the sweep. Flush
+	// failures are frequently transient — ENOSPC races, NFS hiccups, AV
+	// scanners holding the file — and a long-running service should not
+	// lose a job to one. 0 keeps the historical fail-fast behaviour.
+	FlushRetries int
+
+	// FlushBackoff is the initial retry delay for FlushRetries (default
+	// 50ms, doubling per attempt).
+	FlushBackoff time.Duration
+
+	// OnRun, when non-nil, observes every finished run — simulated,
+	// failed, and checkpoint-resumed alike — as it completes. index is the
+	// run's position in specs. Calls are serialized (never concurrent) but
+	// arrive in completion order, not spec order. The hook is how a
+	// service streams per-run progress; it must not block for long, since
+	// it briefly holds up the worker that finished the run.
+	OnRun func(index int, run SweepRun)
+
+	// Run, when non-nil, replaces RunInstrumentedCtx as the executor of
+	// each attempt. Services layer cross-job caches and single-flight
+	// sharing here; the checkpoint, retry and budget plumbing all stay in
+	// RunSweep. The function must be safe for concurrent calls and
+	// deterministic per spec.
+	Run func(ctx context.Context, spec RunSpec, ins Instrument) (*core.Results, error)
 }
 
 // workerCount resolves the effective pool size for n specs.
@@ -83,6 +112,7 @@ type SweepRun struct {
 	Key      string
 	Results  *core.Results // nil when the run failed
 	Err      string        // failure annotation ("" on success)
+	ErrCode  sim.Code      `json:",omitempty"` // taxonomy code for Err ("" on success)
 	Attempts int           // simulation attempts this process made (0 if resumed)
 	Resumed  bool          // satisfied from the checkpoint file
 
@@ -163,6 +193,21 @@ func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRu
 		flushEvery = 1
 	}
 
+	// emit serializes OnRun calls from concurrent workers.
+	var onRunMu sync.Mutex
+	emit := func(i int, run SweepRun) {
+		if opt.OnRun == nil {
+			return
+		}
+		onRunMu.Lock()
+		opt.OnRun(i, run)
+		onRunMu.Unlock()
+	}
+	runFn := opt.Run
+	if runFn == nil {
+		runFn = RunInstrumentedCtx
+	}
+
 	runs := make([]SweepRun, len(specs))
 	done := make([]bool, len(specs))
 	var pending []int // indices that still need simulation, in spec order
@@ -179,12 +224,14 @@ func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRu
 				run.Results, run.Resumed = r, true
 				log.logf("sweep: %v resumed from checkpoint", spec)
 				runs[i], done[i] = run, true
+				emit(i, run)
 				continue
 			}
-			if msg, ok := ckpt.Failed(run.Key); ok {
-				run.Err, run.Resumed = msg, true
+			if msg, code, ok := ckpt.Failed(run.Key); ok {
+				run.Err, run.ErrCode, run.Resumed = msg, code, true
 				log.logf("sweep: %v resumed from checkpoint (failed: %s)", spec, msg)
 				runs[i], done[i] = run, true
+				emit(i, run)
 				continue
 			}
 		}
@@ -218,6 +265,7 @@ func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRu
 			for i := range work {
 				run := runs[i]
 				spec := run.Spec
+				var lastErr error
 				for attempt := 0; attempt <= opt.Retries; attempt++ {
 					run.Attempts++
 					log.logf("sweep: running %v (attempt %d) ...", spec, run.Attempts)
@@ -227,13 +275,13 @@ func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRu
 						// reports only the attempt that produced results.
 						ins.Profile = &obs.RunProfile{Name: spec.String()}
 					}
-					r, err := RunInstrumentedCtx(sctx, spec, ins)
+					r, err := runFn(sctx, spec, ins)
 					if err == nil {
-						run.Results, run.Err = r, ""
+						run.Results, run.Err, run.ErrCode, lastErr = r, "", "", nil
 						run.Profile = ins.Profile
 						break
 					}
-					run.Err = err.Error()
+					run.Err, run.ErrCode, lastErr = err.Error(), sim.CodeOf(err), err
 					if sctx.Err() != nil {
 						// The whole sweep was cancelled; don't burn
 						// retries on it.
@@ -243,15 +291,21 @@ func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRu
 				if run.Err != "" {
 					log.logf("sweep: %v FAILED after %d attempt(s): %s", spec, run.Attempts, run.Err)
 				}
-				if ckpt != nil && sctx.Err() == nil {
-					ckpt.RecordBuffered(run.Key, run.Results, run.Err)
+				// Memoise the outcome — except wall-clock timeouts, which
+				// depend on host speed, not the simulation: replaying a
+				// stale timeout after a cancel/resume would make the
+				// resumed sweep diverge from an uninterrupted one. A
+				// timed-out run stays unrecorded so resume re-simulates it.
+				if ckpt != nil && sctx.Err() == nil && !errors.Is(lastErr, sim.ErrTimeout) {
+					ckpt.RecordBuffered(run.Key, run.Results, run.Err, run.ErrCode)
 					if ckpt.Dirty() >= flushEvery {
-						if err := ckpt.Flush(); err != nil {
+						if err := flushWithRetry(ckpt, opt, sctx); err != nil {
 							setErr(err)
 						}
 					}
 				}
 				runs[i], done[i] = run, true
+				emit(i, run)
 				if sctx.Err() != nil {
 					return
 				}
@@ -270,7 +324,10 @@ feed:
 	wg.Wait()
 
 	if ckpt != nil {
-		if err := ckpt.Flush(); err != nil {
+		// The final flush runs even when the sweep was cancelled: whatever
+		// completed before the cancel must land on disk so the job resumes
+		// instead of restarting. ctx is deliberately not consulted here.
+		if err := flushWithRetry(ckpt, opt, context.Background()); err != nil {
 			setErr(err)
 		}
 	}
@@ -290,6 +347,31 @@ feed:
 		return runs[:n], err
 	}
 	return runs, nil
+}
+
+// flushWithRetry flushes the checkpoint, retrying failed flushes with
+// exponential backoff per SweepOptions.FlushRetries/FlushBackoff. ctx bounds
+// the waiting: a cancelled sweep stops retrying immediately so cancellation
+// stays prompt (RunSweep's final flush passes an independent context so the
+// completed prefix still lands on disk after a cancel).
+func flushWithRetry(ckpt *Checkpoint, opt SweepOptions, ctx context.Context) error {
+	backoff := opt.FlushBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = ckpt.Flush()
+		if err == nil || attempt >= opt.FlushRetries {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
 }
 
 // SweepTable renders sweep outcomes — including failures — as a table.

@@ -1,0 +1,136 @@
+package obs
+
+import "sync"
+
+// Broker is an append-only, replayable event stream: publishers append
+// events, and every subscriber receives the full history first and then live
+// events in publication order, with no gaps and no duplicates. It is the
+// fan-out primitive behind streamed progress endpoints — a subscriber that
+// connects late (or reconnects after a network blip) still sees the whole
+// story, because the history *is* the stream.
+//
+// The payload type is anything JSON-serializable; a service typically streams
+// job state transitions carrying metric Snapshots. A Broker is safe for
+// concurrent use by any number of publishers and subscribers.
+//
+// Delivery is lossless and therefore flow-controlled: Publish blocks until
+// every live subscriber has accepted the event, so a stalled consumer stalls
+// the publisher. Consumers that may stall must detach (cancel) instead — a
+// detaching subscriber never blocks Publish.
+//
+// Memory: the history is retained until the Broker is garbage collected.
+// Brokers belong to bounded-lifetime objects (one job each), not to
+// process-lifetime singletons.
+type Broker[T any] struct {
+	mu     sync.Mutex // guards everything; held across deliveries
+	events []T
+	subs   map[int]*subscriber[T]
+	next   int
+	closed bool
+}
+
+type subscriber[T any] struct {
+	ch   chan T
+	done chan struct{} // closed by cancel; unblocks an in-flight delivery
+}
+
+// NewBroker returns an empty, open broker.
+func NewBroker[T any]() *Broker[T] {
+	return &Broker[T]{subs: make(map[int]*subscriber[T])}
+}
+
+// Publish appends ev to the history and delivers it to every subscriber.
+// Publishing to a closed broker is a no-op rather than a panic: a worker
+// racing shutdown loses the race harmlessly.
+func (b *Broker[T]) Publish(ev T) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.events = append(b.events, ev)
+	for _, s := range b.subs {
+		select {
+		case s.ch <- ev:
+		case <-s.done: // subscriber is detaching; skip it
+		}
+	}
+}
+
+// Close marks the stream complete: every subscriber's channel is closed after
+// its pending events, future Publish calls are dropped, and future Subscribe
+// calls receive the full history with an immediately-closed live channel.
+// Idempotent.
+func (b *Broker[T]) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, s := range b.subs {
+		close(s.ch)
+		delete(b.subs, id)
+	}
+}
+
+// Closed reports whether the stream is complete.
+func (b *Broker[T]) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// History returns a copy of every event published so far.
+func (b *Broker[T]) History() []T {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]T, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Len returns the number of events published so far.
+func (b *Broker[T]) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Subscribe returns the history up to now plus a channel carrying every
+// subsequent event, and a cancel function that detaches the subscriber.
+// There is no gap and no overlap between the returned history and the
+// channel. The channel is closed after the final event when the broker
+// closes; after cancel the channel just stops receiving (the caller asked to
+// leave and must stop reading). cancel is idempotent and safe to call even
+// while a delivery to this subscriber is blocked — that is its main job.
+func (b *Broker[T]) Subscribe() (history []T, live <-chan T, cancel func()) {
+	b.mu.Lock()
+	history = make([]T, len(b.events))
+	copy(history, b.events)
+	if b.closed {
+		ch := make(chan T)
+		close(ch)
+		b.mu.Unlock()
+		return history, ch, func() {}
+	}
+	s := &subscriber[T]{ch: make(chan T, 16), done: make(chan struct{})}
+	id := b.next
+	b.next++
+	b.subs[id] = s
+	b.mu.Unlock()
+
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			// Unblock any in-flight delivery first — the publisher holds
+			// b.mu while delivering, so closing done before taking the
+			// lock is what makes this deadlock-free.
+			close(s.done)
+			b.mu.Lock()
+			delete(b.subs, id)
+			b.mu.Unlock()
+		})
+	}
+	return history, s.ch, cancel
+}

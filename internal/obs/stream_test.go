@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBrokerReplayThenLive: a subscriber sees history with no gap or overlap
+// against the live channel, in publication order.
+func TestBrokerReplayThenLive(t *testing.T) {
+	b := NewBroker[int]()
+	b.Publish(1)
+	b.Publish(2)
+
+	history, live, cancel := b.Subscribe()
+	defer cancel()
+	if len(history) != 2 || history[0] != 1 || history[1] != 2 {
+		t.Fatalf("history = %v, want [1 2]", history)
+	}
+
+	go func() {
+		b.Publish(3)
+		b.Publish(4)
+		b.Close()
+	}()
+
+	var got []int
+	for v := range live {
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("live = %v, want [3 4]", got)
+	}
+	if !b.Closed() {
+		t.Fatal("broker not closed")
+	}
+}
+
+// TestBrokerLateSubscribe: subscribing after Close still yields the complete
+// history and a closed channel.
+func TestBrokerLateSubscribe(t *testing.T) {
+	b := NewBroker[string]()
+	b.Publish("a")
+	b.Publish("b")
+	b.Close()
+	b.Publish("dropped") // no-op after close
+
+	history, live, cancel := b.Subscribe()
+	defer cancel()
+	if len(history) != 2 {
+		t.Fatalf("history = %v, want 2 events", history)
+	}
+	if _, ok := <-live; ok {
+		t.Fatal("live channel of a closed broker must be closed")
+	}
+}
+
+// TestBrokerCancelUnblocksPublisher: a subscriber that stops reading and
+// cancels must not wedge the publisher — the crash-tolerance property the
+// HTTP events endpoint relies on when a client disconnects.
+func TestBrokerCancelUnblocksPublisher(t *testing.T) {
+	b := NewBroker[int]()
+	_, _, cancel := b.Subscribe() // never reads
+
+	published := make(chan struct{})
+	go func() {
+		// The subscriber's buffer absorbs 16; more would block forever if
+		// cancel did not detach it.
+		for i := 0; i < 100; i++ {
+			b.Publish(i)
+		}
+		close(published)
+	}()
+
+	time.Sleep(10 * time.Millisecond) // let the publisher hit the full buffer
+	cancel()
+	select {
+	case <-published:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher still blocked after subscriber cancelled")
+	}
+	if b.Len() != 100 {
+		t.Fatalf("history holds %d events, want 100", b.Len())
+	}
+	cancel() // idempotent
+}
+
+// TestBrokerConcurrent hammers the broker from many publishers and
+// subscribers; run with -race. Each subscriber must observe a prefix-complete,
+// duplicate-free sequence: history + live = all events in order.
+func TestBrokerConcurrent(t *testing.T) {
+	b := NewBroker[int]()
+	const events = 200
+	const readers = 8
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			history, live, cancel := b.Subscribe()
+			defer cancel()
+			seen := len(history)
+			for i, v := range history {
+				if v != i {
+					t.Errorf("history[%d] = %d", i, v)
+					return
+				}
+			}
+			for v := range live {
+				if v != seen {
+					t.Errorf("live event %d arrived at position %d", v, seen)
+					return
+				}
+				seen++
+			}
+			if seen != events {
+				t.Errorf("subscriber saw %d events, want %d", seen, events)
+			}
+		}()
+	}
+
+	for i := 0; i < events; i++ {
+		b.Publish(i)
+	}
+	b.Close()
+	wg.Wait()
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs             submit a job (202; 200 when deduped)
+//	GET    /jobs             list job statuses
+//	GET    /jobs/{id}        one job's status (?runs=1 for outcomes,
+//	                         ?wait=<ms> to long-poll for completion)
+//	GET    /jobs/{id}/events NDJSON event stream (history + live)
+//	DELETE /jobs/{id}        cancel
+//	GET    /healthz          liveness and load
+//
+// Every error response is an APIError JSON body with a machine-readable code.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// httpStatus maps service error codes onto HTTP statuses.
+func httpStatus(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) // a failed write means the client left; nothing to do
+}
+
+func writeErr(w http.ResponseWriter, aerr *APIError) {
+	status := httpStatus(aerr.Code)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, aerr)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	body := io.LimitReader(r.Body, 1<<20) // a submission is specs, not data
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, apiErrorf(CodeBadRequest, "malformed JSON: %v", err))
+		return
+	}
+	resp, aerr := s.Submit(req)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	status := http.StatusAccepted
+	if resp.Deduped {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statuses())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	includeRuns := r.URL.Query().Get("runs") == "1"
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		ms, err := strconv.ParseInt(waitStr, 10, 64)
+		if err != nil || ms < 0 {
+			writeErr(w, apiErrorf(CodeBadRequest, "wait must be a non-negative integer (milliseconds)"))
+			return
+		}
+		j, ok := s.Job(id)
+		if !ok {
+			writeErr(w, apiErrorf(CodeNotFound, "no job %s", id))
+			return
+		}
+		// Long-poll: return early when the job finishes, at the wait
+		// deadline, or when the client goes away — whichever is first.
+		timer := time.NewTimer(time.Duration(ms) * time.Millisecond)
+		defer timer.Stop()
+		select {
+		case <-j.done:
+		case <-timer.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	st, ok := s.Status(id, includeRuns)
+	if !ok {
+		writeErr(w, apiErrorf(CodeNotFound, "no job %s", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, apiErrorf(CodeNotFound, "no job %s", r.PathValue("id")))
+		return
+	}
+	history, live, cancel := j.broker.Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for _, ev := range history {
+		if enc.Encode(ev) != nil {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				return // job stream complete
+			}
+			if enc.Encode(ev) != nil {
+				return // client disconnected; cancel() detaches us
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, aerr := s.Cancel(r.PathValue("id"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	status := http.StatusOK
+	if h.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}

@@ -1,0 +1,769 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"mdacache/internal/core"
+	"mdacache/internal/experiments"
+	"mdacache/internal/sim"
+)
+
+// Options configures a Server. The zero value is usable: it queues up to 64
+// jobs, runs one at a time, and imposes a 30-minute cycle-unlimited default
+// budget per run.
+type Options struct {
+	// StateDir roots the durable job store ("" disables persistence — jobs
+	// live and die with the process; useful for tests).
+	StateDir string
+
+	// MaxQueue bounds how many jobs may wait for a slot; submissions beyond
+	// it are shed with CodeQueueFull (HTTP 429). Default 64.
+	MaxQueue int
+	// MaxActive bounds how many jobs run concurrently. Default 1 — each job
+	// already fans out across Workers simulation goroutines.
+	MaxActive int
+	// Workers is each job's sweep worker-pool size (0 = GOMAXPROCS).
+	Workers int
+
+	// DefaultMaxCycles / MaxMaxCycles: the per-run simulated-cycle budget
+	// applied when a submission names none, and the ceiling a submission may
+	// request. 0 = unlimited.
+	DefaultMaxCycles uint64
+	MaxMaxCycles     uint64
+	// DefaultRunTimeout / MaxRunTimeout: likewise for the per-run wall
+	// clock. DefaultRunTimeout defaults to 30m so a wedged run can never
+	// hold a slot forever; MaxRunTimeout 0 = no ceiling.
+	DefaultRunTimeout time.Duration
+	MaxRunTimeout     time.Duration
+
+	// FlushEvery is the sweep checkpoint flush cadence (runs per flush;
+	// default 1 — a service values durability over flush amortisation).
+	FlushEvery int
+
+	// DrainTimeout bounds how long Shutdown waits for running jobs before
+	// checkpointing and abandoning them. Default 30s.
+	DrainTimeout time.Duration
+
+	// CacheSpecs bounds the cross-job single-flight results cache (entries;
+	// default 256; negative disables caching).
+	CacheSpecs int
+
+	// Log receives operational lines (nil = silent).
+	Log io.Writer
+
+	// runSweep replaces experiments.RunSweep (tests: fault and panic
+	// injection at the job layer).
+	runSweep func(ctx context.Context, specs []experiments.RunSpec, opt experiments.SweepOptions) ([]experiments.SweepRun, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 64
+	}
+	if o.MaxActive == 0 {
+		o.MaxActive = 1
+	}
+	if o.DefaultRunTimeout == 0 {
+		o.DefaultRunTimeout = 30 * time.Minute
+	}
+	if o.FlushEvery == 0 {
+		o.FlushEvery = 1
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
+	if o.CacheSpecs == 0 {
+		o.CacheSpecs = 256
+	}
+	if o.runSweep == nil {
+		o.runSweep = experiments.RunSweep
+	}
+	return o
+}
+
+// Server is the job service: admission control in front of a bounded queue,
+// a dispatcher feeding at most MaxActive concurrent sweeps, durable job state
+// under StateDir, and per-job event streams. Create with New, serve its
+// Handler, and Shutdown to drain.
+type Server struct {
+	opt   Options
+	store *store // nil when persistence is disabled
+	cache *specCache
+	start time.Time
+
+	baseCtx context.Context // cancelled at the drain deadline
+	baseCut context.CancelFunc
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	byKey     map[string]*job // non-terminal jobs by dedup key
+	queue     []*job
+	admitting int // submissions persisted but not yet enqueued
+	running   int
+	draining  bool
+	wake      chan struct{} // kicks the dispatcher (buffered 1)
+	quit      chan struct{} // stops the dispatcher
+	quitOnce  sync.Once
+	stopped   chan struct{} // dispatcher exited
+
+	wg sync.WaitGroup // running jobs
+}
+
+// New builds a Server and re-admits every resumable job found in StateDir:
+// jobs that were queued, running, checkpointed or shed when the previous
+// process died re-enter the queue (oldest first) and resume from their sweep
+// checkpoints. Terminal jobs stay queryable.
+func New(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		start:   time.Now(),
+		jobs:    make(map[string]*job),
+		byKey:   make(map[string]*job),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	if opt.CacheSpecs > 0 {
+		s.cache = newSpecCache(opt.CacheSpecs)
+	}
+	s.baseCtx, s.baseCut = context.WithCancel(context.Background())
+
+	if opt.StateDir != "" {
+		st, err := newStore(opt.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		recs, skipped, err := st.loadJobs()
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range skipped {
+			s.logf("serve: skipping unreadable job dir %s", dir)
+		}
+		for _, rec := range recs {
+			j := newJob(rec.ID, rec.Key, rec.Specs, rec.Budget, time.UnixMilli(rec.CreatedMS))
+			j.state = rec.State
+			j.err = rec.Error
+			if rec.StartedMS != 0 {
+				j.started = time.UnixMilli(rec.StartedMS)
+			}
+			if rec.FinishedMS != 0 {
+				j.finished = time.UnixMilli(rec.FinishedMS)
+			}
+			if rec.State.Terminal() {
+				j.runs = rec.Runs
+				tallyRuns(j, rec.Runs)
+				close(j.done)
+				j.broker.Close()
+				s.jobs[j.id] = j
+				continue
+			}
+			// Interrupted job: back to the queue, resuming from its
+			// checkpoint. The prior process's partial progress is on disk.
+			j.state = StateQueued
+			j.started = time.Time{}
+			s.jobs[j.id] = j
+			s.byKey[j.key] = j
+			s.queue = append(s.queue, j)
+			if err := s.persist(j); err != nil {
+				s.logf("%v", err)
+			}
+			s.publish(j, func(ev *JobEvent) {
+				ev.Type = "state"
+				ev.State = StateQueued
+			})
+			s.logf("serve: re-admitted job %s (%d specs, was %s)", j.id, len(j.specs), rec.State)
+		}
+	}
+
+	go s.dispatch()
+	s.kick() // start any re-admitted jobs
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.opt.Log != nil {
+		fmt.Fprintf(s.opt.Log, format+"\n", args...)
+	}
+}
+
+// Submit validates, admits and enqueues a job. The *APIError return carries
+// the typed admission verdict: CodeBadRequest, CodeQueueFull or CodeDraining.
+func (s *Server) Submit(req SubmitRequest) (SubmitResponse, *APIError) {
+	if len(req.Specs) == 0 {
+		return SubmitResponse{}, apiErrorf(CodeBadRequest, "no specs in submission")
+	}
+	specs := make([]experiments.RunSpec, len(req.Specs))
+	for i, sr := range req.Specs {
+		spec, err := sr.Spec()
+		if err != nil {
+			return SubmitResponse{}, apiErrorf(CodeBadRequest, "spec %d: %v", i, err)
+		}
+		specs[i] = spec
+	}
+	budget, aerr := s.resolveBudget(req)
+	if aerr != nil {
+		return SubmitResponse{}, aerr
+	}
+	key := jobKey(specs, budget)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return SubmitResponse{}, apiErrorf(CodeDraining, "server is draining; retry after restart")
+	}
+	if prior, ok := s.byKey[key]; ok {
+		s.mu.Unlock()
+		// Identical job already queued or running: single-flight onto it.
+		prior.mu.Lock()
+		state := prior.state
+		prior.mu.Unlock()
+		return SubmitResponse{ID: prior.id, State: state, Deduped: true}, nil
+	}
+	if len(s.queue)+s.admitting >= s.opt.MaxQueue {
+		n := len(s.queue) + s.admitting
+		s.mu.Unlock()
+		return SubmitResponse{}, apiErrorf(CodeQueueFull,
+			"queue full (%d jobs waiting); retry with backoff", n)
+	}
+	j := newJob(newJobID(), key, specs, budget, time.Now())
+	s.jobs[j.id] = j
+	s.byKey[key] = j
+	s.admitting++
+	s.mu.Unlock()
+
+	// Persist outside the admission lock — saveJob retries with backoff and
+	// must not stall other requests — and enqueue only afterwards: admission
+	// must not outlive durability, or a job we could not persist would
+	// silently vanish on restart. The dedup entry above holds the key while
+	// the write is in flight.
+	err := s.persist(j)
+	s.mu.Lock()
+	s.admitting--
+	if err != nil {
+		delete(s.jobs, j.id)
+		if s.byKey[key] == j {
+			delete(s.byKey, key)
+		}
+		s.mu.Unlock()
+		s.logf("%v", err)
+		return SubmitResponse{}, apiErrorf("internal", "cannot persist job: %v", err)
+	}
+	s.queue = append(s.queue, j)
+	s.mu.Unlock()
+	s.publish(j, func(ev *JobEvent) {
+		ev.Type = "state"
+		ev.State = StateQueued
+	})
+	s.kick()
+	return SubmitResponse{ID: j.id, State: StateQueued}, nil
+}
+
+// resolveBudget applies defaults and clamps to the server maxima.
+func (s *Server) resolveBudget(req SubmitRequest) (Budget, *APIError) {
+	if req.RunTimeoutMS < 0 || req.DeadlineMS < 0 {
+		return Budget{}, apiErrorf(CodeBadRequest, "budgets must be non-negative")
+	}
+	b := Budget{
+		MaxCycles:    req.MaxCycles,
+		RunTimeoutMS: req.RunTimeoutMS,
+		DeadlineMS:   req.DeadlineMS,
+	}
+	if b.MaxCycles == 0 {
+		b.MaxCycles = s.opt.DefaultMaxCycles
+	}
+	if max := s.opt.MaxMaxCycles; max > 0 && (b.MaxCycles == 0 || b.MaxCycles > max) {
+		b.MaxCycles = max
+	}
+	if b.RunTimeoutMS == 0 {
+		b.RunTimeoutMS = s.opt.DefaultRunTimeout.Milliseconds()
+	}
+	if max := s.opt.MaxRunTimeout; max > 0 && (b.RunTimeoutMS == 0 || b.RunTimeoutMS > max.Milliseconds()) {
+		b.RunTimeoutMS = max.Milliseconds()
+	}
+	return b, nil
+}
+
+// Job returns the job by ID.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Status snapshots one job, including its queue position.
+func (s *Server) Status(id string, includeRuns bool) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	pos := 0
+	if ok {
+		for i, q := range s.queue {
+			if q == j {
+				pos = i + 1
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(pos, includeRuns), true
+}
+
+// Statuses snapshots every job, oldest first.
+func (s *Server) Statuses() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	pos := make(map[*job]int, len(s.queue))
+	for i, q := range s.queue {
+		pos[q] = i + 1
+	}
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status(pos[j], false)
+	}
+	sortStatuses(out)
+	return out
+}
+
+// Cancel cancels a job: a queued job is removed from the queue, a running job
+// has its sweep context cancelled (its completed prefix stays checkpointed).
+// Cancelling a terminal job is a no-op reporting the final state.
+func (s *Server) Cancel(id string) (JobStatus, *APIError) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, apiErrorf(CodeNotFound, "no job %s", id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return j.status(0, false), nil
+	case j.state == StateQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		delete(s.byKey, j.key)
+		j.state = StateCancelled
+		j.err = apiErrorf(CodeCancelled, "cancelled while queued")
+		j.finished = time.Now()
+		j.cancelled = true
+		close(j.done)
+		j.mu.Unlock()
+		s.mu.Unlock()
+		s.persistAndLog(j)
+		s.publish(j, func(ev *JobEvent) {
+			ev.Type = "state"
+			ev.State = StateCancelled
+			ev.Error = j.err
+		})
+		j.broker.Close()
+		return j.status(0, false), nil
+	default: // running
+		j.cancelled = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return j.status(0, false), nil
+	}
+}
+
+// Health summarises the server for GET /healthz.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := "ok"
+	if s.draining {
+		st = "draining"
+	}
+	return Health{
+		Status:   st,
+		Jobs:     len(s.jobs),
+		Queued:   len(s.queue),
+		Running:  s.running,
+		UptimeMS: time.Since(s.start).Milliseconds(),
+	}
+}
+
+// kick nudges the dispatcher without blocking.
+func (s *Server) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch moves jobs from the queue into job slots until Shutdown.
+func (s *Server) dispatch() {
+	defer close(s.stopped)
+	for {
+		select {
+		case <-s.wake:
+		case <-s.quit:
+			return
+		}
+		for {
+			s.mu.Lock()
+			if s.draining || s.running >= s.opt.MaxActive || len(s.queue) == 0 {
+				s.mu.Unlock()
+				break
+			}
+			j := s.queue[0]
+			s.queue = s.queue[1:]
+			s.running++
+			s.wg.Add(1)
+			s.mu.Unlock()
+			go s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job's sweep with panic isolation: any panic escaping
+// the sweep (or injected runner) fails this job with CodePanic and the
+// server keeps serving.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("serve: job %s panicked: %v", j.id, r)
+			s.finishJob(j, nil, StateFailed, &APIError{
+				Code:    string(sim.CodePanic),
+				Message: fmt.Sprintf("job runner panicked: %v", r),
+				Sim: &sim.WireError{
+					Code:    sim.CodePanic,
+					Message: fmt.Sprintf("%v", r),
+					Detail:  string(debug.Stack()),
+				},
+			})
+		}
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		s.kick()
+	}()
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	deadlineMS := j.budget.DeadlineMS
+	budget := j.budget
+	specs := j.specs
+	j.mu.Unlock()
+	s.persistAndLog(j)
+	s.publish(j, func(ev *JobEvent) {
+		ev.Type = "state"
+		ev.State = StateRunning
+	})
+
+	if deadlineMS > 0 {
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
+		defer dcancel()
+	}
+
+	// sharedKeys marks runs satisfied through the cross-job cache so the
+	// event stream can label them.
+	var sharedMu sync.Mutex
+	sharedKeys := make(map[string]bool)
+
+	opt := experiments.SweepOptions{
+		MaxCycles:  budget.MaxCycles,
+		Timeout:    time.Duration(budget.RunTimeoutMS) * time.Millisecond,
+		Workers:    s.opt.Workers,
+		FlushEvery: s.opt.FlushEvery,
+		// A long-running service retries transient checkpoint-write
+		// failures instead of failing the job.
+		FlushRetries: 4,
+		Log:          s.opt.Log,
+		OnRun: func(index int, run experiments.SweepRun) {
+			s.onRun(j, index, run, sharedKeys, &sharedMu)
+		},
+	}
+	if s.store != nil {
+		opt.StatePath = s.store.checkpointPath(j.id)
+	}
+	if s.cache != nil {
+		opt.Run = func(ctx context.Context, spec experiments.RunSpec, ins experiments.Instrument) (*core.Results, error) {
+			res, shared, err := s.cache.run(ctx, spec, ins)
+			if shared {
+				sharedMu.Lock()
+				sharedKeys[experiments.SpecKey(spec)] = true
+				sharedMu.Unlock()
+			}
+			return res, err
+		}
+	}
+
+	runs, err := s.opt.runSweep(ctx, specs, opt)
+
+	switch {
+	case err == nil:
+		s.finishJob(j, runs, StateDone, nil)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finishJob(j, runs, StateFailed, &APIError{
+			Code:    string(sim.CodeTimeout),
+			Message: fmt.Sprintf("job deadline (%dms) exceeded", deadlineMS),
+			Sim:     &sim.WireError{Code: sim.CodeTimeout, Message: "job deadline exceeded"},
+		})
+	case errors.Is(err, context.Canceled):
+		j.mu.Lock()
+		byClient := j.cancelled
+		j.mu.Unlock()
+		if byClient {
+			s.finishJob(j, runs, StateCancelled, apiErrorf(CodeCancelled, "cancelled by client"))
+		} else {
+			// Drain: the completed prefix is checkpointed; a restart
+			// re-admits and resumes the job.
+			s.parkJob(j, StateCheckpointed)
+		}
+	default:
+		s.finishJob(j, runs, StateFailed, &APIError{
+			Code:    "internal",
+			Message: err.Error(),
+		})
+	}
+}
+
+// onRun streams one finished run as an event.
+func (s *Server) onRun(j *job, index int, run experiments.SweepRun, sharedKeys map[string]bool, sharedMu *sync.Mutex) {
+	sharedMu.Lock()
+	cached := sharedKeys[run.Key]
+	sharedMu.Unlock()
+	re := &RunEvent{
+		Index:   index,
+		Spec:    run.Spec.String(),
+		Err:     run.Err,
+		ErrCode: run.ErrCode,
+		Resumed: run.Resumed,
+		Cached:  cached,
+	}
+	if run.Results != nil {
+		re.Cycles = run.Results.Cycles
+		re.Metrics = &run.Results.Metrics
+	}
+	j.mu.Lock()
+	j.completed++
+	if run.Err != "" {
+		j.failed++
+	}
+	if run.Resumed {
+		j.resumed++
+	}
+	j.mu.Unlock()
+	s.publish(j, func(ev *JobEvent) {
+		ev.Type = "run"
+		ev.Run = re
+	})
+}
+
+// finishJob moves a job to a terminal state, persists it and closes its
+// stream.
+func (s *Server) finishJob(j *job, runs []experiments.SweepRun, state State, aerr *APIError) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.err = aerr
+	j.finished = time.Now()
+	j.runs = runs
+	j.cancel = nil
+	j.completed, j.failed, j.resumed = 0, 0, 0
+	tallyRuns(j, runs)
+	close(j.done)
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.byKey[j.key] == j {
+		delete(s.byKey, j.key)
+	}
+	s.mu.Unlock()
+
+	s.persistAndLog(j)
+	s.publish(j, func(ev *JobEvent) {
+		ev.Type = "state"
+		ev.State = state
+		ev.Error = aerr
+	})
+	j.broker.Close()
+	s.logf("serve: job %s -> %s (%d runs)", j.id, state, len(runs))
+}
+
+// parkJob records an interrupted (non-terminal) job so a restart resumes it.
+// The event stream stays open — the job is not finished, merely paused.
+func (s *Server) parkJob(j *job, state State) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.cancel = nil
+	j.mu.Unlock()
+	s.persistAndLog(j)
+	s.publish(j, func(ev *JobEvent) {
+		ev.Type = "state"
+		ev.State = state
+	})
+	s.logf("serve: job %s parked as %s", j.id, state)
+}
+
+// Shutdown drains the server: admission stops immediately (Submit returns
+// CodeDraining), queued jobs are parked as shed, and running jobs get until
+// ctx (or DrainTimeout, whichever is earlier) to finish before their sweeps
+// are cancelled and checkpointed. Shutdown returns once every job goroutine
+// has exited; a subsequent New on the same StateDir resumes the parked jobs.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.stopped
+		return nil
+	}
+	s.draining = true
+	queued := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+
+	for _, j := range queued {
+		s.parkJob(j, StateShed)
+	}
+
+	// Give running jobs the drain window, then cancel their sweeps; the
+	// final checkpoint flush in RunSweep lands their completed prefixes.
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	timer := time.NewTimer(s.opt.DrainTimeout)
+	defer timer.Stop()
+	var err error
+	select {
+	case <-finished:
+	case <-timer.C:
+		err = fmt.Errorf("serve: drain timeout after %s; checkpointing in-flight jobs", s.opt.DrainTimeout)
+		s.baseCut()
+		<-finished
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCut()
+		<-finished
+	}
+	s.baseCut()
+	s.quitOnce.Do(func() { close(s.quit) })
+	<-s.stopped
+	return err
+}
+
+// persist writes the job's durable record (no-op without a state dir).
+func (s *Server) persist(j *job) error {
+	if s.store == nil {
+		return nil
+	}
+	j.mu.Lock()
+	rec := j.recordLocked()
+	j.mu.Unlock()
+	return s.store.saveJob(rec)
+}
+
+func (s *Server) persistAndLog(j *job) {
+	if err := s.persist(j); err != nil {
+		s.logf("%v", err)
+	}
+}
+
+// publish stamps, logs and broadcasts one event on the job's stream.
+func (s *Server) publish(j *job, fill func(*JobEvent)) {
+	j.mu.Lock()
+	ev := j.nextEventLocked()
+	j.mu.Unlock()
+	fill(&ev)
+	if s.store != nil {
+		if err := s.store.appendEvent(j.id, ev); err != nil {
+			s.logf("serve: job %s event log: %v", j.id, err)
+		}
+	}
+	j.broker.Publish(ev)
+}
+
+// tallyRuns recomputes the progress counters from a final run list. Caller
+// holds j.mu.
+func tallyRuns(j *job, runs []experiments.SweepRun) {
+	for _, r := range runs {
+		j.completed++
+		if r.Err != "" {
+			j.failed++
+		}
+		if r.Resumed {
+			j.resumed++
+		}
+	}
+}
+
+// jobKey derives the dedup key: a digest over the canonical spec keys and the
+// effective budget, so "the same work under the same limits" single-flights.
+func jobKey(specs []experiments.RunSpec, b Budget) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "budget:%d/%d/%d\n", b.MaxCycles, b.RunTimeoutMS, b.DeadlineMS)
+	for _, spec := range specs {
+		fmt.Fprintln(h, experiments.SpecKey(spec))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// newJobID returns a 16-hex-digit random ID.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: rand: %v", err)) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sortStatuses orders by creation time then ID.
+func sortStatuses(sts []JobStatus) {
+	for i := 1; i < len(sts); i++ {
+		for k := i; k > 0 && less(sts[k], sts[k-1]); k-- {
+			sts[k], sts[k-1] = sts[k-1], sts[k]
+		}
+	}
+}
+
+func less(a, b JobStatus) bool {
+	if a.CreatedMS != b.CreatedMS {
+		return a.CreatedMS < b.CreatedMS
+	}
+	return a.ID < b.ID
+}

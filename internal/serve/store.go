@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"mdacache/internal/experiments"
+)
+
+// jobRecord is the durable form of a job: everything needed to answer status
+// queries and — for a non-terminal job — to re-admit and resume it after a
+// restart. The resolved RunSpecs (not the client's request) are persisted so
+// the resumed sweep derives exactly the same checkpoint keys as the
+// interrupted one.
+type jobRecord struct {
+	ID     string                `json:"id"`
+	Key    string                `json:"key"` // dedup key over specs+budget
+	State  State                 `json:"state"`
+	Error  *APIError             `json:"error,omitempty"`
+	Budget Budget                `json:"budget"`
+	Specs  []experiments.RunSpec `json:"specs"`
+
+	CreatedMS  int64 `json:"created_ms"`
+	StartedMS  int64 `json:"started_ms,omitempty"`
+	FinishedMS int64 `json:"finished_ms,omitempty"`
+
+	// Runs holds the final per-run outcomes once the job is terminal.
+	Runs []experiments.SweepRun `json:"runs,omitempty"`
+}
+
+// store owns the on-disk layout under the state directory:
+//
+//	<dir>/jobs/<id>/job.json        — the jobRecord, atomically rewritten
+//	<dir>/jobs/<id>/checkpoint.json — the sweep checkpoint (RunSweep owns it)
+//	<dir>/jobs/<id>/events.jsonl    — append-only event log (best-effort)
+//
+// All job.json writes go through experiments.WriteFileAtomic with bounded
+// retry: a transient write failure must not take down a job whose simulation
+// state is fine.
+type store struct {
+	dir     string
+	retries int
+	backoff time.Duration
+}
+
+func newStore(dir string) (*store, error) {
+	s := &store{dir: dir, retries: 3, backoff: 50 * time.Millisecond}
+	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	return s, nil
+}
+
+func (s *store) jobsDir() string          { return filepath.Join(s.dir, "jobs") }
+func (s *store) jobDir(id string) string  { return filepath.Join(s.jobsDir(), id) }
+func (s *store) jobPath(id string) string { return filepath.Join(s.jobDir(id), "job.json") }
+
+// checkpointPath is handed to SweepOptions.StatePath; the sweep layer owns
+// the file's lifecycle and atomicity.
+func (s *store) checkpointPath(id string) string {
+	return filepath.Join(s.jobDir(id), "checkpoint.json")
+}
+
+func (s *store) eventsPath(id string) string {
+	return filepath.Join(s.jobDir(id), "events.jsonl")
+}
+
+// saveJob persists rec atomically, retrying transient failures with
+// exponential backoff.
+func (s *store) saveJob(rec jobRecord) error {
+	if err := os.MkdirAll(s.jobDir(rec.ID), 0o755); err != nil {
+		return fmt.Errorf("serve: job dir: %w", err)
+	}
+	data, err := json.MarshalIndent(rec, "", " ")
+	if err != nil {
+		return fmt.Errorf("serve: encode job %s: %w", rec.ID, err)
+	}
+	backoff := s.backoff
+	for attempt := 0; ; attempt++ {
+		err = experiments.WriteFileAtomic(s.jobPath(rec.ID), data)
+		if err == nil || attempt >= s.retries {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	if err != nil {
+		return fmt.Errorf("serve: persist job %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// loadJobs reads every persisted job, oldest first (so re-admission preserves
+// submission order). A job directory with a corrupt or missing job.json is
+// skipped with a note rather than failing the whole daemon: one damaged job
+// must not hold the rest of the state dir hostage.
+func (s *store) loadJobs() (recs []jobRecord, skipped []string, err error) {
+	entries, err := os.ReadDir(s.jobsDir())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("serve: scan state dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, rerr := os.ReadFile(s.jobPath(e.Name()))
+		if rerr != nil {
+			skipped = append(skipped, e.Name())
+			continue
+		}
+		var rec jobRecord
+		if jerr := json.Unmarshal(data, &rec); jerr != nil || rec.ID == "" {
+			skipped = append(skipped, e.Name())
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].CreatedMS != recs[j].CreatedMS {
+			return recs[i].CreatedMS < recs[j].CreatedMS
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, skipped, nil
+}
+
+// appendEvent appends one event to the job's NDJSON log. The log is
+// observability (and the CI failure artifact), not state: append failures are
+// reported to the caller for logging but never fail the job.
+func (s *store) appendEvent(id string, ev JobEvent) error {
+	f, err := os.OpenFile(s.eventsPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	return enc.Encode(ev)
+}

@@ -1,0 +1,131 @@
+package sim
+
+import "errors"
+
+// Code is the stable, machine-readable identifier of a failure class. Codes
+// are an external schema: services embed them in JSON error responses and
+// clients switch on them, so existing values never change meaning. New
+// sentinel classes get new codes.
+type Code string
+
+const (
+	// CodeDeadlock identifies ErrDeadlock failures.
+	CodeDeadlock Code = "deadlock"
+	// CodeCycleLimit identifies ErrCycleLimit failures.
+	CodeCycleLimit Code = "cycle_limit"
+	// CodeTimeout identifies ErrTimeout failures (wall-clock budget or
+	// context cancellation). Timeouts depend on host speed, never on the
+	// simulation, so they are the one retryable code in the taxonomy.
+	CodeTimeout Code = "timeout"
+	// CodeInvalidAccess identifies ErrInvalidAccess failures.
+	CodeInvalidAccess Code = "invalid_access"
+	// CodeWriteFault identifies ErrWriteFault failures.
+	CodeWriteFault Code = "write_fault"
+	// CodePanic marks a failure recovered from a panic: the simulation hit
+	// a bug, not a modelled condition. Assigned by runners, never by CodeOf.
+	CodePanic Code = "panic"
+	// CodeInternal covers every error outside the sim taxonomy (I/O
+	// problems, bad specs, infrastructure failures).
+	CodeInternal Code = "internal"
+)
+
+// sentinelByCode maps each taxonomy code back to its sentinel so a decoded
+// WireError keeps working with errors.Is.
+var sentinelByCode = map[Code]error{
+	CodeDeadlock:      ErrDeadlock,
+	CodeCycleLimit:    ErrCycleLimit,
+	CodeTimeout:       ErrTimeout,
+	CodeInvalidAccess: ErrInvalidAccess,
+	CodeWriteFault:    ErrWriteFault,
+}
+
+// CodeOf classifies err into the taxonomy: the code of the sentinel it wraps,
+// or CodeInternal when it wraps none. A nil error has no class and returns "".
+func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	for code, sentinel := range sentinelByCode {
+		if errors.Is(err, sentinel) {
+			return code
+		}
+	}
+	return CodeInternal
+}
+
+// Retryable reports whether failures with this code may succeed on a retry:
+// only timeouts qualify — every other class is deterministic, so re-running
+// the same spec reproduces the failure.
+func (c Code) Retryable() bool { return c == CodeTimeout }
+
+// WireError is the JSON form of a simulation failure: the stable error schema
+// services return to clients. A *sim.Error round-trips losslessly — code,
+// message, cycle, component, op and stall diagnostics all survive — and
+// Unwire restores an error that still satisfies errors.Is/errors.As.
+type WireError struct {
+	Code      Code   `json:"code"`
+	Message   string `json:"message"`
+	Cycle     uint64 `json:"cycle,omitempty"`
+	Component string `json:"component,omitempty"`
+	Op        string `json:"op,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// ToWire converts err into the wire schema. A *sim.Error anywhere in the
+// chain contributes its structured fields; anything else becomes a
+// CodeInternal (or whatever CodeOf classifies) error carrying just the
+// message. ToWire(nil) is the zero WireError.
+func ToWire(err error) WireError {
+	if err == nil {
+		return WireError{}
+	}
+	w := WireError{Code: CodeOf(err), Message: err.Error()}
+	var se *Error
+	if errors.As(err, &se) {
+		w.Cycle = se.Cycle
+		w.Component = se.Component
+		w.Op = se.Op
+		w.Detail = se.Detail
+		if se.Err != nil {
+			w.Message = se.Err.Error()
+		}
+	}
+	return w
+}
+
+// Unwire reconstructs an error from the wire schema. Taxonomy codes yield a
+// *sim.Error wrapping the original sentinel, so errors.Is and errors.As hold
+// across a serialize/deserialize round trip; CodeInternal and CodePanic yield
+// a plain error with the preserved message. A zero WireError is nil.
+func (w WireError) Unwire() error {
+	if w.Code == "" && w.Message == "" {
+		return nil
+	}
+	sentinel, ok := sentinelByCode[w.Code]
+	if !ok {
+		return errors.New(w.Message)
+	}
+	inner := sentinel
+	if w.Message != "" && w.Message != sentinel.Error() {
+		// Preserve the non-canonical message while keeping errors.Is
+		// anchored to the canonical sentinel.
+		inner = &wireSentinel{msg: w.Message, is: sentinel}
+	}
+	return &Error{
+		Cycle:     w.Cycle,
+		Component: w.Component,
+		Op:        w.Op,
+		Err:       inner,
+		Detail:    w.Detail,
+	}
+}
+
+// wireSentinel preserves a non-canonical sentinel message across the wire
+// while still unwrapping to the canonical sentinel for errors.Is.
+type wireSentinel struct {
+	msg string
+	is  error
+}
+
+func (w *wireSentinel) Error() string { return w.msg }
+func (w *wireSentinel) Unwrap() error { return w.is }

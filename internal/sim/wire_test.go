@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestCodeOf pins the error→code mapping for every sentinel in the taxonomy:
+// the codes are an external schema, so a change here is an API break.
+func TestCodeOf(t *testing.T) {
+	cases := []struct {
+		sentinel error
+		want     Code
+	}{
+		{ErrDeadlock, CodeDeadlock},
+		{ErrCycleLimit, CodeCycleLimit},
+		{ErrTimeout, CodeTimeout},
+		{ErrInvalidAccess, CodeInvalidAccess},
+		{ErrWriteFault, CodeWriteFault},
+	}
+	for _, c := range cases {
+		if got := CodeOf(c.sentinel); got != c.want {
+			t.Errorf("CodeOf(%v) = %q, want %q", c.sentinel, got, c.want)
+		}
+		// Wrapped sentinels classify identically.
+		wrapped := &Error{Cycle: 7, Component: "L1", Op: "fill", Err: c.sentinel}
+		if got := CodeOf(wrapped); got != c.want {
+			t.Errorf("CodeOf(wrapped %v) = %q, want %q", c.sentinel, got, c.want)
+		}
+		if got := CodeOf(fmt.Errorf("outer: %w", wrapped)); got != c.want {
+			t.Errorf("CodeOf(fmt-wrapped %v) = %q, want %q", c.sentinel, got, c.want)
+		}
+	}
+	if got := CodeOf(nil); got != "" {
+		t.Errorf("CodeOf(nil) = %q, want empty", got)
+	}
+	if got := CodeOf(errors.New("disk full")); got != CodeInternal {
+		t.Errorf("CodeOf(non-sim) = %q, want %q", got, CodeInternal)
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	for _, c := range []Code{CodeDeadlock, CodeCycleLimit, CodeInvalidAccess, CodeWriteFault, CodePanic, CodeInternal} {
+		if c.Retryable() {
+			t.Errorf("%q must not be retryable: the failure is deterministic", c)
+		}
+	}
+	if !CodeTimeout.Retryable() {
+		t.Error("timeout must be retryable: it depends on host speed, not the simulation")
+	}
+}
+
+// TestWireRoundTrip drives every error kind through ToWire → JSON → Unwire
+// and asserts code, message, and stall diagnostics survive, and that the
+// reconstructed error still satisfies errors.Is on its sentinel and errors.As
+// on *sim.Error.
+func TestWireRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		code     Code
+		sentinel error // errors.Is pin (nil = no sentinel expected)
+		simErr   bool  // errors.As(*sim.Error) must hold after round trip
+	}{
+		{
+			name: "deadlock with diagnostics",
+			err: &Error{
+				Cycle:     123456,
+				Component: "hierarchy",
+				Op:        "run",
+				Err:       ErrDeadlock,
+				Detail:    "cycle=123456 pending-events=0 cpu-inflight=3 L1-mshr=2 mem-readq=0 mem-writeq=1",
+			},
+			code: CodeDeadlock, sentinel: ErrDeadlock, simErr: true,
+		},
+		{
+			name: "cycle limit",
+			err:  &Error{Cycle: 1 << 32, Component: "hierarchy", Op: "run", Err: ErrCycleLimit, Detail: "budget=4294967296"},
+			code: CodeCycleLimit, sentinel: ErrCycleLimit, simErr: true,
+		},
+		{
+			name: "timeout",
+			err:  &Error{Cycle: 99, Component: "hierarchy", Op: "run", Err: ErrTimeout, Detail: "context deadline exceeded; cycle=99"},
+			code: CodeTimeout, sentinel: ErrTimeout, simErr: true,
+		},
+		{
+			name: "invalid access",
+			err:  &Error{Cycle: 42, Component: "mem", Op: "read", Err: ErrInvalidAccess, Detail: "column access on row-only memory"},
+			code: CodeInvalidAccess, sentinel: ErrInvalidAccess, simErr: true,
+		},
+		{
+			name: "write fault",
+			err:  &Error{Cycle: 7, Component: "mem", Op: "write", Err: ErrWriteFault, Detail: "bank 3 retry budget exhausted"},
+			code: CodeWriteFault, sentinel: ErrWriteFault, simErr: true,
+		},
+		{
+			name: "bare sentinel",
+			err:  ErrDeadlock,
+			code: CodeDeadlock, sentinel: ErrDeadlock, simErr: true,
+		},
+		{
+			name: "non-sim error",
+			err:  errors.New("checkpoint flush: disk full"),
+			code: CodeInternal,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := ToWire(c.err)
+			if w.Code != c.code {
+				t.Fatalf("ToWire code = %q, want %q", w.Code, c.code)
+			}
+
+			// The JSON layer must be lossless: encode, decode, compare.
+			data, err := json.Marshal(w)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back WireError
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(w, back) {
+				t.Fatalf("JSON round trip changed the wire error:\n  before %+v\n  after  %+v", w, back)
+			}
+
+			re := back.Unwire()
+			if re == nil {
+				t.Fatal("Unwire returned nil for a non-nil failure")
+			}
+			if c.sentinel != nil && !errors.Is(re, c.sentinel) {
+				t.Errorf("errors.Is(%v, %v) lost across the wire", re, c.sentinel)
+			}
+			var se *Error
+			if got := errors.As(re, &se); got != c.simErr {
+				t.Fatalf("errors.As(*sim.Error) = %v, want %v", got, c.simErr)
+			}
+			if c.simErr {
+				if orig, ok := c.err.(*Error); ok {
+					if se.Cycle != orig.Cycle || se.Component != orig.Component ||
+						se.Op != orig.Op || se.Detail != orig.Detail {
+						t.Errorf("structured fields lost:\n  before %+v\n  after  %+v", orig, se)
+					}
+				}
+			}
+
+			// A second trip must be a fixed point: the wire form of the
+			// reconstructed error is the wire form we started from.
+			if w2 := ToWire(re); !reflect.DeepEqual(w, w2) {
+				t.Errorf("second trip diverged:\n  first  %+v\n  second %+v", w, w2)
+			}
+		})
+	}
+}
+
+// TestWireNil pins the nil/zero conventions.
+func TestWireNil(t *testing.T) {
+	if w := ToWire(nil); w != (WireError{}) {
+		t.Errorf("ToWire(nil) = %+v, want zero", w)
+	}
+	if err := (WireError{}).Unwire(); err != nil {
+		t.Errorf("zero WireError.Unwire() = %v, want nil", err)
+	}
+}
+
+// TestWireUnknownCode: a wire error with a code this binary does not know
+// (newer peer) still reconstructs with its message intact.
+func TestWireUnknownCode(t *testing.T) {
+	w := WireError{Code: "quantum_decoherence", Message: "qubit collapsed"}
+	err := w.Unwire()
+	if err == nil || err.Error() != "qubit collapsed" {
+		t.Fatalf("Unwire(unknown code) = %v, want message preserved", err)
+	}
+}
