@@ -90,7 +90,15 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// No WriteTimeout: /jobs/{id}/events streams indefinitely and ?wait=
+	// long-polls, so handlers own their write deadlines (the events handler
+	// sets one per write). Header reads and idle keep-alives are bounded so
+	// half-open clients cannot accumulate connections.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

@@ -13,25 +13,34 @@ import "sync"
 // job state transitions carrying metric Snapshots. A Broker is safe for
 // concurrent use by any number of publishers and subscribers.
 //
-// Delivery is lossless and therefore flow-controlled: Publish blocks until
-// every live subscriber has accepted the event, so a stalled consumer stalls
-// the publisher. Consumers that may stall must detach (cancel) instead — a
-// detaching subscriber never blocks Publish.
+// Delivery is non-blocking: Publish never waits for a consumer. Each
+// subscriber owns a bounded buffer, and one that falls further behind than
+// its buffer holds is force-detached — its live channel is closed — so a
+// wedged consumer can never stall a publisher (Publish runs on job worker
+// paths; a stalled TCP client must not stall a job). Nothing is lost by the
+// detach: the history is retained, so the consumer re-subscribes with
+// SubscribeFrom(seen) and picks up exactly where it stopped. A closed live
+// channel therefore means "catch up or finish": the stream is complete when
+// Closed() reports true and Len() equals the count already consumed.
 //
 // Memory: the history is retained until the Broker is garbage collected.
 // Brokers belong to bounded-lifetime objects (one job each), not to
 // process-lifetime singletons.
 type Broker[T any] struct {
-	mu     sync.Mutex // guards everything; held across deliveries
+	mu     sync.Mutex
 	events []T
 	subs   map[int]*subscriber[T]
 	next   int
 	closed bool
 }
 
+// subBuffer is each subscriber's channel capacity: how far a consumer may lag
+// behind the publishers before it is force-detached and must catch up from
+// the history.
+const subBuffer = 64
+
 type subscriber[T any] struct {
-	ch   chan T
-	done chan struct{} // closed by cancel; unblocks an in-flight delivery
+	ch chan T
 }
 
 // NewBroker returns an empty, open broker.
@@ -39,9 +48,11 @@ func NewBroker[T any]() *Broker[T] {
 	return &Broker[T]{subs: make(map[int]*subscriber[T])}
 }
 
-// Publish appends ev to the history and delivers it to every subscriber.
-// Publishing to a closed broker is a no-op rather than a panic: a worker
-// racing shutdown loses the race harmlessly.
+// Publish appends ev to the history and delivers it to every subscriber that
+// has buffer space; a subscriber with a full buffer is force-detached (its
+// channel closes) rather than waited on, so Publish never blocks. Publishing
+// to a closed broker is a no-op rather than a panic: a worker racing shutdown
+// loses the race harmlessly.
 func (b *Broker[T]) Publish(ev T) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -49,10 +60,15 @@ func (b *Broker[T]) Publish(ev T) {
 		return
 	}
 	b.events = append(b.events, ev)
-	for _, s := range b.subs {
+	for id, s := range b.subs {
 		select {
 		case s.ch <- ev:
-		case <-s.done: // subscriber is detaching; skip it
+		default:
+			// Buffer full: the consumer is wedged or hopelessly behind.
+			// Closing the channel tells it to re-subscribe and catch up from
+			// the history instead of holding the publisher hostage.
+			close(s.ch)
+			delete(b.subs, id)
 		}
 	}
 }
@@ -100,37 +116,42 @@ func (b *Broker[T]) Len() int {
 // Subscribe returns the history up to now plus a channel carrying every
 // subsequent event, and a cancel function that detaches the subscriber.
 // There is no gap and no overlap between the returned history and the
-// channel. The channel is closed after the final event when the broker
-// closes; after cancel the channel just stops receiving (the caller asked to
-// leave and must stop reading). cancel is idempotent and safe to call even
-// while a delivery to this subscriber is blocked — that is its main job.
+// channel. The channel closes when the broker closes (stream complete) or
+// when this subscriber overruns its buffer (force-detach) — distinguish the
+// two with Closed()/Len(), and re-subscribe with SubscribeFrom to catch up
+// after an overrun. After cancel the channel just stops receiving (the
+// caller asked to leave and must stop reading); cancel is idempotent.
 func (b *Broker[T]) Subscribe() (history []T, live <-chan T, cancel func()) {
+	return b.SubscribeFrom(0)
+}
+
+// SubscribeFrom is Subscribe for a consumer that has already seen the first
+// `seen` events: the returned history starts there, so a force-detached
+// consumer can resume without re-copying (or re-sending) its consumed
+// prefix. seen beyond the current history yields an empty history.
+func (b *Broker[T]) SubscribeFrom(seen int) (history []T, live <-chan T, cancel func()) {
 	b.mu.Lock()
-	history = make([]T, len(b.events))
-	copy(history, b.events)
+	if seen > len(b.events) {
+		seen = len(b.events)
+	}
+	history = make([]T, len(b.events)-seen)
+	copy(history, b.events[seen:])
 	if b.closed {
 		ch := make(chan T)
 		close(ch)
 		b.mu.Unlock()
 		return history, ch, func() {}
 	}
-	s := &subscriber[T]{ch: make(chan T, 16), done: make(chan struct{})}
+	s := &subscriber[T]{ch: make(chan T, subBuffer)}
 	id := b.next
 	b.next++
 	b.subs[id] = s
 	b.mu.Unlock()
 
-	var once sync.Once
 	cancel = func() {
-		once.Do(func() {
-			// Unblock any in-flight delivery first — the publisher holds
-			// b.mu while delivering, so closing done before taking the
-			// lock is what makes this deadlock-free.
-			close(s.done)
-			b.mu.Lock()
-			delete(b.subs, id)
-			b.mu.Unlock()
-		})
+		b.mu.Lock()
+		delete(b.subs, id)
+		b.mu.Unlock()
 	}
 	return history, s.ch, cancel
 }

@@ -56,42 +56,114 @@ func TestBrokerLateSubscribe(t *testing.T) {
 	}
 }
 
-// TestBrokerCancelUnblocksPublisher: a subscriber that stops reading and
-// cancels must not wedge the publisher — the crash-tolerance property the
-// HTTP events endpoint relies on when a client disconnects.
-func TestBrokerCancelUnblocksPublisher(t *testing.T) {
+// TestBrokerSubscribeFrom: the resume form skips the consumed prefix exactly,
+// and clamps a seen count beyond the history.
+func TestBrokerSubscribeFrom(t *testing.T) {
 	b := NewBroker[int]()
-	_, _, cancel := b.Subscribe() // never reads
+	for i := 0; i < 5; i++ {
+		b.Publish(i)
+	}
+	history, _, cancel := b.SubscribeFrom(3)
+	cancel()
+	if len(history) != 2 || history[0] != 3 || history[1] != 4 {
+		t.Fatalf("SubscribeFrom(3) history = %v, want [3 4]", history)
+	}
+	history, _, cancel = b.SubscribeFrom(99)
+	cancel()
+	if len(history) != 0 {
+		t.Fatalf("SubscribeFrom(99) history = %v, want empty", history)
+	}
+}
+
+// TestBrokerWedgedSubscriberNeverBlocksPublish is the crash-tolerance
+// property the job service relies on: Publish runs on the job worker path, so
+// a subscriber that never reads (a stalled TCP client) must cost the
+// publisher nothing. The wedged subscriber is force-detached once it overruns
+// its buffer — its channel closes while the broker stays open — and a
+// well-behaved sibling keeps receiving everything.
+func TestBrokerWedgedSubscriberNeverBlocksPublish(t *testing.T) {
+	b := NewBroker[int]()
+	_, wedged, wcancel := b.Subscribe() // never reads
+	defer wcancel()
 
 	published := make(chan struct{})
 	go func() {
-		// The subscriber's buffer absorbs 16; more would block forever if
-		// cancel did not detach it.
-		for i := 0; i < 100; i++ {
+		for i := 0; i < 10*subBuffer; i++ {
 			b.Publish(i)
 		}
 		close(published)
 	}()
-
-	time.Sleep(10 * time.Millisecond) // let the publisher hit the full buffer
-	cancel()
 	select {
 	case <-published:
 	case <-time.After(5 * time.Second):
-		t.Fatal("publisher still blocked after subscriber cancelled")
+		t.Fatal("publisher blocked on a wedged subscriber")
 	}
-	if b.Len() != 100 {
-		t.Fatalf("history holds %d events, want 100", b.Len())
+	if b.Len() != 10*subBuffer {
+		t.Fatalf("history holds %d events, want %d", b.Len(), 10*subBuffer)
 	}
-	cancel() // idempotent
+
+	// The wedged subscriber was detached: after draining its buffer the
+	// channel is closed even though the broker is still open.
+	drained, closed := 0, false
+	for {
+		v, ok := <-wedged
+		if !ok {
+			closed = true
+			break
+		}
+		if v != drained {
+			t.Fatalf("buffered event %d arrived at position %d", v, drained)
+		}
+		drained++
+	}
+	if !closed || drained > subBuffer {
+		t.Fatalf("wedged subscriber: drained=%d closed=%v, want ≤%d buffered then closed", drained, closed, subBuffer)
+	}
+	if b.Closed() {
+		t.Fatal("broker must still be open — only the subscriber was detached")
+	}
+
+	// And it can catch up losslessly from where it stopped.
+	history, _, cancel := b.SubscribeFrom(drained)
+	defer cancel()
+	for i, v := range history {
+		if v != drained+i {
+			t.Fatalf("catch-up history[%d] = %d, want %d", i, v, drained+i)
+		}
+	}
+	if drained+len(history) != 10*subBuffer {
+		t.Fatalf("catch-up ends at %d, want %d", drained+len(history), 10*subBuffer)
+	}
 }
 
-// TestBrokerConcurrent hammers the broker from many publishers and
-// subscribers; run with -race. Each subscriber must observe a prefix-complete,
-// duplicate-free sequence: history + live = all events in order.
+// TestBrokerCancelDetaches: cancel removes the subscriber (idempotently) so
+// later publishes don't fill its buffer, and never closes its channel out
+// from under a reader.
+func TestBrokerCancelDetaches(t *testing.T) {
+	b := NewBroker[int]()
+	_, live, cancel := b.Subscribe()
+	b.Publish(1)
+	cancel()
+	cancel() // idempotent
+	b.Publish(2)
+	if v := <-live; v != 1 {
+		t.Fatalf("pre-cancel event = %d, want 1", v)
+	}
+	select {
+	case v, ok := <-live:
+		t.Fatalf("post-cancel receive = %d (open=%v), want none", v, ok)
+	default:
+	}
+}
+
+// TestBrokerConcurrent hammers the broker from a publisher and many
+// subscribers; run with -race. Each subscriber must assemble a complete,
+// duplicate-free, in-order sequence — re-subscribing from its high-water mark
+// whenever it overruns its buffer and is force-detached, exactly as the HTTP
+// events handler does.
 func TestBrokerConcurrent(t *testing.T) {
 	b := NewBroker[int]()
-	const events = 200
+	const events = 10 * subBuffer
 	const readers = 8
 
 	var wg sync.WaitGroup
@@ -99,21 +171,30 @@ func TestBrokerConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			history, live, cancel := b.Subscribe()
-			defer cancel()
-			seen := len(history)
-			for i, v := range history {
-				if v != i {
-					t.Errorf("history[%d] = %d", i, v)
-					return
+			seen := 0
+			for {
+				history, live, cancel := b.SubscribeFrom(seen)
+				for _, v := range history {
+					if v != seen {
+						t.Errorf("history event %d arrived at position %d", v, seen)
+						cancel()
+						return
+					}
+					seen++
 				}
-			}
-			for v := range live {
-				if v != seen {
-					t.Errorf("live event %d arrived at position %d", v, seen)
-					return
+				for v := range live {
+					if v != seen {
+						t.Errorf("live event %d arrived at position %d", v, seen)
+						cancel()
+						return
+					}
+					seen++
 				}
-				seen++
+				cancel()
+				// Live channel closed: complete, or detached for lagging.
+				if b.Closed() && b.Len() <= seen {
+					break
+				}
 			}
 			if seen != events {
 				t.Errorf("subscriber saw %d events, want %d", seen, events)

@@ -48,9 +48,15 @@ func (c *specCache) run(ctx context.Context, spec experiments.RunSpec, ins exper
 			select {
 			case <-e.done:
 			case <-ctx.Done():
-				// This caller's budget expired while waiting; report it as
-				// the run's own timeout, not the owner's problem.
-				return nil, true, &sim.Error{Component: "serve", Op: "cache-wait", Err: sim.ErrTimeout}
+				// This caller's context ended while waiting: report the
+				// run's own verdict, not the owner's. A deadline is this
+				// run's timeout; a cancellation (client cancel, drain) is a
+				// cancellation and must not masquerade as one.
+				sentinel := error(sim.ErrTimeout)
+				if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					sentinel = ctx.Err()
+				}
+				return nil, true, &sim.Error{Component: "serve", Op: "cache-wait", Err: sentinel}
 			}
 			if e.err == nil {
 				return e.res, true, nil

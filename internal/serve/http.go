@@ -118,42 +118,71 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// eventWriteTimeout bounds each write on the events stream. The stream is
+// long-lived by design (no server-wide WriteTimeout can apply), so a client
+// that stops reading is instead cut off at its next event: the deadline
+// expires, the write errors, and the handler goroutine exits.
+const eventWriteTimeout = 30 * time.Second
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
 		writeErr(w, apiErrorf(CodeNotFound, "no job %s", r.PathValue("id")))
 		return
 	}
-	history, live, cancel := j.broker.Subscribe()
-	defer cancel()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
-	for _, ev := range history {
-		if enc.Encode(ev) != nil {
-			return
-		}
+	write := func(ev JobEvent) bool {
+		rc.SetWriteDeadline(time.Now().Add(eventWriteTimeout))
+		return enc.Encode(ev) == nil
 	}
-	if flusher != nil {
-		flusher.Flush()
-	}
+
+	// The broker force-detaches a subscriber that overruns its buffer instead
+	// of letting it stall publishers (which run on the job worker path), so
+	// consume in a catch-up loop: on detach, re-subscribe from the high-water
+	// mark and replay the missed span from the history. seen counts events
+	// written; with publication serialized per job it equals the next seq.
+	seen := 0
 	for {
-		select {
-		case ev, open := <-live:
-			if !open {
-				return // job stream complete
+		history, live, cancel := j.broker.SubscribeFrom(seen)
+		for _, ev := range history {
+			if !write(ev) {
+				cancel()
+				return
 			}
-			if enc.Encode(ev) != nil {
-				return // client disconnected; cancel() detaches us
+			seen++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	read:
+		for {
+			select {
+			case ev, open := <-live:
+				if !open {
+					break read // stream complete, or we lagged and were detached
+				}
+				if !write(ev) {
+					cancel()
+					return // client gone or wedged past the write deadline
+				}
+				seen++
+				if flusher != nil {
+					flusher.Flush()
+				}
+			case <-r.Context().Done():
+				cancel()
+				return
 			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-		case <-r.Context().Done():
-			return
+		}
+		cancel()
+		if j.broker.Closed() && j.broker.Len() <= seen {
+			return // complete: every event written
 		}
 	}
 }

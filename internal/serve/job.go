@@ -33,6 +33,11 @@ type job struct {
 	cancel    func()        // cancels the running sweep (nil unless running)
 	done      chan struct{} // closed when the job reaches a terminal state
 
+	// pubMu serializes seq assignment + event-log append + broadcast so
+	// concurrent publishers (Cancel racing onRun, say) cannot emit events out
+	// of seq order — the stream's dense ordering is a documented contract.
+	// Ordering: pubMu is taken before mu and never while holding mu.
+	pubMu  sync.Mutex
 	broker *obs.Broker[JobEvent]
 }
 

@@ -5,11 +5,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -561,4 +564,263 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("condition not reached within 60s")
+}
+
+// TestSubmitShutdownRaceDurable: a submission whose persistence write is in
+// flight when Shutdown begins must not be enqueued after the queue was shed —
+// that would accept a job that never runs and is never parked. With a state
+// dir the job is parked as shed and the restarted daemon runs it.
+func TestSubmitShutdownRaceDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{StateDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	inPersist := make(chan struct{})
+	unblock := make(chan struct{})
+	s.testPostPersist = func() { close(inPersist); <-unblock }
+
+	type result struct {
+		resp SubmitResponse
+		aerr *APIError
+	}
+	submitted := make(chan result, 1)
+	go func() {
+		resp, aerr := s.Submit(SubmitRequest{Specs: []SpecRequest{smallSpec(16, 0)}})
+		submitted <- result{resp, aerr}
+	}()
+	<-inPersist
+
+	// Shutdown wins the race: it sheds the (empty) queue and marks draining
+	// while the submission is still mid-persist.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	close(unblock)
+
+	r := <-submitted
+	if r.aerr != nil {
+		t.Fatalf("submit during shutdown race: %v", r.aerr)
+	}
+	if r.resp.State != StateShed {
+		t.Fatalf("submit during shutdown race: state %s, want shed", r.resp.State)
+	}
+
+	// The shed job is durable: a restart re-admits and runs it.
+	s2, ts2 := testServer(t, Options{StateDir: dir, Workers: 2})
+	if _, ok := s2.Job(r.resp.ID); !ok {
+		t.Fatalf("job %s not re-admitted after restart", r.resp.ID)
+	}
+	if st := waitDone(t, ts2, r.resp.ID); st.State != StateDone {
+		t.Fatalf("re-admitted job: %s (err %v), want done", st.State, st.Error)
+	}
+}
+
+// TestSubmitShutdownRaceEphemeral: the same race without a state dir has
+// nothing durable to resume, so the submission must be withdrawn with a typed
+// draining error rather than silently lost.
+func TestSubmitShutdownRaceEphemeral(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	inPersist := make(chan struct{})
+	unblock := make(chan struct{})
+	s.testPostPersist = func() { close(inPersist); <-unblock }
+
+	aerrCh := make(chan *APIError, 1)
+	go func() {
+		_, aerr := s.Submit(SubmitRequest{Specs: []SpecRequest{smallSpec(16, 0)}})
+		aerrCh <- aerr
+	}()
+	<-inPersist
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	close(unblock)
+
+	aerr := <-aerrCh
+	if aerr == nil || aerr.Code != CodeDraining {
+		t.Fatalf("submit during shutdown race: %v, want %s", aerr, CodeDraining)
+	}
+	s.mu.Lock()
+	njobs, nqueued := len(s.jobs), len(s.queue)
+	s.mu.Unlock()
+	if njobs != 0 || nqueued != 0 {
+		t.Fatalf("withdrawn job leaked: %d jobs, %d queued", njobs, nqueued)
+	}
+}
+
+// TestWedgedEventsClientDoesNotStallJob is the regression for the worst
+// failure mode of a blocking broker: an events client that stops reading
+// while the job publishes far more than every buffer in the path can absorb.
+// Publication must keep completing (it runs on the job worker path), the job
+// must finish, and once the client finally reads it must still receive the
+// complete, dense-seq stream via the broker's catch-up protocol.
+func TestWedgedEventsClientDoesNotStallJob(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := testServer(t, Options{runSweep: blockingSweep(release)})
+
+	var resp SubmitResponse
+	doJSON(t, "POST", ts.URL+"/jobs", SubmitRequest{Specs: []SpecRequest{smallSpec(16, 0)}}, &resp)
+	waitFor(t, func() bool { return s.Health().Running == 1 })
+	j, ok := s.Job(resp.ID)
+	if !ok {
+		t.Fatalf("job %s not found", resp.ID)
+	}
+
+	// Connect a client that reads nothing: the handler will block writing to
+	// it, its broker subscriber will overrun and be force-detached.
+	hr, err := http.Get(ts.URL + "/jobs/" + resp.ID + "/events")
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer hr.Body.Close()
+
+	// Flood the stream well past the subscriber buffer and the kernel socket
+	// buffers. Before the non-blocking broker, publish #buffer+1 would hang
+	// the worker path forever; the timeout here is the regression assertion.
+	const flood = 2000
+	pad := strings.Repeat("x", 1024)
+	floodDone := make(chan struct{})
+	go func() {
+		for i := 0; i < flood; i++ {
+			s.publish(j, func(ev *JobEvent) { ev.Type = "run"; ev.Run = &RunEvent{Spec: pad} })
+		}
+		close(floodDone)
+	}()
+	select {
+	case <-floodDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("publish stalled behind a wedged events client")
+	}
+
+	// The job itself is unharmed: it finishes, and finishJob's own publishes
+	// (which would also have wedged) complete.
+	close(release)
+	if st := waitDone(t, ts, resp.ID); st.State != StateDone {
+		t.Fatalf("job: %s (err %v), want done", st.State, st.Error)
+	}
+
+	// Now drain the stream: despite the overrun the client must see every
+	// event exactly once, in seq order.
+	var seen uint64
+	sc := bufio.NewScanner(hr.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line: %v\n%s", err, sc.Text())
+		}
+		if ev.Seq != seen {
+			t.Fatalf("event seq %d at position %d (gap or duplicate)", ev.Seq, seen)
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	// queued + running + flood + done ≤ seen (run events from the sweep are 0
+	// with the blocking stub).
+	if want := uint64(flood + 3); seen != want {
+		t.Fatalf("saw %d events, want %d", seen, want)
+	}
+}
+
+// TestPublishSeqOrder hammers publish from concurrent goroutines (the Cancel
+// vs onRun race) and requires both the broker history and the on-disk event
+// log to hold densely increasing sequence numbers.
+func TestPublishSeqOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{StateDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	j := newJob("seqrace", "k", nil, Budget{}, time.Now())
+	if err := s.persist(j); err != nil {
+		t.Fatalf("persist: %v", err)
+	}
+	const publishers, each = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.publish(j, func(ev *JobEvent) { ev.Type = "state"; ev.State = StateRunning })
+			}
+		}()
+	}
+	wg.Wait()
+
+	hist := j.broker.History()
+	if len(hist) != publishers*each {
+		t.Fatalf("history holds %d events, want %d", len(hist), publishers*each)
+	}
+	for i, ev := range hist {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("history[%d].Seq = %d: out of order", i, ev.Seq)
+		}
+	}
+
+	data, err := os.ReadFile(s.store.eventsPath(j.id))
+	if err != nil {
+		t.Fatalf("read event log: %v", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	var n uint64
+	for sc.Scan() {
+		var ev JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad log line: %v\n%s", err, sc.Text())
+		}
+		if ev.Seq != n {
+			t.Fatalf("log line %d has seq %d: out of order", n, ev.Seq)
+		}
+		n++
+	}
+	if n != uint64(publishers*each) {
+		t.Fatalf("log holds %d events, want %d", n, publishers*each)
+	}
+}
+
+// TestCacheWaitCancelledVsTimeout: a waiter whose context ends while another
+// job's run is in flight must report what actually happened — cancellation as
+// cancelled, deadline expiry as timeout — not mislabel every exit a timeout.
+func TestCacheWaitCancelledVsTimeout(t *testing.T) {
+	spec, err := smallSpec(16, 0).Spec()
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	c := newSpecCache(4)
+	// An in-flight owner that never finishes, so the waiter's own context
+	// decides the outcome.
+	c.entries[experiments.SpecKey(spec)] = &cacheEntry{done: make(chan struct{})}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, werr := c.run(ctx, spec, experiments.Instrument{})
+	if !shared {
+		t.Fatal("waiter must report shared")
+	}
+	if code := sim.CodeOf(werr); code != sim.CodeCancelled || !errors.Is(werr, context.Canceled) {
+		t.Fatalf("cancelled waiter: code %q err %v, want %q wrapping context.Canceled", code, werr, sim.CodeCancelled)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	_, _, werr = c.run(dctx, spec, experiments.Instrument{})
+	if code := sim.CodeOf(werr); code != sim.CodeTimeout || !errors.Is(werr, sim.ErrTimeout) {
+		t.Fatalf("deadline waiter: code %q err %v, want %q wrapping ErrTimeout", code, werr, sim.CodeTimeout)
+	}
 }

@@ -116,6 +116,11 @@ type Server struct {
 	stopped   chan struct{} // dispatcher exited
 
 	wg sync.WaitGroup // running jobs
+
+	// testPostPersist, when set, runs between Submit's persistence write and
+	// the re-acquisition of the admission lock (tests: hold the race window
+	// against Shutdown open deterministically).
+	testPostPersist func()
 }
 
 // New builds a Server and re-admits every resumable job found in StateDir:
@@ -249,6 +254,9 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResponse, *APIError) {
 	// silently vanish on restart. The dedup entry above holds the key while
 	// the write is in flight.
 	err := s.persist(j)
+	if s.testPostPersist != nil {
+		s.testPostPersist()
+	}
 	s.mu.Lock()
 	s.admitting--
 	if err != nil {
@@ -259,6 +267,26 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResponse, *APIError) {
 		s.mu.Unlock()
 		s.logf("%v", err)
 		return SubmitResponse{}, apiErrorf("internal", "cannot persist job: %v", err)
+	}
+	if s.draining {
+		// Shutdown began while the record was being written: the queue has
+		// already been shed, so enqueueing now would strand the job —
+		// accepted but never run, never shed, silently lost on exit. With a
+		// store, park it as shed like the rest of the queue (the restarted
+		// daemon re-admits it); without one there is nothing durable to
+		// resume, so withdraw it and tell the client to retry.
+		s.mu.Unlock()
+		if s.store != nil {
+			s.parkJob(j, StateShed)
+			return SubmitResponse{ID: j.id, State: StateShed}, nil
+		}
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		if s.byKey[key] == j {
+			delete(s.byKey, key)
+		}
+		s.mu.Unlock()
+		return SubmitResponse{}, apiErrorf(CodeDraining, "server is draining; retry after restart")
 	}
 	s.queue = append(s.queue, j)
 	s.mu.Unlock()
@@ -704,8 +732,13 @@ func (s *Server) persistAndLog(j *job) {
 	}
 }
 
-// publish stamps, logs and broadcasts one event on the job's stream.
+// publish stamps, logs and broadcasts one event on the job's stream. The
+// job's publish lock is held across all three steps so events land in the log
+// and on the stream in seq order even when publishers race; the broadcast is
+// non-blocking, so the lock is only ever held for the file append.
 func (s *Server) publish(j *job, fill func(*JobEvent)) {
+	j.pubMu.Lock()
+	defer j.pubMu.Unlock()
 	j.mu.Lock()
 	ev := j.nextEventLocked()
 	j.mu.Unlock()

@@ -1,6 +1,9 @@
 package sim
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 // Code is the stable, machine-readable identifier of a failure class. Codes
 // are an external schema: services embed them in JSON error responses and
@@ -15,8 +18,13 @@ const (
 	CodeCycleLimit Code = "cycle_limit"
 	// CodeTimeout identifies ErrTimeout failures (wall-clock budget or
 	// context cancellation). Timeouts depend on host speed, never on the
-	// simulation, so they are the one retryable code in the taxonomy.
+	// simulation, so they are retryable.
 	CodeTimeout Code = "timeout"
+	// CodeCancelled identifies runs abandoned because their caller withdrew
+	// (client cancel, service drain) — a context.Canceled anywhere in the
+	// chain. Like timeouts, cancellations reflect the run's environment, not
+	// the simulation, so they are retryable.
+	CodeCancelled Code = "cancelled"
 	// CodeInvalidAccess identifies ErrInvalidAccess failures.
 	CodeInvalidAccess Code = "invalid_access"
 	// CodeWriteFault identifies ErrWriteFault failures.
@@ -35,8 +43,18 @@ var sentinelByCode = map[Code]error{
 	CodeDeadlock:      ErrDeadlock,
 	CodeCycleLimit:    ErrCycleLimit,
 	CodeTimeout:       ErrTimeout,
+	CodeCancelled:     context.Canceled,
 	CodeInvalidAccess: ErrInvalidAccess,
 	CodeWriteFault:    ErrWriteFault,
+}
+
+// codeOrder fixes the classification order so an error that happens to wrap
+// two sentinels (e.g. a timeout wrapping the cancellation that caused it)
+// classifies deterministically: simulation conditions first, then the
+// environmental codes.
+var codeOrder = []Code{
+	CodeDeadlock, CodeCycleLimit, CodeInvalidAccess, CodeWriteFault,
+	CodeTimeout, CodeCancelled,
 }
 
 // CodeOf classifies err into the taxonomy: the code of the sentinel it wraps,
@@ -45,8 +63,8 @@ func CodeOf(err error) Code {
 	if err == nil {
 		return ""
 	}
-	for code, sentinel := range sentinelByCode {
-		if errors.Is(err, sentinel) {
+	for _, code := range codeOrder {
+		if errors.Is(err, sentinelByCode[code]) {
 			return code
 		}
 	}
@@ -54,9 +72,9 @@ func CodeOf(err error) Code {
 }
 
 // Retryable reports whether failures with this code may succeed on a retry:
-// only timeouts qualify — every other class is deterministic, so re-running
-// the same spec reproduces the failure.
-func (c Code) Retryable() bool { return c == CodeTimeout }
+// only timeouts and cancellations qualify — every other class is
+// deterministic, so re-running the same spec reproduces the failure.
+func (c Code) Retryable() bool { return c == CodeTimeout || c == CodeCancelled }
 
 // WireError is the JSON form of a simulation failure: the stable error schema
 // services return to clients. A *sim.Error round-trips losslessly — code,

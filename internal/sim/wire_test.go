@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,6 +19,7 @@ func TestCodeOf(t *testing.T) {
 		{ErrDeadlock, CodeDeadlock},
 		{ErrCycleLimit, CodeCycleLimit},
 		{ErrTimeout, CodeTimeout},
+		{context.Canceled, CodeCancelled},
 		{ErrInvalidAccess, CodeInvalidAccess},
 		{ErrWriteFault, CodeWriteFault},
 	}
@@ -50,6 +52,21 @@ func TestRetryable(t *testing.T) {
 	}
 	if !CodeTimeout.Retryable() {
 		t.Error("timeout must be retryable: it depends on host speed, not the simulation")
+	}
+	if !CodeCancelled.Retryable() {
+		t.Error("cancelled must be retryable: it reflects the caller, not the simulation")
+	}
+}
+
+// TestCodeOfDeterministic: an error wrapping two sentinels (a timeout caused
+// by a cancellation, say) classifies by the fixed taxonomy order, not map
+// iteration order.
+func TestCodeOfDeterministic(t *testing.T) {
+	err := fmt.Errorf("%w caused by %w", ErrTimeout, context.Canceled)
+	for i := 0; i < 100; i++ {
+		if got := CodeOf(err); got != CodeTimeout {
+			t.Fatalf("CodeOf(timeout+cancel) = %q, want %q", got, CodeTimeout)
+		}
 	}
 }
 
@@ -85,6 +102,11 @@ func TestWireRoundTrip(t *testing.T) {
 			name: "timeout",
 			err:  &Error{Cycle: 99, Component: "hierarchy", Op: "run", Err: ErrTimeout, Detail: "context deadline exceeded; cycle=99"},
 			code: CodeTimeout, sentinel: ErrTimeout, simErr: true,
+		},
+		{
+			name: "cancelled",
+			err:  &Error{Cycle: 0, Component: "serve", Op: "cache-wait", Err: context.Canceled, Detail: "job cancelled while awaiting shared run"},
+			code: CodeCancelled, sentinel: context.Canceled, simErr: true,
 		},
 		{
 			name: "invalid access",
