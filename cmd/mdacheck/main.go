@@ -1,7 +1,10 @@
 // Command mdacheck runs the cross-design conformance harness: seeded random
 // traces replayed on every cache design and checked against a functional
 // reference model (identical load values, identical final memory image,
-// metric conservation identities).
+// metric conservation identities). With -cores above 1, traces become
+// per-core streams contending on a shared hierarchy (private L1s over a
+// coherent shared L2/LLC) and the same invariants are checked against one
+// shared reference model.
 //
 // Examples:
 //
@@ -9,16 +12,21 @@
 //	mdacheck -seed 0x2a              # reproduce one seed (prints its spec)
 //	mdacheck -n 200 -designs all     # include the ablation designs
 //	mdacheck -n 100 -faults on       # force fault injection everywhere
+//	mdacheck -n 512 -cores 1,2,4     # conformance sweep over core counts
+//	mdacheck -cores 2 -seed 7        # reproduce one multi-core seed
 //	mdacheck -seed 7 -break-coherence  # demo: watch the harness catch a bug
 //
-// On failure, mdacheck prints the shrunk trace and a one-line repro command
-// and exits 1. Exit code 2 means the invocation itself was invalid.
+// On failure, mdacheck prints the shrunk trace (or multi-core schedule) and
+// a one-line repro command and exits 1. Exit code 2 means the invocation
+// itself was invalid.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"mdacache/internal/check"
 	"mdacache/internal/core"
@@ -29,8 +37,10 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "check exactly this seed (overrides -n)")
 		n        = flag.Int("n", 256, "number of corpus seeds to check (seeds 0..n-1)")
 		designs  = flag.String("designs", "paper", "design set: paper (1P1L,1P2L,1P2L_SameSet,2P2L) or all (+2P2L_Dense,2P2L_L1)")
+		cores    = flag.String("cores", "1", "comma-separated core counts to check (1 = single-core harness, >1 = shared-hierarchy harness)")
 		faults   = flag.String("faults", "auto", "fault injection: auto (per-seed), on, off")
 		breakCoh = flag.Bool("break-coherence", false, "disable duplicate-coherence eviction (verifies the harness catches it)")
+		breakSnp = flag.Bool("break-snoop", false, "disable cross-core snoop invalidation (verifies the multi-core harness catches it)")
 		noShrink = flag.Bool("no-shrink", false, "skip trace minimisation on failure")
 		maxFail  = flag.Int("max-failures", 1, "stop after this many failing seeds")
 		verbose  = flag.Bool("v", false, "print each seed's spec as it runs")
@@ -60,12 +70,14 @@ func main() {
 		usagef("invalid -faults %q (valid: auto, on, off)", *faults)
 	}
 	opt.BreakCoherence = *breakCoh
+	opt.BreakSnoop = *breakSnp
 	if *n <= 0 && !seedSet() {
 		usagef("-n must be positive")
 	}
 	if *maxFail <= 0 {
 		usagef("-max-failures must be positive")
 	}
+	coreCounts := parseCores(*cores)
 
 	seeds := make([]uint64, 0, *n)
 	if seedSet() {
@@ -77,29 +89,68 @@ func main() {
 	}
 
 	failures := 0
-	for _, s := range seeds {
-		spec := check.SpecForSeed(s)
-		if *verbose {
-			fmt.Printf("mdacheck: %v\n", spec)
-		}
-		if f := check.CheckSpec(spec, opt); f != nil {
-			fmt.Print(f)
-			failures++
-			if failures >= *maxFail {
-				break
+	checked := 0
+sweep:
+	for _, nc := range coreCounts {
+		for _, s := range seeds {
+			checked++
+			if nc <= 1 {
+				spec := check.SpecForSeed(s)
+				if *verbose {
+					fmt.Printf("mdacheck: cores=1 %v\n", spec)
+				}
+				if f := check.CheckSpec(spec, opt); f != nil {
+					fmt.Print(f)
+					failures++
+					if failures >= *maxFail {
+						break sweep
+					}
+				}
+				continue
+			}
+			spec := check.MCSpecForSeed(s, nc)
+			if *verbose {
+				fmt.Printf("mdacheck: %v\n", spec)
+			}
+			if f := check.CheckMCSpec(spec, opt); f != nil {
+				fmt.Print(f)
+				failures++
+				if failures >= *maxFail {
+					break sweep
+				}
 			}
 		}
 	}
 	if failures > 0 {
-		fmt.Printf("mdacheck: %d failing seed(s) of %d checked\n", failures, len(seeds))
+		fmt.Printf("mdacheck: %d failing seed(s) of %d checked\n", failures, checked)
 		os.Exit(1)
 	}
 	dn := "paper designs"
 	if *designs == "all" {
 		dn = "all designs"
 	}
-	fmt.Printf("mdacheck: %d seed(s) conform across %s (designs: %s, faults: %s)\n",
-		len(seeds), dn, designSetString(opt.Designs), *faults)
+	fmt.Printf("mdacheck: %d seed(s) conform across %s (designs: %s, cores: %s, faults: %s)\n",
+		checked, dn, designSetString(opt.Designs), *cores, *faults)
+}
+
+// parseCores parses the -cores list ("1,2,4") into validated core counts.
+func parseCores(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			usagef("invalid -cores entry %q (want positive integers, e.g. 1,2,4)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		usagef("-cores must name at least one core count")
+	}
+	return out
 }
 
 // seedSet reports whether -seed was passed explicitly (0 is a valid seed).

@@ -34,6 +34,7 @@ func main() {
 	var (
 		bench     = flag.String("bench", "sgemm", "benchmark: "+strings.Join(workloads.Names, ", "))
 		design    = flag.String("design", "1P2L", "design: 1P1L, 1P2L, 1P2L_SameSet, 2P2L, 2P2L_Dense, 2P2L_L1")
+		cores     = flag.Int("cores", 1, "trace-driven cores sharing the hierarchy (private L1s over a coherent shared L2/LLC); the trace is sharded round-robin")
 		n         = flag.Int("n", 0, "matrix dimension (default: 512/scale)")
 		llcMB     = flag.Float64("llc", 1, "LLC capacity in MB at paper scale")
 		scale     = flag.Int("scale", 4, "scale divisor: caches /scale², default n = 512/scale")
@@ -72,6 +73,9 @@ func main() {
 	if *n < 0 {
 		usagef("-n must be non-negative (got %d)", *n)
 	}
+	if *cores < 1 {
+		usagef("-cores must be >= 1 (got %d)", *cores)
+	}
 	if *failProb < 0 || *failProb >= 1 {
 		usagef("-write-fail-prob must be in [0, 1) (got %g)", *failProb)
 	}
@@ -95,6 +99,7 @@ func main() {
 		Bench:             *bench,
 		N:                 *n,
 		Design:            d,
+		Cores:             *cores,
 		LLCBytes:          int(*llcMB * float64(core.MB)),
 		TwoLevel:          *twoLevel,
 		Scale:             *scale,
@@ -258,7 +263,12 @@ func runTraceFile(spec experiments.RunSpec, path string, tracer *obs.Tracer) (*c
 		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
 		defer cancel()
 	}
-	res, err := m.RunCtx(ctx, tr)
+	var res *core.Results
+	if len(m.CPUs) > 1 {
+		res, err = m.RunTracesCtx(ctx, experiments.ShardTrace(tr, len(m.CPUs))...)
+	} else {
+		res, err = m.RunCtx(ctx, tr)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -38,6 +38,13 @@ type Options struct {
 	// harness's own tests to prove a coherence bug is detected.
 	BreakCoherence bool
 
+	// BreakSnoop enables the testing-only cross-core snoop mutation
+	// (core.Config.BreakSnoopCoherence): the shared-level hub stops
+	// flushing/invalidating sibling L1 copies on cross-core traffic. Only
+	// meaningful for multi-core checks; used by the harness's own tests to
+	// prove a coherence break shrinks to a minimal cross-core witness.
+	BreakSnoop bool
+
 	// NoShrink skips trace minimisation on failure (soak throughput knob).
 	NoShrink bool
 }

@@ -1,0 +1,531 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"mdacache/internal/core"
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// This file is the multi-core half of the conformance harness: a seeded
+// generator of contended per-core op streams, the checker that runs them on
+// shared hierarchies (private L1s over a coherent shared L2/LLC) against one
+// shared reference model, and a shrinker that reduces a failing interleaving
+// to a minimal cross-core witness.
+//
+// The oracle leans on the machine's determinism contract: the overlap-
+// ordering rule serializes conflicting (line-overlapping) ops machine-wide,
+// and non-conflicting ops touch disjoint words, so a flat reference model
+// applied in true global issue order — observed via each CPU's OnIssue hook —
+// is an exact per-load value oracle even under maximal cross-core contention.
+
+// MCPattern selects the cross-core conflict family a generated workload
+// draws from. Each family stresses a different sharing hazard.
+type MCPattern int
+
+const (
+	// MCMixed gives every core an independent mixed single-core trace over
+	// one shared tile footprint — broad-spectrum contention.
+	MCMixed MCPattern = iota
+	// MCTransposeRace races cores on the same tiles with opposed
+	// orientations: even cores write rows and read columns while odd cores
+	// write columns and read rows, so every fill crosses a sibling's dirty
+	// duplicate — the canonical cross-core duplicate-coherence workload.
+	MCTransposeRace
+	// MCFalseSharing confines cores to disjoint word offsets of the same
+	// lines: no word is ever shared, but line-granular invalidation forces
+	// each store to kill the siblings' copies.
+	MCFalseSharing
+	// MCHammerSet aims every core at tiles that map to one cache set at
+	// every shared level (tile stride 16 collides in all three index
+	// mappings), saturating that set's arbitration and eviction paths.
+	MCHammerSet
+
+	numMCPatterns
+)
+
+func (p MCPattern) String() string {
+	switch p {
+	case MCMixed:
+		return "mc-mixed"
+	case MCTransposeRace:
+		return "mc-transpose-race"
+	case MCFalseSharing:
+		return "mc-false-sharing"
+	case MCHammerSet:
+		return "mc-hammer-set"
+	}
+	return fmt.Sprintf("mc-pattern(%d)", int(p))
+}
+
+// MCOp is one op of a flattened multi-core schedule: the op plus the core
+// that executes it. Flattened schedules are the unit of shrinking — deleting
+// an MCOp preserves every core's internal program order.
+type MCOp struct {
+	Core int
+	Op   isa.Op
+}
+
+// MCSpec fully determines a generated multi-core workload. Everything
+// derives from (Seed, Cores), so a one-line repro only needs those two.
+type MCSpec struct {
+	Seed       uint64
+	Cores      int
+	Pattern    MCPattern
+	OpsPerCore int
+	Tiles      int  // size of the shared footprint, in tiles
+	RowOnly    bool // restrict to Row orientation (covers design 1P1L)
+	CfgVariant int  // core.SmallConfig variant (0 roomy, 1 tight)
+	Faults     bool // enable transient-fault injection during checking
+}
+
+func (s MCSpec) String() string {
+	o := "row+col"
+	if s.RowOnly {
+		o = "row-only"
+	}
+	return fmt.Sprintf("seed=%#x cores=%d pattern=%s ops/core=%d tiles=%d %s cfg=%d faults=%v",
+		s.Seed, s.Cores, s.Pattern, s.OpsPerCore, s.Tiles, o, s.CfgVariant, s.Faults)
+}
+
+// MCSpecForSeed derives a full multi-core spec from a bare seed and core
+// count. Same splitmix64 convention as SpecForSeed: the corpus `seed = 0..N`
+// covers every pattern, both orientation regimes, both config variants and
+// both fault settings.
+func MCSpecForSeed(seed uint64, cores int) MCSpec {
+	if cores < 2 {
+		cores = 2
+	}
+	r := sim.NewRNG(seed ^ 0x3c07e5ed)
+	return MCSpec{
+		Seed:       seed,
+		Cores:      cores,
+		Pattern:    MCPattern(r.Intn(int(numMCPatterns))),
+		OpsPerCore: 32 + r.Intn(96),
+		Tiles:      1 + r.Intn(6),
+		RowOnly:    r.Intn(4) == 0,
+		CfgVariant: r.Intn(2),
+		Faults:     r.Intn(2) == 0,
+	}
+}
+
+// GenerateMC produces the deterministic per-core op streams for spec.
+// All cores share one tile footprint (contention is the point); store
+// payloads are globally unique across cores so a stale or cross-wired read
+// can never masquerade as a correct one.
+func GenerateMC(spec MCSpec) [][]isa.Op {
+	// Shared footprint, drawn once from the seed so every core contends on
+	// the same tiles.
+	fr := sim.NewRNG(spec.Seed ^ 0xf007)
+	seen := make(map[uint64]bool)
+	var tiles []uint64
+	for len(tiles) < spec.Tiles {
+		base := uint64(fr.Intn(64)) * isa.TileSize
+		if !seen[base] {
+			seen[base] = true
+			tiles = append(tiles, base)
+		}
+	}
+
+	streams := make([][]isa.Op, spec.Cores)
+	for c := 0; c < spec.Cores; c++ {
+		g := &genState{
+			rng: sim.NewRNG(spec.Seed ^ (0x9e3779b97f4a7c15 * uint64(c+1))),
+			spec: GenSpec{
+				Seed:    spec.Seed,
+				Ops:     spec.OpsPerCore,
+				Tiles:   spec.Tiles,
+				RowOnly: spec.RowOnly,
+			},
+			tiles: tiles,
+			// Disjoint per-core value ranges keep every store payload
+			// globally unique (stride-16 values, ≤128 ops/core ≪ 1<<24).
+			nextVal: (1 << 32) + uint64(c)<<24,
+		}
+		for len(g.ops) < spec.OpsPerCore {
+			switch spec.Pattern {
+			case MCMixed:
+				p := Pattern(1 + g.rng.Intn(int(numPatterns)-1))
+				switch p {
+				case PatRowStream:
+					g.stream(isa.Row)
+				case PatColStream:
+					g.stream(isa.Col)
+				case PatTranspose:
+					g.transpose()
+				case PatConflict:
+					g.conflict()
+				}
+			case MCTransposeRace:
+				g.transposeRace(c)
+			case MCFalseSharing:
+				g.falseSharing(c, spec.Cores)
+			case MCHammerSet:
+				g.hammerSet(c)
+			}
+		}
+		streams[c] = g.ops[:spec.OpsPerCore]
+	}
+	return streams
+}
+
+// transposeRace emits one round of the same-tile transpose race: this core
+// vector-writes a run of lines in its parity orientation, then reads the
+// same tile back in the other orientation — while the opposite-parity cores
+// do the mirror image on the very same tiles.
+func (g *genState) transposeRace(coreID int) {
+	wo := isa.Row
+	if coreID%2 == 1 {
+		wo = isa.Col
+	}
+	wo = g.orient(wo)
+	ro := g.orient(wo.Other())
+	t := g.tile()
+	g.pc++
+	n := 1 + g.rng.Intn(int(isa.LinesPerTile))
+	for i := 0; i < n; i++ {
+		line := lineInTile(t, uint(i), wo)
+		g.emit(isa.Op{Addr: line.Base, Kind: isa.Store, Value: g.value(), Orient: wo, Vector: true})
+	}
+	g.pc++
+	for i := 0; i < n; i++ {
+		line := lineInTile(t, uint(g.rng.Intn(int(isa.LinesPerTile))), ro)
+		if g.rng.Intn(2) == 0 {
+			g.emit(isa.Op{Addr: line.Base, Orient: ro, Vector: true})
+		} else {
+			g.emit(isa.Op{Addr: line.WordAddr(uint(g.rng.Intn(int(isa.WordsPerLine)))), Orient: ro})
+		}
+	}
+}
+
+// falseSharing emits scalar traffic confined to this core's word offsets of
+// shared row lines: offsets congruent to the core ID modulo min(cores, 8)
+// belong to this core (written and read back), any other offset is only ever
+// loaded (read-sharing). Every store still invalidates the siblings' whole
+// line copy.
+func (g *genState) falseSharing(coreID, cores int) {
+	mod := cores
+	if mod > int(isa.WordsPerLine) {
+		mod = int(isa.WordsPerLine)
+	}
+	t := g.tile()
+	idx := uint(g.rng.Intn(int(isa.LinesPerTile)))
+	line := lineInTile(t, idx, isa.Row)
+	g.pc++
+	n := 2 + g.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		off := uint(g.rng.Intn(int(isa.WordsPerLine)))
+		if off%uint(mod) == uint(coreID%mod) {
+			// Own word: write it, then read it back.
+			g.emit(isa.Op{Addr: line.WordAddr(off), Kind: isa.Store, Value: g.value(), Orient: isa.Row})
+			g.emit(isa.Op{Addr: line.WordAddr(off), Orient: isa.Row})
+		} else {
+			// Sibling's word: read-only sharing.
+			g.emit(isa.Op{Addr: line.WordAddr(off), Orient: isa.Row})
+		}
+	}
+}
+
+// hammerSet emits scalar traffic over tiles spaced 16 apart — a stride that
+// collides in every design's set mapping — so all cores pile onto one set at
+// every shared level. Each core mostly touches its own word of each tile
+// (real set contention, not overlap serialization), with occasional loads of
+// word 0 for genuine sharing.
+func (g *genState) hammerSet(coreID int) {
+	depth := 2 + g.rng.Intn(3) // tiles hammered per round, all same-set
+	g.pc++
+	for j := 0; j < depth; j++ {
+		base := uint64(j) * 16 * isa.TileSize
+		line := lineInTile(base, uint(g.rng.Intn(int(isa.LinesPerTile))), isa.Row)
+		own := line.WordAddr(uint(coreID) % isa.WordsPerLine)
+		if g.rng.Intn(2) == 0 {
+			g.emit(isa.Op{Addr: own, Kind: isa.Store, Value: g.value(), Orient: isa.Row})
+		} else {
+			g.emit(isa.Op{Addr: own, Orient: isa.Row})
+		}
+		if g.rng.Intn(4) == 0 {
+			g.emit(isa.Op{Addr: line.WordAddr(0), Orient: isa.Row})
+		}
+	}
+}
+
+// FlattenMC interleaves per-core streams round-robin into one core-tagged
+// schedule — the canonical flattened form used for shrinking and reporting.
+func FlattenMC(streams [][]isa.Op) []MCOp {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]MCOp, 0, total)
+	for i := 0; len(out) < total; i++ {
+		for c, s := range streams {
+			if i < len(s) {
+				out = append(out, MCOp{Core: c, Op: s[i]})
+			}
+		}
+	}
+	return out
+}
+
+// SplitMC is the inverse of FlattenMC: it separates a flattened schedule
+// back into per-core streams (each core's internal order preserved).
+func SplitMC(ops []MCOp, cores int) [][]isa.Op {
+	streams := make([][]isa.Op, cores)
+	for _, mo := range ops {
+		if mo.Core >= 0 && mo.Core < cores {
+			streams[mo.Core] = append(streams[mo.Core], mo.Op)
+		}
+	}
+	return streams
+}
+
+// MCFailure describes a failing multi-core seed: the (possibly shrunk)
+// flattened schedule and the violations it produces.
+type MCFailure struct {
+	Spec       MCSpec
+	Ops        []MCOp // shrunk schedule (or full schedule with Options.NoShrink)
+	Shrunk     bool
+	Violations []Violation
+}
+
+// Repro returns the copy-pasteable command that reproduces this failure.
+func (f *MCFailure) Repro() string {
+	return fmt.Sprintf("mdacheck -cores %d -seed %#x", f.Spec.Cores, f.Spec.Seed)
+}
+
+// CoresTouched returns how many distinct cores the schedule spans — a shrunk
+// witness for a genuine cross-core bug must touch at least two.
+func (f *MCFailure) CoresTouched() int {
+	seen := make(map[int]bool)
+	for _, mo := range f.Ops {
+		seen[mo.Core] = true
+	}
+	return len(seen)
+}
+
+// String renders the failure report: spec, repro line, violations, schedule.
+func (f *MCFailure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "multi-core conformance failure: %s\n", f.Spec)
+	fmt.Fprintf(&b, "reproduce with: %s\n", f.Repro())
+	for _, v := range f.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	label := "shrunk schedule"
+	if !f.Shrunk {
+		label = "schedule"
+	}
+	fmt.Fprintf(&b, "%s (%d ops, %d cores touched):\n", label, len(f.Ops), f.CoresTouched())
+	for i, mo := range f.Ops {
+		fmt.Fprintf(&b, "  %3d: core%d %v", i, mo.Core, mo.Op)
+		if mo.Op.Kind == isa.Store {
+			fmt.Fprintf(&b, " value=%d", mo.Op.Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// mcFaultsEnabled resolves the effective fault setting for a multi-core spec.
+func mcFaultsEnabled(spec MCSpec, opt Options) bool {
+	switch opt.Faults {
+	case FaultOff:
+		return false
+	case FaultOn:
+		return true
+	}
+	return spec.Faults
+}
+
+// CheckMCOps runs the per-core streams on every applicable design as a
+// Cores=len(streams) shared hierarchy and returns all invariant violations
+// (empty ⇒ the schedule conforms). spec supplies machine parameters; its
+// generator fields are not consulted, so callers may pass hand-written
+// streams with only Cores/CfgVariant set.
+func CheckMCOps(streams [][]isa.Op, spec MCSpec, opt Options) []Violation {
+	flat := make([]isa.Op, 0, 64)
+	for _, s := range streams {
+		flat = append(flat, s...)
+	}
+	var out []Violation
+	for _, d := range designsFor(flat, opt) {
+		out = append(out, checkMCDesign(d, streams, spec, opt)...)
+	}
+	return out
+}
+
+// checkMCDesign runs one design over the streams and checks every invariant:
+// per-load oracle values (via a shared reference model applied in true
+// global issue order), the drained final memory image in both directions,
+// and per-core plus per-level metric conservation identities.
+func checkMCDesign(d core.Design, streams [][]isa.Op, spec MCSpec, opt Options) []Violation {
+	var vio []Violation
+	add := func(kind, format string, args ...interface{}) {
+		if len(vio) < maxViolationsPerDesign {
+			vio = append(vio, Violation{Design: d, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+		}
+	}
+
+	cfg := core.SmallConfig(d, spec.CfgVariant)
+	cfg.Cores = len(streams)
+	cfg.MaxCycles = checkMaxCycles
+	if mcFaultsEnabled(spec, opt) {
+		cfg.Mem.WriteFailProb = 0.05
+		cfg.Mem.FaultSeed = spec.Seed ^ 0xfa017
+	}
+	if opt.BreakCoherence {
+		cfg.L1.BreakDupCoherence = true
+		cfg.L2.BreakDupCoherence = true
+		cfg.L3.BreakDupCoherence = true
+	}
+	cfg.BreakSnoopCoherence = opt.BreakSnoop
+	m, err := core.Build(cfg)
+	if err != nil {
+		add("run-error", "build: %v", err)
+		return vio
+	}
+
+	// Invariant 1 — load values. One reference model is shared by all cores
+	// and advanced from each CPU's OnIssue hook, i.e. in the machine's true
+	// global issue order. The overlap-ordering rule serializes conflicting
+	// ops machine-wide (a conflicting op cannot issue until the in-flight op
+	// completes), and non-conflicting ops touch disjoint words, so the
+	// reference value attached to each load at issue is exact. OnLoad then
+	// compares the completed value against that annotation.
+	ref := NewRefModel()
+	for i, cpu := range m.CPUs {
+		who := fmt.Sprintf("cpu%d", i)
+		cpu.OnIssue = func(op isa.Op) isa.Op {
+			v := ref.Apply(op)
+			if op.Kind == isa.Load {
+				op.Value = v
+			}
+			return op
+		}
+		cpu.OnLoad = func(op isa.Op, value uint64) {
+			if value != op.Value {
+				add("load-value", "%s: %v returned %d, want %d", who, op, value, op.Value)
+			}
+		}
+	}
+	traces := make([]isa.TraceReader, len(streams))
+	for c, s := range streams {
+		traces[c] = isa.NewSliceTrace(s)
+	}
+	res, err := m.RunTraces(traces...)
+	if err != nil {
+		add("run-error", "%v", err)
+		return vio
+	}
+
+	// Invariant 2 — final memory image after a full drain, both directions:
+	// every reference word must be in memory (lost write-backs, dropped
+	// invalidations) and every non-zero memory word must be in the reference
+	// (ghost writes).
+	m.DrainAll()
+	final := ref.Final()
+	store := m.Memory.Store()
+	for addr, want := range final {
+		if got := store.ReadWord(addr); got != want {
+			add("final-image", "memory[%#x] = %d after drain, want %d", addr, got, want)
+		}
+	}
+	store.ForEachWord(func(addr, v uint64) {
+		if _, ok := final[addr]; !ok {
+			add("ghost-write", "memory[%#x] = %d, reference never wrote it", addr, v)
+		}
+	})
+
+	// Invariant 3 — conservation identities over the obs snapshot, now per
+	// core and per level: each core retires exactly its stream, and every
+	// level (the per-core private L1s plus the shared levels) satisfies the
+	// same accounting identities as in the single-core harness.
+	snap := res.Metrics
+	counter := func(name string) uint64 {
+		v, _ := snap.Counter(name)
+		return v
+	}
+	total := 0
+	for c, s := range streams {
+		total += len(s)
+		name := fmt.Sprintf("cpu%d.ops", c)
+		if got := counter(name); got != uint64(len(s)) {
+			add("metrics", "%s = %d, want %d", name, got, len(s))
+		}
+	}
+	if got := snap.SumCounters(".ops"); got < uint64(total) {
+		add("metrics", "sum of per-core ops %d < total scheduled ops %d", got, total)
+	}
+	lvls := []string{"l2", "l3"}
+	for c := range streams {
+		lvls = append(lvls, fmt.Sprintf("l1c%d", c))
+	}
+	for _, lvl := range lvls {
+		acc := counter(lvl + ".accesses")
+		if h, mi := counter(lvl+".hits"), counter(lvl+".misses"); h+mi != acc {
+			add("metrics", "%s: hits %d + misses %d != accesses %d", lvl, h, mi, acc)
+		}
+		if s, v := counter(lvl+".scalar_accesses"), counter(lvl+".vector_accesses"); s+v != acc {
+			add("metrics", "%s: scalar %d + vector %d != accesses %d", lvl, s, v, acc)
+		}
+		if r, c := counter(lvl+".accesses.row"), counter(lvl+".accesses.col"); r+c != acc {
+			add("metrics", "%s: row %d + col %d != accesses %d", lvl, r, c, acc)
+		}
+		if d != core.D2Dense {
+			fills := counter(lvl + ".fills_issued")
+			budget := counter(lvl+".misses") + counter(lvl+".prefetch_issued") + counter(lvl+".writebacks_in")
+			if fills > budget {
+				add("metrics", "%s: fills_issued %d > misses+prefetch+writebacks_in %d", lvl, fills, budget)
+			}
+		}
+		if d == core.D0Baseline {
+			if de, df := counter(lvl+".duplicate_evictions"), counter(lvl+".duplicate_flushes"); de+df != 0 {
+				add("metrics", "%s: baseline recorded duplicate traffic (evictions=%d flushes=%d)", lvl, de, df)
+			}
+		}
+	}
+	if d == core.D0Baseline {
+		if c := counter("mem.reads.col"); c != 0 {
+			add("metrics", "baseline issued %d column memory reads", c)
+		}
+		if c := counter("mem.writes.col"); c != 0 {
+			add("metrics", "baseline issued %d column memory writes", c)
+		}
+	}
+	if !mcFaultsEnabled(spec, opt) {
+		if f := counter("mem.write_retries"); f != 0 {
+			add("metrics", "write retries %d with fault injection off", f)
+		}
+	}
+	return vio
+}
+
+// CheckMCSpec generates the streams for spec, checks them, and — on failure
+// — shrinks the flattened schedule to a locally-minimal failing witness.
+// Returns nil when every invariant holds.
+func CheckMCSpec(spec MCSpec, opt Options) *MCFailure {
+	streams := GenerateMC(spec)
+	vio := CheckMCOps(streams, spec, opt)
+	if len(vio) == 0 {
+		return nil
+	}
+	f := &MCFailure{Spec: spec, Ops: FlattenMC(streams), Violations: vio}
+	if !opt.NoShrink {
+		shrunk := ShrinkMCOps(f.Ops, func(cand []MCOp) bool {
+			return len(CheckMCOps(SplitMC(cand, spec.Cores), spec, opt)) > 0
+		})
+		f.Ops = shrunk
+		f.Shrunk = true
+		f.Violations = CheckMCOps(SplitMC(shrunk, spec.Cores), spec, opt)
+	}
+	return f
+}
+
+// CheckMCSeed derives the multi-core spec for (seed, cores) and checks it.
+// Corpus convention matches CheckSeed: seed k of an N-trace run is k, so
+// `mdacheck -cores C -seed k` reproduces any corpus failure exactly.
+func CheckMCSeed(seed uint64, cores int, opt Options) *MCFailure {
+	return CheckMCSpec(MCSpecForSeed(seed, cores), opt)
+}

@@ -8,25 +8,26 @@ import "mdacache/internal/isa"
 // ≤256-op traces the generator emits.
 const maxShrinkEvals = 200
 
-// ShrinkOps reduces a failing trace to a smaller one that still fails,
-// using the caller's predicate (fails must return true for ops itself).
+// shrinkSlice reduces a failing slice to a smaller one that still fails,
+// using the caller's predicate (fails must return true for items itself).
 //
 // Two phases, both deterministic:
 //
 //  1. Binary-search the minimal failing *prefix* — hierarchy state is
-//     cumulative, so a failure at op k usually only needs ops ≤ k.
+//     cumulative, so a failure at element k usually only needs elements ≤ k.
 //  2. ddmin-lite: repeatedly try deleting chunks (halving the chunk size
-//     down to single ops) and keep any deletion that still fails.
+//     down to single elements) and keep any deletion that still fails.
 //
 // The result is not guaranteed globally minimal, only locally: no single
-// remaining op can be removed without losing the failure (unless the eval
-// cap was hit first).
-func ShrinkOps(ops []isa.Op, fails func([]isa.Op) bool) []isa.Op {
-	if len(ops) == 0 {
-		return ops
+// remaining element can be removed without losing the failure (unless the
+// eval cap was hit first). The element type is opaque — the same machinery
+// shrinks single-core op traces and core-tagged multi-core interleavings.
+func shrinkSlice[T any](items []T, fails func([]T) bool) []T {
+	if len(items) == 0 {
+		return items
 	}
 	evals := 0
-	check := func(c []isa.Op) bool {
+	check := func(c []T) bool {
 		if evals >= maxShrinkEvals {
 			return false
 		}
@@ -35,23 +36,23 @@ func ShrinkOps(ops []isa.Op, fails func([]isa.Op) bool) []isa.Op {
 	}
 
 	// Phase 1: minimal failing prefix. Invariant: prefix of length hi fails.
-	lo, hi := 1, len(ops)
+	lo, hi := 1, len(items)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if check(ops[:mid]) {
+		if check(items[:mid]) {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	cur := append([]isa.Op(nil), ops[:hi]...)
+	cur := append([]T(nil), items[:hi]...)
 
 	// Phase 2: chunked deletion. Start with half-trace chunks and halve on
 	// every pass that removes nothing.
 	for chunk := len(cur) / 2; chunk >= 1; {
 		removed := false
 		for start := 0; start+chunk <= len(cur); {
-			cand := make([]isa.Op, 0, len(cur)-chunk)
+			cand := make([]T, 0, len(cur)-chunk)
 			cand = append(cand, cur[:start]...)
 			cand = append(cand, cur[start+chunk:]...)
 			if len(cand) > 0 && check(cand) {
@@ -67,4 +68,18 @@ func ShrinkOps(ops []isa.Op, fails func([]isa.Op) bool) []isa.Op {
 		}
 	}
 	return cur
+}
+
+// ShrinkOps reduces a failing single-core trace to a locally-minimal one
+// that still fails the caller's predicate.
+func ShrinkOps(ops []isa.Op, fails func([]isa.Op) bool) []isa.Op {
+	return shrinkSlice(ops, fails)
+}
+
+// ShrinkMCOps is ShrinkOps for flattened multi-core interleavings: deleting
+// an MCOp removes that op from its core's stream while preserving every
+// stream's internal program order, so the shrunk witness is always a valid
+// (smaller) multi-core schedule.
+func ShrinkMCOps(ops []MCOp, fails func([]MCOp) bool) []MCOp {
+	return shrinkSlice(ops, fails)
 }

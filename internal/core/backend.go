@@ -121,6 +121,12 @@ type LevelStats struct {
 	// Extra sequential tag probes charged per §VI-A.
 	ExtraTagProbes uint64
 
+	// Set-granular arbitration (shared levels of multi-core machines):
+	// accesses that found their set's arbiter busy, and the total cycles
+	// they waited. Zero when set arbitration is off (single-core).
+	SetConflicts uint64
+	SetArbDelay  uint64
+
 	// Prefetcher (1P1L baseline).
 	PrefetchIssued uint64
 	PrefetchUseful uint64
@@ -169,6 +175,8 @@ func registerLevelStats(reg *obs.Registry, s *LevelStats) {
 	reg.Counter(p+"mshr_coalesced", &s.MSHRCoalesced)
 	reg.Counter(p+"mshr_stalls", &s.MSHRStalls)
 	reg.Counter(p+"extra_tag_probes", &s.ExtraTagProbes)
+	reg.Counter(p+"set_conflicts", &s.SetConflicts)
+	reg.Counter(p+"set_arb_delay", &s.SetArbDelay)
 	reg.Counter(p+"prefetch_issued", &s.PrefetchIssued)
 	reg.Counter(p+"prefetch_useful", &s.PrefetchUseful)
 }

@@ -42,9 +42,18 @@ type Cache1P struct {
 	sets    [][]line
 	mshr    *mshrFile
 	port    sim.Resource
-	pf      *stridePrefetcher
-	opred   *orientPredictor
-	rng     *sim.RNG // random-replacement source
+	// setArb, when non-nil (EnableSetArbitration), replaces the single
+	// global port with one arbiter per set: accesses to different sets
+	// proceed in parallel; same-set accesses contend FIFO (DESIGN §11).
+	setArb []sim.Resource
+	pf     *stridePrefetcher
+	opred  *orientPredictor
+	rng    *sim.RNG // random-replacement source
+
+	// onWrite, when non-nil, observes every store applied to this cache
+	// (line identity + mask of written words) — the snoop hub's remote-write
+	// invalidation hook in multi-core machines.
+	onWrite func(at uint64, id isa.LineID, mask uint8)
 
 	// orientCount tracks valid resident lines per orientation so the
 	// 8-probe intersecting-line walks exit immediately while the other
@@ -122,6 +131,29 @@ func NewCache1P(q *sim.EventQueue, p CacheParams, logical2D bool, below Backend)
 
 // Stats implements Level.
 func (c *Cache1P) Stats() *LevelStats { return &c.stats }
+
+// EnableSetArbitration switches the cache from one global port to one
+// arbiter per set — the FlexiCAS-style per-set meta state used at the
+// shared levels of multi-core machines, so orientation duplicates and tile
+// fills from different cores contend per set instead of serializing
+// globally. Call before simulation starts.
+func (c *Cache1P) EnableSetArbitration() {
+	c.setArb = make([]sim.Resource, c.nsets)
+}
+
+// acquirePort reserves occ cycles on the arbiter covering id (the per-set
+// arbiter when enabled, else the global port), counting set conflicts.
+func (c *Cache1P) acquirePort(at uint64, id isa.LineID, occ uint64) (start uint64) {
+	if c.setArb == nil {
+		return c.port.Acquire(at, occ)
+	}
+	start = c.setArb[c.setIndex(id)].Acquire(at, occ)
+	if start > at {
+		c.stats.SetConflicts++
+		c.stats.SetArbDelay += start - at
+	}
+	return start
+}
 
 // setIndex maps a line to its set.
 //
@@ -431,7 +463,9 @@ func (c *Cache1P) dispatchTarget(at, deliverAt uint64, id isa.LineID, t *fillTar
 // chargePort reserves the tag/data port for `probes` sequential tag accesses
 // starting at `at`, returning the access start cycle and the extra latency
 // beyond the first probe (§VI-A charges each additional probe one TagLat).
-func (c *Cache1P) chargePort(at uint64, probes int) (start, extraLat uint64) {
+// id selects the arbiter under per-set arbitration (shared levels of
+// multi-core machines); otherwise the single global port is charged.
+func (c *Cache1P) chargePort(at uint64, id isa.LineID, probes int) (start, extraLat uint64) {
 	if probes > 1 {
 		c.stats.ExtraTagProbes += uint64(probes - 1)
 		if c.tr.Enabled(obs.CatCache) {
@@ -439,7 +473,7 @@ func (c *Cache1P) chargePort(at uint64, probes int) (start, extraLat uint64) {
 				obs.Fields{Orient: obs.OrientNone, V: uint64(probes - 1)})
 		}
 	}
-	start = c.port.Acquire(at, uint64(probes))
+	start = c.acquirePort(at, id, uint64(probes))
 	return start, uint64(probes-1) * c.p.TagLat
 }
 
@@ -454,7 +488,7 @@ func (c *Cache1P) chargePort(at uint64, probes int) (start, extraLat uint64) {
 // Under the Same-Set mapping all candidates live in one set, so a single
 // (wide) set read covers them (1 extra cycle). Statistics still count every
 // logical probe.
-func (c *Cache1P) chargePortOffPath(at uint64, probes int) (start uint64) {
+func (c *Cache1P) chargePortOffPath(at uint64, id isa.LineID, probes int) (start uint64) {
 	occ := uint64(probes)
 	if probes > 1 {
 		c.stats.ExtraTagProbes += uint64(probes - 1)
@@ -467,7 +501,7 @@ func (c *Cache1P) chargePortOffPath(at uint64, probes int) (start uint64) {
 			occ = 1 // all candidates live in one set: one wide read
 		}
 	}
-	return c.port.Acquire(at, occ)
+	return c.acquirePort(at, id, occ)
 }
 
 // checkOrient validates that column traffic only reaches logically-2-D
@@ -540,7 +574,7 @@ func (c *Cache1P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 func (c *Cache1P) scalarLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 	pref := isa.LineOf(op.Addr, op.Orient)
 	if l := c.find(pref); l != nil {
-		start, _ := c.chargePort(at, 1)
+		start, _ := c.chargePort(at, pref, 1)
 		c.stats.Hits++
 		c.noteDemandHit(l)
 		off, _ := pref.WordOffset(op.Addr)
@@ -559,7 +593,7 @@ func (c *Cache1P) scalarLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 			if c.p.Mapping == SameSet {
 				probes = 1
 			}
-			start, extra := c.chargePort(at, probes)
+			start, extra := c.chargePort(at, other, probes)
 			if c.p.Mapping != SameSet {
 				extraLat = extra
 			}
@@ -575,7 +609,7 @@ func (c *Cache1P) scalarLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 	if c.logical2D && c.p.Mapping != SameSet {
 		probes = 2
 	}
-	start, extra := c.chargePort(at, probes)
+	start, extra := c.chargePort(at, pref, probes)
 	c.stats.Misses++
 	if c.tr != nil {
 		c.traceEv(at, "miss", pref, 0)
@@ -600,6 +634,9 @@ func (c *Cache1P) applyStoreWord(at uint64, l *line, addr, value uint64) {
 	l.data[off] = value
 	l.dirty |= 1 << off
 	c.touch(l)
+	if c.onWrite != nil {
+		c.onWrite(at, l.id, 1<<off)
+	}
 }
 
 func (c *Cache1P) scalarStore(at uint64, op isa.Op, done func(uint64, uint64)) {
@@ -614,7 +651,7 @@ func (c *Cache1P) scalarStore(at uint64, op isa.Op, done func(uint64, uint64)) {
 	if c.logical2D && c.p.Mapping != SameSet {
 		probes = 2 // write checks both orientations (§IV-C Design 1)
 	}
-	start, extra := c.chargePort(at, probes)
+	start, extra := c.chargePort(at, pref, probes)
 	if target != nil {
 		c.stats.Hits++
 		if wrongOrient {
@@ -636,7 +673,7 @@ func (c *Cache1P) scalarStore(at uint64, op isa.Op, done func(uint64, uint64)) {
 func (c *Cache1P) vectorLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 	id := isa.LineID{Base: op.Addr, Orient: op.Orient}
 	if l := c.find(id); l != nil {
-		start, _ := c.chargePort(at, 1)
+		start, _ := c.chargePort(at, id, 1)
 		c.stats.Hits++
 		c.noteDemandHit(l)
 		c.q.ScheduleArg(start+c.hitLat, done, l.data[0])
@@ -646,7 +683,7 @@ func (c *Cache1P) vectorLoad(at uint64, op isa.Op, done func(uint64, uint64)) {
 	if c.logical2D {
 		probes = 1 + isa.WordsPerLine // §VI-A: 8 extra probes on vector miss
 	}
-	start := c.chargePortOffPath(at, probes)
+	start := c.chargePortOffPath(at, id, probes)
 	c.stats.Misses++
 	if c.tr != nil {
 		c.traceEv(at, "miss", id, 0)
@@ -670,7 +707,7 @@ func (c *Cache1P) vectorStore(at uint64, op isa.Op, done func(uint64, uint64)) {
 	if c.logical2D {
 		probes = 1 + isa.WordsPerLine
 	}
-	start := c.chargePortOffPath(at, probes) // write checks are off the critical path (§VI-A)
+	start := c.chargePortOffPath(at, id, probes) // write checks are off the critical path (§VI-A)
 	// A full-line store supersedes every intersecting copy.
 	c.intersectingDo(id, func(m *line) { c.evictDuplicate(start, m) })
 	data := vectorPayload(op.Value)
@@ -687,6 +724,9 @@ func (c *Cache1P) vectorStore(at uint64, op isa.Op, done func(uint64, uint64)) {
 		}
 		c.install(start, id, &data, 0xff, 0xff, false)
 	}
+	if c.onWrite != nil {
+		c.onWrite(start, id, 0xff)
+	}
 	c.q.ScheduleArg(start+c.hitLat, done, 0)
 }
 
@@ -699,7 +739,7 @@ func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, *[isa.WordsPe
 	c.stats.VectorAccesses++
 	c.stats.ByOrient[id.Orient]++
 	if l := c.find(id); l != nil {
-		start, _ := c.chargePort(at, 1)
+		start, _ := c.chargePort(at, id, 1)
 		c.stats.Hits++
 		c.noteDemandHit(l)
 		// ScheduleData snapshots the line at schedule time, matching the
@@ -711,7 +751,7 @@ func (c *Cache1P) Fill(at uint64, id isa.LineID, done func(uint64, *[isa.WordsPe
 	if c.logical2D {
 		probes = 1 + isa.WordsPerLine
 	}
-	start := c.chargePortOffPath(at, probes)
+	start := c.chargePortOffPath(at, id, probes)
 	c.stats.Misses++
 	if c.tr != nil {
 		c.traceEv(at, "miss", id, 0)
@@ -731,7 +771,7 @@ func (c *Cache1P) Writeback(at uint64, id isa.LineID, mask uint8, data [isa.Word
 	if c.logical2D {
 		probes = 1 + isa.WordsPerLine
 	}
-	start, _ := c.chargePort(at, probes)
+	start, _ := c.chargePort(at, id, probes)
 	c.intersectingDo(id, func(m *line) {
 		addr, _ := m.id.Intersection(id)
 		ioff, _ := id.WordOffset(addr)
@@ -763,6 +803,14 @@ func (c *Cache1P) prefetchObserve(at uint64, op isa.Op) {
 // everything below.
 func (c *Cache1P) Peek(id isa.LineID) [isa.WordsPerLine]uint64 {
 	data := c.below.Peek(id)
+	c.peekDirty(id, &data)
+	return data
+}
+
+// peekDirty implements snooper: overlay this cache's dirty words of id onto
+// data, both from the same-identity line and from intersecting lines of the
+// other orientation.
+func (c *Cache1P) peekDirty(id isa.LineID, data *[isa.WordsPerLine]uint64) {
 	if l := c.find(id); l != nil {
 		for i := uint(0); i < isa.WordsPerLine; i++ {
 			if l.dirty&(1<<i) != 0 {
@@ -770,7 +818,6 @@ func (c *Cache1P) Peek(id isa.LineID) [isa.WordsPerLine]uint64 {
 			}
 		}
 	}
-	// Dirty words held by intersecting lines of the other orientation.
 	c.intersectingDo(id, func(m *line) {
 		addr, _ := m.id.Intersection(id)
 		moff, _ := m.id.WordOffset(addr)
@@ -779,7 +826,61 @@ func (c *Cache1P) Peek(id isa.LineID) [isa.WordsPerLine]uint64 {
 			data[ioff] = m.data[moff]
 		}
 	})
-	return data
+}
+
+// invalidateLine flushes a line's dirty words below and drops it (the snoop
+// S/M→Invalid transition).
+func (c *Cache1P) invalidateLine(at uint64, l *line) {
+	c.flushLine(at, l)
+	l.valid = false
+	c.orientCount[l.id.Orient]--
+}
+
+// snoopFlush implements snooper: a remote core is reading id, so write back
+// every dirty word of it held here — the same-identity line plus any
+// intersecting line of the other orientation — leaving copies resident but
+// clean (M→S downgrade).
+func (c *Cache1P) snoopFlush(at uint64, id isa.LineID) int {
+	n := 0
+	if l := c.find(id); l != nil && l.dirty != 0 {
+		c.flushLine(at, l)
+		n++
+	}
+	c.intersectingDo(id, func(m *line) {
+		if addr, ok := m.id.Intersection(id); ok {
+			if off, ok := m.id.WordOffset(addr); ok && m.dirty&(1<<off) != 0 {
+				c.flushLine(at, m)
+				n++
+			}
+		}
+	})
+	return n
+}
+
+// snoopInvalidate implements snooper: a remote core wrote the masked words
+// of id, so flush and drop every local copy containing one of them. The
+// same-identity copy always contains a written word; in a logically-2-D L1
+// each written word may additionally live in an other-orientation line.
+// Invalidation is line-granular (false sharing).
+func (c *Cache1P) snoopInvalidate(at uint64, id isa.LineID, mask uint8) int {
+	n := 0
+	if l := c.find(id); l != nil {
+		c.invalidateLine(at, l)
+		n++
+	}
+	if c.logical2D && c.orientCount[id.Orient.Other()] > 0 {
+		for i := uint(0); i < isa.WordsPerLine; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			other := isa.LineOf(id.WordAddr(i), id.Orient.Other())
+			if m := c.find(other); m != nil {
+				c.invalidateLine(at, m)
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Occupancy implements Level.

@@ -101,7 +101,14 @@ type Cache2P struct {
 	sets    [][]tile
 	mshr    *mshrFile
 	port    sim.Resource
-	rng     *sim.RNG // random-replacement source
+	// setArb, when non-nil (EnableSetArbitration), replaces the single
+	// global port with one arbiter per set (DESIGN §11).
+	setArb []sim.Resource
+	rng    *sim.RNG // random-replacement source
+
+	// onWrite, when non-nil, observes every store applied to this cache —
+	// the snoop hub's remote-write invalidation hook (see Cache1P.onWrite).
+	onWrite func(at uint64, id isa.LineID, mask uint8)
 
 	useCounter uint64
 	stats      LevelStats
@@ -166,6 +173,13 @@ func NewCache2P(q *sim.EventQueue, p CacheParams, dense bool, below Backend) (*C
 
 // Stats implements Level.
 func (c *Cache2P) Stats() *LevelStats { return &c.stats }
+
+// EnableSetArbitration switches the cache from one global port to one
+// arbiter per set, so tile fills from different cores contend per set
+// instead of serializing globally (see Cache1P.EnableSetArbitration).
+func (c *Cache2P) EnableSetArbitration() {
+	c.setArb = make([]sim.Resource, c.nsets)
+}
 
 func (c *Cache2P) setIndex(tileBase uint64) int {
 	if c.setMask != 0 {
@@ -405,19 +419,29 @@ func (c *Cache2P) dispatchTarget(deliverAt uint64, id isa.LineID, t *fillTarget,
 			c.requestFill(deliverAt, id, false, *t)
 			return
 		}
-		c.applyScalarStore(nt, t.addr, t.value)
+		c.applyScalarStore(deliverAt, nt, t.addr, t.value)
 		c.q.ScheduleArg(deliverAt, t.done1, 0)
 	}
 }
 
-// chargePort reserves the cache port. Writes to the STT array additionally
-// occupy it for WriteAsymmetry cycles (Fig. 16's slow-write sensitivity).
-func (c *Cache2P) chargePort(at uint64, probes int, write bool) uint64 {
+// chargePort reserves the cache port (the per-set arbiter covering tileBase
+// when set arbitration is enabled, else the global port). Writes to the STT
+// array additionally occupy it for WriteAsymmetry cycles (Fig. 16's
+// slow-write sensitivity).
+func (c *Cache2P) chargePort(at uint64, tileBase uint64, probes int, write bool) uint64 {
 	occ := uint64(probes)
 	if write {
 		occ += c.p.WriteAsymmetry
 	}
-	return c.port.Acquire(at, occ)
+	if c.setArb == nil {
+		return c.port.Acquire(at, occ)
+	}
+	start := c.setArb[c.setIndex(tileBase)].Acquire(at, occ)
+	if start > at {
+		c.stats.SetConflicts++
+		c.stats.SetArbDelay += start - at
+	}
+	return start
 }
 
 func (c *Cache2P) countAccess(op isa.Op) {
@@ -443,7 +467,7 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 	t := c.find(id.Tile())
 	switch {
 	case op.Vector && op.Kind == isa.Store:
-		start := c.chargePort(at, 1, true)
+		start := c.chargePort(at, id.Tile(), 1, true)
 		nt := c.ensureTile(start, id.Tile())
 		data := vectorPayload(op.Value)
 		nt.writeLine(id, 0xff, data)
@@ -454,12 +478,15 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 		} else {
 			c.stats.Misses++
 		}
+		if c.onWrite != nil {
+			c.onWrite(start, id, 0xff)
+		}
 		c.q.ScheduleArg(start+c.hitLat, done, 0)
 		return
 
 	case op.Vector: // vector load
 		if t != nil && t.lineValid(id) {
-			start := c.chargePort(at, 1, false)
+			start := c.chargePort(at, id.Tile(), 1, false)
 			c.stats.Hits++
 			c.promote(t)
 			c.q.ScheduleArg(start+c.hitLat, done, t.readLine(id)[0])
@@ -468,7 +495,7 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 		if t != nil && t.linePartial(id) {
 			c.stats.PartialHits++
 		}
-		start := c.chargePort(at, 1, false)
+		start := c.chargePort(at, id.Tile(), 1, false)
 		c.stats.Misses++
 		c.requestFill(start+c.p.TagLat, id, false, fillTarget{kind: tWord, off: 0, done1: done})
 		return
@@ -476,13 +503,13 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 	case op.Kind == isa.Load:
 		r, col := isa.RowInTile(op.Addr), isa.ColInTile(op.Addr)
 		if t != nil && t.wordValid(r, col) {
-			start := c.chargePort(at, 1, false)
+			start := c.chargePort(at, id.Tile(), 1, false)
 			c.stats.Hits++
 			c.promote(t)
 			c.q.ScheduleArg(start+c.hitLat, done, t.data[r*isa.WordsPerLine+col])
 			return
 		}
-		start := c.chargePort(at, 1, false)
+		start := c.chargePort(at, id.Tile(), 1, false)
 		c.stats.Misses++
 		off, _ := id.WordOffset(op.Addr)
 		c.requestFill(start+c.p.TagLat, id, false, fillTarget{kind: tWord, off: uint8(off), done1: done})
@@ -491,13 +518,13 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 	default: // scalar store
 		r, col := isa.RowInTile(op.Addr), isa.ColInTile(op.Addr)
 		if t != nil && t.wordValid(r, col) {
-			start := c.chargePort(at, 1, true)
+			start := c.chargePort(at, id.Tile(), 1, true)
 			c.stats.Hits++
-			c.applyScalarStore(t, op.Addr, op.Value)
+			c.applyScalarStore(start, t, op.Addr, op.Value)
 			c.q.ScheduleArg(start+c.hitLat, done, 0)
 			return
 		}
-		start := c.chargePort(at, 1, true)
+		start := c.chargePort(at, id.Tile(), 1, true)
 		c.stats.Misses++
 		c.requestFill(start+c.p.TagLat, id, false,
 			fillTarget{kind: tStore2P, addr: op.Addr, value: op.Value, done1: done})
@@ -507,7 +534,7 @@ func (c *Cache2P) CPUAccess(at uint64, op isa.Op, done func(at uint64, value uin
 
 // applyScalarStore writes one word, dirtying the small line that provides
 // its validity (dirty ⊆ valid at line granularity).
-func (c *Cache2P) applyScalarStore(t *tile, addr, value uint64) {
+func (c *Cache2P) applyScalarStore(at uint64, t *tile, addr, value uint64) {
 	r, col := isa.RowInTile(addr), isa.ColInTile(addr)
 	t.data[r*isa.WordsPerLine+col] = value
 	switch {
@@ -519,6 +546,9 @@ func (c *Cache2P) applyScalarStore(t *tile, addr, value uint64) {
 		panic("core: scalar store to non-resident word in tile")
 	}
 	c.promote(t)
+	if c.onWrite != nil {
+		c.onWrite(at, isa.LineOf(addr, isa.Row), 1<<col)
+	}
 }
 
 // Fill implements Backend for the level above.
@@ -529,7 +559,7 @@ func (c *Cache2P) Fill(at uint64, id isa.LineID, done func(uint64, *[isa.WordsPe
 	}
 	if t := c.find(id.Tile()); t != nil {
 		if t.lineValid(id) {
-			start := c.chargePort(at, 1, false)
+			start := c.chargePort(at, id.Tile(), 1, false)
 			c.stats.Hits++
 			c.promote(t)
 			data := t.readLine(id)
@@ -540,7 +570,7 @@ func (c *Cache2P) Fill(at uint64, id isa.LineID, done func(uint64, *[isa.WordsPe
 			c.stats.PartialHits++
 		}
 	}
-	start := c.chargePort(at, 1, false)
+	start := c.chargePort(at, id.Tile(), 1, false)
 	c.stats.Misses++
 	c.requestFill(start+c.p.TagLat, id, false, fillTarget{kind: tLine, done8: done})
 }
@@ -553,7 +583,7 @@ func (c *Cache2P) Writeback(at uint64, id isa.LineID, mask uint8, data [isa.Word
 	if !checkCanonical(c.q, c.p.Name, id) {
 		return
 	}
-	start := c.chargePort(at, 1, true)
+	start := c.chargePort(at, id.Tile(), 1, true)
 	t := c.ensureTile(start, id.Tile())
 	t.writeLine(id, 0xff, data) // all words valid at the writer; masked ones dirty
 	markLine(t, id, mask != 0)
@@ -564,9 +594,15 @@ func (c *Cache2P) Writeback(at uint64, id isa.LineID, mask uint8, data [isa.Word
 // by the tile's dirty small lines overlay everything below.
 func (c *Cache2P) Peek(id isa.LineID) [isa.WordsPerLine]uint64 {
 	data := c.below.Peek(id)
+	c.peekDirty(id, &data)
+	return data
+}
+
+// peekDirty implements snooper: overlay the tile's dirty words of id.
+func (c *Cache2P) peekDirty(id isa.LineID, data *[isa.WordsPerLine]uint64) {
 	t := c.find(id.Tile())
 	if t == nil {
-		return data
+		return
 	}
 	for i := uint(0); i < isa.WordsPerLine; i++ {
 		addr := id.WordAddr(i)
@@ -575,7 +611,84 @@ func (c *Cache2P) Peek(id isa.LineID) [isa.WordsPerLine]uint64 {
 			data[i] = t.data[r*isa.WordsPerLine+col]
 		}
 	}
-	return data
+}
+
+// snoopFlush implements snooper: a remote core is reading id, so write back
+// every dirty small line holding one of its words, leaving the tile resident
+// but clean over id (M→S). For a row line that is the same-index dirty row
+// plus every dirty column (each contains one word of the row); symmetric for
+// a column line. Dirty ⊆ valid per small line, so full-mask writebacks are
+// safe.
+func (c *Cache2P) snoopFlush(at uint64, id isa.LineID) int {
+	t := c.find(id.Tile())
+	if t == nil {
+		return 0
+	}
+	n := 0
+	flushRows, flushCols := uint8(0), uint8(0)
+	if id.Orient == isa.Row {
+		flushRows = t.rowDirty & (1 << id.Index())
+		flushCols = t.colDirty
+	} else {
+		flushCols = t.colDirty & (1 << id.Index())
+		flushRows = t.rowDirty
+	}
+	for r := uint(0); r < isa.LinesPerTile; r++ {
+		if flushRows&(1<<r) != 0 {
+			rid := isa.LineID{Base: t.base + uint64(r)*isa.LineSize, Orient: isa.Row}
+			c.writebackLine(at, t, rid, 0xff)
+			t.rowDirty &^= 1 << r
+			n++
+		}
+	}
+	for col := uint(0); col < isa.LinesPerTile; col++ {
+		if flushCols&(1<<col) != 0 {
+			cid := isa.LineID{Base: t.base + uint64(col)*isa.WordSize, Orient: isa.Col}
+			c.writebackLine(at, t, cid, 0xff)
+			t.colDirty &^= 1 << col
+			n++
+		}
+	}
+	return n
+}
+
+// snoopInvalidate implements snooper: a remote core wrote the masked words
+// of id, so flush and drop every valid small line containing one of them
+// (S/M→I, line-granular — false sharing). Dirty victims are written back
+// first so no modified word is lost.
+func (c *Cache2P) snoopInvalidate(at uint64, id isa.LineID, mask uint8) int {
+	t := c.find(id.Tile())
+	if t == nil {
+		return 0
+	}
+	var rows, cols uint8
+	for i := uint(0); i < isa.WordsPerLine; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		addr := id.WordAddr(i)
+		rows |= 1 << isa.RowInTile(addr)
+		cols |= 1 << isa.ColInTile(addr)
+	}
+	rows &= t.rowValid
+	cols &= t.colValid
+	for r := uint(0); r < isa.LinesPerTile; r++ {
+		if rows&(1<<r) != 0 && t.rowDirty&(1<<r) != 0 {
+			rid := isa.LineID{Base: t.base + uint64(r)*isa.LineSize, Orient: isa.Row}
+			c.writebackLine(at, t, rid, 0xff)
+		}
+	}
+	for col := uint(0); col < isa.LinesPerTile; col++ {
+		if cols&(1<<col) != 0 && t.colDirty&(1<<col) != 0 {
+			cid := isa.LineID{Base: t.base + uint64(col)*isa.WordSize, Orient: isa.Col}
+			c.writebackLine(at, t, cid, 0xff)
+		}
+	}
+	t.rowValid &^= rows
+	t.rowDirty &^= rows
+	t.colValid &^= cols
+	t.colDirty &^= cols
+	return bits.OnesCount8(rows) + bits.OnesCount8(cols)
 }
 
 // Occupancy implements Level: counts valid small lines per orientation.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -51,6 +52,93 @@ func TestConcurrentMachinesDeterministic(t *testing.T) {
 					t.Fatalf("machine %d diverged from machine 0:\n %+v\nvs %+v",
 						w, results[0], results[w])
 				}
+			}
+		})
+	}
+}
+
+// TestMultiCoreMachinesDeterministic is the run-twice bit-identity property
+// for multi-core machines: identical Cores=2/4 machines driven by identical
+// per-core traces over a *shared* footprint (maximal cross-core contention:
+// snoops, set conflicts, order stalls) must produce deeply equal Results —
+// the deterministic (cycle, coreID, seq) interleaving rule at work. Under
+// -race this also proves the multi-core wiring shares no hidden state
+// between machines.
+func TestMultiCoreMachinesDeterministic(t *testing.T) {
+	for _, d := range []Design{D1DiffSet, D2Sparse} {
+		for _, cores := range []int{2, 4} {
+			d, cores := d, cores
+			t.Run(fmt.Sprintf("%s/cores%d", d, cores), func(t *testing.T) {
+				t.Parallel()
+				perCore := make([][]isa.Op, cores)
+				for c := range perCore {
+					// Same 6 tiles on every core: contended on purpose.
+					perCore[c] = randomTrace(uint64(50+c), 700, 6, false)
+				}
+				const workers = 4
+				results := make([]*Results, workers)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						cfg := tinyConfig(d)
+						cfg.Cores = cores
+						m, err := Build(cfg)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						traces := make([]isa.TraceReader, cores)
+						for c := range traces {
+							traces[c] = isa.NewSliceTrace(perCore[c])
+						}
+						res, err := m.RunTraces(traces...)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						results[w] = res
+					}()
+				}
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+				for w := 1; w < workers; w++ {
+					if !reflect.DeepEqual(results[0], results[w]) {
+						t.Fatalf("multi-core machine %d diverged from machine 0:\n %+v\nvs %+v",
+							w, results[0], results[w])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCoresOneMatchesLegacySingleCore guards the conformance mode: a machine
+// built with Cores=1 must produce bit-identical Results — cycles, per-level
+// stats, and the full metric snapshot — to the legacy Cores=0 (unset) single
+// CPU engine, for every design.
+func TestCoresOneMatchesLegacySingleCore(t *testing.T) {
+	for _, d := range []Design{D0Baseline, D1DiffSet, D1SameSet, D2Sparse, D2Dense, D3AllTile} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			ops := randomTrace(42, 600, 6, d == D0Baseline)
+			run := func(cores int) *Results {
+				cfg := tinyConfig(d)
+				cfg.Cores = cores
+				m, err := Build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return mustRun(t, m, isa.NewSliceTrace(ops))
+			}
+			legacy, one := run(0), run(1)
+			if !reflect.DeepEqual(legacy, one) {
+				t.Fatalf("Cores=1 diverged from the legacy single-CPU engine:\n %+v\nvs %+v", legacy, one)
 			}
 		})
 	}

@@ -164,6 +164,21 @@ type Config struct {
 	// in-flight memory operations.
 	Window int
 
+	// Cores is the number of trace-driven CPUs sharing the hierarchy. 0 and
+	// 1 both build the classic single-core machine — wiring, event order and
+	// metrics bit-identical to the pre-multi-core engine (the conformance
+	// mode). N > 1 builds N private L1s (one per core, named "L1c<i>") over
+	// the shared L2/LLC, kept coherent by a snoop hub, with set-granular
+	// arbitration at every shared level (DESIGN §11).
+	Cores int
+
+	// BreakSnoopCoherence disables the hub's cross-core invalidation on
+	// stores — the multi-core analogue of CacheParams.BreakDupCoherence. It
+	// exists ONLY so internal/check can prove the conformance harness
+	// detects cross-core coherence bugs; no experiment configuration sets
+	// it. Ignored on single-core machines (there is no hub).
+	BreakSnoopCoherence bool
+
 	// OccupancySampleInterval, when non-zero, records row/column line
 	// occupancy of every level each interval cycles (Fig. 15).
 	OccupancySampleInterval uint64
@@ -371,6 +386,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Window <= 0 {
 		return fmt.Errorf("core: Window must be positive")
+	}
+	if c.Cores < 0 {
+		return fmt.Errorf("core: Cores must be non-negative (0 or 1 = single-core)")
 	}
 	return c.Mem.Validate()
 }

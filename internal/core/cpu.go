@@ -25,6 +25,14 @@ type CPU struct {
 	l1     Level
 	window int
 
+	// coreID/name identify this core in a multi-core machine; group links
+	// the cores so the §IV-B overlap-ordering rule spans the whole machine
+	// (see coreGroup). Single-core machines leave group nil and name "cpu",
+	// keeping their metric names and event order exactly as before.
+	coreID int
+	name   string
+	group  *coreGroup
+
 	trace    isa.TraceReader
 	inflight []inflightOp
 	// inflightStores counts in-flight stores so conflicts() can skip its
@@ -52,6 +60,14 @@ type CPU struct {
 	// Used by the functional-verification tests.
 	OnLoad func(op isa.Op, value uint64)
 
+	// OnIssue, if set, observes (and may rewrite) every op at the moment it
+	// actually issues — after any overlap-ordering hold has cleared, exactly
+	// once per op. Because the ordering rule serializes conflicting ops
+	// machine-wide, a shared reference model applied in issue order is an
+	// exact value oracle even across cores; the multi-core conformance
+	// harness uses this hook to annotate loads with their expected values.
+	OnIssue func(op isa.Op) isa.Op
+
 	// Counters.
 	Ops         uint64
 	ByKind      [2]uint64 // loads, stores
@@ -62,16 +78,19 @@ type CPU struct {
 	tr          *obs.Tracer
 }
 
-// instrument registers the CPU's counters and attaches the tracer.
+// instrument registers the CPU's counters and attaches the tracer. Counter
+// names are prefixed with the core's name ("cpu" single-core, "cpu<i>" in
+// multi-core machines), giving each core its own counter family.
 func (c *CPU) instrument(reg *obs.Registry, tr *obs.Tracer) {
 	c.tr = tr
-	reg.Counter("cpu.ops", &c.Ops)
-	reg.Counter("cpu.loads", &c.ByKind[isa.Load])
-	reg.Counter("cpu.stores", &c.ByKind[isa.Store])
-	reg.Counter("cpu.ops.row", &c.ByOrient[isa.Row])
-	reg.Counter("cpu.ops.col", &c.ByOrient[isa.Col])
-	reg.Counter("cpu.vectors", &c.Vectors)
-	reg.Counter("cpu.order_stalls", &c.OrderStalls)
+	p := c.name + "."
+	reg.Counter(p+"ops", &c.Ops)
+	reg.Counter(p+"loads", &c.ByKind[isa.Load])
+	reg.Counter(p+"stores", &c.ByKind[isa.Store])
+	reg.Counter(p+"ops.row", &c.ByOrient[isa.Row])
+	reg.Counter(p+"ops.col", &c.ByOrient[isa.Col])
+	reg.Counter(p+"vectors", &c.Vectors)
+	reg.Counter(p+"order_stalls", &c.OrderStalls)
 }
 
 type inflightOp struct {
@@ -115,14 +134,21 @@ func (c *CPU) getSlot() *cpuSlot {
 		s.next = cc.freeSlots
 		cc.freeSlots = s
 		cc.retire(tok)
-		cc.pump()
+		if cc.group != nil {
+			// A retiring op may unblock a held op on ANY core; retry all of
+			// them in ascending core-ID order — the deterministic cross-core
+			// wake rule (DESIGN §11).
+			cc.group.pumpAll()
+		} else {
+			cc.pump()
+		}
 	}
 	return s
 }
 
 // NewCPU builds a core above l1 with the given in-flight window.
 func NewCPU(q *sim.EventQueue, l1 Level, window int) *CPU {
-	return &CPU{q: q, l1: l1, window: window}
+	return &CPU{q: q, l1: l1, window: window, name: "cpu"}
 }
 
 // Start begins consuming the trace; finished fires (once) when every op has
@@ -141,9 +167,22 @@ func (c *CPU) InFlight() int { return len(c.inflight) }
 // diagnostics).
 func (c *CPU) Held() bool { return c.heldSet }
 
-// conflicts reports whether op overlaps an in-flight op's words with a
-// store on either side.
+// HeldOp returns the parked op (valid only when Held; stall diagnostics).
+func (c *CPU) HeldOp() isa.Op { return c.heldOp }
+
+// conflicts reports whether op may not issue yet: it overlaps the words of
+// an in-flight op with a store on either side — on this core, or on any
+// core of the group in a multi-core machine (the §IV-B ordering requirement
+// is a property of the memory system, not of one core's window).
 func (c *CPU) conflicts(op isa.Op) bool {
+	if c.group != nil {
+		return c.group.conflicts(op)
+	}
+	return c.windowConflicts(op)
+}
+
+// windowConflicts checks op against this core's own in-flight window.
+func (c *CPU) windowConflicts(op isa.Op) bool {
 	isStore := op.Kind == isa.Store
 	if !isStore && c.inflightStores == 0 {
 		return false // a load can only conflict with an in-flight store
@@ -200,7 +239,7 @@ func (c *CPU) pump() {
 			if !c.heldSet {
 				c.OrderStalls++
 				if c.tr.Enabled(obs.CatCPU) {
-					c.tr.Instant(c.q.Now(), obs.CatCPU, "cpu", "order_stall",
+					c.tr.Instant(c.q.Now(), obs.CatCPU, c.name, "order_stall",
 						obs.Fields{Addr: op.Addr, Orient: int8(op.Orient)})
 				}
 				c.heldOp = op
@@ -215,6 +254,9 @@ func (c *CPU) pump() {
 }
 
 func (c *CPU) issue(op isa.Op) {
+	if c.OnIssue != nil {
+		op = c.OnIssue(op)
+	}
 	c.Ops++
 	c.ByKind[op.Kind]++
 	c.ByOrient[op.Orient]++

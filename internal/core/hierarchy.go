@@ -11,13 +11,17 @@ import (
 	"mdacache/internal/sim"
 )
 
-// Machine is a fully-wired simulated system: CPU, cache hierarchy and MDA
-// main memory sharing one event queue.
+// Machine is a fully-wired simulated system: one or more CPUs, the cache
+// hierarchy and MDA main memory sharing one event queue. Single-core
+// machines (Cfg.Cores ≤ 1) are wired exactly as the pre-multi-core engine;
+// with Cores=N each core gets a private L1 over a shared, coherence-aware
+// L2/LLC (DESIGN §11).
 type Machine struct {
 	Cfg    Config
 	Q      *sim.EventQueue
-	CPU    *CPU
-	Levels []Level // ordered L1 → LLC
+	CPU    *CPU   // core 0 (== CPUs[0]); kept for single-core callers
+	CPUs   []*CPU // all cores, ascending core ID
+	Levels []Level // private L1s (one per core) followed by the shared levels
 	Memory *mem.Memory
 
 	// Registry is the machine's metrics registry: every component counter
@@ -27,6 +31,7 @@ type Machine struct {
 	// deterministic.
 	Registry *obs.Registry
 
+	hub        *snoopHub // nil on single-core machines
 	running    bool
 	pendingOcc []OccupancySample
 	eventsRun  uint64 // events executed by the run loop ("sim.events")
@@ -50,19 +55,77 @@ func Build(cfg Config) (*Machine, error) {
 	}
 	llc := len(params) - 1
 
-	// Build bottom-up so each level's backend exists first.
-	var below Backend = memory
-	built := make([]Level, len(params))
-	for i := llc; i >= 0; i-- {
-		lvl, err := buildLevel(q, cfg.Design, params[i], i == llc, below)
-		if err != nil {
-			return nil, err
+	if cfg.Cores <= 1 {
+		// Single-core wiring — kept literally as the pre-multi-core engine
+		// (the conformance mode: no hub, no core group, no set arbitration,
+		// names "cpu"/"L1"), so Cores=1 stays bit-identical to it.
+		var below Backend = memory
+		built := make([]Level, len(params))
+		for i := llc; i >= 0; i-- {
+			lvl, err := buildLevel(q, cfg.Design, params[i], i == llc, below)
+			if err != nil {
+				return nil, err
+			}
+			built[i] = lvl
+			below = lvl
 		}
-		built[i] = lvl
-		below = lvl
+		m.Levels = built
+		m.CPU = NewCPU(q, built[0], cfg.Window)
+		m.CPUs = []*CPU{m.CPU}
+	} else {
+		// Multi-core wiring: shared levels (L2..LLC) bottom-up with per-set
+		// arbitration, a snoop hub on top of them, then one private L1 and
+		// one CPU per core above the hub.
+		var below Backend = memory
+		shared := make([]Level, llc)
+		for i := llc; i >= 1; i-- {
+			lvl, err := buildLevel(q, cfg.Design, params[i], i == llc, below)
+			if err != nil {
+				return nil, err
+			}
+			switch c := lvl.(type) {
+			case *Cache1P:
+				c.EnableSetArbitration()
+			case *Cache2P:
+				c.EnableSetArbitration()
+			}
+			shared[i-1] = lvl
+			below = lvl
+		}
+		hub := &snoopHub{below: below, breakCoherence: cfg.BreakSnoopCoherence}
+		m.hub = hub
+		group := &coreGroup{}
+		l1s := make([]Level, cfg.Cores)
+		for i := 0; i < cfg.Cores; i++ {
+			p := params[0]
+			p.Name = fmt.Sprintf("L1c%d", i)
+			port := &hubPort{hub: hub, core: i}
+			lvl, err := buildLevel(q, cfg.Design, p, false, port)
+			if err != nil {
+				return nil, err
+			}
+			sn, ok := lvl.(snooper)
+			if !ok {
+				return nil, fmt.Errorf("core: L1 level %T cannot snoop", lvl)
+			}
+			switch c := lvl.(type) {
+			case *Cache1P:
+				c.onWrite = port.storeSnoop
+			case *Cache2P:
+				c.onWrite = port.storeSnoop
+			}
+			hub.l1s = append(hub.l1s, sn)
+			l1s[i] = lvl
+			cpu := NewCPU(q, lvl, cfg.Window)
+			cpu.coreID = i
+			cpu.name = fmt.Sprintf("cpu%d", i)
+			cpu.group = group
+			m.CPUs = append(m.CPUs, cpu)
+		}
+		group.cpus = m.CPUs
+		m.CPU = m.CPUs[0]
+		m.Levels = append(l1s, shared...)
 	}
-	m.Levels = built
-	m.CPU = NewCPU(q, built[0], cfg.Window)
 
 	// Observability: the registry is always on (it aliases counters the
 	// components increment anyway); the tracer is cfg.Tracer, nil meaning
@@ -70,12 +133,17 @@ func Build(cfg Config) (*Machine, error) {
 	reg := obs.NewRegistry()
 	m.Registry = reg
 	memory.Instrument(reg, cfg.Tracer)
-	for _, lvl := range built {
+	for _, lvl := range m.Levels {
 		if in, ok := lvl.(instrumentable); ok {
 			in.Instrument(reg, cfg.Tracer)
 		}
 	}
-	m.CPU.instrument(reg, cfg.Tracer)
+	if m.hub != nil {
+		m.hub.Instrument(reg, cfg.Tracer)
+	}
+	for _, cpu := range m.CPUs {
+		cpu.instrument(reg, cfg.Tracer)
+	}
 	reg.Counter("sim.events", &m.eventsRun)
 	return m, nil
 }
@@ -161,17 +229,48 @@ func (m *Machine) Run(trace isa.TraceReader) (*Results, error) {
 // simulation with sim.ErrTimeout (checked every watchdogStride events), so a
 // sweep can bound the wall-clock cost of any single design point.
 func (m *Machine) RunCtx(ctx context.Context, trace isa.TraceReader) (*Results, error) {
+	return m.RunTracesCtx(ctx, trace)
+}
+
+// RunTraces drives a multi-core machine with one trace per core (core i
+// consumes traces[i]); see Run. Single-core machines accept exactly one
+// trace, making RunTraces a superset of Run.
+func (m *Machine) RunTraces(traces ...isa.TraceReader) (*Results, error) {
+	return m.RunTracesCtx(context.Background(), traces...)
+}
+
+// RunTracesCtx is RunTraces under a context; see RunCtx. The run ends when
+// every core has completed its trace; Results.Cycles is the completion cycle
+// of the last core to finish.
+func (m *Machine) RunTracesCtx(ctx context.Context, traces ...isa.TraceReader) (*Results, error) {
 	defer func() {
-		if c, ok := trace.(isa.Closer); ok {
-			c.Close()
+		for _, t := range traces {
+			if c, ok := t.(isa.Closer); ok {
+				c.Close()
+			}
 		}
 	}()
+	cpus := m.CPUs
+	if len(cpus) == 1 && m.CPU != cpus[0] {
+		cpus = []*CPU{m.CPU} // unit tests may swap in a fresh CPU
+	}
+	if len(traces) != len(cpus) {
+		return nil, fmt.Errorf("core: machine has %d cores but got %d traces", len(cpus), len(traces))
+	}
 	var end uint64
+	remaining := len(cpus)
 	m.running = true
-	m.CPU.Start(trace, func(endCycle uint64) {
-		end = endCycle
-		m.running = false
-	})
+	for i, cpu := range cpus {
+		cpu.Start(traces[i], func(endCycle uint64) {
+			if endCycle > end {
+				end = endCycle
+			}
+			remaining--
+			if remaining == 0 {
+				m.running = false
+			}
+		})
+	}
 	if iv := m.Cfg.OccupancySampleInterval; iv > 0 {
 		var sampler func()
 		res := &m.pendingOcc
@@ -234,15 +333,23 @@ type MSHRSnapshot struct {
 	InFlight int
 }
 
+// CoreSnapshot is one core's pending-op summary at stall time.
+type CoreSnapshot struct {
+	Name     string
+	InFlight int    // ops in this core's out-of-order window
+	Held     string // the parked op ("" when none), e.g. "store@0x1240(row)"
+}
+
 // StallDiag captures where outstanding work was stuck when a run aborted:
-// event-queue depth, the CPU's in-flight window, per-level MSHR occupancy and
-// the memory controller's queue depths. It is embedded (via String) in the
-// Detail of every watchdog sim.Error.
+// event-queue depth, the CPUs' in-flight windows, per-level MSHR occupancy
+// and the memory controller's queue depths. It is embedded (via String) in
+// the Detail of every watchdog sim.Error.
 type StallDiag struct {
 	Cycle       uint64
 	Pending     int // scheduled-but-unrun events
-	CPUInFlight int // ops in the out-of-order window
+	CPUInFlight int // ops in the out-of-order windows (all cores)
 	CPUHeld     bool
+	Cores       []CoreSnapshot // per-core summaries (multi-core machines only)
 	MSHRs       []MSHRSnapshot
 	MemReadQ    int
 	MemWriteQ   int
@@ -253,6 +360,12 @@ func (d StallDiag) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycle=%d pending-events=%d cpu-inflight=%d cpu-held=%v",
 		d.Cycle, d.Pending, d.CPUInFlight, d.CPUHeld)
+	for _, c := range d.Cores {
+		fmt.Fprintf(&b, " %s-inflight=%d", c.Name, c.InFlight)
+		if c.Held != "" {
+			fmt.Fprintf(&b, " %s-held=%s", c.Name, c.Held)
+		}
+	}
 	for _, s := range d.MSHRs {
 		fmt.Fprintf(&b, " %s-mshr=%d", s.Level, s.InFlight)
 	}
@@ -260,13 +373,49 @@ func (d StallDiag) String() string {
 	return b.String()
 }
 
-// Diagnose snapshots the machine's outstanding-work state.
+// heldSummary renders a core's parked op for stall diagnostics.
+func heldSummary(c *CPU) string {
+	if !c.Held() {
+		return ""
+	}
+	op := c.HeldOp()
+	kind := "load"
+	if op.Kind == isa.Store {
+		kind = "store"
+	}
+	o := "row"
+	if op.Orient == isa.Col {
+		o = "col"
+	}
+	if op.Vector {
+		kind = "v" + kind
+	}
+	return fmt.Sprintf("%s@%#x(%s)", kind, op.Addr, o)
+}
+
+// Diagnose snapshots the machine's outstanding-work state. On multi-core
+// machines every core's pending-op state is reported individually (Cores);
+// the flat CPUInFlight/CPUHeld fields aggregate across cores so the headline
+// format stays the same.
 func (m *Machine) Diagnose() StallDiag {
 	d := StallDiag{
-		Cycle:       m.Q.Now(),
-		Pending:     m.Q.Pending(),
-		CPUInFlight: m.CPU.InFlight(),
-		CPUHeld:     m.CPU.Held(),
+		Cycle:   m.Q.Now(),
+		Pending: m.Q.Pending(),
+	}
+	if len(m.CPUs) > 1 {
+		for _, c := range m.CPUs {
+			d.CPUInFlight += c.InFlight()
+			if c.Held() {
+				d.CPUHeld = true
+			}
+			d.Cores = append(d.Cores, CoreSnapshot{
+				Name: c.name, InFlight: c.InFlight(), Held: heldSummary(c),
+			})
+		}
+	} else {
+		// m.CPU, not m.CPUs[0]: unit tests may swap in a fresh CPU.
+		d.CPUInFlight = m.CPU.InFlight()
+		d.CPUHeld = m.CPU.Held()
 	}
 	for _, lvl := range m.Levels {
 		d.MSHRs = append(d.MSHRs, MSHRSnapshot{Level: lvl.Stats().Name, InFlight: lvl.MSHRInFlight()})
@@ -277,14 +426,16 @@ func (m *Machine) Diagnose() StallDiag {
 
 func (m *Machine) results(end uint64) *Results {
 	r := &Results{
-		Cycles:      end,
-		Ops:         m.CPU.Ops,
-		Vectors:     m.CPU.Vectors,
-		Loads:       m.CPU.ByKind[isa.Load],
-		Stores:      m.CPU.ByKind[isa.Store],
-		OrderStalls: m.CPU.OrderStalls,
-		Mem:         *m.Memory.Stats(),
-		Occupancy:   m.pendingOcc,
+		Cycles:    end,
+		Mem:       *m.Memory.Stats(),
+		Occupancy: m.pendingOcc,
+	}
+	for _, cpu := range m.CPUs {
+		r.Ops += cpu.Ops
+		r.Vectors += cpu.Vectors
+		r.Loads += cpu.ByKind[isa.Load]
+		r.Stores += cpu.ByKind[isa.Store]
+		r.OrderStalls += cpu.OrderStalls
 	}
 	for _, lvl := range m.Levels {
 		r.Levels = append(r.Levels, *lvl.Stats())

@@ -94,7 +94,11 @@ func RunKernelInstrumentedCtx(ctx context.Context, kern *compiler.Kernel, spec R
 		defer cancel()
 	}
 	t0 = time.Now()
-	res, err = m.RunCtx(ctx, prog.Trace())
+	if len(m.CPUs) > 1 {
+		res, err = m.RunTracesCtx(ctx, ShardTrace(prog.Trace(), len(m.CPUs))...)
+	} else {
+		res, err = m.RunCtx(ctx, prog.Trace())
+	}
 	if err != nil {
 		return nil, err
 	}

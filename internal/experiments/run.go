@@ -21,6 +21,14 @@ type RunSpec struct {
 	N      int // matrix dimension (htap table width derives from it)
 	Design core.Design
 
+	// Cores selects how many trace-driven CPUs share the hierarchy (private
+	// L1s over a coherent shared L2/LLC). 0 and 1 both build the single-CPU
+	// machine; above 1 the compiled trace is sharded round-robin in chunks
+	// across the cores — a throughput approximation that keeps each core's
+	// chunk order but not cross-core program order (the hierarchy stays
+	// functionally coherent regardless).
+	Cores int
+
 	// LLCBytes sizes the L3 (or, with TwoLevel, the L2 that acts as LLC).
 	LLCBytes int
 	// TwoLevel drops the L3, making L2 the LLC (Fig. 13's cache-resident
@@ -81,6 +89,9 @@ type RunSpec struct {
 }
 
 func (s RunSpec) String() string {
+	if s.Cores > 1 {
+		return fmt.Sprintf("%s/N=%d/%v/LLC=%dKB/cores=%d", s.Bench, s.N, s.Design, s.LLCBytes/1024, s.Cores)
+	}
 	return fmt.Sprintf("%s/N=%d/%v/LLC=%dKB", s.Bench, s.N, s.Design, s.LLCBytes/1024)
 }
 
@@ -125,6 +136,7 @@ func (s RunSpec) Config() (core.Config, error) {
 	cfg.Mem.FaultSeed = s.FaultSeed
 	cfg.OccupancySampleInterval = s.OccupancyInterval
 	cfg.MaxCycles = s.MaxCycles
+	cfg.Cores = s.Cores
 	return cfg, cfg.Validate()
 }
 

@@ -1,0 +1,105 @@
+package experiments
+
+import "mdacache/internal/isa"
+
+// shardChunkOps is the round-robin granularity of trace sharding: each core
+// receives this many consecutive ops before the next core takes over. Chunks
+// keep each core's stride patterns intact (prefetchers still train) while
+// spreading the program across the cores.
+const shardChunkOps = 64
+
+// ShardTrace splits one trace into cores round-robin chunk streams for a
+// multi-core machine: ops [0,chunk) go to core 0, [chunk,2·chunk) to core 1,
+// and so on, wrapping. The split is a streaming demultiplexer — the source
+// is pulled lazily as cores consume their shards, buffering only what rate
+// divergence between cores requires, so compiled traces never need to be
+// materialised.
+//
+// Sharding preserves each core's chunk order but not cross-core program
+// order; it is the standard throughput approximation for driving shared
+// hierarchies from a single-program trace.
+func ShardTrace(src isa.TraceReader, cores int) []isa.TraceReader {
+	d := &traceDemux{src: src, bufs: make([]opQueue, cores)}
+	out := make([]isa.TraceReader, cores)
+	for c := range out {
+		out[c] = &traceShard{d: d, core: c}
+	}
+	return out
+}
+
+// traceDemux is the shared state behind one ShardTrace call. The simulation
+// event loop is single-threaded, so no locking is needed.
+type traceDemux struct {
+	src    isa.TraceReader
+	bufs   []opQueue
+	next   int // core that receives the next chunk pulled from src
+	done   bool
+	closed bool
+}
+
+// pull moves one chunk from the source into the next core's buffer.
+func (d *traceDemux) pull() {
+	for i := 0; i < shardChunkOps; i++ {
+		op, ok := d.src.Next()
+		if !ok {
+			d.done = true
+			break
+		}
+		d.bufs[d.next].push(op)
+	}
+	d.next = (d.next + 1) % len(d.bufs)
+}
+
+func (d *traceDemux) close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	if c, ok := d.src.(isa.Closer); ok {
+		c.Close()
+	}
+}
+
+// traceShard is one core's view of the demultiplexed trace.
+type traceShard struct {
+	d    *traceDemux
+	core int
+}
+
+// Next implements isa.TraceReader.
+func (s *traceShard) Next() (isa.Op, bool) {
+	d := s.d
+	for d.bufs[s.core].empty() {
+		if d.done {
+			return isa.Op{}, false
+		}
+		d.pull()
+	}
+	return d.bufs[s.core].pop(), true
+}
+
+// Close implements isa.Closer: the machine closes every trace it was given,
+// and the first shard closed releases the shared source.
+func (s *traceShard) Close() { s.d.close() }
+
+// opQueue is a FIFO of ops with amortised O(1) push/pop; the head space is
+// recycled once it dominates the backing array.
+type opQueue struct {
+	ops  []isa.Op
+	head int
+}
+
+func (q *opQueue) push(op isa.Op) { q.ops = append(q.ops, op) }
+
+func (q *opQueue) empty() bool { return q.head >= len(q.ops) }
+
+func (q *opQueue) pop() isa.Op {
+	op := q.ops[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.ops) {
+		n := copy(q.ops, q.ops[q.head:])
+		q.ops = q.ops[:n]
+		q.head = 0
+	}
+	return op
+}

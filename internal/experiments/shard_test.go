@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+)
+
+// TestShardTraceRoundRobin pins the sharding contract: chunk k of the source
+// goes to core k mod cores, each shard preserves its chunks' internal order,
+// and every source op lands on exactly one shard.
+func TestShardTraceRoundRobin(t *testing.T) {
+	const n = shardChunkOps*5 + 17 // deliberately not chunk-aligned
+	ops := make([]isa.Op, n)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.WordSize}
+	}
+	const cores = 3
+	shards := ShardTrace(isa.NewSliceTrace(ops), cores)
+	if len(shards) != cores {
+		t.Fatalf("got %d shards, want %d", len(shards), cores)
+	}
+	var got [cores][]isa.Op
+	// Drain shards round-robin one op at a time — the same interleaved
+	// consumption pattern RunTraces produces — to exercise the demux's
+	// buffering, then drain stragglers.
+	for remaining := true; remaining; {
+		remaining = false
+		for c := range shards {
+			if op, ok := shards[c].Next(); ok {
+				got[c] = append(got[c], op)
+				remaining = true
+			}
+		}
+	}
+	total := 0
+	for c := range got {
+		total += len(got[c])
+		want := uint64(c * shardChunkOps) // first op of this core's first chunk
+		for i, op := range got[c] {
+			if op.Addr != want*isa.WordSize {
+				t.Fatalf("core %d op %d: addr %#x, want %#x", c, i, op.Addr, want*isa.WordSize)
+			}
+			want++
+			if want%shardChunkOps == 0 { // next chunk for this core
+				want += (cores - 1) * shardChunkOps
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("shards delivered %d ops, want %d", total, n)
+	}
+}
+
+// TestShardTraceSingleConsumerDrain checks that one slow shard can drain its
+// whole share even if the others were fully consumed first (the demux
+// buffers on behalf of lagging cores).
+func TestShardTraceSingleConsumerDrain(t *testing.T) {
+	const n = shardChunkOps * 4
+	ops := make([]isa.Op, n)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.WordSize}
+	}
+	shards := ShardTrace(isa.NewSliceTrace(ops), 2)
+	// Exhaust shard 0 entirely before touching shard 1.
+	count0 := 0
+	for {
+		if _, ok := shards[0].Next(); !ok {
+			break
+		}
+		count0++
+	}
+	count1 := 0
+	for {
+		if _, ok := shards[1].Next(); !ok {
+			break
+		}
+		count1++
+	}
+	if count0 != n/2 || count1 != n/2 {
+		t.Fatalf("shards delivered %d + %d ops, want %d each", count0, count1, n/2)
+	}
+}
