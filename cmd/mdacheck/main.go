@@ -15,6 +15,8 @@
 //	mdacheck -n 512 -cores 1,2,4     # conformance sweep over core counts
 //	mdacheck -cores 2 -seed 7        # reproduce one multi-core seed
 //	mdacheck -seed 7 -break-coherence  # demo: watch the harness catch a bug
+//	mdacheck -workload kv -n 64 -cores 1,2,4   # request-workload streams
+//	mdacheck -workload htap -cores 2 -seed 3   # reproduce one request seed
 //
 // On failure, mdacheck prints the shrunk trace (or multi-core schedule) and
 // a one-line repro command and exits 1. Exit code 2 means the invocation
@@ -30,6 +32,7 @@ import (
 
 	"mdacache/internal/check"
 	"mdacache/internal/core"
+	"mdacache/internal/workloads"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 		faults   = flag.String("faults", "auto", "fault injection: auto (per-seed), on, off")
 		breakCoh = flag.Bool("break-coherence", false, "disable duplicate-coherence eviction (verifies the harness catches it)")
 		breakSnp = flag.Bool("break-snoop", false, "disable cross-core snoop invalidation (verifies the multi-core harness catches it)")
+		workload = flag.String("workload", "", "check request-workload streams (kv, htap) instead of the harness's own patterns")
 		noShrink = flag.Bool("no-shrink", false, "skip trace minimisation on failure")
 		maxFail  = flag.Int("max-failures", 1, "stop after this many failing seeds")
 		verbose  = flag.Bool("v", false, "print each seed's spec as it runs")
@@ -77,6 +81,9 @@ func main() {
 	if *maxFail <= 0 {
 		usagef("-max-failures must be positive")
 	}
+	if *workload != "" && !workloads.ValidRequest(*workload) {
+		usagef("unknown workload %q (valid: %s)", *workload, strings.Join(workloads.RequestNames, ", "))
+	}
 	coreCounts := parseCores(*cores)
 
 	seeds := make([]uint64, 0, *n)
@@ -94,6 +101,24 @@ sweep:
 	for _, nc := range coreCounts {
 		for _, s := range seeds {
 			checked++
+			if *workload != "" {
+				spec := check.RequestSpecForSeed(*workload, s, nc)
+				if *verbose {
+					fmt.Printf("mdacheck: %v\n", spec)
+				}
+				f, err := check.CheckRequestSeed(*workload, s, nc, opt)
+				if err != nil {
+					usagef("%v", err)
+				}
+				if f != nil {
+					fmt.Print(f)
+					failures++
+					if failures >= *maxFail {
+						break sweep
+					}
+				}
+				continue
+			}
 			if nc <= 1 {
 				spec := check.SpecForSeed(s)
 				if *verbose {
@@ -129,8 +154,12 @@ sweep:
 	if *designs == "all" {
 		dn = "all designs"
 	}
-	fmt.Printf("mdacheck: %d seed(s) conform across %s (designs: %s, cores: %s, faults: %s)\n",
-		checked, dn, designSetString(opt.Designs), *cores, *faults)
+	src := ""
+	if *workload != "" {
+		src = *workload + " workload "
+	}
+	fmt.Printf("mdacheck: %d %sseed(s) conform across %s (designs: %s, cores: %s, faults: %s)\n",
+		checked, src, dn, designSetString(opt.Designs), *cores, *faults)
 }
 
 // parseCores parses the -cores list ("1,2,4") into validated core counts.

@@ -57,6 +57,40 @@ func TestFailureOutput(t *testing.T) {
 	}
 }
 
+// TestSmokeWorkload sweeps a small request-workload corpus slice over
+// single- and multi-core harnesses.
+func TestSmokeWorkload(t *testing.T) {
+	for _, w := range []string{"kv", "htap"} {
+		res := clitest.Run(t, "mdacheck", "-workload", w, "-n", "4", "-cores", "1,2")
+		if res.Code != 0 {
+			t.Fatalf("%s: exit %d\nstdout:\n%s\nstderr:\n%s", w, res.Code, res.Stdout, res.Stderr)
+		}
+		if !strings.Contains(res.Stdout, "8 "+w+" workload seed(s) conform") {
+			t.Errorf("%s: unexpected summary:\n%s", w, res.Stdout)
+		}
+	}
+}
+
+// TestWorkloadFailureOutput pins the request-workload failure contract:
+// with snoop coherence broken, some seed fails with exit 1 and a repro line
+// naming the workload.
+func TestWorkloadFailureOutput(t *testing.T) {
+	res := clitest.Run(t, "mdacheck", "-workload", "htap", "-n", "50", "-cores", "2",
+		"-faults", "off", "-break-snoop")
+	if res.Code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s", res.Code, res.Stdout)
+	}
+	for _, want := range []string{
+		"request conformance failure",
+		"reproduce with: mdacheck -workload htap -cores 2 -seed 0x",
+		"shrunk schedule",
+	} {
+		if !strings.Contains(res.Stdout, want) {
+			t.Errorf("failure output lacks %q:\n%s", want, res.Stdout)
+		}
+	}
+}
+
 // TestUsageErrors pins exit code 2 for invalid invocations.
 func TestUsageErrors(t *testing.T) {
 	cases := []struct {
@@ -69,6 +103,7 @@ func TestUsageErrors(t *testing.T) {
 		{"zero n", []string{"-n", "0"}, "-n must be"},
 		{"zero max-failures", []string{"-max-failures", "0"}, "-max-failures"},
 		{"positional args", []string{"stray"}, "unexpected arguments"},
+		{"unknown workload", []string{"-workload", "nope"}, "unknown workload"},
 	}
 	for _, c := range cases {
 		c := c

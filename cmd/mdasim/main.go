@@ -6,6 +6,7 @@
 //
 //	mdasim -bench sgemm -design 1P2L -n 128 -scale 4
 //	mdasim -bench htap1 -design 2P2L -llc 2 -scale 2
+//	mdasim -workload kv -ops 10000000 -zipf 0.99 -cores 4     # streamed requests
 //	mdasim -printconfig -design 1P2L
 //	mdasim -bench sgemm -write-fail-prob 0.01 -fault-seed 7   # NVM faults
 //	mdasim -bench sgemm -timeout 30s -max-cycles 1e9          # watchdog
@@ -45,6 +46,13 @@ func main() {
 		occEvery  = flag.Uint64("occupancy", 0, "sample row/col occupancy every N cycles (Fig. 15)")
 		printCfg  = flag.Bool("printconfig", false, "print the Table I configuration and exit")
 		traceFile = flag.String("trace", "", "run a serialized trace (see mdatrace) instead of compiling -bench")
+
+		workload  = flag.String("workload", "", "request-driven workload instead of -bench: "+strings.Join(workloads.RequestNames, ", ")+" (streamed, O(1) memory in -ops)")
+		opCount   = flag.Int64("ops", 1_000_000, "total request-stream ops across all cores (with -workload)")
+		zipf      = flag.Float64("zipf", 0.99, "Zipf key-popularity skew theta in [0,1); 0 = uniform (with -workload)")
+		readRatio = flag.Float64("read-ratio", 0.9, "fraction of point requests that are reads, in [0,1] (with -workload)")
+		clients   = flag.Int("clients", 0, "simulated clients pinned round-robin to cores (0 = one per core; with -workload)")
+		wlSeed    = flag.Uint64("workload-seed", 1, "request-generation seed; fixed seed = bit-identical stream (with -workload)")
 		predict   = flag.Bool("predict", false, "enable dynamic orientation prediction in the L1 (1P2L designs)")
 		csvOut    = flag.Bool("csv", false, "emit a flat metric,value CSV instead of tables")
 		failProb  = flag.Float64("write-fail-prob", 0, "NVM write-fault injection: per-attempt verify-failure probability (0 disables)")
@@ -64,8 +72,42 @@ func main() {
 	if !ok {
 		usagef("unknown design %q (valid: %s)", *design, strings.Join(core.DesignNames(), ", "))
 	}
-	if *traceFile == "" && !workloads.Valid(*bench) {
+	if *traceFile == "" && *workload == "" && !workloads.Valid(*bench) {
 		usagef("unknown benchmark %q (valid: %s)", *bench, strings.Join(workloads.Names, ", "))
+	}
+	if *workload != "" {
+		if !workloads.ValidRequest(*workload) {
+			usagef("unknown workload %q (valid: %s)", *workload, strings.Join(workloads.RequestNames, ", "))
+		}
+		if *traceFile != "" {
+			usagef("-workload and -trace are mutually exclusive")
+		}
+		if *opCount < 1 {
+			usagef("-ops must be >= 1 (got %d)", *opCount)
+		}
+		if *zipf < 0 || *zipf >= 1 {
+			usagef("-zipf must be in [0, 1) (got %g)", *zipf)
+		}
+		if *readRatio < 0 || *readRatio > 1 {
+			usagef("-read-ratio must be in [0, 1] (got %g)", *readRatio)
+		}
+		if *clients < 0 {
+			usagef("-clients must be non-negative (got %d)", *clients)
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "bench" {
+				usagef("-bench and -workload are mutually exclusive")
+			}
+		})
+	} else {
+		// Request knobs modify -workload; set without it they would be
+		// silently ignored (same guard as the trace flags below).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ops", "zipf", "read-ratio", "clients", "workload-seed":
+				usagef("-%s requires -workload", f.Name)
+			}
+		})
 	}
 	if *scale < 1 {
 		usagef("-scale must be >= 1 (got %d)", *scale)
@@ -111,6 +153,15 @@ func main() {
 		FaultSeed:         *faultSeed,
 		Timeout:           *timeout,
 		MaxCycles:         *maxCycles,
+	}
+	if *workload != "" {
+		spec.Bench = *workload // report/table headers show the workload name
+		spec.Workload = *workload
+		spec.Ops = *opCount
+		spec.Zipf = *zipf
+		spec.ReadRatio = *readRatio
+		spec.Clients = *clients
+		spec.WorkloadSeed = *wlSeed
 	}
 	if *tiled1D {
 		spec.LayoutOverride = compiler.LayoutTiled

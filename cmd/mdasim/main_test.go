@@ -57,6 +57,26 @@ func TestSmokeTraceOut(t *testing.T) {
 	}
 }
 
+// TestSmokeWorkload runs a small request-driven simulation on each family
+// and checks the run-twice CSV output is bit-identical for a fixed seed.
+func TestSmokeWorkload(t *testing.T) {
+	for _, w := range []string{"kv", "htap"} {
+		args := []string{"-workload", w, "-ops", "30000", "-cores", "2", "-scale", "16",
+			"-zipf", "0.9", "-read-ratio", "0.8", "-clients", "4", "-workload-seed", "7", "-csv"}
+		a := clitest.Run(t, "mdasim", args...)
+		if a.Code != 0 {
+			t.Fatalf("%s: exit %d\nstderr:\n%s", w, a.Code, a.Stderr)
+		}
+		if !strings.Contains(a.Stdout, "ops,30000") {
+			t.Errorf("%s: CSV lacks exact op count:\n%s", w, a.Stdout)
+		}
+		b := clitest.Run(t, "mdasim", args...)
+		if a.Stdout != b.Stdout {
+			t.Errorf("%s: same seed, different runs:\n%s\nvs\n%s", w, a.Stdout, b.Stdout)
+		}
+	}
+}
+
 // TestUsageErrors pins exit code 2 + a diagnostic for every invalid flag
 // combination the CLI rejects.
 func TestUsageErrors(t *testing.T) {
@@ -74,6 +94,15 @@ func TestUsageErrors(t *testing.T) {
 		{"orphan trace-cats", []string{"-bench", "sgemm", "-trace-cats", "mem"}, "requires -trace-out"},
 		{"orphan trace-sample", []string{"-bench", "sgemm", "-trace-sample", "2"}, "requires -trace-out"},
 		{"bad trace-sample", []string{"-bench", "sgemm", "-trace-out", "x", "-trace-sample", "0"}, "-trace-sample"},
+		{"unknown workload", []string{"-workload", "nope"}, "unknown workload"},
+		{"workload plus bench", []string{"-workload", "kv", "-bench", "sgemm"}, "mutually exclusive"},
+		{"workload plus trace", []string{"-workload", "kv", "-trace", "x"}, "mutually exclusive"},
+		{"orphan ops", []string{"-bench", "sgemm", "-ops", "100"}, "requires -workload"},
+		{"orphan zipf", []string{"-bench", "sgemm", "-zipf", "0.5"}, "requires -workload"},
+		{"orphan clients", []string{"-bench", "sgemm", "-clients", "2"}, "requires -workload"},
+		{"bad zipf", []string{"-workload", "kv", "-zipf", "1.5"}, "-zipf must be"},
+		{"bad read-ratio", []string{"-workload", "kv", "-read-ratio", "2"}, "-read-ratio must be"},
+		{"zero ops", []string{"-workload", "kv", "-ops", "0"}, "-ops must be"},
 	}
 	for _, c := range cases {
 		c := c

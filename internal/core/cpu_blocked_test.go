@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// stallingTrace yields ops in credit-limited bursts: when credit runs out,
+// Next refuses with transient backpressure (isa.Blocker) and schedules its
+// own readable event delay cycles later — a stand-in for the demux
+// high-water mark behind experiments.ShardTrace.
+type stallingTrace struct {
+	q       *sim.EventQueue
+	ops     []isa.Op
+	pos     int
+	credit  int
+	grant   int
+	delay   uint64
+	blocked bool
+	stalls  int
+	wake    func()
+}
+
+func (s *stallingTrace) Next() (isa.Op, bool) {
+	if s.pos >= len(s.ops) {
+		s.blocked = false
+		return isa.Op{}, false
+	}
+	if s.credit == 0 {
+		if !s.blocked {
+			s.blocked = true
+			s.stalls++
+			s.q.Schedule(s.q.Now()+s.delay, func() {
+				s.credit = s.grant
+				s.blocked = false
+				if s.wake != nil {
+					s.wake()
+				}
+			})
+		}
+		return isa.Op{}, false
+	}
+	s.credit--
+	op := s.ops[s.pos]
+	s.pos++
+	return op, true
+}
+
+func (s *stallingTrace) Blocked() bool        { return s.blocked }
+func (s *stallingTrace) OnReadable(fn func()) { s.wake = fn }
+
+// TestCPUResumesAfterTraceBackpressure pins the isa.Blocker contract on the
+// CPU: a Next that fails with Blocked() true parks the pump (it is NOT end
+// of trace), and the registered readable callback resumes it. Before the
+// backpressure protocol the CPU treated every failed Next as exhaustion and
+// finished with most of the trace undelivered.
+func TestCPUResumesAfterTraceBackpressure(t *testing.T) {
+	const n = 100
+	ops := make([]isa.Op, n)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.TileSize}
+	}
+	q := &sim.EventQueue{}
+	tr := &stallingTrace{q: q, ops: ops, credit: 7, grant: 7, delay: 50}
+	lvl := &slowLevel{q: q, latency: 10}
+	cpu := NewCPU(q, lvl, 4)
+	finished := false
+	cpu.Start(tr, func(uint64) { finished = true })
+	q.Run(0)
+	if !finished {
+		t.Fatal("CPU never finished")
+	}
+	if cpu.Ops != n {
+		t.Fatalf("CPU issued %d ops, want %d (backpressure treated as EOF?)", cpu.Ops, n)
+	}
+	if tr.stalls == 0 {
+		t.Fatal("trace never stalled — test exercised nothing")
+	}
+}

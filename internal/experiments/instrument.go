@@ -38,6 +38,9 @@ func RunInstrumented(spec RunSpec, ins Instrument) (*core.Results, error) {
 // RunInstrumentedCtx is RunCtx with observability hooks: the kernel build and
 // tiling are charged to the "compile" phase of ins.Profile.
 func RunInstrumentedCtx(ctx context.Context, spec RunSpec, ins Instrument) (*core.Results, error) {
+	if spec.Workload != "" {
+		return runRequestInstrumentedCtx(ctx, spec, ins)
+	}
 	t0 := time.Now()
 	kern, err := workloads.Build(spec.Bench, spec.N)
 	if err != nil {

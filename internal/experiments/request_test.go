@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+
+	"mdacache/internal/core"
+	"mdacache/internal/obs"
+)
+
+func requestSpec(workload string, cores int) RunSpec {
+	return RunSpec{
+		Workload:     workload,
+		N:            32,
+		Design:       core.D2Sparse,
+		LLCBytes:     256 * 1024,
+		Scale:        16,
+		Cores:        cores,
+		Ops:          20_000,
+		Zipf:         0.9,
+		ReadRatio:    0.9,
+		Clients:      2 * cores,
+		WorkloadSeed: 42,
+	}
+}
+
+// TestRunRequestWorkloads drives both request families end to end on
+// single- and multi-core machines: the machine must execute exactly the
+// spec's op budget (streams are exact, nothing truncated or duplicated).
+func TestRunRequestWorkloads(t *testing.T) {
+	for _, workload := range []string{"kv", "htap"} {
+		for _, cores := range []int{1, 2, 4} {
+			spec := requestSpec(workload, cores)
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatalf("%v: %v", spec, err)
+			}
+			if res.Ops != uint64(spec.Ops) {
+				t.Fatalf("%v: machine executed %d ops, want %d", spec, res.Ops, spec.Ops)
+			}
+			if res.Cycles == 0 {
+				t.Fatalf("%v: zero-cycle run", spec)
+			}
+		}
+	}
+}
+
+// TestRunRequestTwiceBitIdentical pins run-level determinism for request
+// workloads: two full simulations of the same spec produce bit-identical
+// metric snapshots.
+func TestRunRequestTwiceBitIdentical(t *testing.T) {
+	for _, workload := range []string{"kv", "htap"} {
+		spec := requestSpec(workload, 2)
+		a, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := obs.DiffSnapshots(a.Metrics, b.Metrics); d != "" {
+			t.Fatalf("%v: runs diverge: %s", spec, d)
+		}
+	}
+}
+
+// TestRunRequestRowOnlyDesign checks the 1-D fallback: on a row-only design
+// the generator must emit no column ops, so the run completes instead of
+// dying on sim.ErrInvalidAccess.
+func TestRunRequestRowOnlyDesign(t *testing.T) {
+	spec := requestSpec("htap", 2)
+	spec.Design = core.D0Baseline
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != uint64(spec.Ops) {
+		t.Fatalf("executed %d ops, want %d", res.Ops, spec.Ops)
+	}
+	if rowOps, _ := res.Metrics.Counter("cpu0.ops.col"); rowOps != 0 {
+		t.Fatalf("row-only design saw %d column ops", rowOps)
+	}
+}
+
+// TestRunRequestValidation checks spec errors surface instead of panicking.
+func TestRunRequestValidation(t *testing.T) {
+	spec := requestSpec("kv", 1)
+	spec.Zipf = 1.5
+	if _, err := Run(spec); err == nil {
+		t.Fatal("zipf=1.5 accepted, want error")
+	}
+	spec = requestSpec("nosuch", 1)
+	if _, err := Run(spec); err == nil {
+		t.Fatal("unknown workload accepted, want error")
+	}
+}

@@ -86,9 +86,41 @@ type RunSpec struct {
 	// entirely disabled.
 	WriteFailProb float64
 	FaultSeed     uint64
+
+	// Workload selects a request-driven streaming workload instead of a
+	// compiled kernel: "" (default) compiles and runs Bench; "kv" or "htap"
+	// generate seeded per-core client request streams over the htapTable(N)
+	// layout (see workloads.RequestStreams) — O(1) memory in Ops, each
+	// simulated client pinned to one core, no trace sharding involved.
+	Workload string
+
+	// Ops is the total request count across all cores (request workloads
+	// only; must be >= 1 when Workload is set).
+	Ops int64
+
+	// Zipf is the key-popularity skew exponent theta in [0, 1); 0 = uniform.
+	Zipf float64
+
+	// ReadRatio is the fraction of point requests that are reads, in [0, 1].
+	ReadRatio float64
+
+	// Clients is the total number of simulated clients (0 = one per core).
+	Clients int
+
+	// WorkloadSeed seeds request generation; a fixed seed reproduces
+	// bit-identical streams.
+	WorkloadSeed uint64
 }
 
 func (s RunSpec) String() string {
+	if s.Workload != "" {
+		cores := s.Cores
+		if cores < 1 {
+			cores = 1
+		}
+		return fmt.Sprintf("%s/N=%d/%v/LLC=%dKB/cores=%d/ops=%d/zipf=%g/rr=%g/clients=%d",
+			s.Workload, s.N, s.Design, s.LLCBytes/1024, cores, s.Ops, s.Zipf, s.ReadRatio, s.Clients)
+	}
 	if s.Cores > 1 {
 		return fmt.Sprintf("%s/N=%d/%v/LLC=%dKB/cores=%d", s.Bench, s.N, s.Design, s.LLCBytes/1024, s.Cores)
 	}

@@ -8,18 +8,34 @@ import "mdacache/internal/isa"
 // spreading the program across the cores.
 const shardChunkOps = 64
 
+// shardBufOps is the per-core high-water mark on buffered ops. A pull whose
+// destination buffer has reached the mark is refused and the asking shard
+// reports transient backpressure (isa.Blocker) instead of buffering further;
+// it is woken when the saturated core drains back below the mark. Because
+// pulls move whole chunks, a buffer can overshoot the mark by at most one
+// chunk, so peak buffering per core is bounded by shardBufOps+shardChunkOps
+// no matter how far the cores' drain rates diverge.
+const shardBufOps = 16 * shardChunkOps
+
 // ShardTrace splits one trace into cores round-robin chunk streams for a
 // multi-core machine: ops [0,chunk) go to core 0, [chunk,2·chunk) to core 1,
 // and so on, wrapping. The split is a streaming demultiplexer — the source
-// is pulled lazily as cores consume their shards, buffering only what rate
-// divergence between cores requires, so compiled traces never need to be
-// materialised.
+// is pulled lazily as cores consume their shards, buffering at most
+// shardBufOps+shardChunkOps ops per core (rate divergence beyond that shows
+// up as backpressure on the fast consumers), so compiled traces never need
+// to be materialised.
 //
 // Sharding preserves each core's chunk order but not cross-core program
 // order; it is the standard throughput approximation for driving shared
 // hierarchies from a single-program trace.
 func ShardTrace(src isa.TraceReader, cores int) []isa.TraceReader {
-	d := &traceDemux{src: src, bufs: make([]opQueue, cores)}
+	d := &traceDemux{
+		src:     src,
+		bufs:    make([]opQueue, cores),
+		closed:  make([]bool, cores),
+		waiting: make([]bool, cores),
+		wakes:   make([]func(), cores),
+	}
 	out := make([]isa.TraceReader, cores)
 	for c := range out {
 		out[c] = &traceShard{d: d, core: c}
@@ -30,31 +46,83 @@ func ShardTrace(src isa.TraceReader, cores int) []isa.TraceReader {
 // traceDemux is the shared state behind one ShardTrace call. The simulation
 // event loop is single-threaded, so no locking is needed.
 type traceDemux struct {
-	src    isa.TraceReader
-	bufs   []opQueue
-	next   int // core that receives the next chunk pulled from src
-	done   bool
-	closed bool
+	src     isa.TraceReader
+	bufs    []opQueue
+	next    int // core that receives the next chunk pulled from src
+	done    bool
+	closed  []bool   // shards whose Close has been called
+	waiting []bool   // shards parked on backpressure
+	wakes   []func() // per-shard OnReadable callbacks
+
+	srcClosed bool
+	peak      int // max ops ever buffered in one core's queue (tests)
 }
 
-// pull moves one chunk from the source into the next core's buffer.
+// pull moves one chunk from the source into the next core's buffer. The
+// round-robin cursor advances only when the chunk was non-empty: a zero-op
+// pull (source already exhausted) must not consume a core's turn, or the
+// final partial chunk would be mis-assigned. Chunks destined for a closed
+// shard are consumed from the source (its turn in the rotation remains) but
+// dropped.
 func (d *traceDemux) pull() {
+	delivered := 0
 	for i := 0; i < shardChunkOps; i++ {
 		op, ok := d.src.Next()
 		if !ok {
 			d.done = true
 			break
 		}
-		d.bufs[d.next].push(op)
+		if !d.closed[d.next] {
+			d.bufs[d.next].push(op)
+		}
+		delivered++
 	}
-	d.next = (d.next + 1) % len(d.bufs)
+	if n := d.bufs[d.next].len(); n > d.peak {
+		d.peak = n
+	}
+	if delivered > 0 {
+		d.next = (d.next + 1) % len(d.bufs)
+	}
+	if d.done {
+		// EOF can strand shards parked on backpressure: their wake would
+		// otherwise only fire on a high-water crossing that may never come.
+		d.wakeWaiters()
+		d.maybeReleaseSrc()
+	}
 }
 
-func (d *traceDemux) close() {
-	if d.closed {
+// wakeWaiters unparks every shard blocked on backpressure, in ascending core
+// order — wakes are scheduled through the (deterministic) event queue by the
+// registered callbacks, so the order here fixes the replayed schedule.
+func (d *traceDemux) wakeWaiters() {
+	for c := range d.waiting {
+		if !d.waiting[c] {
+			continue
+		}
+		d.waiting[c] = false
+		if fn := d.wakes[c]; fn != nil {
+			fn()
+		}
+	}
+}
+
+// maybeReleaseSrc closes the shared source once no shard can need it again:
+// every shard is either closed or (the source being exhausted) fully
+// drained. Closing on the first shard's Close would truncate siblings that
+// still have undelivered ops in the source.
+func (d *traceDemux) maybeReleaseSrc() {
+	if d.srcClosed {
 		return
 	}
-	d.closed = true
+	for c := range d.bufs {
+		if d.closed[c] {
+			continue
+		}
+		if !d.done || d.bufs[c].len() > 0 {
+			return
+		}
+	}
+	d.srcClosed = true
 	if c, ok := d.src.(isa.Closer); ok {
 		c.Close()
 	}
@@ -62,25 +130,70 @@ func (d *traceDemux) close() {
 
 // traceShard is one core's view of the demultiplexed trace.
 type traceShard struct {
-	d    *traceDemux
-	core int
+	d       *traceDemux
+	core    int
+	blocked bool // last Next refused on backpressure (isa.Blocker)
 }
 
 // Next implements isa.TraceReader.
 func (s *traceShard) Next() (isa.Op, bool) {
 	d := s.d
-	for d.bufs[s.core].empty() {
+	for d.bufs[s.core].len() == 0 {
 		if d.done {
+			s.blocked = false
+			d.maybeReleaseSrc()
+			return isa.Op{}, false
+		}
+		if d.bufs[d.next].len() >= shardBufOps {
+			// The next chunk belongs to a core already at its high-water
+			// mark (necessarily another core — this shard's buffer is
+			// empty). Report transient backpressure; the saturated core's
+			// drain (or Close) wakes us.
+			s.blocked = true
+			d.waiting[s.core] = true
 			return isa.Op{}, false
 		}
 		d.pull()
 	}
-	return d.bufs[s.core].pop(), true
+	s.blocked = false
+	q := &d.bufs[s.core]
+	atMark := q.len() == shardBufOps
+	op := q.pop()
+	if atMark {
+		// Crossed back below the high-water mark: pulls destined here are
+		// admissible again, so unpark any backpressured siblings.
+		d.wakeWaiters()
+	}
+	if d.done && q.len() == 0 {
+		d.maybeReleaseSrc()
+	}
+	return op, true
 }
 
-// Close implements isa.Closer: the machine closes every trace it was given,
-// and the first shard closed releases the shared source.
-func (s *traceShard) Close() { s.d.close() }
+// Blocked implements isa.Blocker.
+func (s *traceShard) Blocked() bool { return s.blocked }
+
+// OnReadable implements isa.Blocker.
+func (s *traceShard) OnReadable(fn func()) { s.d.wakes[s.core] = fn }
+
+// Close implements isa.Closer. Closing one shard abandons only that shard's
+// stream: its buffered ops are discarded and future chunks for it are
+// dropped, but the shared source stays open until every sibling is closed
+// or drained.
+func (s *traceShard) Close() {
+	d := s.d
+	if d.closed[s.core] {
+		return
+	}
+	d.closed[s.core] = true
+	saturated := d.bufs[s.core].len() >= shardBufOps
+	d.bufs[s.core] = opQueue{}
+	d.waiting[s.core] = false
+	if saturated {
+		d.wakeWaiters()
+	}
+	d.maybeReleaseSrc()
+}
 
 // opQueue is a FIFO of ops with amortised O(1) push/pop; the head space is
 // recycled once it dominates the backing array.
@@ -91,7 +204,7 @@ type opQueue struct {
 
 func (q *opQueue) push(op isa.Op) { q.ops = append(q.ops, op) }
 
-func (q *opQueue) empty() bool { return q.head >= len(q.ops) }
+func (q *opQueue) len() int { return len(q.ops) - q.head }
 
 func (q *opQueue) pop() isa.Op {
 	op := q.ops[q.head]

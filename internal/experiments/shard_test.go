@@ -81,3 +81,188 @@ func TestShardTraceSingleConsumerDrain(t *testing.T) {
 		t.Fatalf("shards delivered %d + %d ops, want %d each", count0, count1, n/2)
 	}
 }
+
+// TestShardTracePeakBufferBounded is the regression test for unbounded
+// demux buffering: with one shard consuming and its sibling completely
+// stalled, the fast shard must hit backpressure (isa.Blocker) instead of
+// pulling the whole source into the stalled core's queue. Peak buffered ops
+// per core are pinned at the high-water mark plus at most one chunk of
+// overshoot.
+func TestShardTracePeakBufferBounded(t *testing.T) {
+	const n = shardChunkOps * 200 // ≫ shardBufOps: the old demux buffered ~n/2
+	ops := make([]isa.Op, n)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.WordSize}
+	}
+	shards := ShardTrace(isa.NewSliceTrace(ops), 2)
+	fast := shards[0].(*traceShard)
+	woken := 0
+	fast.OnReadable(func() { woken++ })
+	blocked := 0
+	var got [2]int
+	// Rate-skewed consumption: shard 0 drains greedily; shard 1 pops a
+	// single op only when shard 0 is refused on backpressure.
+	for {
+		op, ok := fast.Next()
+		if ok {
+			if want := got[0]; opIndex(op) != shardIndex(want, 0, 2) {
+				t.Fatalf("shard 0 op %d: got source index %d, want %d", got[0], opIndex(op), shardIndex(want, 0, 2))
+			}
+			got[0]++
+			continue
+		}
+		if !fast.Blocked() {
+			break // true EOF for shard 0
+		}
+		blocked++
+		if _, ok := shards[1].Next(); !ok {
+			t.Fatal("shard 1 refused while holding the saturated buffer")
+		}
+		got[1]++
+	}
+	for { // drain shard 1's remainder
+		if _, ok := shards[1].Next(); !ok {
+			break
+		}
+		got[1]++
+	}
+	if got[0] != n/2 || got[1] != n/2 {
+		t.Fatalf("shards delivered %d + %d ops, want %d each", got[0], got[1], n/2)
+	}
+	if blocked == 0 {
+		t.Fatal("fast shard never hit backpressure — the high-water mark is not enforced")
+	}
+	// Polling re-blocks while the saturated buffer drains its overshoot
+	// band, so blocks outnumber wakes; but every saturation cycle must
+	// produce a high-water crossing and hence a wake.
+	if woken == 0 {
+		t.Fatal("blocked shard was never woken on the high-water crossing")
+	}
+	if max := shardBufOps + shardChunkOps; fast.d.peak > max {
+		t.Fatalf("peak buffered ops %d exceeds bound %d", fast.d.peak, max)
+	}
+	if fast.d.peak < shardBufOps {
+		t.Fatalf("peak buffered ops %d never reached the high-water mark %d — bound untested", fast.d.peak, shardBufOps)
+	}
+}
+
+// opIndex recovers the source position encoded in the test ops' addresses.
+func opIndex(op isa.Op) int { return int(op.Addr / isa.WordSize) }
+
+// shardIndex returns the source index of the i-th op of the given shard
+// under round-robin chunk assignment.
+func shardIndex(i, core, cores int) int {
+	chunk := i / shardChunkOps
+	return (chunk*cores+core)*shardChunkOps + i%shardChunkOps
+}
+
+// TestShardTraceChunkAccounting pins short-final-chunk and empty-trace
+// behaviour table-driven: every op lands on the shard its chunk index
+// selects, and a zero-op pull at EOF does not advance the round-robin
+// cursor (the d.next skew bug).
+func TestShardTraceChunkAccounting(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		cores int
+	}{
+		{"empty", 0, 2},
+		{"one-op", 1, 3},
+		{"partial-chunk", shardChunkOps - 1, 2},
+		{"exact-chunk", shardChunkOps, 2},
+		{"chunk-plus-one", shardChunkOps + 1, 3},
+		{"exact-rotation", shardChunkOps * 3, 3},
+		{"short-final-chunk", shardChunkOps*5 + 17, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ops := make([]isa.Op, tc.n)
+			for i := range ops {
+				ops[i] = isa.Op{Addr: uint64(i) * isa.WordSize}
+			}
+			shards := ShardTrace(isa.NewSliceTrace(ops), tc.cores)
+			d := shards[0].(*traceShard).d
+			total := 0
+			for c, s := range shards {
+				i := 0
+				for {
+					op, ok := s.Next()
+					if !ok {
+						break
+					}
+					if want := shardIndex(i, c, tc.cores); opIndex(op) != want {
+						t.Fatalf("shard %d op %d: got source index %d, want %d", c, i, opIndex(op), want)
+					}
+					i++
+				}
+				total += i
+			}
+			if total != tc.n {
+				t.Fatalf("shards delivered %d ops, want %d", total, tc.n)
+			}
+			// The cursor must equal the number of non-empty chunks mod
+			// cores: a zero-op EOF pull consuming a turn would leave it one
+			// past that.
+			chunks := (tc.n + shardChunkOps - 1) / shardChunkOps
+			if want := chunks % tc.cores; d.next != want {
+				t.Fatalf("round-robin cursor = %d after EOF, want %d (zero-op pull advanced it)", d.next, want)
+			}
+		})
+	}
+}
+
+// closeTrackingTrace is a Closer source that refuses Next after Close —
+// modelling a generator-backed stream, where a premature Close truncates
+// every op not yet pulled.
+type closeTrackingTrace struct {
+	isa.SliceTrace
+	closed bool
+}
+
+func (c *closeTrackingTrace) Next() (isa.Op, bool) {
+	if c.closed {
+		return isa.Op{}, false
+	}
+	return c.SliceTrace.Next()
+}
+
+func (c *closeTrackingTrace) Close() { c.closed = true }
+
+// TestShardTraceCloseKeepsSiblingsAlive pins the Close fix: closing one
+// shard must not release the shared source while siblings still have
+// undelivered ops (the old demux closed the source on the first shard's
+// Close, silently truncating every other core's stream).
+func TestShardTraceCloseKeepsSiblingsAlive(t *testing.T) {
+	const n = shardChunkOps * 4
+	ops := make([]isa.Op, n)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.WordSize}
+	}
+	src := &closeTrackingTrace{SliceTrace: isa.SliceTrace{Ops: ops}}
+	shards := ShardTrace(src, 2)
+	// Shard 0 consumes a few ops, then abandons its stream.
+	for i := 0; i < 10; i++ {
+		if _, ok := shards[0].Next(); !ok {
+			t.Fatalf("shard 0 refused op %d", i)
+		}
+	}
+	shards[0].(*traceShard).Close()
+	if src.closed {
+		t.Fatal("source closed while shard 1 is undrained")
+	}
+	count1 := 0
+	for {
+		if _, ok := shards[1].Next(); !ok {
+			break
+		}
+		count1++
+	}
+	if count1 != n/2 {
+		t.Fatalf("shard 1 delivered %d ops after sibling Close, want %d", count1, n/2)
+	}
+	// All shards now closed or drained: the source must be released.
+	shards[1].(*traceShard).Close()
+	if !src.closed {
+		t.Fatal("source not released after every shard closed or drained")
+	}
+}

@@ -16,6 +16,22 @@ type Closer interface {
 	Close()
 }
 
+// Blocker is implemented by traces whose Next can fail transiently: a false
+// Next with Blocked() true means "no op available right now" — backpressure,
+// not end of trace. A false Next with Blocked() false remains permanent
+// exhaustion. Consumers that park on a blocked trace register a wake
+// callback via OnReadable; the trace invokes it whenever a previously
+// refused pull may now succeed (including when the trace learns it is
+// exhausted, so a parked consumer always observes the final EOF).
+type Blocker interface {
+	// Blocked reports whether the most recent failed Next was transient
+	// backpressure rather than exhaustion.
+	Blocked() bool
+	// OnReadable registers fn as this reader's wake callback, replacing any
+	// previous registration (one callback per reader).
+	OnReadable(fn func())
+}
+
 // SliceTrace adapts a slice of ops to TraceReader.
 type SliceTrace struct {
 	Ops []Op
@@ -42,9 +58,13 @@ const streamChunk = 4096
 
 // StreamTrace is a TraceReader fed by a generator goroutine in chunks. It
 // decouples arbitrary recursive generators (loop-nest walkers) from the
-// pull-based consumer without per-op channel overhead.
+// pull-based consumer without per-op channel overhead. Consumed chunks are
+// recycled back to the generator through a free list, so steady-state
+// streaming (generator and consumer both warm) allocates nothing per op —
+// memory use is bounded by the channel depth regardless of trace length.
 type StreamTrace struct {
 	ch   chan []Op
+	free chan []Op
 	stop chan struct{}
 	cur  []Op
 	pos  int
@@ -55,7 +75,10 @@ type StreamTrace struct {
 // return when emit reports false (consumer stopped early).
 func Stream(gen func(emit func(Op) bool)) *StreamTrace {
 	t := &StreamTrace{
-		ch:   make(chan []Op, 4),
+		ch: make(chan []Op, 4),
+		// One slot beyond the in-flight maximum (4 queued + 1 being filled
+		// + 1 being consumed) so returning a chunk never blocks.
+		free: make(chan []Op, 6),
 		stop: make(chan struct{}),
 	}
 	go func() {
@@ -65,8 +88,14 @@ func Stream(gen func(emit func(Op) bool)) *StreamTrace {
 			if len(buf) == 0 {
 				return true
 			}
-			chunk := make([]Op, len(buf))
-			copy(chunk, buf)
+			var chunk []Op
+			select {
+			case chunk = <-t.free:
+				chunk = append(chunk[:0], buf...)
+			default:
+				chunk = make([]Op, len(buf))
+				copy(chunk, buf)
+			}
 			buf = buf[:0]
 			select {
 			case t.ch <- chunk:
@@ -93,6 +122,13 @@ func (t *StreamTrace) Next() (Op, bool) {
 	for t.pos >= len(t.cur) {
 		if t.done {
 			return Op{}, false
+		}
+		if t.cur != nil {
+			select {
+			case t.free <- t.cur[:0]:
+			default:
+			}
+			t.cur = nil
 		}
 		chunk, ok := <-t.ch
 		if !ok {

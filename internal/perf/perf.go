@@ -105,6 +105,7 @@ func Scenarios() []Scenario {
 		s = append(s, Scenario{Name: "Fig13CacheResident/" + d.String(), Fn: benchFig13(d)})
 	}
 	s = append(s, Scenario{Name: "SimulatorThroughput", Quick: true, Fn: benchThroughput})
+	s = append(s, Scenario{Name: "RequestThroughput/kv", Quick: true, Fn: benchRequestThroughput})
 	return s
 }
 
@@ -198,6 +199,23 @@ func benchThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := runSpec(b, experiments.RunSpec{Bench: "strmm", N: N, Design: core.D1DiffSet, LLCBytes: core.MB})
+		ops += r.Ops
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+}
+
+// benchRequestThroughput measures the request-driven path end to end: the
+// streaming generator, the per-core backpressure protocol, and a four-core
+// shared hierarchy under a Zipf-skewed KV load.
+func benchRequestThroughput(b *testing.B) {
+	var ops uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := runSpec(b, experiments.RunSpec{
+			Workload: "kv", N: N, Design: core.D2Sparse, LLCBytes: core.MB,
+			Cores: 4, Clients: 16, Ops: 100_000, Zipf: 0.99, ReadRatio: 0.9,
+			WorkloadSeed: 1,
+		})
 		ops += r.Ops
 	}
 	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")

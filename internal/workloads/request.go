@@ -1,0 +1,430 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// This file defines the request-driven workload family: instead of a
+// compiled loop nest, the trace is an open-ended stream of client requests
+// against the htapTable layout, generated op-by-op by seeded per-core
+// generators. Streams are built on isa.Stream, so memory stays O(1) in the
+// request count — the "millions of users" traffic shapes (Zipf-skewed KV
+// serving, HTAP transaction mixes) run at any -ops without materialising a
+// trace.
+//
+//	kv    Zipf-skewed get/put over row segments: a get is one row-vector
+//	      load of the 8-field segment holding the key; a put is a
+//	      read-modify-write (segment read plus one scalar field store).
+//	hTap  the kv point-transaction stream racing column-major analytics:
+//	      a slice of requests become column scans (col-vector loads down a
+//	      run of tiles on 2-D designs; strided scalar loads on 1-D ones).
+//
+// Clients are pinned to cores (client i drives core i mod Cores) and each
+// core's stream interleaves its clients round-robin, one whole request at a
+// time — no cross-core demultiplexer is needed, every stream is independent.
+
+// RequestNames lists the request-driven workload families.
+var RequestNames = []string{"kv", "htap"}
+
+// ValidRequest reports whether name is a known request workload.
+func ValidRequest(name string) bool {
+	for _, n := range RequestNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ReqSpec parameterises one request-driven workload.
+type ReqSpec struct {
+	Workload string // "kv" or "htap"
+
+	// N is the table scale parameter, interpreted exactly like the kernel
+	// benchmarks' matrix dimension: the table is htapTable(N) rows × cols.
+	N int
+
+	// Cores is the number of per-core streams to generate (>= 1; 0 = 1).
+	Cores int
+
+	// Clients is the total number of simulated clients, pinned to cores
+	// round-robin (client i → core i mod Cores). 0 defaults to one client
+	// per core.
+	Clients int
+
+	// Ops is the total stream length across all cores, split evenly across
+	// clients (a request at the boundary is truncated mid-request so the
+	// total is exact).
+	Ops int64
+
+	// Zipf is the key-popularity skew exponent theta in [0, 1): 0 draws
+	// keys uniformly, 0.99 is the YCSB-style hot-key default.
+	Zipf float64
+
+	// ReadRatio is the fraction of point requests that are gets in [0, 1];
+	// the rest are read-modify-write puts.
+	ReadRatio float64
+
+	// Seed makes the whole stream family deterministic: the same spec
+	// generates bit-identical streams every time.
+	Seed uint64
+
+	// Logical2D selects the table layout and scan shape for the target
+	// design: true uses the §V tiled layout with column-vector analytics,
+	// false a linear row-major layout with row-only accesses (1-D designs
+	// reject column operations).
+	Logical2D bool
+}
+
+// normalize validates the spec and fills defaults.
+func (s ReqSpec) normalize() (ReqSpec, error) {
+	if !ValidRequest(s.Workload) {
+		return s, fmt.Errorf("workloads: unknown request workload %q (valid: %s)",
+			s.Workload, strings.Join(RequestNames, ", "))
+	}
+	if s.N < 1 {
+		return s, fmt.Errorf("workloads: request table scale N must be >= 1 (got %d)", s.N)
+	}
+	if s.Cores < 1 {
+		s.Cores = 1
+	}
+	if s.Clients < 1 {
+		s.Clients = s.Cores
+	}
+	if s.Ops < 1 {
+		return s, fmt.Errorf("workloads: request op count must be >= 1 (got %d)", s.Ops)
+	}
+	if s.Zipf < 0 || s.Zipf >= 1 {
+		return s, fmt.Errorf("workloads: zipf skew must be in [0, 1) (got %g)", s.Zipf)
+	}
+	if s.ReadRatio < 0 || s.ReadRatio > 1 {
+		return s, fmt.Errorf("workloads: read ratio must be in [0, 1] (got %g)", s.ReadRatio)
+	}
+	return s, nil
+}
+
+const (
+	// reqTableBase mirrors where compiler.Compile places the first array.
+	reqTableBase = 1 << 12
+
+	// reqValueBase starts client store values above anything a kernel trace
+	// writes; each client gets a disjoint 2^36-value range so every store
+	// in a run carries a globally unique payload (stride 16 keeps vector
+	// word synthesis, value+i, collision-free too).
+	reqValueBase = uint64(1) << 32
+
+	// reqMaxGap bounds the compute gap drawn per request (think time).
+	reqMaxGap = 4
+
+	// htapScanEvery makes one request in this many an analytics scan.
+	htapScanEvery = 16
+
+	// htapScanTiles is the column-scan run length in row-tiles (8 rows
+	// each), capped at the table height.
+	htapScanTiles = 16
+
+	// Per-client PC slots: stable static instruction ids per request type
+	// so the stride prefetcher can train per client and per access shape.
+	pcKVGet     = 0
+	pcKVPutRead = 1
+	pcKVPutWr   = 2
+	pcScan      = 3
+	pcSlots     = 4
+)
+
+// scramble64 is the splitmix64 finalizer: a bijection on uint64 used to
+// spread Zipf ranks across the table and decorrelate per-client RNG seeds.
+func scramble64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// reqTable is the request workloads' view of the htapTable layout. It
+// replicates the compiler's address mapping (layout.go) so request streams
+// land on the same physical addresses a compiled kernel would use.
+type reqTable struct {
+	base             uint64
+	rows, cols       int
+	padRows, padCols int
+	tiled            bool
+}
+
+func newReqTable(n int, tiled bool) reqTable {
+	rows, cols := htapTable(n)
+	t := reqTable{base: reqTableBase, rows: rows, cols: cols, tiled: tiled}
+	t.padCols = (cols + 7) &^ 7
+	t.padRows = rows
+	if tiled {
+		t.padRows = (rows + 7) &^ 7
+	}
+	return t
+}
+
+// addr returns the physical byte address of element (i, j), mirroring
+// compiler.Array.Addr for the tiled and linear layouts.
+func (t reqTable) addr(i, j int) uint64 {
+	if t.tiled {
+		tilesPerRow := uint64(t.padCols) / isa.LinesPerTile
+		tile := (uint64(i)/8)*tilesPerRow + uint64(j)/8
+		return t.base + tile*isa.TileSize +
+			(uint64(i)%8)*isa.LineSize + (uint64(j)%8)*isa.WordSize
+	}
+	return t.base + (uint64(i)*uint64(t.padCols)+uint64(j))*isa.WordSize
+}
+
+// segs returns the number of aligned 8-field segments per row.
+func (t reqTable) segs() int { return t.cols / isa.WordsPerLine }
+
+// rowSegAddr returns the (64-byte-aligned) base address of row i's seg-th
+// 8-field segment — a canonical row-vector base in both layouts.
+func (t reqTable) rowSegAddr(i, seg int) uint64 { return t.addr(i, seg*isa.WordsPerLine) }
+
+// colLineAddr returns the canonical column-line base of column j in the
+// given row-tile (tiled layout only).
+func (t reqTable) colLineAddr(tileRow, j int) uint64 {
+	return t.addr(tileRow*isa.LinesPerTile, j)
+}
+
+// rowTiles returns the table height in row-tiles (tiled layout).
+func (t reqTable) rowTiles() int { return t.padRows / isa.LinesPerTile }
+
+// zipfGen draws key ranks with P(rank k) ∝ 1/(k+1)^theta using the Gray et
+// al. inverse-CDF approximation: O(rows) setup, O(1) per sample, no
+// allocation. theta == 0 degenerates to uniform. Immutable after
+// construction, so one generator is safely shared by all per-core
+// goroutines (each passes its own RNG).
+type zipfGen struct {
+	n                 int
+	theta             float64
+	alpha, zetan, eta float64
+	halfPow           float64 // 0.5^theta, hoisted out of the sample path
+}
+
+func newZipfGen(n int, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	if theta == 0 {
+		return z
+	}
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	z.zetan = zetan
+	z.halfPow = math.Pow(0.5, theta)
+	zeta2 := 1 + z.halfPow
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	return z
+}
+
+// next returns a rank in [0, n), 0 being the hottest key.
+func (z *zipfGen) next(r *sim.RNG) int {
+	if z.theta == 0 {
+		return r.Intn(z.n)
+	}
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.halfPow {
+		return 1
+	}
+	k := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k < 0 {
+		k = 0
+	} else if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// reqClient is one simulated client's state: a private RNG (decorrelated
+// from its siblings by scrambling the id into the seed), a remaining op
+// budget, and disjoint PC and store-value ranges.
+type reqClient struct {
+	rng     *sim.RNG
+	budget  int64
+	pcBase  uint32
+	valNext uint64
+}
+
+func (c *reqClient) nextValue() uint64 {
+	v := c.valNext
+	c.valNext += 16
+	return v
+}
+
+// coreGen generates one core's stream: its clients' requests interleaved
+// round-robin, one whole request per turn. All state is owned by the
+// generator goroutine except tab and z, which are immutable.
+type coreGen struct {
+	spec    ReqSpec
+	tab     reqTable
+	z       *zipfGen
+	clients []reqClient
+	stopped bool // consumer closed the stream early
+}
+
+// run is the isa.Stream generator body. It terminates when every client's
+// budget is spent or the consumer stops.
+func (g *coreGen) run(emit func(isa.Op) bool) {
+	live := 0
+	for i := range g.clients {
+		if g.clients[i].budget > 0 {
+			live++
+		}
+	}
+	for live > 0 {
+		for ci := range g.clients {
+			cl := &g.clients[ci]
+			if cl.budget <= 0 {
+				continue
+			}
+			g.request(cl, emit)
+			if g.stopped {
+				return
+			}
+			if cl.budget <= 0 {
+				live--
+			}
+		}
+	}
+}
+
+// put emits one op against cl's budget. It returns false when the request
+// must stop — budget spent (truncating the request keeps the stream total
+// exact) or consumer gone.
+func (g *coreGen) put(cl *reqClient, emit func(isa.Op) bool, op isa.Op) bool {
+	if cl.budget <= 0 {
+		return false
+	}
+	cl.budget--
+	if !emit(op) {
+		g.stopped = true
+		return false
+	}
+	return true
+}
+
+// request generates and emits one client request.
+func (g *coreGen) request(cl *reqClient, emit func(isa.Op) bool) {
+	if g.spec.Workload == "htap" && cl.rng.Intn(htapScanEvery) == 0 {
+		g.scanRequest(cl, emit)
+		return
+	}
+	g.pointRequest(cl, emit)
+}
+
+// pointRequest is one get or put: the key rank is drawn from the Zipf
+// distribution and scrambled onto a (row, segment) slot.
+func (g *coreGen) pointRequest(cl *reqClient, emit func(isa.Op) bool) {
+	r := cl.rng
+	h := scramble64(uint64(g.z.next(r)))
+	row := int(h % uint64(g.tab.rows))
+	seg := int((h >> 32) % uint64(g.tab.segs()))
+	gap := uint32(r.Intn(reqMaxGap))
+	base := g.tab.rowSegAddr(row, seg)
+	if r.Float64() < g.spec.ReadRatio {
+		g.put(cl, emit, isa.Op{
+			Addr: base, PC: cl.pcBase + pcKVGet, Gap: gap,
+			Kind: isa.Load, Orient: isa.Row, Vector: true,
+		})
+		return
+	}
+	// Put: read-modify-write — segment read, then one scalar field store.
+	if !g.put(cl, emit, isa.Op{
+		Addr: base, PC: cl.pcBase + pcKVPutRead, Gap: gap,
+		Kind: isa.Load, Orient: isa.Row, Vector: true,
+	}) {
+		return
+	}
+	field := r.Intn(isa.WordsPerLine)
+	g.put(cl, emit, isa.Op{
+		Addr: base + uint64(field)*isa.WordSize, Value: cl.nextValue(),
+		PC: cl.pcBase + pcKVPutWr, Kind: isa.Store, Orient: isa.Row,
+	})
+}
+
+// scanRequest is one analytics query: an aggregation down a random column
+// over a contiguous run of row-tiles. On 2-D targets it is a stream of
+// column-vector loads; on 1-D targets the same logical scan degrades to
+// strided scalar row loads — the layout mismatch the paper's Design 0
+// suffers on column-major analytics.
+func (g *coreGen) scanRequest(cl *reqClient, emit func(isa.Op) bool) {
+	r := cl.rng
+	col := r.Intn(g.tab.cols)
+	tiles := g.tab.rowTiles()
+	span := htapScanTiles
+	if span > tiles {
+		span = tiles
+	}
+	lo := r.Intn(tiles - span + 1)
+	gap := uint32(r.Intn(reqMaxGap))
+	if g.spec.Logical2D {
+		for tr := lo; tr < lo+span; tr++ {
+			if !g.put(cl, emit, isa.Op{
+				Addr: g.tab.colLineAddr(tr, col), PC: cl.pcBase + pcScan, Gap: gap,
+				Kind: isa.Load, Orient: isa.Col, Vector: true,
+			}) {
+				return
+			}
+			gap = 0
+		}
+		return
+	}
+	for i := lo * isa.LinesPerTile; i < (lo+span)*isa.LinesPerTile; i++ {
+		if i >= g.tab.rows {
+			break // linear layout has no row padding to scan
+		}
+		if !g.put(cl, emit, isa.Op{
+			Addr: g.tab.addr(i, col), PC: cl.pcBase + pcScan, Gap: gap,
+			Kind: isa.Load, Orient: isa.Row,
+		}) {
+			return
+		}
+		gap = 0
+	}
+}
+
+// RequestStreams builds the per-core request streams for the spec: element
+// c of the result drives core c (feed them to Machine.RunTracesCtx
+// directly; no ShardTrace is involved). Each stream is an isa.Stream-backed
+// reader — bounded lookahead, O(1) memory in s.Ops — and the whole family
+// is a pure function of the spec, so a fixed seed reproduces bit-identical
+// streams.
+func RequestStreams(s ReqSpec) ([]isa.TraceReader, error) {
+	s, err := s.normalize()
+	if err != nil {
+		return nil, err
+	}
+	tab := newReqTable(s.N, s.Logical2D)
+	z := newZipfGen(tab.rows, s.Zipf)
+	perClient := s.Ops / int64(s.Clients)
+	extra := s.Ops % int64(s.Clients)
+	out := make([]isa.TraceReader, s.Cores)
+	for c := 0; c < s.Cores; c++ {
+		g := &coreGen{spec: s, tab: tab, z: z}
+		for id := c; id < s.Clients; id += s.Cores {
+			budget := perClient
+			if int64(id) < extra {
+				budget++
+			}
+			g.clients = append(g.clients, reqClient{
+				rng:     sim.NewRNG(scramble64(s.Seed ^ scramble64(uint64(id)+1))),
+				budget:  budget,
+				pcBase:  1 + uint32(id)*pcSlots,
+				valNext: reqValueBase + uint64(id)<<36,
+			})
+		}
+		out[c] = isa.Stream(g.run)
+	}
+	return out, nil
+}

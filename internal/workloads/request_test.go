@@ -1,0 +1,260 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+func collectStreams(t *testing.T, spec ReqSpec) [][]isa.Op {
+	t.Helper()
+	streams, err := RequestStreams(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]isa.Op, len(streams))
+	for i, s := range streams {
+		out[i] = isa.Collect(s)
+	}
+	return out
+}
+
+// TestRequestStreamsDeterministic pins seeded determinism: the same spec
+// yields bit-identical streams on every build, and a different seed yields
+// a different stream.
+func TestRequestStreamsDeterministic(t *testing.T) {
+	for _, w := range RequestNames {
+		spec := ReqSpec{
+			Workload: w, N: 64, Cores: 2, Clients: 5, Ops: 10_000,
+			Zipf: 0.99, ReadRatio: 0.9, Seed: 7, Logical2D: true,
+		}
+		a := collectStreams(t, spec)
+		b := collectStreams(t, spec)
+		for c := range a {
+			if len(a[c]) != len(b[c]) {
+				t.Fatalf("%s core %d: %d vs %d ops across builds", w, c, len(a[c]), len(b[c]))
+			}
+			for i := range a[c] {
+				if a[c][i] != b[c][i] {
+					t.Fatalf("%s core %d op %d differs across builds: %v vs %v", w, c, i, a[c][i], b[c][i])
+				}
+			}
+		}
+		spec.Seed = 8
+		d := collectStreams(t, spec)
+		same := true
+		for c := range a {
+			for i := range a[c] {
+				if i >= len(d[c]) || a[c][i] != d[c][i] {
+					same = false
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: seed change left the stream bit-identical", w)
+		}
+	}
+}
+
+// TestRequestStreamsExactTotal checks the op budget is split exactly: the
+// streams sum to Ops even when clients and cores don't divide it.
+func TestRequestStreamsExactTotal(t *testing.T) {
+	spec := ReqSpec{Workload: "kv", N: 32, Cores: 3, Clients: 7, Ops: 1001, Zipf: 0.5, ReadRatio: 0.5, Seed: 1}
+	streams := collectStreams(t, spec)
+	total := 0
+	for _, ops := range streams {
+		total += len(ops)
+	}
+	if total != 1001 {
+		t.Fatalf("streams total %d ops, want 1001", total)
+	}
+}
+
+// TestRequestClientPinning checks the client-to-core mapping via the
+// per-client PC ranges: core c sees exactly the PCs of clients ≡ c mod
+// cores, so client streams never migrate between cores.
+func TestRequestClientPinning(t *testing.T) {
+	const cores, clients = 2, 5
+	spec := ReqSpec{Workload: "kv", N: 32, Cores: cores, Clients: clients, Ops: 4000, ReadRatio: 0.5, Seed: 3}
+	streams := collectStreams(t, spec)
+	for c, ops := range streams {
+		for _, op := range ops {
+			id := int(op.PC-1) / pcSlots
+			if id < 0 || id >= clients {
+				t.Fatalf("core %d: PC %d outside any client's slot range", c, op.PC)
+			}
+			if id%cores != c {
+				t.Fatalf("core %d saw client %d (pinned to core %d)", c, id, id%cores)
+			}
+		}
+	}
+}
+
+// TestRequestOrientsMatchTarget checks the layout contract: kv is row-only
+// in both layouts, htap emits column vectors only on 2-D targets (1-D
+// hierarchies reject column ops).
+func TestRequestOrientsMatchTarget(t *testing.T) {
+	cases := []struct {
+		workload  string
+		logical2D bool
+		wantCol   bool
+	}{
+		{"kv", true, false},
+		{"kv", false, false},
+		{"htap", true, true},
+		{"htap", false, false},
+	}
+	for _, tc := range cases {
+		spec := ReqSpec{
+			Workload: tc.workload, N: 64, Cores: 2, Ops: 20_000,
+			Zipf: 0.6, ReadRatio: 0.8, Seed: 5, Logical2D: tc.logical2D,
+		}
+		cols := 0
+		for _, ops := range collectStreams(t, spec) {
+			for _, op := range ops {
+				if op.Orient == isa.Col {
+					cols++
+					if !op.Vector {
+						t.Fatalf("%v: scalar column op generated", tc)
+					}
+				}
+			}
+		}
+		if (cols > 0) != tc.wantCol {
+			t.Fatalf("%s logical2D=%v: %d column ops, wantCol=%v", tc.workload, tc.logical2D, cols, tc.wantCol)
+		}
+	}
+}
+
+// TestRequestStoreValuesUnique checks every store in a multi-client run
+// carries a globally unique value (the conformance harness relies on
+// payloads identifying their writer).
+func TestRequestStoreValuesUnique(t *testing.T) {
+	spec := ReqSpec{Workload: "kv", N: 32, Cores: 4, Clients: 8, Ops: 20_000, ReadRatio: 0, Seed: 2}
+	seen := map[uint64]bool{}
+	for _, ops := range collectStreams(t, spec) {
+		for _, op := range ops {
+			if op.Kind != isa.Store {
+				continue
+			}
+			if seen[op.Value] {
+				t.Fatalf("duplicate store value %#x", op.Value)
+			}
+			seen[op.Value] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("ReadRatio=0 run generated no stores")
+	}
+}
+
+// TestZipfSkewMass pins the sampler against the analytic distribution: the
+// top-1% ranks must receive their expected probability mass (±0.02), and a
+// theta=0 sampler must stay uniform.
+func TestZipfSkewMass(t *testing.T) {
+	const n, samples = 512, 200_000
+	const theta = 0.99
+	z := newZipfGen(n, theta)
+	r := sim.NewRNG(11)
+	top := n / 100 // 5 hottest ranks
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if z.next(r) < top {
+			hits++
+		}
+	}
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	want := 0.0
+	for i := 1; i <= top; i++ {
+		want += 1 / math.Pow(float64(i), theta) / zetan
+	}
+	got := float64(hits) / samples
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("top-%d ranks got mass %.3f, want %.3f±0.02", top, got, want)
+	}
+	uni := newZipfGen(n, 0)
+	hits = 0
+	for i := 0; i < samples; i++ {
+		if uni.next(r) < top {
+			hits++
+		}
+	}
+	if got := float64(hits) / samples; got > 0.03 {
+		t.Fatalf("uniform sampler gave top-%d ranks mass %.3f", top, got)
+	}
+}
+
+// TestRequestAddressesInBounds checks every generated address stays inside
+// the table footprint, for both layouts.
+func TestRequestAddressesInBounds(t *testing.T) {
+	for _, logical2D := range []bool{true, false} {
+		spec := ReqSpec{
+			Workload: "htap", N: 48, Cores: 2, Ops: 20_000,
+			Zipf: 0.9, ReadRatio: 0.7, Seed: 9, Logical2D: logical2D,
+		}
+		tab := newReqTable(48, logical2D)
+		limit := tab.base + uint64(tab.padRows)*uint64(tab.padCols)*isa.WordSize
+		for _, ops := range collectStreams(t, spec) {
+			for _, op := range ops {
+				if op.Addr < tab.base || op.Addr >= limit {
+					t.Fatalf("logical2D=%v: op addr %#x outside table [%#x, %#x)", logical2D, op.Addr, tab.base, limit)
+				}
+			}
+		}
+	}
+}
+
+// TestRequestSpecValidation checks the spec rejects out-of-domain knobs.
+func TestRequestSpecValidation(t *testing.T) {
+	bad := []ReqSpec{
+		{Workload: "nosuch", N: 32, Ops: 10},
+		{Workload: "kv", N: 0, Ops: 10},
+		{Workload: "kv", N: 32, Ops: 0},
+		{Workload: "kv", N: 32, Ops: 10, Zipf: 1.0},
+		{Workload: "kv", N: 32, Ops: 10, Zipf: -0.1},
+		{Workload: "kv", N: 32, Ops: 10, ReadRatio: 1.5},
+	}
+	for _, spec := range bad {
+		if _, err := RequestStreams(spec); err == nil {
+			t.Fatalf("spec %+v accepted, want error", spec)
+		}
+	}
+}
+
+// TestRequestStreamSteadyStateAllocFree pins the O(1)-memory contract in
+// the PR 5 alloc-test style: once the stream and its chunk free list are
+// warm, generating and consuming ops allocates nothing, so resident memory
+// is independent of Ops.
+func TestRequestStreamSteadyStateAllocFree(t *testing.T) {
+	spec := ReqSpec{
+		Workload: "htap", N: 64, Cores: 1, Clients: 4, Ops: 1 << 40,
+		Zipf: 0.99, ReadRatio: 0.9, Seed: 1, Logical2D: true,
+	}
+	streams, err := RequestStreams(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := streams[0]
+	defer s.(isa.Closer).Close()
+	// Warm-up: cycle enough chunks that the free list reaches steady state.
+	for i := 0; i < 8*4096; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatal("stream ended during warm-up")
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			if _, ok := s.Next(); !ok {
+				t.Fatal("stream ended during measurement")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state streaming allocates (%v allocs per 512 ops), want 0", avg)
+	}
+}
