@@ -62,10 +62,24 @@ func main() {
 		benchOut  = flag.String("bench-out", "", "run the simulator benchmark suite and write a BENCH_<n>.json baseline to this path (skips figure rendering)")
 		benchSte  = flag.String("bench-suite", "full", "benchmark suite for -bench-out: quick (PR smoke) or full (baseline)")
 		benchBase = flag.String("bench-baseline", "", "after -bench-out, compare against this earlier BENCH_<n>.json and print per-scenario speedups")
+		shards    = flag.Int("shards", 0, "run every simulation on the sharded memory engine with N epoch-synchronized queues (0 = classic single queue; figure output is bit-identical for every N >= 1)")
+		shardQ    = flag.Uint64("shard-quantum", 0, "epoch window length in cycles (0 = maximum legal lookahead; with -shards)")
+		shardPar  = flag.Bool("shard-parallel", false, "run each epoch's shards on worker goroutines (with -shards)")
 	)
 	flag.Parse()
 	if *scale < 1 {
 		usagef("-scale must be >= 1 (got %d)", *scale)
+	}
+	if *shards < 0 {
+		usagef("-shards must be non-negative (got %d)", *shards)
+	}
+	if *shards == 0 {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "shard-quantum", "shard-parallel":
+				usagef("-%s requires -shards", f.Name)
+			}
+		})
 	}
 	if flag.NArg() > 0 {
 		usagef("unexpected arguments: %v", flag.Args())
@@ -74,7 +88,10 @@ func main() {
 		usagef("-bench-baseline requires -bench-out")
 	}
 	if *benchOut != "" {
-		runBench(*benchOut, *benchSte, *benchBase)
+		if *shardQ != 0 {
+			usagef("-shard-quantum does not apply to -bench-out (the suite always uses the default lookahead)")
+		}
+		runBench(*benchOut, *benchSte, *benchBase, perf.Options{Shards: *shards, ShardParallel: *shardPar})
 		return
 	}
 
@@ -85,6 +102,9 @@ func main() {
 	suite := experiments.NewSuite(*scale, log)
 	suite.Timeout = *timeout
 	suite.MaxCycles = *maxCycles
+	suite.Shards = *shards
+	suite.ShardQuantum = *shardQ
+	suite.ShardParallel = *shardPar
 	if *profile {
 		suite.Profiles = &obs.ProfileLog{}
 		defer func() {
@@ -330,12 +350,16 @@ func main() {
 // internal/perf and the "Benchmarking" section of EXPERIMENTS.md). The
 // scenario set mirrors the root bench_test.go figures; the JSON artifact is
 // the committed BENCH_<n>.json trajectory.
-func runBench(out, suite, baseline string) {
+func runBench(out, suite, baseline string, opt perf.Options) {
 	// Benchmarking is minutes of silence without progress lines; always
 	// narrate to stderr (stdout stays reserved for the compare table).
 	progress := io.Writer(os.Stderr)
-	fmt.Fprintf(progress, "mdabench: running %s benchmark suite (this takes a while)\n", suite)
-	b, err := perf.Run(suite, progress)
+	if opt.Shards > 0 {
+		fmt.Fprintf(progress, "mdabench: running %s benchmark suite on the sharded engine (shards=%d, parallel=%v)\n", suite, opt.Shards, opt.ShardParallel)
+	} else {
+		fmt.Fprintf(progress, "mdabench: running %s benchmark suite (this takes a while)\n", suite)
+	}
+	b, err := perf.Run(suite, opt, progress)
 	if err != nil {
 		if strings.Contains(err.Error(), "unknown suite") {
 			usagef("%v", err)

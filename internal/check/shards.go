@@ -1,0 +1,156 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"mdacache/internal/core"
+	"mdacache/internal/isa"
+	"mdacache/internal/obs"
+)
+
+// This file is the sharded-engine differential checker: the property under
+// test is that the epoch-merged sharded cycle engine (core.Config.Shards =
+// N) is bit-identical to the single-shard engine for every N — same
+// Results, same metrics snapshot (integer counters, latency histograms and
+// float energy alike), same drained memory image, and byte-identical
+// cpu/cache/mshr event traces. mem/fault trace categories are excluded by
+// construction: core.Config.Validate rejects them in sharded mode because
+// their emission order is engine-schedule-dependent.
+
+// shardTraceCats is the category mask used for the byte-compare: everything
+// that remains available under sharding.
+const shardTraceCats = obs.CatCPU | obs.CatCache | obs.CatMSHR
+
+// shardRun is one design run's comparable outcome.
+type shardRun struct {
+	res   *core.Results
+	image map[uint64]uint64
+	trace []byte
+	err   error
+}
+
+// runShardDesign executes the annotated trace on design d with the given
+// shard count and captures everything the equivalence contract covers.
+func runShardDesign(d core.Design, annotated []isa.Op, spec GenSpec, opt Options, shards int) shardRun {
+	cfg := core.SmallConfig(d, spec.CfgVariant)
+	cfg.MaxCycles = checkMaxCycles
+	cfg.Shards = shards
+	if faultsEnabled(spec, opt) {
+		cfg.Mem.WriteFailProb = 0.05
+		cfg.Mem.FaultSeed = spec.Seed ^ 0xfa017
+	}
+	var buf bytes.Buffer
+	cfg.Tracer = obs.NewTracer(&buf, obs.TraceConfig{Cats: shardTraceCats})
+	m, err := core.Build(cfg)
+	if err != nil {
+		return shardRun{err: fmt.Errorf("build: %w", err)}
+	}
+	res, err := m.Run(isa.NewSliceTrace(annotated))
+	if err != nil {
+		return shardRun{err: err}
+	}
+	m.DrainAll()
+	image := make(map[uint64]uint64)
+	m.Memory.Store().ForEachWord(func(addr, v uint64) {
+		if v != 0 {
+			image[addr] = v
+		}
+	})
+	return shardRun{res: res, image: image, trace: append([]byte(nil), buf.Bytes()...)}
+}
+
+// CheckShardsOps checks Shards=N ≡ Shards=1 for ops across every applicable
+// design and every shard count in counts. Violations use the same taxonomy
+// as conformance checking with shard-specific kinds, so existing reporting
+// (Failure, mdacheck) renders them unchanged.
+func CheckShardsOps(ops []isa.Op, spec GenSpec, counts []int, opt Options) []Violation {
+	annotated := Annotate(ops)
+	var out []Violation
+	for _, d := range designsFor(ops, opt) {
+		out = append(out, checkShardDesign(d, annotated, spec, counts, opt)...)
+	}
+	return out
+}
+
+func checkShardDesign(d core.Design, annotated []isa.Op, spec GenSpec, counts []int, opt Options) []Violation {
+	var vio []Violation
+	add := func(kind, format string, args ...interface{}) {
+		if len(vio) < maxViolationsPerDesign {
+			vio = append(vio, Violation{Design: d, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+		}
+	}
+	ref := runShardDesign(d, annotated, spec, opt, 1)
+	if ref.err != nil {
+		add("run-error", "shards=1: %v", ref.err)
+		return vio
+	}
+	for _, n := range counts {
+		if n <= 1 {
+			continue // the reference covers Shards=1
+		}
+		got := runShardDesign(d, annotated, spec, opt, n)
+		if got.err != nil {
+			add("shard-error", "shards=%d failed where shards=1 passed: %v", n, got.err)
+			continue
+		}
+		if diff := obs.DiffSnapshots(ref.res.Metrics, got.res.Metrics); diff != "" {
+			add("shard-metrics", "shards=%d: %s", n, diff)
+			continue
+		}
+		if !reflect.DeepEqual(ref.res, got.res) {
+			add("shard-results", "shards=%d: results structs diverge", n)
+			continue
+		}
+		if !reflect.DeepEqual(ref.image, got.image) {
+			add("shard-image", "shards=%d: drained memory image diverges (%d vs %d words)",
+				n, len(ref.image), len(got.image))
+			continue
+		}
+		if !bytes.Equal(ref.trace, got.trace) {
+			add("shard-trace", "shards=%d: cpu/cache/mshr event trace diverges (%d vs %d bytes)",
+				n, len(ref.trace), len(got.trace))
+		}
+	}
+	return vio
+}
+
+// CheckShardsSpec generates spec's trace, checks shard equivalence, and on
+// failure shrinks to a locally-minimal failing trace (unless
+// Options.NoShrink). The returned Failure's Repro carries the shard counts
+// so `mdacheck -shards ... -seed ...` replays it exactly.
+func CheckShardsSpec(spec GenSpec, counts []int, opt Options) *Failure {
+	ops := Generate(spec)
+	vio := CheckShardsOps(ops, spec, counts, opt)
+	if len(vio) == 0 {
+		return nil
+	}
+	f := &Failure{Spec: spec, Ops: ops, Violations: vio, Shards: counts}
+	if !opt.NoShrink {
+		shrunk := ShrinkOps(ops, func(cand []isa.Op) bool {
+			return len(CheckShardsOps(cand, spec, counts, opt)) > 0
+		})
+		f.Ops = shrunk
+		f.Shrunk = true
+		f.Violations = CheckShardsOps(shrunk, spec, counts, opt)
+	}
+	return f
+}
+
+// CheckShardsSeed derives the spec for seed and checks shard equivalence —
+// the corpus entry point behind `mdacheck -shards`.
+func CheckShardsSeed(seed uint64, counts []int, opt Options) *Failure {
+	return CheckShardsSpec(SpecForSeed(seed), counts, opt)
+}
+
+// formatShards renders a shard-count list for repro lines ("1,2,4").
+func formatShards(counts []int) string {
+	parts := make([]string, len(counts))
+	for i, n := range counts {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,55 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardCorpusEquivalent is the check-level shard differential: every
+// corpus seed, every applicable design, Shards ∈ {2, 4, 7} must be
+// bit-identical to Shards=1 — results, metrics, drained image and
+// cpu/cache/mshr trace bytes. Seeds are corpus indices, so a failure
+// reproduces with the printed `mdacheck -shards` line verbatim.
+func TestShardCorpusEquivalent(t *testing.T) {
+	n := corpusSize(t) / 4 // the shard check runs 4 engines per seed
+	if n < 16 {
+		n = 16
+	}
+	counts := []int{2, 4, 7}
+	for seed := 0; seed < n; seed++ {
+		if f := CheckShardsSeed(uint64(seed), counts, Options{}); f != nil {
+			t.Fatalf("shard equivalence failure:\n%s", f)
+		}
+	}
+}
+
+// TestShardFailureRepro pins the repro line format for shard failures: the
+// shard counts must round-trip into the command a user pastes.
+func TestShardFailureRepro(t *testing.T) {
+	f := &Failure{Spec: GenSpec{Seed: 0x2a}, Shards: []int{1, 2, 4}}
+	repro := f.Repro()
+	if want := "mdacheck -shards 1,2,4 -seed 0x2a"; repro != want {
+		t.Fatalf("Repro() = %q, want %q", repro, want)
+	}
+	// The full report embeds the repro line.
+	if s := f.String(); !strings.Contains(s, repro) {
+		t.Fatalf("String() does not embed the repro line:\n%s", s)
+	}
+	// Plain conformance failures keep the original format.
+	f.Shards = nil
+	if want := "mdacheck -seed 0x2a"; f.Repro() != want {
+		t.Fatalf("Repro() without shards = %q, want %q", f.Repro(), want)
+	}
+}
+
+// TestShardCheckCoversDesignFiltering: a row-only spec must include the
+// baseline design, a row+col spec must drop it — same filtering as the
+// conformance checker, so the differential corpus covers 1P1L too.
+func TestShardCheckCoversDesignFiltering(t *testing.T) {
+	spec := SpecForSeed(3)
+	spec.RowOnly = true
+	ops := Generate(spec)
+	if vio := CheckShardsOps(ops, spec, []int{2}, Options{}); len(vio) != 0 {
+		t.Fatalf("row-only spec reported violations: %v", vio)
+	}
+}

@@ -19,8 +19,8 @@ import (
 type Machine struct {
 	Cfg    Config
 	Q      *sim.EventQueue
-	CPU    *CPU   // core 0 (== CPUs[0]); kept for single-core callers
-	CPUs   []*CPU // all cores, ascending core ID
+	CPU    *CPU    // core 0 (== CPUs[0]); kept for single-core callers
+	CPUs   []*CPU  // all cores, ascending core ID
 	Levels []Level // private L1s (one per core) followed by the shared levels
 	Memory *mem.Memory
 
@@ -43,7 +43,13 @@ func Build(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	q := &sim.EventQueue{}
-	memory, err := mem.New(q, cfg.Mem)
+	var memory *mem.Memory
+	var err error
+	if cfg.Shards > 0 {
+		memory, err = mem.NewSharded(q, cfg.Mem, cfg.Shards, cfg.ShardQuantum, cfg.ShardParallel)
+	} else {
+		memory, err = mem.New(q, cfg.Mem)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -289,21 +295,27 @@ func (m *Machine) RunTracesCtx(ctx context.Context, traces ...isa.TraceReader) (
 		}
 		m.Q.After(iv, sampler)
 	}
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, m.stallErr(sim.ErrTimeout, err.Error())
-		}
-		n := m.Q.RunBounded(m.Cfg.MaxCycles, watchdogStride)
-		m.eventsRun += uint64(n)
-		if err := m.Q.Err(); err != nil {
+	if eng := m.Memory.Sharded(); eng != nil {
+		if err := m.runSharded(ctx, eng); err != nil {
 			return nil, err
 		}
-		if n < watchdogStride {
-			break // queue drained or cycle budget reached
+	} else {
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, m.stallErr(sim.ErrTimeout, err.Error())
+			}
+			n := m.Q.RunBounded(m.Cfg.MaxCycles, watchdogStride)
+			m.eventsRun += uint64(n)
+			if err := m.Q.Err(); err != nil {
+				return nil, err
+			}
+			if n < watchdogStride {
+				break // queue drained or cycle budget reached
+			}
 		}
-	}
-	if m.Cfg.MaxCycles != 0 && m.Q.Pending() > 0 {
-		return nil, m.stallErr(sim.ErrCycleLimit, "")
+		if m.Cfg.MaxCycles != 0 && m.Q.Pending() > 0 {
+			return nil, m.stallErr(sim.ErrCycleLimit, "")
+		}
 	}
 	if m.running {
 		return nil, m.stallErr(sim.ErrDeadlock, "")
@@ -451,6 +463,10 @@ func (m *Machine) DrainAll() {
 	at := m.Q.Now()
 	for _, lvl := range m.Levels {
 		lvl.Drain(at)
+	}
+	if eng := m.Memory.Sharded(); eng != nil {
+		m.settleSharded(eng)
+		return
 	}
 	m.Q.Run(0)
 }

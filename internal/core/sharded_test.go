@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"reflect"
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/obs"
+	"mdacache/internal/sim"
+)
+
+// shardCase builds a machine from cfg with the given shard settings, runs
+// one fresh slice trace per core, and returns the results plus the drained
+// store fingerprint. Every run gets fresh traces because TraceReaders are
+// consumed.
+type shardCase struct {
+	shards   int
+	quantum  uint64
+	parallel bool
+}
+
+func (sc shardCase) run(t *testing.T, cfg Config, perCore [][]isa.Op) (*Results, uint64) {
+	t.Helper()
+	cfg.Shards = sc.shards
+	cfg.ShardQuantum = sc.quantum
+	cfg.ShardParallel = sc.parallel
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build(shards=%d): %v", sc.shards, err)
+	}
+	traces := make([]isa.TraceReader, len(perCore))
+	for i, ops := range perCore {
+		traces[i] = isa.NewSliceTrace(ops)
+	}
+	res, err := m.RunTraces(traces...)
+	if err != nil {
+		t.Fatalf("RunTraces(shards=%d): %v", sc.shards, err)
+	}
+	m.DrainAll()
+	return res, storeFingerprint(m)
+}
+
+// storeFingerprint hashes the drained memory image in canonical address
+// order.
+func storeFingerprint(m *Machine) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	m.Memory.Store().ForEachWord(func(addr, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(addr >> (8 * i))
+			buf[8+i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	})
+	return h.Sum64()
+}
+
+// requireIdentical asserts the full bit-identity contract between a
+// reference run and a candidate: every Results field (integer stats, float
+// energy, occupancy trajectory), the complete metrics snapshot (including
+// the sim.events counter and latency histograms), and the drained memory
+// image.
+func requireIdentical(t *testing.T, label string, ref, got *Results, refFP, gotFP uint64) {
+	t.Helper()
+	if d := obs.DiffSnapshots(ref.Metrics, got.Metrics); d != "" {
+		t.Fatalf("%s: metrics diverge from Shards=1:\n%s", label, d)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("%s: results diverge from Shards=1:\nref: %+v\ngot: %+v", label, ref, got)
+	}
+	if refFP != gotFP {
+		t.Fatalf("%s: drained store image diverges from Shards=1: %#x vs %#x", label, gotFP, refFP)
+	}
+}
+
+// perCoreTraces builds one random trace per core over disjoint tile
+// footprints (reusing the oracle-trace machinery).
+func perCoreTraces(seed uint64, cores, nops, tiles int, rowOnly bool) [][]isa.Op {
+	out := make([][]isa.Op, cores)
+	for c := 0; c < cores; c++ {
+		ops := randomTrace(seed+uint64(c)*977, nops, tiles, rowOnly)
+		out[c] = shiftOps(ops, uint64(c*tiles))
+	}
+	return out
+}
+
+// TestShardedMachineBitIdentical is the machine-level differential matrix:
+// for every design and 1/2/4 cores, a sharded run (N ∈ {2, 4, 7}) must be
+// bit-identical to the Shards=1 run — same Results, same metrics snapshot,
+// same drained memory image. Shards=7 exceeds the 2 memory channels of the
+// test config, so some shards own no channel at all (empty-shard case).
+func TestShardedMachineBitIdentical(t *testing.T) {
+	designs := []Design{D0Baseline, D1DiffSet, D1SameSet, D2Sparse, D2Dense, D3AllTile}
+	for _, d := range designs {
+		for _, cores := range []int{1, 2, 4} {
+			d, cores := d, cores
+			t.Run(fmt.Sprintf("%s/cores%d", d, cores), func(t *testing.T) {
+				t.Parallel()
+				cfg := mcConfig(d, cores)
+				perCore := perCoreTraces(0xd1f*uint64(cores), cores, 1200, 6, d == D0Baseline)
+				ref, refFP := shardCase{shards: 1}.run(t, cfg, perCore)
+				if ref.Ops == 0 || ref.Cycles == 0 {
+					t.Fatalf("reference run did no work: %+v", ref)
+				}
+				for _, n := range []int{2, 4, 7} {
+					got, gotFP := shardCase{shards: n}.run(t, cfg, perCore)
+					requireIdentical(t, fmt.Sprintf("Shards=%d", n), ref, got, refFP, gotFP)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedMachineQuantumSweep pins shard-count invariance at every
+// legal quantum, from quantum = 1 (a barrier every cycle, so cross-shard
+// events land exactly on barrier cycles) through the maximum
+// CAS+CriticalWordBeats window. The reference uses the same quantum as the
+// candidate: for a fixed quantum every shard count is bit-identical, while
+// two different quanta may legally reorder completions that tie on the
+// same cycle across an epoch boundary (see DESIGN §13 and FuzzEpochMerge).
+func TestShardedMachineQuantumSweep(t *testing.T) {
+	cfg := tinyConfig(D2Sparse)
+	maxQ := uint64(cfg.Mem.CAS + cfg.Mem.CriticalWordBeats)
+	perCore := perCoreTraces(0x5eed, 1, 1500, 5, false)
+	for _, q := range []uint64{1, 2, 5, maxQ - 1, maxQ} {
+		ref, refFP := shardCase{shards: 1, quantum: q}.run(t, cfg, perCore)
+		got, gotFP := shardCase{shards: 3, quantum: q}.run(t, cfg, perCore)
+		requireIdentical(t, fmt.Sprintf("quantum=%d", q), ref, got, refFP, gotFP)
+	}
+}
+
+// TestShardedMachineQuantumBeyondWheel stretches the epoch window past the
+// calendar wheel's horizon by inflating CAS, so epoch-internal events route
+// through the overflow heap. Identity must still hold.
+func TestShardedMachineQuantumBeyondWheel(t *testing.T) {
+	cfg := tinyConfig(D1DiffSet)
+	cfg.Mem.CAS = 1040 // quantum default 1040+2 > the 1024-slot wheel
+	perCore := perCoreTraces(0xbeef, 1, 150, 3, false)
+	ref, refFP := shardCase{shards: 1}.run(t, cfg, perCore)
+	got, gotFP := shardCase{shards: 2}.run(t, cfg, perCore)
+	requireIdentical(t, "quantum>wheel", ref, got, refFP, gotFP)
+}
+
+// TestShardedMachineFaultDeterminism drives write-fault injection hard
+// enough that retry RNG draws straddle epoch boundaries, and requires the
+// fault outcome — retry counts, fault energy, final image — to be invariant
+// across shard counts.
+func TestShardedMachineFaultDeterminism(t *testing.T) {
+	cfg := tinyConfig(D2Dense)
+	cfg.Mem.WriteFailProb = 0.2
+	cfg.Mem.WriteRetryLimit = 8
+	cfg.Mem.FaultSeed = 0xfa01
+	// 24 tiles = 12 KB exceeds every level of tinyConfig's hierarchy, so
+	// victim writebacks reach main memory during the run (not just at
+	// drain) and the fault/retry path fires under load.
+	perCore := perCoreTraces(0xfa11, 1, 2000, 24, false)
+	ref, refFP := shardCase{shards: 1}.run(t, cfg, perCore)
+	if ref.Mem.WriteRetries == 0 {
+		t.Fatal("fault campaign produced no retries; test is vacuous")
+	}
+	for _, n := range []int{2, 4} {
+		got, gotFP := shardCase{shards: n}.run(t, cfg, perCore)
+		requireIdentical(t, fmt.Sprintf("faults/Shards=%d", n), ref, got, refFP, gotFP)
+	}
+}
+
+// TestShardedMachineParallel pins that ShardParallel (worker goroutines per
+// epoch) is purely a wall-clock knob. Run under -race this also exercises
+// the engine's cross-goroutine handoffs.
+func TestShardedMachineParallel(t *testing.T) {
+	cfg := mcConfig(D2Sparse, 2)
+	perCore := perCoreTraces(0x9a9, 2, 1200, 5, false)
+	ref, refFP := shardCase{shards: 4}.run(t, cfg, perCore)
+	got, gotFP := shardCase{shards: 4, parallel: true}.run(t, cfg, perCore)
+	requireIdentical(t, "parallel", ref, got, refFP, gotFP)
+}
+
+// TestShardedMachineOracle checks functional correctness independently of
+// the differential contract: the drained memory image of a sharded run must
+// match the program-order oracle.
+func TestShardedMachineOracle(t *testing.T) {
+	for _, d := range []Design{D0Baseline, D1SameSet, D3AllTile} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			ops := randomTrace(42, 2000, 8, d == D0Baseline)
+			cfg := tinyConfig(d)
+			cfg.Shards = 3
+			m, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustRun(t, m, isa.NewSliceTrace(ops))
+			m.DrainAll()
+			store := m.Memory.Store()
+			for addr, want := range oracleWords(ops) {
+				if got := store.ReadWord(addr); got != want {
+					t.Fatalf("memory[%#x] = %d after drain, want %d", addr, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMachineCycleLimit pins budget semantics in sharded mode: a
+// MaxCycles too small for the workload must surface ErrCycleLimit with
+// pending work, exactly like the legacy loop.
+func TestShardedMachineCycleLimit(t *testing.T) {
+	cfg := tinyConfig(D1DiffSet)
+	cfg.Shards = 2
+	cfg.MaxCycles = 40 // far below even one memory round-trip
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := randomTrace(7, 400, 4, false)
+	_, err = m.RunTraces(isa.NewSliceTrace(ops))
+	if !errors.Is(err, sim.ErrCycleLimit) {
+		t.Fatalf("RunTraces with tiny MaxCycles: err = %v, want ErrCycleLimit", err)
+	}
+}
+
+// TestShardedMachineCancellation pins that context cancellation surfaces
+// ErrTimeout from the sharded run loop.
+func TestShardedMachineCancellation(t *testing.T) {
+	cfg := tinyConfig(D1DiffSet)
+	cfg.Shards = 2
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first epoch's stride check
+	ops := randomTrace(7, 400, 4, false)
+	_, err = m.RunTracesCtx(ctx, isa.NewSliceTrace(ops))
+	if !errors.Is(err, sim.ErrTimeout) {
+		t.Fatalf("RunTracesCtx(cancelled): err = %v, want ErrTimeout", err)
+	}
+}
+
+// TestShardedConfigValidation pins the config-surface rules: negative shard
+// counts are rejected, and mem/fault trace categories — whose emission
+// order is engine-schedule-dependent — are unavailable in sharded mode
+// while cpu/cache/mshr remain allowed.
+func TestShardedConfigValidation(t *testing.T) {
+	cfg := tinyConfig(D0Baseline)
+	cfg.Shards = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted Shards = -1")
+	}
+	cfg = tinyConfig(D0Baseline)
+	cfg.Shards = 2
+	cfg.Tracer = obs.NewTracer(io.Discard, obs.TraceConfig{Cats: obs.CatMem})
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted a mem-category tracer with Shards > 0")
+	}
+	cfg.Tracer = obs.NewTracer(io.Discard, obs.TraceConfig{Cats: obs.CatFault})
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted a fault-category tracer with Shards > 0")
+	}
+	cfg.Tracer = obs.NewTracer(io.Discard, obs.TraceConfig{Cats: obs.CatCPU | obs.CatCache | obs.CatMSHR})
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected cpu|cache|mshr tracing with Shards > 0: %v", err)
+	}
+}

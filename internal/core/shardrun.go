@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+
+	"mdacache/internal/mem"
+	"mdacache/internal/sim"
+)
+
+// This file is the machine-level epoch driver for sharded runs (Cfg.Shards >
+// 0). The protocol per window k = [t, t+Q-1]:
+//
+//  1. the front queue (CPU, caches, delivered completions) runs window k,
+//     producing memory arrivals into shard inboxes;
+//  2. every shard queue runs window k, consuming those arrivals — legal
+//     because cache→mem arrivals need zero lookahead when shards run
+//     strictly after the front for the same window;
+//  3. the barrier: read completions produced during window k are merged in
+//     canonical (cycle, channel, seq) order and scheduled onto the front
+//     queue. Q ≤ CAS+CriticalWordBeats guarantees every completion's
+//     delivery cycle lies in window k+1 or later, so the front never misses
+//     one (DESIGN §13).
+//
+// The loop advances t to the earliest pending work on either side, so idle
+// stretches are skipped in one hop exactly like the calendar queue does.
+
+// shardCtxStride is how many epochs run between context-cancellation checks.
+const shardCtxStride = 1 << 10
+
+// runSharded drives front and shard queues to completion under the watchdog
+// rules of the legacy loop: context cancellation → ErrTimeout, cycle budget
+// exhausted with work pending → ErrCycleLimit, component failures → as
+// recorded.
+func (m *Machine) runSharded(ctx context.Context, eng *mem.ShardEngine) error {
+	limit := m.Cfg.MaxCycles
+	quantum := eng.Quantum()
+	for epoch := 0; ; epoch++ {
+		if epoch%shardCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return m.stallErr(sim.ErrTimeout, err.Error())
+			}
+		}
+		tF, okF := m.Q.NextAt()
+		tS, okS := eng.NextAt()
+		if !okF && !okS {
+			break
+		}
+		t := tF
+		if !okF || (okS && tS < tF) {
+			t = tS
+		}
+		if limit != 0 && t > limit {
+			break // all remaining work lies past the cycle budget
+		}
+		end := t + quantum - 1
+		if limit != 0 && end > limit {
+			end = limit
+		}
+		n := m.Q.RunWindow(end)
+		n += eng.RunEpoch(end)
+		eng.Deliver()
+		m.eventsRun += n
+		if err := m.Q.Err(); err != nil {
+			return err
+		}
+	}
+	if limit != 0 && (m.Q.Pending() > 0 || eng.Pending() > 0) {
+		return m.stallErr(sim.ErrCycleLimit, "")
+	}
+	return nil
+}
+
+// settleSharded drains both sides with no budget: DrainAll's settle step.
+func (m *Machine) settleSharded(eng *mem.ShardEngine) {
+	for m.Q.Err() == nil {
+		tF, okF := m.Q.NextAt()
+		tS, okS := eng.NextAt()
+		if !okF && !okS {
+			return
+		}
+		t := tF
+		if !okF || (okS && tS < tF) {
+			t = tS
+		}
+		end := t + eng.Quantum() - 1
+		m.eventsRun += m.Q.RunWindow(end)
+		m.eventsRun += eng.RunEpoch(end)
+		eng.Deliver()
+	}
+}

@@ -56,6 +56,12 @@ type traceDemux struct {
 
 	srcClosed bool
 	peak      int // max ops ever buffered in one core's queue (tests)
+
+	// wakeq is wakeWaiters' reusable delivery buffer. Nested sweeps (a wake
+	// callback re-entering the demux) append after the outer sweep's
+	// segment and truncate back to it, so the buffer never allocates at
+	// steady state and concurrent segments cannot clobber each other.
+	wakeq []int
 }
 
 // pull moves one chunk from the source into the next core's buffer. The
@@ -94,16 +100,30 @@ func (d *traceDemux) pull() {
 // wakeWaiters unparks every shard blocked on backpressure, in ascending core
 // order — wakes are scheduled through the (deterministic) event queue by the
 // registered callbacks, so the order here fixes the replayed schedule.
+//
+// The isa.Blocker contract does not require callbacks to defer: a wake fn
+// may re-enter the demux synchronously — call Next, park again, Close a
+// shard, or trigger a nested wakeWaiters through an EOF pull or a high-water
+// crossing. The sweep therefore snapshots its waiters and clears every flag
+// before any callback runs: a nested sweep finds no stale flags to
+// double-deliver, and a shard that re-parks mid-sweep keeps its fresh flag
+// for the next crossing instead of being spuriously re-woken by this one
+// (the old per-index clear-then-fire loop assumed a single, non-reentrant
+// consumer and re-woke such shards).
 func (d *traceDemux) wakeWaiters() {
+	base := len(d.wakeq)
 	for c := range d.waiting {
-		if !d.waiting[c] {
-			continue
+		if d.waiting[c] {
+			d.waiting[c] = false
+			d.wakeq = append(d.wakeq, c)
 		}
-		d.waiting[c] = false
-		if fn := d.wakes[c]; fn != nil {
+	}
+	for i := base; i < len(d.wakeq); i++ {
+		if fn := d.wakes[d.wakeq[i]]; fn != nil {
 			fn()
 		}
 	}
+	d.wakeq = d.wakeq[:base]
 }
 
 // maybeReleaseSrc closes the shared source once no shard can need it again:

@@ -217,6 +217,7 @@ func TestShardTraceChunkAccounting(t *testing.T) {
 type closeTrackingTrace struct {
 	isa.SliceTrace
 	closed bool
+	closes int
 }
 
 func (c *closeTrackingTrace) Next() (isa.Op, bool) {
@@ -226,7 +227,7 @@ func (c *closeTrackingTrace) Next() (isa.Op, bool) {
 	return c.SliceTrace.Next()
 }
 
-func (c *closeTrackingTrace) Close() { c.closed = true }
+func (c *closeTrackingTrace) Close() { c.closed = true; c.closes++ }
 
 // TestShardTraceCloseKeepsSiblingsAlive pins the Close fix: closing one
 // shard must not release the shared source while siblings still have
@@ -264,5 +265,214 @@ func TestShardTraceCloseKeepsSiblingsAlive(t *testing.T) {
 	shards[1].(*traceShard).Close()
 	if !src.closed {
 		t.Fatal("source not released after every shard closed or drained")
+	}
+}
+
+// driveToPark consumes shard 0 greedily until it is refused on backpressure
+// (shard 1's untouched buffer saturated at the high-water mark), returning
+// how many ops shard 0 consumed. Fails the test if EOF arrives first.
+func driveToPark(t *testing.T, shards []isa.TraceReader) int {
+	t.Helper()
+	fast := shards[0].(*traceShard)
+	n := 0
+	for {
+		op, ok := fast.Next()
+		if ok {
+			if opIndex(op) != shardIndex(n, 0, 2) {
+				t.Fatalf("shard 0 op %d: got source index %d, want %d", n, opIndex(op), shardIndex(n, 0, 2))
+			}
+			n++
+			continue
+		}
+		if !fast.Blocked() {
+			t.Fatal("shard 0 hit EOF before parking — source too small for a backpressure park")
+		}
+		return n
+	}
+}
+
+// TestShardTraceWakeBeforeRelease pins the wake-vs-release ordering of the
+// demux under simultaneous EOF and high-water-mark release: when the
+// saturated shard's drain crosses the mark and the source is (or is about to
+// be) exhausted, a parked sibling must be woken BEFORE the shared source is
+// released, so its wake callback still observes a live demux. The wake
+// callback here is synchronous and reentrant — it drains the woken shard to
+// exhaustion from inside the waker's Next, driving the EOF pull and the
+// release attempt within the same delivery sweep (the reentrancy the old
+// single-consumer wake loop did not anticipate).
+func TestShardTraceWakeBeforeRelease(t *testing.T) {
+	// Large enough that shard 0 parks on shard 1's saturated buffer, small
+	// enough that the source is exhausted during the reentrant drain.
+	const n = shardChunkOps * 40
+	ops := make([]isa.Op, n)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.WordSize}
+	}
+	src := &closeTrackingTrace{SliceTrace: isa.SliceTrace{Ops: ops}}
+	shards := ShardTrace(src, 2)
+	fast := shards[0].(*traceShard)
+
+	wakes, reparks := 0, 0
+	var got [2]int
+	fast.OnReadable(func() {
+		wakes++
+		if src.closed {
+			t.Fatal("wake delivered after the source was released")
+		}
+		// Reentrant consumer: drain shard 0 right here, inside shard 1's
+		// Next. The drain's refill pulls can re-saturate shard 1's buffer
+		// (re-parking this shard — legal, the next crossing re-wakes it) or
+		// hit EOF, which runs a nested wake sweep and a release attempt
+		// while the outer sweep is still mid-delivery.
+		for {
+			op, ok := fast.Next()
+			if !ok {
+				if fast.Blocked() {
+					reparks++
+				}
+				break
+			}
+			if opIndex(op) != shardIndex(got[0], 0, 2) {
+				t.Fatalf("shard 0 op %d: got source index %d, want %d", got[0], opIndex(op), shardIndex(got[0], 0, 2))
+			}
+			got[0]++
+		}
+	})
+
+	got[0] = driveToPark(t, shards)
+	if src.closed {
+		t.Fatal("source released while ops are still undelivered")
+	}
+	// Drain shard 1; every crossing back below the high-water mark fires the
+	// wake (and with it the whole reentrant cascade above).
+	for {
+		op, ok := shards[1].Next()
+		if !ok {
+			break
+		}
+		if opIndex(op) != shardIndex(got[1], 1, 2) {
+			t.Fatalf("shard 1 op %d: got source index %d, want %d", got[1], opIndex(op), shardIndex(got[1], 1, 2))
+		}
+		got[1]++
+	}
+	if wakes == 0 {
+		t.Fatal("parked shard was never woken")
+	}
+	if wakes != reparks+1 {
+		// Every wake but the last ends in a re-park; a mismatch means a
+		// spurious wake (delivered while not parked) or a lost one.
+		t.Fatalf("wakes = %d with %d re-parks, want wakes = re-parks+1", wakes, reparks)
+	}
+	if fast.Blocked() {
+		t.Fatal("shard 0 left parked after the source drained — lost wake")
+	}
+	if got[0] != n/2 || got[1] != n/2 {
+		t.Fatalf("shards delivered %d + %d ops, want %d each", got[0], got[1], n/2)
+	}
+	if !src.closed {
+		t.Fatal("source not released after both shards drained")
+	}
+	if src.closes != 1 {
+		t.Fatalf("source released %d times, want exactly 1", src.closes)
+	}
+}
+
+// TestShardTraceEOFWakesParkedShard pins the EOF wake path without reentry:
+// a shard parked on backpressure when the source runs dry must receive
+// exactly one wake (from the high-water crossing or the EOF sweep) and then
+// observe a permanent EOF — Blocked() false — rather than hanging parked
+// forever on a crossing that can no longer come.
+func TestShardTraceEOFWakesParkedShard(t *testing.T) {
+	const n = shardChunkOps * 40
+	ops := make([]isa.Op, n)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.WordSize}
+	}
+	src := &closeTrackingTrace{SliceTrace: isa.SliceTrace{Ops: ops}}
+	shards := ShardTrace(src, 2)
+	fast := shards[0].(*traceShard)
+	wakes := 0
+	fast.OnReadable(func() { wakes++ })
+
+	got0 := driveToPark(t, shards)
+	// Drain shard 1 completely: its saturated buffer crosses the mark (one
+	// wake) and its final refill pulls exhaust the source (EOF sweep — no
+	// second wake, shard 0 is no longer parked after the first).
+	got1 := 0
+	for {
+		if _, ok := shards[1].Next(); !ok {
+			break
+		}
+		got1++
+	}
+	if wakes != 1 {
+		t.Fatalf("parked shard woken %d times across drain + EOF, want exactly 1", wakes)
+	}
+	// The woken shard drains its remainder and sees a permanent EOF.
+	for {
+		op, ok := fast.Next()
+		if !ok {
+			break
+		}
+		if opIndex(op) != shardIndex(got0, 0, 2) {
+			t.Fatalf("shard 0 op %d: got source index %d, want %d", got0, opIndex(op), shardIndex(got0, 0, 2))
+		}
+		got0++
+	}
+	if fast.Blocked() {
+		t.Fatal("shard 0 reports transient backpressure at EOF — a consumer would park forever")
+	}
+	if got0 != n/2 || got1 != n/2 {
+		t.Fatalf("shards delivered %d + %d ops, want %d each", got0, got1, n/2)
+	}
+	if src.closes != 1 {
+		t.Fatalf("source released %d times, want exactly 1", src.closes)
+	}
+}
+
+// TestShardTraceCloseIdempotent audits traceShard.Close: closing a shard
+// twice (or closing an already-drained shard) must be a no-op the second
+// time — no panic, no double release of the source, and no effect on
+// siblings. The saturated-close variant double-closes the shard whose
+// buffer holds the high-water mark while a sibling is parked on it, so the
+// second Close must also not re-run the wake sweep.
+func TestShardTraceCloseIdempotent(t *testing.T) {
+	const n = shardChunkOps * 40
+	ops := make([]isa.Op, n)
+	for i := range ops {
+		ops[i] = isa.Op{Addr: uint64(i) * isa.WordSize}
+	}
+	src := &closeTrackingTrace{SliceTrace: isa.SliceTrace{Ops: ops}}
+	shards := ShardTrace(src, 2)
+	fast := shards[0].(*traceShard)
+	wakes := 0
+	fast.OnReadable(func() { wakes++ })
+
+	driveToPark(t, shards)
+	slow := shards[1].(*traceShard)
+	slow.Close() // wipes the saturated buffer: wakes the parked shard 0
+	if wakes != 1 {
+		t.Fatalf("closing the saturated shard woke the parked sibling %d times, want 1", wakes)
+	}
+	slow.Close() // idempotent: no second wake, no state change
+	if wakes != 1 {
+		t.Fatalf("double Close re-ran the wake sweep: %d wakes, want 1", wakes)
+	}
+	if src.closed {
+		t.Fatal("source released while shard 0 still has undelivered ops")
+	}
+	// Shard 0 drains the remaining source (shard 1's chunks are dropped).
+	for {
+		if _, ok := fast.Next(); !ok {
+			break
+		}
+	}
+	if src.closes != 1 {
+		t.Fatalf("source released %d times after drain, want exactly 1", src.closes)
+	}
+	fast.Close()
+	fast.Close()
+	if src.closes != 1 {
+		t.Fatalf("double Close released the source again: %d closes, want 1", src.closes)
 	}
 }

@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"errors"
+	"sync"
+
+	"mdacache/internal/sim"
+)
+
+// arrival is a front-produced request waiting to be injected into a shard
+// queue at the next epoch boundary. Inbox order is the front's call order —
+// fully determined by the front simulation, hence shard-count-invariant.
+type arrival struct {
+	at  uint64
+	req *request
+}
+
+// memShard owns one event queue and a subset of the channels. During an
+// epoch window the shard runs alone against channel-local state, so shards
+// may execute serially or on separate goroutines with identical results.
+type memShard struct {
+	q     sim.EventQueue
+	inbox []arrival
+	chans []*channelState
+}
+
+// inject moves the buffered arrivals onto the shard's queue in inbox order.
+// Must run on the front goroutine (it appends to shard queue state).
+func (sh *memShard) inject() {
+	for _, a := range sh.inbox {
+		at := a.at
+		if now := sh.q.Now(); at < now {
+			// The shard clock may sit past the arrival cycle when the
+			// previous window's last event ran after this request was issued;
+			// the channel would have seen it no earlier than `now` anyway
+			// (issue() samples Now), so clamping preserves behaviour.
+			at = now
+		}
+		sh.q.Schedule(at, a.req.enqFn)
+	}
+	sh.inbox = sh.inbox[:0]
+}
+
+// ShardEngine coordinates a sharded Memory's event queues: the machine's
+// epoch driver alternates between running the front queue for a window
+// [t, end] and calling RunEpoch(end) + Deliver() here.
+//
+// Correctness rests on two lookahead bounds (DESIGN §13):
+//
+//   - cache→mem: arrivals produced by the front during window k are buffered
+//     in shard inboxes and injected when the shards run the same window —
+//     zero lookahead needed, because shards run strictly after the front for
+//     each window.
+//   - mem→cache: a read served at cycle s completes no earlier than
+//     s + CAS + CriticalWordBeats (critical word = busStart + beats, and
+//     busStart >= s + CAS). With quantum <= CAS+CriticalWordBeats, every
+//     completion produced in window k lands in window k+1 or later, so
+//     delivering them at the k/k+1 barrier — before the front runs window
+//     k+1 — is exact.
+//
+// Completions are merged across channels in canonical (cycle, channel, seq)
+// order via sim.MergeBuffer; the order never mentions shard identity, so the
+// delivered schedule is invariant to the channel→shard partition. That is
+// the bit-identity contract the differential harness checks: Shards=N runs
+// equal Shards=1 runs exactly, snapshot for snapshot.
+type ShardEngine struct {
+	m        *Memory
+	shards   []*memShard
+	quantum  uint64
+	parallel bool
+	mb       sim.MergeBuffer
+	counts   []uint64 // per-shard event counts for parallel epochs (reused)
+	events   uint64
+	err      error
+	wg       sync.WaitGroup
+}
+
+func newShardEngine(m *Memory, shards int, quantum uint64, parallel bool) *ShardEngine {
+	e := &ShardEngine{m: m, quantum: quantum, parallel: parallel, counts: make([]uint64, shards)}
+	for s := 0; s < shards; s++ {
+		e.shards = append(e.shards, &memShard{})
+	}
+	// Round-robin channel→shard assignment. Any assignment yields identical
+	// results (the merge order is channel-based); round-robin balances load.
+	for i, ch := range m.chans {
+		sh := e.shards[i%shards]
+		ch.sh = sh
+		ch.q = &sh.q
+		sh.chans = append(sh.chans, ch)
+	}
+	return e
+}
+
+// Quantum returns the epoch window length in cycles.
+func (e *ShardEngine) Quantum() uint64 { return e.quantum }
+
+// Parallel reports whether RunEpoch uses one goroutine per shard.
+func (e *ShardEngine) Parallel() bool { return e.parallel }
+
+// NextAt returns the earliest pending cycle across all shard queues and
+// inboxes (false when the memory side is idle).
+func (e *ShardEngine) NextAt() (uint64, bool) {
+	min, ok := uint64(0), false
+	for _, sh := range e.shards {
+		if at, o := sh.q.NextAt(); o && (!ok || at < min) {
+			min, ok = at, true
+		}
+		for _, a := range sh.inbox {
+			if !ok || a.at < min {
+				min, ok = a.at, true
+			}
+		}
+	}
+	return min, ok
+}
+
+// Pending reports the number of events queued across shards plus buffered
+// arrivals and undelivered completions.
+func (e *ShardEngine) Pending() int {
+	n := e.mb.Len()
+	for _, sh := range e.shards {
+		n += sh.q.Pending() + len(sh.inbox)
+	}
+	return n
+}
+
+// EventsRun returns the cumulative number of events executed on shard queues.
+func (e *ShardEngine) EventsRun() uint64 { return e.events }
+
+// Err returns the failure recorded at the earliest simulated cycle across
+// all shards (ties by shard index) — the same fault a single-shard run
+// stops at, keeping failure annotations shard-count-invariant.
+func (e *ShardEngine) Err() error { return e.err }
+
+// RunEpoch injects buffered arrivals and runs every shard through the window
+// ending at `end` (inclusive). Returns the number of events executed.
+// Shards touch only channel-local state, so parallel mode changes wall-clock
+// behaviour only — never results.
+func (e *ShardEngine) RunEpoch(end uint64) uint64 {
+	var total uint64
+	if e.parallel && len(e.shards) > 1 {
+		counts := e.counts
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i, sh := range e.shards {
+			sh.inject() // front-side mutation: before the goroutines start
+			if sh.q.Pending() == 0 {
+				continue
+			}
+			e.wg.Add(1)
+			go func(i int, sh *memShard) {
+				defer e.wg.Done()
+				counts[i] = sh.q.RunWindow(end)
+			}(i, sh)
+		}
+		e.wg.Wait()
+		for _, n := range counts {
+			total += n
+		}
+	} else {
+		for _, sh := range e.shards {
+			sh.inject()
+			total += sh.q.RunWindow(end)
+		}
+	}
+	if e.err == nil {
+		// When several shards fail in the same window, record the
+		// earliest-cycle failure (ties by shard index) — the same fault the
+		// single-shard engine would have stopped at, since its unified
+		// queue halts at the first failing event in time order.
+		var best error
+		var bestAt uint64
+		for _, sh := range e.shards {
+			err := sh.q.Err()
+			if err == nil {
+				continue
+			}
+			at := sh.q.Now()
+			var se *sim.Error
+			if errors.As(err, &se) {
+				at = se.Cycle
+			}
+			if best == nil || at < bestAt {
+				best, bestAt = err, at
+			}
+		}
+		if best != nil {
+			e.err = best
+			e.m.q.Fail(best)
+		}
+	}
+	e.events += total
+	return total
+}
+
+// Deliver merges the window's read completions across all channels in
+// canonical (cycle, channel, seq) order and schedules them onto the front
+// queue. Must run at the barrier, after RunEpoch and before the front
+// resumes.
+func (e *ShardEngine) Deliver() {
+	m := e.m
+	for _, ch := range m.chans {
+		for i, r := range ch.out {
+			e.mb.Add(sim.Rec{At: r.crit, Shard: ch.idx, Seq: uint64(i), Arg: m.delivAlloc(r)})
+		}
+		ch.out = ch.out[:0]
+	}
+	e.mb.Drain(func(r sim.Rec) {
+		m.q.ScheduleArg(r.At, m.delivFn, r.Arg)
+	})
+}

@@ -1,0 +1,343 @@
+package mem
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"mdacache/internal/isa"
+	"mdacache/internal/sim"
+)
+
+// driveSharded is the reference epoch-barrier driver (the same protocol
+// core's machine loop uses): alternate between running the front queue and
+// the shard engine over windows of one quantum, delivering merged
+// completions at each barrier.
+func driveSharded(q *sim.EventQueue, m *Memory) {
+	eng := m.Sharded()
+	for q.Err() == nil {
+		tF, okF := q.NextAt()
+		tS, okS := eng.NextAt()
+		if !okF && !okS {
+			break
+		}
+		t := tF
+		if !okF || (okS && tS < tF) {
+			t = tS
+		}
+		end := t + eng.Quantum() - 1
+		q.RunWindow(end)
+		eng.RunEpoch(end)
+		eng.Deliver()
+	}
+}
+
+// completion records one observed read completion in delivery order.
+type completion struct {
+	at   uint64
+	base uint64
+	sum  uint64 // checksum of the returned line
+}
+
+// opTrace is a deterministic synthetic front: a mix of fills and writebacks
+// issued as front-queue events, hammering a small footprint so that bank
+// conflicts, buffer hits, retries and write drains all occur.
+type opTrace struct {
+	seed uint64
+	n    int
+}
+
+func (tr opTrace) run(t *testing.T, p Params, shards int, quantum uint64, parallel bool) ([]completion, Stats, error) {
+	c, s, _, err := tr.runFull(t, p, shards, quantum, parallel)
+	return c, s, err
+}
+
+func (tr opTrace) runFull(t *testing.T, p Params, shards int, quantum uint64, parallel bool) ([]completion, Stats, uint64, error) {
+	t.Helper()
+	q := &sim.EventQueue{}
+	var m *Memory
+	var err error
+	if shards == 0 {
+		m, err = New(q, p)
+	} else {
+		m, err = NewSharded(q, p, shards, quantum, parallel)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(tr.seed)
+	var got []completion
+	at := uint64(0)
+	for i := 0; i < tr.n; i++ {
+		at += uint64(rng.Intn(20))
+		// Small footprint: 16 tiles across the whole memory keeps channels
+		// and banks colliding.
+		tile := uint64(rng.Intn(16)) * isa.TileSize
+		orient := isa.Orient(rng.Intn(2))
+		var line isa.LineID
+		if orient == isa.Row {
+			line = isa.LineID{Base: tile + uint64(rng.Intn(8))*isa.LineSize, Orient: isa.Row}
+		} else {
+			line = isa.LineID{Base: tile + uint64(rng.Intn(8))*isa.WordSize, Orient: isa.Col}
+		}
+		if rng.Intn(3) == 0 {
+			var data [isa.WordsPerLine]uint64
+			for w := range data {
+				data[w] = rng.Uint64()
+			}
+			mask := uint8(rng.Uint64()) | 1
+			issueAt := at
+			q.Schedule(issueAt, func() { m.Writeback(issueAt, line, mask, data) })
+		} else {
+			issueAt := at
+			q.Schedule(issueAt, func() {
+				m.Fill(issueAt, line, func(doneAt uint64, d *[isa.WordsPerLine]uint64) {
+					var sum uint64
+					for _, w := range d {
+						sum = sum*1099511628211 + w
+					}
+					got = append(got, completion{at: doneAt, base: line.Base, sum: sum})
+				})
+			})
+		}
+	}
+	if shards == 0 {
+		q.Run(0)
+	} else {
+		driveSharded(q, m)
+	}
+	if r, w := m.QueueDepths(); q.Err() == nil && (r != 0 || w != 0) {
+		t.Fatalf("queues not drained: reads=%d writes=%d", r, w)
+	}
+	var sum uint64 = 14695981039346656037
+	m.Store().ForEachWord(func(addr, word uint64) {
+		sum = (sum ^ addr) * 1099511628211
+		sum = (sum ^ word) * 1099511628211
+	})
+	return got, *m.Stats(), sum, q.Err()
+}
+
+// TestShardedBitIdenticalAcrossShardCounts is the mem-level differential
+// check: Shards=N must equal Shards=1 exactly — completion order, timing,
+// data, integer stats, and float energy bit for bit.
+func TestShardedBitIdenticalAcrossShardCounts(t *testing.T) {
+	p := DefaultParams()
+	for _, seed := range []uint64{1, 0xbeef, 0x5eed} {
+		tr := opTrace{seed: seed, n: 400}
+		refC, refS, refErr := tr.run(t, p, 1, 0, false)
+		if refErr != nil {
+			t.Fatalf("seed %#x: reference run failed: %v", seed, refErr)
+		}
+		for _, shards := range []int{2, 3, 4, 8} {
+			gotC, gotS, gotErr := tr.run(t, p, shards, 0, false)
+			if gotErr != nil {
+				t.Fatalf("seed %#x shards=%d: run failed: %v", seed, shards, gotErr)
+			}
+			if !reflect.DeepEqual(gotC, refC) {
+				t.Fatalf("seed %#x shards=%d: completion stream diverges from shards=1 (%d vs %d records)",
+					seed, shards, len(gotC), len(refC))
+			}
+			if gotS != refS {
+				t.Fatalf("seed %#x shards=%d: stats diverge:\n ref: %+v\n got: %+v", seed, shards, refS, gotS)
+			}
+		}
+	}
+}
+
+// TestShardedQuantumSweep pins shard-count invariance at every legal
+// quantum, including the degenerate quantum=1 and the maximum lookahead.
+// The reference always uses the same quantum as the candidate: quantum is
+// an epoch-granularity knob, and completions that tie on the same cycle
+// across an epoch boundary are delivered in epoch order, so two DIFFERENT
+// quanta may legally reorder such ties (FuzzEpochMerge found exactly that
+// witness). For a fixed quantum, every shard count is bit-identical.
+func TestShardedQuantumSweep(t *testing.T) {
+	p := DefaultParams()
+	tr := opTrace{seed: 42, n: 250}
+	maxQ := p.CAS + p.CriticalWordBeats
+	for _, quantum := range []uint64{1, 2, 7, maxQ} {
+		refC, refS, err := tr.run(t, p, 1, quantum, false)
+		if err != nil {
+			t.Fatalf("quantum=%d shards=1: %v", quantum, err)
+		}
+		for _, shards := range []int{2, 5} {
+			gotC, gotS, err := tr.run(t, p, shards, quantum, false)
+			if err != nil {
+				t.Fatalf("quantum=%d shards=%d: %v", quantum, shards, err)
+			}
+			if !reflect.DeepEqual(gotC, refC) || gotS != refS {
+				t.Fatalf("quantum=%d: shards=%d diverges from shards=1", quantum, shards)
+			}
+		}
+	}
+}
+
+// TestShardedMatchesLegacyFunctionally compares the sharded engine against
+// the legacy single-queue engine. The two are distinct timing engines and
+// may order a channel's retry against a same-cycle arrival differently
+// (DESIGN §13), so exact cycle equality is not a contract between them —
+// that contract holds within sharded mode (Shards=N vs Shards=1, above).
+// What must agree: every request is served exactly once (read/write counts,
+// bytes), and the final functional image is identical (writes commit in
+// front call order in both modes).
+func TestShardedMatchesLegacyFunctionally(t *testing.T) {
+	p := DefaultParams()
+	tr := opTrace{seed: 7, n: 400}
+	legC, legS, legImg, legErr := tr.runFull(t, p, 0, 0, false)
+	shC, shS, shImg, shErr := tr.runFull(t, p, 4, 0, false)
+	if legErr != nil || shErr != nil {
+		t.Fatalf("runs failed: legacy=%v sharded=%v", legErr, shErr)
+	}
+	if len(legC) != len(shC) {
+		t.Fatalf("completion counts differ: %d vs %d", len(legC), len(shC))
+	}
+	if legS.TotalReads() != shS.TotalReads() || legS.TotalWrites() != shS.TotalWrites() ||
+		legS.BytesRead != shS.BytesRead || legS.BytesWritten != shS.BytesWritten {
+		t.Fatalf("conservation stats diverge:\n legacy: %+v\n sharded: %+v", legS, shS)
+	}
+	if legImg != shImg {
+		t.Fatalf("final store images differ: %#x vs %#x", legImg, shImg)
+	}
+}
+
+// TestShardedFaultDeterminism pins that fault injection (channel-seeded RNGs)
+// is shard-count invariant: same retries, same faults, same aborting error.
+func TestShardedFaultDeterminism(t *testing.T) {
+	p := DefaultParams()
+	p.WriteFailProb = 0.3
+	p.WriteRetryLimit = 3
+	p.FaultSeed = 99
+	tr := opTrace{seed: 13, n: 300}
+	refC, refS, refErr := tr.run(t, p, 1, 0, false)
+	for _, shards := range []int{2, 4} {
+		gotC, gotS, gotErr := tr.run(t, p, shards, 0, false)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("shards=%d: error divergence: %v vs %v", shards, refErr, gotErr)
+		}
+		if refErr != nil {
+			if !errors.Is(gotErr, sim.ErrWriteFault) || !errors.Is(refErr, sim.ErrWriteFault) {
+				t.Fatalf("unexpected error classes: %v vs %v", refErr, gotErr)
+			}
+			continue // post-error state is not compared
+		}
+		if !reflect.DeepEqual(gotC, refC) || gotS != refS {
+			t.Fatalf("shards=%d: fault-injected run diverges from shards=1", shards)
+		}
+	}
+	if refS.WriteRetries == 0 {
+		t.Fatal("workload never exercised a write retry; test is vacuous")
+	}
+}
+
+// TestShardedParallelMatchesSerial runs the same workload with the parallel
+// epoch executor; results must be identical (shards only touch channel-local
+// state). Run under -race this doubles as the data-race proof.
+func TestShardedParallelMatchesSerial(t *testing.T) {
+	p := DefaultParams()
+	tr := opTrace{seed: 21, n: 400}
+	refC, refS, _ := tr.run(t, p, 4, 0, false)
+	gotC, gotS, err := tr.run(t, p, 4, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotC, refC) || gotS != refS {
+		t.Fatal("parallel epoch execution diverges from serial")
+	}
+}
+
+// TestShardedMoreShardsThanChannels leaves some shards permanently empty.
+func TestShardedMoreShardsThanChannels(t *testing.T) {
+	p := DefaultParams() // 4 channels
+	tr := opTrace{seed: 3, n: 200}
+	refC, refS, _ := tr.run(t, p, 1, 0, false)
+	gotC, gotS, err := tr.run(t, p, 16, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotC, refC) || gotS != refS {
+		t.Fatal("empty shards changed results")
+	}
+}
+
+// TestNewShardedValidation pins the constructor's error cases.
+func TestNewShardedValidation(t *testing.T) {
+	q := &sim.EventQueue{}
+	p := DefaultParams()
+	if _, err := NewSharded(q, p, 0, 0, false); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if _, err := NewSharded(q, p, 2, p.CAS+p.CriticalWordBeats+1, false); err == nil {
+		t.Fatal("quantum beyond the fill lookahead accepted")
+	}
+	if m, err := NewSharded(q, p, 2, 0, false); err != nil || m.Sharded().Quantum() != p.CAS+p.CriticalWordBeats {
+		t.Fatalf("default quantum: m=%v err=%v", m, err)
+	}
+}
+
+// TestLegacySharedDoesNotAllocateEngine pins that New keeps the legacy
+// wiring: no engine, channels on the front queue.
+func TestLegacySharedDoesNotAllocateEngine(t *testing.T) {
+	q := &sim.EventQueue{}
+	m, err := New(q, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sharded() != nil {
+		t.Fatal("legacy memory grew a shard engine")
+	}
+}
+
+// FuzzEpochMerge fuzzes the epoch-merge invariant over the full knob space:
+// any (quantum, shard count, seed) triple must produce completions, stats
+// and a final store image bit-identical to the Shards=1 run of the same
+// trace. Fault injection toggles with the seed so retry RNG draws that
+// straddle epoch boundaries are covered too.
+func FuzzEpochMerge(f *testing.F) {
+	f.Add(uint64(0), 2, uint64(1))
+	f.Add(uint64(1), 3, uint64(0xbeef))
+	f.Add(uint64(7), 8, uint64(0x5eed))
+	f.Add(uint64(17), 16, uint64(42))
+	f.Fuzz(func(t *testing.T, quantum uint64, shards int, seed uint64) {
+		p := DefaultParams()
+		if seed%2 == 1 {
+			p.WriteFailProb = 0.2
+			p.WriteRetryLimit = 6
+			p.FaultSeed = seed * 0x9e37
+		}
+		maxQ := uint64(p.CAS + p.CriticalWordBeats)
+		quantum %= maxQ + 1 // 0 selects the default (= maxQ)
+		shards = 1 + int(uint(shards)%16)
+		// The reference runs the SAME quantum with one shard: the engine
+		// contract is shard-count invariance at fixed quantum. Different
+		// quanta may legally reorder completions that tie on the same
+		// cycle across an epoch boundary (epoch order vs channel order),
+		// so cross-quantum comparison is not part of the invariant.
+		tr := opTrace{seed: seed, n: 150}
+		refC, refS, refImg, refErr := tr.runFull(t, p, 1, quantum, false)
+		gotC, gotS, gotImg, gotErr := tr.runFull(t, p, shards, quantum, false)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("error divergence: shards=1 err=%v, shards=%d q=%d err=%v", refErr, shards, quantum, gotErr)
+		}
+		if refErr != nil {
+			// Both runs aborted. The failure class must agree, but the
+			// artifacts of an aborted run are out of contract: the abort
+			// stops each engine mid-epoch at an engine-dependent point, so
+			// partially accumulated stats and completions are not comparable.
+			if !errors.Is(refErr, sim.ErrWriteFault) || !errors.Is(gotErr, sim.ErrWriteFault) {
+				t.Fatalf("failure classes diverge: shards=1 %v, shards=%d %v", refErr, shards, gotErr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(refC, gotC) {
+			t.Fatalf("completion streams diverge (shards=%d quantum=%d seed=%#x): %d vs %d entries",
+				shards, quantum, seed, len(refC), len(gotC))
+		}
+		if refS != gotS {
+			t.Fatalf("stats diverge (shards=%d quantum=%d seed=%#x):\nref %+v\ngot %+v",
+				shards, quantum, seed, refS, gotS)
+		}
+		if refImg != gotImg {
+			t.Fatalf("store images diverge (shards=%d quantum=%d seed=%#x)", shards, quantum, seed)
+		}
+	})
+}

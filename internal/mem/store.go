@@ -1,13 +1,11 @@
 package mem
 
 import (
-	"sort"
-
 	"mdacache/internal/isa"
 )
 
 // Store is the functional backing store: the actual 64-bit words held by the
-// memory, organised as a sparse map of 512-byte tiles. Tiles are stored
+// memory, organised as a sparse set of 512-byte tiles. Tiles are stored
 // row-major (word index = rowInTile*8 + colInTile), so both row and column
 // lines are simple strided views.
 //
@@ -15,22 +13,25 @@ import (
 // every load in a simulation returns the value most recently stored to that
 // word, and the test suite exploits this to verify the coherence of the
 // duplicate-handling policies against a flat oracle.
+//
+// Tile payloads live in an off-heap arena on platforms that support it
+// (mmap-backed on Linux, see arena_linux.go), with an open-addressing index
+// whose arrays are also arena-allocated: a multi-gigabyte simulated
+// footprint adds O(1) to the Go heap and zero GC scan work. Other platforms
+// fall back to a heap map with identical semantics (store_fallback.go).
 type Store struct {
-	tiles map[uint64]*[isa.TileWords]uint64
+	tiles tileIndex
 }
 
 // NewStore returns an empty store. Unwritten words read as zero.
 func NewStore() *Store {
-	return &Store{tiles: make(map[uint64]*[isa.TileWords]uint64)}
+	s := &Store{}
+	s.tiles.init(s)
+	return s
 }
 
 func (s *Store) tile(base uint64, create bool) *[isa.TileWords]uint64 {
-	t := s.tiles[base]
-	if t == nil && create {
-		t = new([isa.TileWords]uint64)
-		s.tiles[base] = t
-	}
-	return t
+	return s.tiles.get(base, create)
 }
 
 // ReadWord returns the word at the given (word-aligned) byte address.
@@ -74,25 +75,24 @@ func (s *Store) WriteLine(line isa.LineID, mask uint8, data [isa.WordsPerLine]ui
 }
 
 // Tiles returns the number of distinct tiles ever written.
-func (s *Store) Tiles() int { return len(s.tiles) }
+func (s *Store) Tiles() int { return s.tiles.count() }
+
+// Footprint reports the bytes of backing memory the store holds (tile
+// payloads plus index structures). On arena-backed platforms none of it is
+// on the Go heap.
+func (s *Store) Footprint() uint64 { return s.tiles.footprint() }
 
 // ForEachWord invokes fn for every non-zero word in the store, in ascending
-// address order (deterministic despite the tile map). The conformance
+// address order (deterministic despite the unordered index). The conformance
 // harness walks the store this way to detect ghost writes: words the memory
 // holds that the reference model never stored.
 func (s *Store) ForEachWord(fn func(addr, v uint64)) {
-	bases := make([]uint64, 0, len(s.tiles))
-	for b := range s.tiles {
-		bases = append(bases, b)
-	}
-	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
-	for _, b := range bases {
-		t := s.tiles[b]
+	s.tiles.forEachTile(func(b uint64, t *[isa.TileWords]uint64) {
 		for i := range t {
 			if t[i] != 0 {
 				// Word index i is row-major: addr = base + i*WordSize.
 				fn(b+uint64(i)*isa.WordSize, t[i])
 			}
 		}
-	}
+	})
 }

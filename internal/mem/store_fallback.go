@@ -1,0 +1,44 @@
+//go:build !linux
+
+package mem
+
+import (
+	"sort"
+
+	"mdacache/internal/isa"
+)
+
+// Non-Linux fallback: the original heap map of tiles. Semantics are
+// identical to the arena index; only residency differs (tiles live on the
+// Go heap and are GC-scanned).
+type tileIndex struct {
+	m map[uint64]*[isa.TileWords]uint64
+}
+
+func (ix *tileIndex) init(*Store) { ix.m = make(map[uint64]*[isa.TileWords]uint64) }
+
+func (ix *tileIndex) get(base uint64, create bool) *[isa.TileWords]uint64 {
+	t := ix.m[base]
+	if t == nil && create {
+		t = new([isa.TileWords]uint64)
+		ix.m[base] = t
+	}
+	return t
+}
+
+func (ix *tileIndex) count() int { return len(ix.m) }
+
+func (ix *tileIndex) footprint() uint64 {
+	return uint64(len(ix.m)) * (isa.TileSize + 16)
+}
+
+func (ix *tileIndex) forEachTile(fn func(base uint64, t *[isa.TileWords]uint64)) {
+	bases := make([]uint64, 0, len(ix.m))
+	for b := range ix.m {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, b := range bases {
+		fn(b, ix.m[b])
+	}
+}

@@ -1,0 +1,178 @@
+//go:build linux
+
+package mem
+
+import (
+	"runtime"
+	"sort"
+	"syscall"
+	"unsafe"
+
+	"mdacache/internal/isa"
+)
+
+// This file is the Linux tile index: payloads and index arrays both live in
+// anonymous mmap regions, so the Go heap and GC mark phase stay O(1) no
+// matter how many gigabytes the simulated memory touches. The layout is an
+// open-addressing hash table (linear probing, power-of-two capacity) mapping
+// tile base addresses to arena-allocated 512-byte payloads.
+
+const (
+	slabBytes   = 4 << 20 // tile-payload slab granularity
+	minIndexCap = 1 << 10
+)
+
+// arena is a bump allocator over anonymous mappings. Allocations are never
+// freed individually; release unmaps everything.
+type arena struct {
+	slabs [][]byte
+	cur   []byte
+	total uint64
+}
+
+// alloc returns n fresh zero bytes (mmap memory is zero-filled and the bump
+// pointer never reuses space). n must be small relative to slabBytes or a
+// dedicated slab is created.
+func (a *arena) alloc(n int) unsafe.Pointer {
+	if len(a.cur) < n {
+		sz := slabBytes
+		if n > sz {
+			sz = n
+		}
+		b, err := syscall.Mmap(-1, 0, sz,
+			syscall.PROT_READ|syscall.PROT_WRITE,
+			syscall.MAP_ANON|syscall.MAP_PRIVATE)
+		if err != nil {
+			panic("mem: arena mmap failed: " + err.Error())
+		}
+		a.slabs = append(a.slabs, b)
+		a.cur = b
+		a.total += uint64(sz)
+	}
+	p := unsafe.Pointer(&a.cur[0])
+	a.cur = a.cur[n:]
+	return p
+}
+
+func (a *arena) release() {
+	for _, b := range a.slabs {
+		_ = syscall.Munmap(b)
+	}
+	a.slabs, a.cur, a.total = nil, nil, 0
+}
+
+// tileIndex maps tile base → payload. keys[i] == 0 marks an empty slot;
+// occupied slots store base+1 (tile bases are 512-aligned, so base+1 is
+// never 0 and never collides with another base's key). keys and vals are
+// views over one dedicated mmap region, replaced wholesale on growth.
+type tileIndex struct {
+	a       arena
+	idxSlab []byte
+	keys    []uint64
+	vals    []unsafe.Pointer
+	n       int
+	mask    uint64
+}
+
+func (ix *tileIndex) init(owner *Store) {
+	// The arena is freed when the Store is collected: simulations build many
+	// short-lived machines (sweeps, the check harness), and each must give
+	// its mappings back without an explicit Close in every call chain.
+	runtime.SetFinalizer(owner, func(s *Store) { s.tiles.destroy() })
+}
+
+func (ix *tileIndex) destroy() {
+	if ix.idxSlab != nil {
+		_ = syscall.Munmap(ix.idxSlab)
+		ix.idxSlab, ix.keys, ix.vals = nil, nil, nil
+	}
+	ix.a.release()
+	ix.n, ix.mask = 0, 0
+}
+
+func hashTile(base uint64) uint64 {
+	z := base>>9 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// grow (re)builds the index at the given power-of-two capacity.
+func (ix *tileIndex) grow(capacity int) {
+	bytes := capacity * (8 + int(unsafe.Sizeof(unsafe.Pointer(nil))))
+	slab, err := syscall.Mmap(-1, 0, bytes,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		panic("mem: index mmap failed: " + err.Error())
+	}
+	keys := unsafe.Slice((*uint64)(unsafe.Pointer(&slab[0])), capacity)
+	vals := unsafe.Slice((*unsafe.Pointer)(unsafe.Pointer(&slab[capacity*8])), capacity)
+	mask := uint64(capacity - 1)
+	for i, k := range ix.keys {
+		if k == 0 {
+			continue
+		}
+		j := hashTile(k-1) & mask
+		for keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		keys[j], vals[j] = k, ix.vals[i]
+	}
+	if ix.idxSlab != nil {
+		_ = syscall.Munmap(ix.idxSlab)
+	}
+	ix.idxSlab, ix.keys, ix.vals, ix.mask = slab, keys, vals, mask
+}
+
+func (ix *tileIndex) get(base uint64, create bool) *[isa.TileWords]uint64 {
+	if ix.keys == nil {
+		if !create {
+			return nil
+		}
+		ix.grow(minIndexCap)
+	}
+	k := base + 1
+	for i := hashTile(base) & ix.mask; ; i = (i + 1) & ix.mask {
+		switch ix.keys[i] {
+		case k:
+			return (*[isa.TileWords]uint64)(ix.vals[i])
+		case 0:
+			if !create {
+				return nil
+			}
+			if uint64(ix.n+1) > ix.mask*7/10 {
+				ix.grow(2 * len(ix.keys))
+				// Re-probe in the rebuilt table.
+				i = hashTile(base) & ix.mask
+				for ix.keys[i] != 0 {
+					i = (i + 1) & ix.mask
+				}
+			}
+			p := ix.a.alloc(isa.TileSize)
+			ix.keys[i], ix.vals[i] = k, p
+			ix.n++
+			return (*[isa.TileWords]uint64)(p)
+		}
+	}
+}
+
+func (ix *tileIndex) count() int { return ix.n }
+
+func (ix *tileIndex) footprint() uint64 {
+	return ix.a.total + uint64(len(ix.idxSlab))
+}
+
+// forEachTile visits tiles in ascending base order.
+func (ix *tileIndex) forEachTile(fn func(base uint64, t *[isa.TileWords]uint64)) {
+	order := make([]int, 0, ix.n)
+	for i, k := range ix.keys {
+		if k != 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return ix.keys[order[a]] < ix.keys[order[b]] })
+	for _, i := range order {
+		fn(ix.keys[i]-1, (*[isa.TileWords]uint64)(ix.vals[i]))
+	}
+}

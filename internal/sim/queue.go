@@ -280,9 +280,9 @@ func (q *EventQueue) migrate(t uint64) {
 	q.occ[b>>6] |= 1 << (b & 63)
 }
 
-// next pops the earliest pending event and advances now to its cycle. An
-// event later than limit (0 = none) is left queued and next returns false.
-func (q *EventQueue) next(limit uint64) (heapEnt, bool) {
+// next pops the earliest pending event and advances now to its cycle. When
+// limited, an event later than limit is left queued and next returns false.
+func (q *EventQueue) next(limit uint64, limited bool) (heapEnt, bool) {
 	for q.pending > 0 {
 		var tW uint64
 		okW := false
@@ -294,8 +294,17 @@ func (q *EventQueue) next(limit uint64) (heapEnt, bool) {
 		}
 		if len(q.of) > 0 {
 			if tO := q.of[0].at; !okW || tO <= tW {
-				if limit != 0 && tO > limit {
+				if limited && tO > limit {
 					return heapEnt{}, false
+				}
+				if tO-q.now >= wheelSize {
+					// The overflow minimum lies beyond the wheel horizon,
+					// which implies the wheel is empty (otherwise tO <= tW <
+					// now+wheelSize). Jump now to tO first so the migrated
+					// bucket stays inside the horizon; without this,
+					// scanWheel would alias it to tO-wheelSize and dispatch
+					// its events a full lap early.
+					q.now = tO
 				}
 				q.migrate(tO)
 				continue
@@ -304,7 +313,7 @@ func (q *EventQueue) next(limit uint64) (heapEnt, bool) {
 		if !okW {
 			return heapEnt{}, false
 		}
-		if limit != 0 && tW > limit {
+		if limited && tW > limit {
 			return heapEnt{}, false
 		}
 		b = tW & wheelMask
@@ -371,6 +380,31 @@ func (q *EventQueue) After(delay uint64, fn func()) {
 // Pending reports the number of scheduled-but-unrun events.
 func (q *EventQueue) Pending() int { return q.pending }
 
+// NextAt reports the cycle of the earliest pending event without running it.
+// The second result is false when the queue is empty. Epoch drivers use it to
+// skip idle windows instead of sweeping the clock through them.
+func (q *EventQueue) NextAt() (uint64, bool) {
+	if q.pending == 0 {
+		return 0, false
+	}
+	var tW uint64
+	okW := false
+	if q.buckets != nil {
+		b := q.now & wheelMask
+		if int(q.bheads[b]) < len(q.buckets[b]) {
+			tW, okW = q.now, true
+		} else {
+			tW, okW = q.scanWheel()
+		}
+	}
+	if len(q.of) > 0 {
+		if tO := q.of[0].at; !okW || tO < tW {
+			return tO, true
+		}
+	}
+	return tW, okW
+}
+
 // dispatch runs the callback in slot idx at the already-advanced Now.
 // evFn/evArg free the slot before the call (the callback's own schedules
 // may then reuse it immediately); evData frees after, because the callback
@@ -401,7 +435,7 @@ func (q *EventQueue) Step() bool {
 	if q.fail != nil {
 		return false
 	}
-	e, ok := q.next(0)
+	e, ok := q.next(0, false)
 	if !ok {
 		return false
 	}
@@ -413,22 +447,65 @@ func (q *EventQueue) Step() bool {
 // failure is recorded. It returns the number of events executed. A limit of
 // 0 means no limit.
 func (q *EventQueue) Run(cycleLimit uint64) (executed uint64) {
-	return q.RunBounded(cycleLimit, 0)
+	return q.run(cycleLimit, cycleLimit != 0, 0)
+}
+
+// RunWindow executes every pending event scheduled at or before end
+// (inclusive) and returns the count executed. Unlike Run, a window ending at
+// cycle 0 is expressible — the epoch driver's very first window may be [0, 0]
+// under a one-cycle quantum.
+func (q *EventQueue) RunWindow(end uint64) (executed uint64) {
+	return q.run(end, true, 0)
 }
 
 // RunBounded is Run with an additional event budget: it also stops after
 // maxEvents events (0 = unbounded). Drivers use it to interleave watchdog
 // checks — wall-clock deadlines, progress monitoring — with queue progress.
 func (q *EventQueue) RunBounded(cycleLimit, maxEvents uint64) (executed uint64) {
+	return q.run(cycleLimit, cycleLimit != 0, maxEvents)
+}
+
+// run is the shared run loop. After next() selects a cycle, every remaining
+// entry in that cycle's bucket is dispatched inline (batched same-cycle
+// dispatch): a bucket holds exactly one cycle's events in (at, seq) order,
+// events a callback schedules for the current cycle append to the same
+// bucket, and no other pending event can precede them — so the batch
+// preserves the exact total order while skipping the per-event scan for the
+// next cycle.
+func (q *EventQueue) run(limit uint64, limited bool, maxEvents uint64) (executed uint64) {
 	for q.fail == nil {
-		e, ok := q.next(cycleLimit)
+		e, ok := q.next(limit, limited)
 		if !ok {
 			break
 		}
 		q.dispatch(e.idx)
 		executed++
 		if maxEvents != 0 && executed == maxEvents {
-			break
+			return executed
+		}
+		b := q.now & wheelMask
+		for q.fail == nil {
+			ents := q.buckets[b]
+			h := q.bheads[b]
+			if int(h) >= len(ents) {
+				break
+			}
+			e := ents[h]
+			h++
+			if int(h) == len(ents) {
+				q.spare = append(q.spare, ents[:0])
+				q.buckets[b] = nil
+				q.bheads[b] = 0
+				q.occ[b>>6] &^= 1 << (b & 63)
+			} else {
+				q.bheads[b] = h
+			}
+			q.pending--
+			q.dispatch(e.idx)
+			executed++
+			if maxEvents != 0 && executed == maxEvents {
+				return executed
+			}
 		}
 	}
 	return executed

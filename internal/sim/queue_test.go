@@ -153,3 +153,47 @@ func TestRNGIntnBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestFarFutureDispatchTime is the regression pin for a wheel-horizon
+// aliasing bug: an event scheduled more than wheelSize cycles ahead of an
+// otherwise-empty queue lands in the overflow heap; when next() migrated it
+// into the wheel without first advancing now, scanWheel aliased its bucket
+// to `at - wheelSize` and dispatched it a full lap early. Every event must
+// observe Now() == its scheduled cycle.
+func TestFarFutureDispatchTime(t *testing.T) {
+	for _, delta := range []uint64{wheelSize, wheelSize + 1, wheelSize + 17, 3*wheelSize + 5} {
+		q := &EventQueue{}
+		var got []uint64
+		at := uint64(100) + delta
+		q.Schedule(100, func() {
+			got = append(got, q.Now())
+			// Chain a second far hop from inside an event: the wheel is
+			// empty again once this handler returns.
+			q.Schedule(q.Now()+delta, func() { got = append(got, q.Now()) })
+		})
+		q.Run(0)
+		want := []uint64{100, 100 + delta}
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("delta %d: events ran at %v, want %v (far event scheduled for %d)", delta, got, want, at)
+		}
+	}
+}
+
+// TestFarFutureWindowedDispatch repeats the horizon pin under RunWindow,
+// the epoch driver's entry point: a window ending exactly at the far
+// event's cycle must run it; a window ending one cycle short must not.
+func TestFarFutureWindowedDispatch(t *testing.T) {
+	q := &EventQueue{}
+	at := uint64(wheelSize + 50)
+	ran := false
+	q.Schedule(at, func() { ran = true })
+	if n := q.RunWindow(at - 1); n != 0 || ran {
+		t.Fatalf("window [0, at-1] ran the far event (n=%d ran=%v)", n, ran)
+	}
+	if n := q.RunWindow(at); n != 1 || !ran {
+		t.Fatalf("window [0, at] missed the far event (n=%d ran=%v)", n, ran)
+	}
+	if q.Now() != at {
+		t.Fatalf("Now() = %d after far dispatch, want %d", q.Now(), at)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "slices"
+
+// Rec is one cross-shard event record buffered at an epoch barrier: an event
+// produced inside one shard during a window that must be delivered into
+// another event queue (usually the front/system queue) after the barrier.
+//
+// The canonical delivery order is (At, Shard, Seq): delivery cycle first,
+// producing shard index second, the shard's own production sequence last.
+// Because each shard's records are generated deterministically from its own
+// local schedule, this order is a pure function of the simulated work — it
+// does not depend on how many shards the work was partitioned into, which is
+// what makes sharded runs bit-identical to each other (DESIGN §13).
+type Rec struct {
+	At    uint64 // delivery cycle
+	Shard int32  // producing shard (canonical tiebreak between shards)
+	Seq   uint64 // production order within (At, Shard)
+	Arg   uint64 // opaque payload, e.g. an index into a pending table
+}
+
+// recLess is the canonical (At, Shard, Seq) order. Keys are unique — a shard
+// never emits two records with the same (At, Seq) — so the order is total.
+func recLess(a, b Rec) int {
+	switch {
+	case a.At != b.At:
+		if a.At < b.At {
+			return -1
+		}
+		return 1
+	case a.Shard != b.Shard:
+		if a.Shard < b.Shard {
+			return -1
+		}
+		return 1
+	case a.Seq != b.Seq:
+		if a.Seq < b.Seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// MergeBuffer accumulates cross-shard records during an epoch and drains them
+// in canonical (At, Shard, Seq) order at the barrier. The backing array is
+// reused across epochs, so steady-state merging allocates nothing once the
+// high-water mark is reached.
+type MergeBuffer struct {
+	recs []Rec
+}
+
+// Add buffers one record. Records may arrive in any order; Drain sorts.
+func (b *MergeBuffer) Add(r Rec) { b.recs = append(b.recs, r) }
+
+// Len reports the number of buffered records.
+func (b *MergeBuffer) Len() int { return len(b.recs) }
+
+// MinAt returns the earliest buffered delivery cycle (false when empty).
+func (b *MergeBuffer) MinAt() (uint64, bool) {
+	if len(b.recs) == 0 {
+		return 0, false
+	}
+	min := b.recs[0].At
+	for _, r := range b.recs[1:] {
+		if r.At < min {
+			min = r.At
+		}
+	}
+	return min, true
+}
+
+// Drain sorts the buffered records into canonical order, invokes deliver on
+// each, and resets the buffer (retaining capacity). deliver must not call
+// Add on the same buffer.
+func (b *MergeBuffer) Drain(deliver func(Rec)) {
+	if len(b.recs) == 0 {
+		return
+	}
+	slices.SortFunc(b.recs, recLess)
+	for _, r := range b.recs {
+		deliver(r)
+	}
+	b.recs = b.recs[:0]
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMergeBufferCanonicalOrder checks that Drain order is (At, Shard, Seq)
+// regardless of insertion order.
+func TestMergeBufferCanonicalOrder(t *testing.T) {
+	recs := []Rec{
+		{At: 5, Shard: 1, Seq: 0, Arg: 0},
+		{At: 5, Shard: 0, Seq: 1, Arg: 1},
+		{At: 5, Shard: 0, Seq: 0, Arg: 2},
+		{At: 3, Shard: 2, Seq: 7, Arg: 3},
+		{At: 9, Shard: 0, Seq: 0, Arg: 4},
+		{At: 5, Shard: 2, Seq: 3, Arg: 5},
+	}
+	want := []uint64{3, 2, 1, 0, 5, 4} // Args in canonical order
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(len(recs))
+		var b MergeBuffer
+		for _, i := range perm {
+			b.Add(recs[i])
+		}
+		if n := b.Len(); n != len(recs) {
+			t.Fatalf("Len = %d, want %d", n, len(recs))
+		}
+		if at, ok := b.MinAt(); !ok || at != 3 {
+			t.Fatalf("MinAt = %d,%v, want 3,true", at, ok)
+		}
+		var got []uint64
+		b.Drain(func(r Rec) { got = append(got, r.Arg) })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("perm %v: drain order %v, want %v", perm, got, want)
+		}
+		if b.Len() != 0 {
+			t.Fatalf("buffer not reset after drain")
+		}
+	}
+}
+
+func TestMergeBufferEmpty(t *testing.T) {
+	var b MergeBuffer
+	if _, ok := b.MinAt(); ok {
+		t.Fatal("MinAt on empty buffer reported a record")
+	}
+	b.Drain(func(Rec) { t.Fatal("deliver called on empty buffer") })
+}
+
+// TestNextAt exercises the peek across the wheel fast path, a wheel scan,
+// the overflow heap, and emptiness.
+func TestNextAt(t *testing.T) {
+	var q EventQueue
+	if _, ok := q.NextAt(); ok {
+		t.Fatal("empty queue reported a next event")
+	}
+	q.Schedule(7, func() {})
+	if at, ok := q.NextAt(); !ok || at != 7 {
+		t.Fatalf("NextAt = %d,%v, want 7,true", at, ok)
+	}
+	// Far-future event goes to the overflow heap; the wheel event still wins.
+	q.Schedule(7+3*wheelSize, func() {})
+	if at, ok := q.NextAt(); !ok || at != 7 {
+		t.Fatalf("NextAt with overflow = %d,%v, want 7,true", at, ok)
+	}
+	q.Run(0)
+	if at, ok := q.NextAt(); ok || at != 0 {
+		t.Fatalf("drained queue NextAt = %d,%v, want 0,false", at, ok)
+	}
+
+	// Overflow-only queue (no wheel entry pending).
+	var q2 EventQueue
+	q2.Schedule(5, func() {})
+	q2.Run(0)
+	q2.Schedule(q2.Now()+2*wheelSize, func() {})
+	if at, ok := q2.NextAt(); !ok || at != 5+2*wheelSize {
+		t.Fatalf("overflow-only NextAt = %d,%v, want %d,true", at, ok, 5+2*wheelSize)
+	}
+	// NextAt must not have consumed or migrated anything.
+	if n := q2.Run(0); n != 1 {
+		t.Fatalf("overflow event ran %d times, want 1", n)
+	}
+}
+
+// TestRunWindowBoundaries pins the inclusive-end contract, including the
+// end=0 window that plain Run cannot express, and that barrier-cycle events
+// belong to the window that ends on their cycle.
+func TestRunWindowBoundaries(t *testing.T) {
+	var q EventQueue
+	var ran []uint64
+	for _, at := range []uint64{0, 1, 5, 6} {
+		at := at
+		q.Schedule(at, func() { ran = append(ran, at) })
+	}
+	if n := q.RunWindow(0); n != 1 || !reflect.DeepEqual(ran, []uint64{0}) {
+		t.Fatalf("RunWindow(0): n=%d ran=%v", n, ran)
+	}
+	if n := q.RunWindow(5); n != 2 || !reflect.DeepEqual(ran, []uint64{0, 1, 5}) {
+		t.Fatalf("RunWindow(5): n=%d ran=%v", n, ran)
+	}
+	if q.Pending() != 1 {
+		t.Fatalf("event past the window was consumed (pending=%d)", q.Pending())
+	}
+	if n := q.RunWindow(6); n != 1 || ran[len(ran)-1] != 6 {
+		t.Fatalf("RunWindow(6): n=%d ran=%v", n, ran)
+	}
+}
+
+// TestBatchedDispatchOrder floods single cycles with events that reschedule
+// into the same and nearby cycles, and checks Run's batched dispatch executes
+// the exact order Step produces.
+func TestBatchedDispatchOrder(t *testing.T) {
+	build := func() (*EventQueue, *[]int) {
+		q := &EventQueue{}
+		order := &[]int{}
+		id := 0
+		var add func(at uint64, fanout int)
+		add = func(at uint64, fanout int) {
+			me := id
+			id++
+			q.Schedule(at, func() {
+				*order = append(*order, me)
+				for i := 0; i < fanout; i++ {
+					// Same-cycle, next-cycle, and horizon-crossing reschedules.
+					switch i % 3 {
+					case 0:
+						add(q.Now(), 0)
+					case 1:
+						add(q.Now()+1, 0)
+					default:
+						add(q.Now()+wheelSize+3, 0)
+					}
+				}
+			})
+		}
+		for c := uint64(0); c < 4; c++ {
+			for i := 0; i < 5; i++ {
+				add(c, i%4)
+			}
+		}
+		return q, order
+	}
+
+	qa, oa := build()
+	for qa.Step() {
+	}
+	qb, ob := build()
+	qb.Run(0)
+	if !reflect.DeepEqual(*oa, *ob) {
+		t.Fatalf("batched Run order diverges from Step order:\nstep: %v\nrun:  %v", *oa, *ob)
+	}
+	if len(*oa) == 0 {
+		t.Fatal("no events ran")
+	}
+}
+
+// TestRunBoundedEventBudgetWithBatch checks maxEvents is honored mid-batch.
+func TestRunBoundedEventBudgetWithBatch(t *testing.T) {
+	var q EventQueue
+	n := 0
+	for i := 0; i < 10; i++ {
+		q.Schedule(3, func() { n++ })
+	}
+	if got := q.RunBounded(0, 4); got != 4 || n != 4 {
+		t.Fatalf("RunBounded(0,4) executed %d (n=%d), want 4", got, n)
+	}
+	if got := q.RunBounded(0, 0); got != 6 || n != 10 {
+		t.Fatalf("remainder executed %d (n=%d), want 6, 10", got, n)
+	}
+}
