@@ -50,21 +50,22 @@ var figNames = []string{"10", "11", "12", "13", "14", "15", "16", "17", "layout"
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure: "+strings.Join(figNames, ", ")+", or all")
-		scale     = flag.Int("scale", 4, "scale divisor (1 = paper scale)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		verb      = flag.Bool("v", false, "log each simulation as it runs")
-		timeout   = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited)")
-		maxCycles = flag.Uint64("max-cycles", 0, "simulated-cycle budget per simulation (0 = unlimited)")
-		resume    = flag.String("resume", "", "JSON state file: checkpoint finished runs and resume from them")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "figures simulated concurrently in -fig all mode (1 = sequential); results and output order are identical for any value")
-		profile   = flag.Bool("profile", false, "print a per-run phase profile (compile/build/simulate wall time, cycles, events) to stderr at the end")
-		benchOut  = flag.String("bench-out", "", "run the simulator benchmark suite and write a BENCH_<n>.json baseline to this path (skips figure rendering)")
-		benchSte  = flag.String("bench-suite", "full", "benchmark suite for -bench-out: quick (PR smoke) or full (baseline)")
-		benchBase = flag.String("bench-baseline", "", "after -bench-out, compare against this earlier BENCH_<n>.json and print per-scenario speedups")
-		shards    = flag.Int("shards", 0, "run every simulation on the sharded memory engine with N epoch-synchronized queues (0 = classic single queue; figure output is bit-identical for every N >= 1)")
-		shardQ    = flag.Uint64("shard-quantum", 0, "epoch window length in cycles (0 = maximum legal lookahead; with -shards)")
-		shardPar  = flag.Bool("shard-parallel", false, "run each epoch's shards on worker goroutines (with -shards)")
+		fig         = flag.String("fig", "all", "figure: "+strings.Join(figNames, ", ")+", or all")
+		scale       = flag.Int("scale", 4, "scale divisor (1 = paper scale)")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verb        = flag.Bool("v", false, "log each simulation as it runs")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited)")
+		maxCycles   = flag.Uint64("max-cycles", 0, "simulated-cycle budget per simulation (0 = unlimited)")
+		resume      = flag.String("resume", "", "JSON state file: checkpoint finished runs and resume from them")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "figures simulated concurrently in -fig all mode (1 = sequential); results and output order are identical for any value")
+		profile     = flag.Bool("profile", false, "print a per-run phase profile (compile/build/simulate wall time, cycles, events) to stderr at the end")
+		benchOut    = flag.String("bench-out", "", "run the simulator benchmark suite and write a BENCH_<n>.json baseline to this path (skips figure rendering)")
+		benchSte    = flag.String("bench-suite", "full", "benchmark suite for -bench-out: quick (PR smoke) or full (baseline)")
+		benchBase   = flag.String("bench-baseline", "", "after -bench-out, compare against this earlier BENCH_<n>.json and print per-scenario speedups")
+		benchStrict = flag.Bool("bench-strict", false, "with -bench-baseline: exit non-zero if any scenario exists in only one baseline (a rename or dropped benchmark would otherwise hide a regression)")
+		shards      = flag.Int("shards", 0, "run every simulation on the sharded memory engine with N epoch-synchronized queues (0 = classic single queue; figure output is bit-identical for every N >= 1)")
+		shardQ      = flag.Uint64("shard-quantum", 0, "epoch window length in cycles (0 = maximum legal lookahead; with -shards)")
+		shardPar    = flag.Bool("shard-parallel", false, "run each epoch's shards on worker goroutines (with -shards)")
 	)
 	flag.Parse()
 	if *scale < 1 {
@@ -87,11 +88,14 @@ func main() {
 	if *benchBase != "" && *benchOut == "" {
 		usagef("-bench-baseline requires -bench-out")
 	}
+	if *benchStrict && *benchBase == "" {
+		usagef("-bench-strict requires -bench-baseline")
+	}
 	if *benchOut != "" {
 		if *shardQ != 0 {
 			usagef("-shard-quantum does not apply to -bench-out (the suite always uses the default lookahead)")
 		}
-		runBench(*benchOut, *benchSte, *benchBase, perf.Options{Shards: *shards, ShardParallel: *shardPar})
+		runBench(*benchOut, *benchSte, *benchBase, *benchStrict, perf.Options{Shards: *shards, ShardParallel: *shardPar})
 		return
 	}
 
@@ -350,7 +354,7 @@ func main() {
 // internal/perf and the "Benchmarking" section of EXPERIMENTS.md). The
 // scenario set mirrors the root bench_test.go figures; the JSON artifact is
 // the committed BENCH_<n>.json trajectory.
-func runBench(out, suite, baseline string, opt perf.Options) {
+func runBench(out, suite, baseline string, strict bool, opt perf.Options) {
 	// Benchmarking is minutes of silence without progress lines; always
 	// narrate to stderr (stdout stays reserved for the compare table).
 	progress := io.Writer(os.Stderr)
@@ -378,12 +382,20 @@ func runBench(out, suite, baseline string, opt perf.Options) {
 			fmt.Fprintln(os.Stderr, "mdabench:", err)
 			os.Exit(1)
 		}
-		deltas, geo := perf.Compare(old, b)
+		deltas, geo, skipped := perf.Compare(old, b)
 		if len(deltas) == 0 {
 			fmt.Fprintln(os.Stderr, "mdabench: no overlapping scenarios between baselines")
 			os.Exit(1)
 		}
-		fmt.Print(perf.FormatCompare(deltas, geo))
+		fmt.Print(perf.FormatCompare(deltas, geo, skipped))
+		if len(skipped) > 0 {
+			fmt.Fprintf(os.Stderr, "mdabench: WARNING: %d scenario(s) not compared: %s\n",
+				len(skipped), strings.Join(skipped, "; "))
+			if strict {
+				fmt.Fprintln(os.Stderr, "mdabench: -bench-strict: unmatched scenarios are an error")
+				os.Exit(1)
+			}
+		}
 	}
 }
 

@@ -60,6 +60,7 @@ func TestUsageErrors(t *testing.T) {
 		{"zero scale", []string{"-fig", "12", "-scale", "0"}, "-scale must be"},
 		{"positional args", []string{"-fig", "12", "stray"}, "unexpected arguments"},
 		{"corrupt resume", []string{"-fig", "12", "-scale", "32", "-resume", corrupt}, "checkpoint"},
+		{"strict without baseline", []string{"-bench-strict"}, "-bench-strict requires -bench-baseline"},
 	}
 	for _, c := range cases {
 		c := c

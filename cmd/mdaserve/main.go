@@ -11,6 +11,22 @@
 //	mdaserve -max-active 2 -workers 4 -max-queue 32       # sizing
 //	mdaserve -timeout 5m -max-cycles 2e9                  # default budgets
 //
+// Fleet mode: several daemons sharing one -state-dir form a work-stealing
+// fleet. Each carries a -node-id; durable jobs hold a lease that the owner
+// renews and any peer steals once it expires, so kill -9 on one node means
+// its jobs finish elsewhere, resuming from their checkpoints bit-identically:
+//
+//	mdaserve -state-dir ./state -node-id a -addr 127.0.0.1:8080
+//	mdaserve -state-dir ./state -node-id b -addr 127.0.0.1:8081
+//	mdaserve -state-dir ./state -node-id c -addr 127.0.0.1:8082
+//
+// Client mode (-submit/-watch) drives a node list with retry and failover,
+// honoring typed Retry-After hints and following stolen jobs to their new
+// owners:
+//
+//	mdaserve -peers http://127.0.0.1:8080,http://127.0.0.1:8081 -submit job.json -wait
+//	mdaserve -peers http://127.0.0.1:8080 -watch <id>
+//
 // Submit work with curl:
 //
 //	curl -s localhost:8080/jobs -d '{"specs":[{"bench":"sgemm","design":"1P2L"}]}'
@@ -18,19 +34,23 @@
 //	curl -Ns localhost:8080/jobs/<id>/events
 //
 // SIGINT/SIGTERM drain gracefully: admission stops, in-flight jobs get
-// -drain-timeout to finish, stragglers are checkpointed for the next start.
+// -drain-timeout to finish, stragglers are checkpointed for the next start
+// (in fleet mode their leases are released so peers pick them up at once).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,16 +69,48 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Minute, "default per-run wall-clock budget")
 		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before checkpointing them")
 		flushN    = flag.Int("flush-every", 1, "runs per checkpoint flush (1 = flush after every run)")
+
+		nodeID = flag.String("node-id", "", "fleet node identity; daemons sharing -state-dir with distinct IDs form a work-stealing fleet")
+		lease  = flag.Duration("lease", 3*time.Second, "job lease duration in fleet mode; a job whose lease expires is stolen by a peer")
+		peers  = flag.String("peers", "", "comma-separated node base URLs for client mode (-submit/-watch)")
+
+		submit  = flag.String("submit", "", "client mode: submit the SubmitRequest JSON in this file (- for stdin) to -peers and print the response")
+		wait    = flag.Bool("wait", false, "with -submit: stream events until the job finishes (exit 0 done, 1 failed/cancelled)")
+		watchID = flag.String("watch", "", "client mode: stream an existing job's events from -peers until it finishes")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		usagef("unexpected arguments: %v", flag.Args())
+	}
+	if *submit != "" || *watchID != "" {
+		if *peers == "" {
+			usagef("client mode (-submit/-watch) requires -peers")
+		}
+		if *submit != "" && *watchID != "" {
+			usagef("-submit and -watch are mutually exclusive")
+		}
+		runClient(*peers, *submit, *watchID, *wait)
+		return
 	}
 	if *maxQueue < 1 || *maxActive < 1 {
 		usagef("-max-queue and -max-active must be >= 1")
 	}
 	if *timeout < 0 || *drainFor < 0 {
 		usagef("-timeout and -drain-timeout must be non-negative")
+	}
+	if *nodeID != "" && *stateDir == "" {
+		usagef("-node-id (fleet mode) requires -state-dir")
+	}
+	if *lease <= 0 {
+		usagef("-lease must be positive")
+	}
+
+	// Bind before building the server: fleet mode advertises the bound
+	// address (meaningful with :0) in the shared membership directory from
+	// the very first heartbeat.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
 	}
 
 	srv, err := serve.New(serve.Options{
@@ -70,20 +122,21 @@ func main() {
 		DefaultRunTimeout: *timeout,
 		DrainTimeout:      *drainFor,
 		FlushEvery:        *flushN,
+		NodeID:            *nodeID,
+		Advertise:         "http://" + ln.Addr().String(),
+		Lease:             *lease,
 		Log:               os.Stderr,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatalf("listen %s: %v", *addr, err)
-	}
 	fmt.Printf("mdaserve: listening on %s\n", ln.Addr())
-	if *stateDir != "" {
+	if *stateDir != "" && *nodeID == "" {
 		// Publish the bound address (meaningful with :0) so clients and the
-		// test harness can find a daemon by its state dir alone.
+		// test harness can find a daemon by its state dir alone. Fleet nodes
+		// advertise through the membership directory instead — N daemons
+		// must not fight over one file.
 		if err := experiments.WriteFileAtomic(filepath.Join(*stateDir, "addr"),
 			[]byte(ln.Addr().String()+"\n")); err != nil {
 			fatalf("write addr file: %v", err)
@@ -124,6 +177,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mdaserve: drain: %v\n", drainErr)
 	}
 	fmt.Fprintln(os.Stderr, "mdaserve: drained")
+}
+
+// runClient is mdaserve's client mode: submit or watch a job against a fleet
+// node list, with serve.Client handling retry, backoff and failover. Events
+// stream to stdout as NDJSON; the exit status reflects the job's terminal
+// state (0 done, 1 failed/cancelled).
+func runClient(peers, submitPath, watchID string, wait bool) {
+	nodes := strings.Split(peers, ",")
+	for i := range nodes {
+		nodes[i] = strings.TrimSpace(nodes[i])
+		if nodes[i] != "" && !strings.Contains(nodes[i], "://") {
+			nodes[i] = "http://" + nodes[i]
+		}
+	}
+	client := &serve.Client{Nodes: nodes, Log: os.Stderr}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	id := watchID
+	if submitPath != "" {
+		var data []byte
+		var err error
+		if submitPath == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(submitPath)
+		}
+		if err != nil {
+			fatalf("read submission: %v", err)
+		}
+		var req serve.SubmitRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			fatalf("parse submission: %v", err)
+		}
+		resp, err := client.Submit(ctx, req)
+		if err != nil {
+			fatalf("submit: %v", err)
+		}
+		out, _ := json.Marshal(resp)
+		fmt.Println(string(out))
+		if !wait {
+			return
+		}
+		id = resp.ID
+	}
+
+	var final serve.State
+	enc := json.NewEncoder(os.Stdout)
+	err := client.Watch(ctx, id, 0, func(ev serve.JobEvent) error {
+		if ev.Type == "state" && ev.State.Terminal() {
+			final = ev.State
+		}
+		return enc.Encode(ev)
+	})
+	if err != nil {
+		fatalf("watch %s: %v", id, err)
+	}
+	if final != serve.StateDone {
+		fmt.Fprintf(os.Stderr, "mdaserve: job %s ended %s\n", id, final)
+		os.Exit(1)
+	}
 }
 
 func usagef(format string, args ...interface{}) {

@@ -70,6 +70,10 @@ type Checkpoint struct {
 	path    string
 	entries map[string]checkpointEntry
 	dirty   int // entries recorded since the last flush
+
+	// writeFile replaces WriteFileAtomic for flushes when non-nil
+	// (SweepOptions.WriteState: fenced writes in a distributed service).
+	writeFile func(path string, data []byte) error
 }
 
 // LoadCheckpoint opens (or initialises) the state file at path. A missing
@@ -189,7 +193,11 @@ func (c *Checkpoint) flushLocked() error {
 	if err != nil {
 		return ckptErr(c.path, "flush", err)
 	}
-	if err := WriteFileAtomic(c.path, data); err != nil {
+	write := c.writeFile
+	if write == nil {
+		write = WriteFileAtomic
+	}
+	if err := write(c.path, data); err != nil {
 		return ckptErr(c.path, "flush", err)
 	}
 	c.dirty = 0

@@ -89,7 +89,22 @@ type SweepOptions struct {
 	// RunSweep. The function must be safe for concurrent calls and
 	// deterministic per spec.
 	Run func(ctx context.Context, spec RunSpec, ins Instrument) (*core.Results, error)
+
+	// WriteState, when non-nil, replaces WriteFileAtomic for every
+	// checkpoint flush. A distributed service uses it to fence writes: the
+	// hook may refuse the write (returning an error wrapping
+	// ErrStateConflict) when the caller no longer owns the state file — a
+	// slow old owner must not clobber the checkpoint of a job another node
+	// has stolen. ErrStateConflict failures abort the sweep immediately
+	// (they are permanent: no FlushRetries are spent on them).
+	WriteState func(path string, data []byte) error
 }
+
+// ErrStateConflict marks a WriteState refusal as permanent: the sweep's
+// ownership of its state file was revoked (another node holds a newer lease
+// epoch), so retrying the flush is pointless and the sweep aborts with the
+// completed prefix intact — on the node that now owns the checkpoint.
+var ErrStateConflict = errors.New("experiments: checkpoint write conflict (state ownership revoked)")
 
 // workerCount resolves the effective pool size for n specs.
 func (opt SweepOptions) workerCount(n int) int {
@@ -184,6 +199,7 @@ func RunSweep(ctx context.Context, specs []RunSpec, opt SweepOptions) ([]SweepRu
 		if err != nil {
 			return nil, err
 		}
+		ckpt.writeFile = opt.WriteState
 		if ckpt.Len() > 0 {
 			log.logf("sweep: resuming from %s (%d finished runs)", opt.StatePath, ckpt.Len())
 		}
@@ -362,7 +378,7 @@ func flushWithRetry(ckpt *Checkpoint, opt SweepOptions, ctx context.Context) err
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = ckpt.Flush()
-		if err == nil || attempt >= opt.FlushRetries {
+		if err == nil || attempt >= opt.FlushRetries || errors.Is(err, ErrStateConflict) {
 			return err
 		}
 		select {

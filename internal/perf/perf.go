@@ -334,36 +334,56 @@ type Delta struct {
 
 // Compare matches scenarios by name and returns per-scenario deltas (sorted
 // by name) plus the geometric-mean speedup across matches. Scenarios present
-// in only one baseline are skipped.
-func Compare(old, new *Baseline) (deltas []Delta, geomean float64) {
+// in only one baseline — a rename or a dropped benchmark would otherwise hide
+// a regression behind a silent skip — are returned in skipped (sorted), along
+// with scenarios whose measurement is unusable (non-positive ns/op).
+func Compare(old, new *Baseline) (deltas []Delta, geomean float64, skipped []string) {
 	oldBy := make(map[string]Result, len(old.Results))
 	for _, r := range old.Results {
 		oldBy[r.Name] = r
 	}
+	newSeen := make(map[string]bool, len(new.Results))
 	var logSum float64
 	for _, n := range new.Results {
+		newSeen[n.Name] = true
 		o, ok := oldBy[n.Name]
-		if !ok || o.NsPerOp <= 0 || n.NsPerOp <= 0 {
+		if !ok {
+			skipped = append(skipped, n.Name+" (only in new)")
+			continue
+		}
+		if o.NsPerOp <= 0 || n.NsPerOp <= 0 {
+			skipped = append(skipped, n.Name+" (unusable measurement)")
 			continue
 		}
 		sp := o.NsPerOp / n.NsPerOp
 		deltas = append(deltas, Delta{Name: n.Name, OldNs: o.NsPerOp, NewNs: n.NsPerOp, Speedup: sp})
 		logSum += math.Log(sp)
 	}
-	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
-	if len(deltas) == 0 {
-		return nil, 0
+	for _, o := range old.Results {
+		if !newSeen[o.Name] {
+			skipped = append(skipped, o.Name+" (only in old)")
+		}
 	}
-	return deltas, math.Exp(logSum / float64(len(deltas)))
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(skipped)
+	if len(deltas) == 0 {
+		return nil, 0, skipped
+	}
+	return deltas, math.Exp(logSum / float64(len(deltas))), skipped
 }
 
-// FormatCompare renders Compare's output as an aligned text table.
-func FormatCompare(deltas []Delta, geomean float64) string {
+// FormatCompare renders Compare's output as an aligned text table. Skipped
+// scenarios are listed explicitly — an unmatched baseline pair must be
+// visible, not silently thinner.
+func FormatCompare(deltas []Delta, geomean float64, skipped []string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-45s %14s %14s %9s\n", "scenario", "old ns/op", "new ns/op", "speedup")
 	for _, d := range deltas {
 		fmt.Fprintf(&sb, "%-45s %14.0f %14.0f %8.2fx\n", d.Name, d.OldNs, d.NewNs, d.Speedup)
 	}
 	fmt.Fprintf(&sb, "%-45s %14s %14s %8.2fx\n", "geomean", "", "", geomean)
+	for _, name := range skipped {
+		fmt.Fprintf(&sb, "SKIPPED %s: not compared\n", name)
+	}
 	return sb.String()
 }

@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareMismatchedBaselines is the regression for the silent-skip bug:
+// scenarios present in only one baseline (a rename or a dropped benchmark)
+// must be reported as skipped, not quietly excluded from the geomean.
+func TestCompareMismatchedBaselines(t *testing.T) {
+	old := &Baseline{Results: []Result{
+		{Name: "A", NsPerOp: 200},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Dropped", NsPerOp: 50},
+		{Name: "Unusable", NsPerOp: 80},
+	}}
+	new := &Baseline{Results: []Result{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Renamed", NsPerOp: 60},
+		{Name: "Unusable", NsPerOp: 0},
+	}}
+
+	deltas, geomean, skipped := Compare(old, new)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v, want A and B only", deltas)
+	}
+	if deltas[0].Name != "A" || deltas[0].Speedup != 2 {
+		t.Fatalf("delta A = %+v, want 2x", deltas[0])
+	}
+	// geomean over {2, 1} = sqrt(2).
+	if geomean < 1.41 || geomean > 1.42 {
+		t.Fatalf("geomean = %v, want ~1.414", geomean)
+	}
+	want := []string{
+		"Dropped (only in old)",
+		"Renamed (only in new)",
+		"Unusable (unusable measurement)",
+	}
+	if len(skipped) != len(want) {
+		t.Fatalf("skipped = %v, want %v", skipped, want)
+	}
+	for i, s := range want {
+		if skipped[i] != s {
+			t.Errorf("skipped[%d] = %q, want %q", i, skipped[i], s)
+		}
+	}
+
+	// The rendered table names every skip — an unmatched pair must be loud.
+	out := FormatCompare(deltas, geomean, skipped)
+	for _, s := range want {
+		if !strings.Contains(out, "SKIPPED "+s+": not compared") {
+			t.Errorf("FormatCompare output missing skip line for %q:\n%s", s, out)
+		}
+	}
+}
+
+// TestCompareMatchedBaselines: a fully-matched pair reports nothing skipped.
+func TestCompareMatchedBaselines(t *testing.T) {
+	b := &Baseline{Results: []Result{{Name: "A", NsPerOp: 100}, {Name: "B", NsPerOp: 50}}}
+	deltas, geomean, skipped := Compare(b, b)
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v, want none", skipped)
+	}
+	if len(deltas) != 2 || geomean != 1 {
+		t.Fatalf("deltas %v geomean %v, want 2 deltas at 1x", deltas, geomean)
+	}
+	if out := FormatCompare(deltas, geomean, skipped); strings.Contains(out, "SKIPPED") {
+		t.Fatalf("FormatCompare invented a skip:\n%s", out)
+	}
+}
+
+// TestCompareDisjointBaselines: nothing matches, so there is no geomean and
+// everything is skipped.
+func TestCompareDisjointBaselines(t *testing.T) {
+	old := &Baseline{Results: []Result{{Name: "A", NsPerOp: 100}}}
+	new := &Baseline{Results: []Result{{Name: "B", NsPerOp: 100}}}
+	deltas, geomean, skipped := Compare(old, new)
+	if len(deltas) != 0 || geomean != 0 {
+		t.Fatalf("deltas %v geomean %v, want none", deltas, geomean)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %v, want both scenarios", skipped)
+	}
+}

@@ -55,6 +55,12 @@ const (
 	StateFailed State = "failed"
 	// StateCancelled: a client cancelled it.
 	StateCancelled State = "cancelled"
+	// StateStolen: a fleet peer claimed this node's lease on the job; the
+	// job continues elsewhere. The state is local to the losing node's
+	// memory — it is never persisted (the durable record belongs to the new
+	// owner) — and statuses for it carry the new owner's node/addr so a
+	// client can follow the job.
+	StateStolen State = "stolen"
 )
 
 // Terminal reports whether the state is final: no restart or retry will move
@@ -82,6 +88,9 @@ const (
 	CodeNotFound = "not_found"
 	// CodeCancelled: the job was cancelled by a client.
 	CodeCancelled = "cancelled"
+	// CodeNotOwner: this fleet node does not own the job (HTTP 409). The
+	// error carries the owning node's identity and address; retry there.
+	CodeNotOwner = "not_owner"
 )
 
 // APIError is the error payload of every non-2xx response and of failed
@@ -91,6 +100,17 @@ type APIError struct {
 	Code    string         `json:"code"`
 	Message string         `json:"message"`
 	Sim     *sim.WireError `json:"sim,omitempty"`
+
+	// RetryAfterMS is the server's backoff hint for retryable errors
+	// (queue_full, draining), derived from actual load — queue depth times
+	// the observed mean job duration, or the remaining drain budget — not a
+	// constant. The Retry-After header is this value rounded up to seconds.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+
+	// Node/NodeAddr name the fleet node that can serve the request when this
+	// one cannot (not_owner).
+	Node     string `json:"node,omitempty"`
+	NodeAddr string `json:"node_addr,omitempty"`
 }
 
 func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
@@ -225,6 +245,12 @@ type JobStatus struct {
 	// once the job is done; streaming clients get them incrementally on
 	// /events instead.
 	Runs []experiments.SweepRun `json:"runs,omitempty"`
+
+	// Node/NodeAddr identify the fleet node that owns (or last owned) the
+	// job. Empty outside fleet mode. A client holding a stolen job's old
+	// owner follows NodeAddr to the new one.
+	Node     string `json:"node,omitempty"`
+	NodeAddr string `json:"node_addr,omitempty"`
 }
 
 // JobEvent is one NDJSON line on GET /jobs/{id}/events. Every event carries
@@ -266,6 +292,23 @@ type Health struct {
 	Queued   int    `json:"queued"`
 	Running  int    `json:"running"`
 	UptimeMS int64  `json:"uptime_ms"`
+	Node     string `json:"node,omitempty"` // fleet node ID ("" single-node)
+}
+
+// FleetNode is one registered fleet member in GET /fleetz.
+type FleetNode struct {
+	Node      string `json:"node"`
+	Addr      string `json:"addr"`
+	PID       int    `json:"pid,omitempty"`
+	UpdatedMS int64  `json:"updated_ms"`
+	// Alive reports that the node heartbeated within a few lease periods.
+	Alive bool `json:"alive"`
+}
+
+// FleetStatus answers GET /fleetz.
+type FleetStatus struct {
+	Self  string      `json:"self"`
+	Nodes []FleetNode `json:"nodes"`
 }
 
 // msTime converts a time to the wire's millisecond representation (0 for the

@@ -21,9 +21,13 @@ import (
 // caller, so the entry is dropped and the next caller simulates afresh. This
 // mirrors the sweep checkpoint's timeout rule.
 type specCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	cap     int // completed-entry bound; 0 = unbounded
+	mu        sync.Mutex
+	entries   map[string]*cacheEntry
+	cap       int // completed-entry bound; 0 = unbounded
+	completed int // entries whose done channel has closed and that stayed cached
+
+	// runFn replaces the simulation call (tests: slow or counting runs).
+	runFn func(ctx context.Context, spec experiments.RunSpec, ins experiments.Instrument) (*core.Results, error)
 }
 
 type cacheEntry struct {
@@ -33,7 +37,11 @@ type cacheEntry struct {
 }
 
 func newSpecCache(capacity int) *specCache {
-	return &specCache{entries: make(map[string]*cacheEntry), cap: capacity}
+	return &specCache{
+		entries: make(map[string]*cacheEntry),
+		cap:     capacity,
+		runFn:   experiments.RunInstrumentedCtx,
+	}
 }
 
 // run executes spec through the cache. shared reports that the results came
@@ -73,13 +81,17 @@ func (c *specCache) run(ctx context.Context, spec experiments.RunSpec, ins exper
 		c.entries[key] = e
 		c.mu.Unlock()
 
-		e.res, e.err = experiments.RunInstrumentedCtx(ctx, spec, ins)
+		e.res, e.err = c.runFn(ctx, spec, ins)
+		c.mu.Lock()
 		if transientRunErr(e.err) || (e.err != nil && ctx.Err() != nil) {
 			// Don't poison the cache with a host-speed or cancel outcome.
-			c.mu.Lock()
 			delete(c.entries, key)
-			c.mu.Unlock()
+		} else if c.entries[key] == e {
+			// The entry is now a completed one and counts against the cap
+			// (unless cap-pressure already evicted it while we ran).
+			c.completed++
 		}
+		c.mu.Unlock()
 		close(e.done)
 		return e.res, false, e.err
 	}
@@ -93,17 +105,23 @@ func transientRunErr(err error) bool {
 		errors.Is(err, context.DeadlineExceeded))
 }
 
-// evictLocked bounds the cache: once cap completed entries accumulate, one is
-// dropped (map order — effectively random, which is fine for a safety bound).
-// In-flight entries are never evicted; a waiter must always find its owner.
+// evictLocked bounds the cache: once cap *completed* entries accumulate, one
+// is dropped (map order — effectively random, which is fine for a safety
+// bound). The count deliberately excludes in-flight entries: the cap is a
+// completed-entry bound, and counting in-flight simulations against it made
+// sustained in-flight pressure evict completed results long before the cache
+// was actually full. In-flight entries themselves are never evicted — a
+// waiter must always find its owner — and waiters already holding a pointer
+// to an evicted completed entry still observe its result through e.done.
 func (c *specCache) evictLocked() {
-	if c.cap <= 0 || len(c.entries) < c.cap {
+	if c.cap <= 0 || c.completed < c.cap {
 		return
 	}
 	for k, e := range c.entries {
 		select {
 		case <-e.done:
 			delete(c.entries, k)
+			c.completed--
 			return
 		default:
 		}

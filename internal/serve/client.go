@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client drives the job API against a list of fleet nodes with retry and
+// failover built in, so callers see one logical service:
+//
+//   - a connection failure or 5xx moves on to the next node;
+//   - typed queue_full/draining responses back off for the server's
+//     RetryAfterMS hint (the real number, not a guess) and retry;
+//   - a not_owner response re-targets the owning node's advertised address —
+//     following a stolen job to wherever it resumed;
+//   - event streams reconnect and resume from the last seq seen, so a kill
+//     -9 of the serving node costs a client at most a reconnect.
+//
+// The zero value plus Nodes is usable. Client is safe for concurrent use;
+// the owner hint is per-call state, not shared.
+type Client struct {
+	// Nodes are base URLs ("http://127.0.0.1:8080") tried in order.
+	Nodes []string
+	// HTTP is the transport (default http.DefaultClient). Watch and
+	// long-poll calls need a client without a global Timeout.
+	HTTP *http.Client
+	// MaxBackoff caps every retry sleep regardless of the server's hint
+	// (default 5s; tests set it to milliseconds).
+	MaxBackoff time.Duration
+	// Log receives retry/failover notes (nil = silent).
+	Log io.Writer
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Submit submits a job, riding out full queues and draining nodes.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
+	var resp SubmitResponse
+	err := c.do(ctx, "POST", "/jobs", req, &resp, "")
+	return resp, err
+}
+
+// Status fetches a job's status from whichever node answers; any fleet node
+// can serve it (remote jobs come from the shared store).
+func (c *Client) Status(ctx context.Context, id string, includeRuns bool) (JobStatus, error) {
+	path := "/jobs/" + id
+	if includeRuns {
+		path += "?runs=1"
+	}
+	var st JobStatus
+	err := c.do(ctx, "GET", path, nil, &st, "")
+	return st, err
+}
+
+// Cancel cancels a job, following not_owner redirects to whoever runs it.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, "DELETE", "/jobs/"+id, nil, &st, "")
+	return st, err
+}
+
+// Wait blocks until the job reaches a terminal state, long-polling whichever
+// node currently owns it. Parked or stolen jobs (a draining or killed node)
+// are simply re-polled: some fleet node steals and finishes the work.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	owner := ""
+	for {
+		var st JobStatus
+		if err := c.do(ctx, "GET", "/jobs/"+id+"?wait=2000", nil, &st, owner); err != nil {
+			return JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		// Prefer the node that owns the job for the next poll; a stolen
+		// job's status names its new owner.
+		owner = st.NodeAddr
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Results waits for the job and returns its terminal status including the
+// full run list.
+func (c *Client) Results(ctx context.Context, id string) (JobStatus, error) {
+	if _, err := c.Wait(ctx, id); err != nil {
+		return JobStatus{}, err
+	}
+	return c.Status(ctx, id, true)
+}
+
+// Watch streams the job's events to fn, starting at seq `from`, resuming
+// across reconnects and ownership changes until a terminal state event is
+// delivered (or fn/ctx errors). Duplicate events after a resume are
+// suppressed by seq.
+func (c *Client) Watch(ctx context.Context, id string, from uint64, fn func(JobEvent) error) error {
+	seen := from
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		terminal, err := c.streamOnce(ctx, id, &seen, fn)
+		if terminal {
+			return err
+		}
+		if err != nil {
+			c.logf("client: stream %s: %v; reconnecting from seq %d", id, err, seen)
+		}
+		// Re-resolve the owner (the stream may have ended because the job
+		// moved) and reconnect. Status never 404s on a live fleet job.
+		st, serr := c.Status(ctx, id, false)
+		if serr != nil {
+			return serr
+		}
+		if st.State.Terminal() {
+			// The terminal event was published on a node we lost before
+			// reading it; synthesize it so the caller always observes
+			// termination.
+			return fn(JobEvent{Seq: seen, JobID: id, TimeMS: st.FinishedMS, Type: "state", State: st.State, Error: st.Error})
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// streamOnce consumes one events connection. terminal reports that a
+// terminal state event was delivered (the stream is complete).
+func (c *Client) streamOnce(ctx context.Context, id string, seen *uint64, fn func(JobEvent) error) (terminal bool, err error) {
+	owner := ""
+	if st, serr := c.Status(ctx, id, false); serr == nil {
+		owner = st.NodeAddr
+	}
+	nodes := c.order(owner)
+	var resp *http.Response
+	for _, node := range nodes {
+		req, rerr := http.NewRequestWithContext(ctx, "GET",
+			node+"/jobs/"+id+"/events?from="+strconv.FormatUint(*seen, 10), nil)
+		if rerr != nil {
+			return false, rerr
+		}
+		r, derr := c.http().Do(req)
+		if derr != nil {
+			continue
+		}
+		if r.StatusCode == http.StatusOK {
+			resp = r
+			break
+		}
+		aerr := decodeAPIError(r)
+		r.Body.Close()
+		if aerr.Code == CodeNotOwner && aerr.NodeAddr != "" {
+			nodes = append(nodes, aerr.NodeAddr)
+		}
+	}
+	if resp == nil {
+		return false, fmt.Errorf("client: no node would stream job %s", id)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev JobEvent
+		if jerr := json.Unmarshal(line, &ev); jerr != nil {
+			return false, jerr
+		}
+		if ev.Seq < *seen {
+			continue // duplicate after a resume
+		}
+		*seen = ev.Seq + 1
+		if ferr := fn(ev); ferr != nil {
+			return true, ferr
+		}
+		if ev.Type == "state" && ev.State.Terminal() {
+			return true, nil
+		}
+	}
+	return false, sc.Err()
+}
+
+// do performs one API call with failover. preferred, when non-empty, is the
+// node tried first (the job's last known owner).
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}, preferred string) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		nodes := c.order(preferred)
+		if len(nodes) == 0 {
+			return fmt.Errorf("client: no nodes configured")
+		}
+		var wait time.Duration
+		for _, node := range nodes {
+			st, aerr, err := c.once(ctx, method, node+path, body, out)
+			switch {
+			case err != nil:
+				lastErr = fmt.Errorf("%s: %w", node, err)
+				continue // unreachable: next node
+			case aerr == nil:
+				return nil
+			case aerr.Code == CodeNotOwner:
+				if aerr.NodeAddr != "" && aerr.NodeAddr != node {
+					preferred = aerr.NodeAddr
+					nodes = append(nodes, aerr.NodeAddr)
+					continue
+				}
+				lastErr = aerr
+			case aerr.Code == CodeQueueFull || aerr.Code == CodeDraining:
+				// Retryable load shedding: honor the server's typed hint
+				// (capped), remember the smallest across nodes.
+				hint := time.Duration(aerr.RetryAfterMS) * time.Millisecond
+				if hint <= 0 {
+					hint = backoff
+				}
+				if hint > c.maxBackoff() {
+					hint = c.maxBackoff()
+				}
+				if wait == 0 || hint < wait {
+					wait = hint
+				}
+				lastErr = aerr
+			case st >= 500:
+				lastErr = aerr
+			default:
+				return aerr // permanent: bad_request, not_found, ...
+			}
+		}
+		if wait == 0 {
+			// Nothing advertised a retry window (connection failures, 5xx):
+			// back off exponentially up to the cap.
+			wait = backoff
+			backoff *= 2
+			if backoff > c.maxBackoff() {
+				backoff = c.maxBackoff()
+			}
+		}
+		c.logf("client: %s %s: all nodes busy or down (%v); retrying in %s", method, path, lastErr, wait)
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
+			}
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// once performs a single HTTP exchange. A non-2xx with a decodable APIError
+// body returns it typed; transport failures return err.
+func (c *Client) once(ctx context.Context, method, url string, body []byte, out interface{}) (status int, aerr *APIError, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return resp.StatusCode, nil, nil
+		}
+		return resp.StatusCode, nil, json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode, decodeAPIError(resp), nil
+}
+
+// decodeAPIError extracts the typed error from a non-2xx response, falling
+// back to the Retry-After header and a generic code when the body is opaque.
+func decodeAPIError(resp *http.Response) *APIError {
+	var aerr APIError
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(data, &aerr) != nil || aerr.Code == "" {
+		aerr = APIError{Code: "internal", Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))}
+	}
+	if aerr.RetryAfterMS == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			aerr.RetryAfterMS = int64(secs) * 1000
+		}
+	}
+	return &aerr
+}
+
+// order returns the node list with preferred first (deduplicated).
+func (c *Client) order(preferred string) []string {
+	if preferred == "" {
+		return c.Nodes
+	}
+	out := make([]string, 0, len(c.Nodes)+1)
+	out = append(out, preferred)
+	for _, n := range c.Nodes {
+		if n != preferred {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func writeAPIError(w http.ResponseWriter, status int, aerr APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(aerr)
+}
+
+// TestClientRetriesQueueFull: the client honors the server's typed
+// RetryAfterMS hint on queue_full and retries until admitted.
+func TestClientRetriesQueueFull(t *testing.T) {
+	var posts atomic.Int64
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != "POST" || r.URL.Path != "/jobs" {
+			http.NotFound(w, r)
+			return
+		}
+		if posts.Add(1) <= 2 {
+			writeAPIError(w, http.StatusTooManyRequests, APIError{Code: CodeQueueFull, RetryAfterMS: 20})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(SubmitResponse{ID: "j1", State: StateQueued})
+	}))
+	defer node.Close()
+
+	c := &Client{Nodes: []string{node.URL}, MaxBackoff: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := c.Submit(ctx, SubmitRequest{Specs: []SpecRequest{smallSpec(16, 0)}})
+	if err != nil || resp.ID != "j1" {
+		t.Fatalf("Submit: %+v, %v", resp, err)
+	}
+	if n := posts.Load(); n != 3 {
+		t.Fatalf("client posted %d times, want 3 (two shed, one admitted)", n)
+	}
+}
+
+// TestClientFollowsNotOwner: a 409/not_owner naming the owning node's address
+// redirects the call there, even when the owner is not in the client's
+// configured node list.
+func TestClientFollowsNotOwner(t *testing.T) {
+	var ownerHits atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ownerHits.Add(1)
+		json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: StateRunning, Node: "b"})
+	}))
+	defer owner.Close()
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, http.StatusConflict, APIError{Code: CodeNotOwner, Node: "b", NodeAddr: owner.URL})
+	}))
+	defer peer.Close()
+
+	c := &Client{Nodes: []string{peer.URL}, MaxBackoff: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.Status(ctx, "j1", false)
+	if err != nil || st.State != StateRunning {
+		t.Fatalf("Status: %+v, %v", st, err)
+	}
+	if ownerHits.Load() == 0 {
+		t.Fatal("client never followed the not_owner redirect")
+	}
+}
+
+// TestClientFailsOverDeadNode: a dead node in the list costs one connection
+// error, not the call.
+func TestClientFailsOverDeadNode(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // keep the URL, kill the listener
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: StateDone})
+	}))
+	defer live.Close()
+
+	c := &Client{Nodes: []string{dead.URL, live.URL}, MaxBackoff: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.Status(ctx, "j1", false)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("Status: %+v, %v", st, err)
+	}
+}
+
+// TestClientWatchResumesAcrossStreams: the first events connection drops
+// mid-history; the client reconnects with ?from= and must deliver every event
+// exactly once even though the server replays an overlapping span.
+func TestClientWatchResumesAcrossStreams(t *testing.T) {
+	ev := func(seq uint64, typ string, state State) JobEvent {
+		return JobEvent{Seq: seq, JobID: "j1", Type: typ, State: state}
+	}
+	var streams atomic.Int64
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/jobs/j1":
+			json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: StateRunning})
+		case "/jobs/j1/events":
+			enc := json.NewEncoder(w)
+			if streams.Add(1) == 1 {
+				// First connection: three events, then the stream dies
+				// without a terminal (the serving node was killed).
+				for _, e := range []JobEvent{ev(0, "state", StateQueued), ev(1, "state", StateRunning), ev(2, "run", "")} {
+					enc.Encode(e)
+				}
+				return
+			}
+			// Reconnect: replay an overlapping span (the thief's broker
+			// preloaded the full log) and finish.
+			for _, e := range []JobEvent{ev(2, "run", ""), ev(3, "run", ""), ev(4, "state", StateDone)} {
+				enc.Encode(e)
+			}
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer node.Close()
+
+	c := &Client{Nodes: []string{node.URL}, MaxBackoff: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var seqs []uint64
+	var terminal State
+	err := c.Watch(ctx, "j1", 0, func(e JobEvent) error {
+		mu.Lock()
+		defer mu.Unlock()
+		seqs = append(seqs, e.Seq)
+		if e.Type == "state" && e.State.Terminal() {
+			terminal = e.State
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	want := fmt.Sprint([]uint64{0, 1, 2, 3, 4})
+	if got := fmt.Sprint(seqs); got != want {
+		t.Fatalf("event seqs %v, want %v (duplicate or gap across the resume)", got, want)
+	}
+	if terminal != StateDone {
+		t.Fatalf("terminal state %q, want done", terminal)
+	}
+	if streams.Load() != 2 {
+		t.Fatalf("client opened %d streams, want 2", streams.Load())
+	}
+}
+
+// TestClientWatchSynthesizesTerminal: when the stream dies before delivering
+// the terminal event and the job's status is already terminal (the owner
+// finished, then vanished), Watch must synthesize the terminal event so the
+// caller always observes termination.
+func TestClientWatchSynthesizesTerminal(t *testing.T) {
+	var streamed atomic.Bool
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/jobs/j1":
+			st := JobStatus{ID: "j1", State: StateRunning}
+			if streamed.Load() {
+				st.State = StateDone
+				st.FinishedMS = 12345
+			}
+			json.NewEncoder(w).Encode(st)
+		case "/jobs/j1/events":
+			enc := json.NewEncoder(w)
+			enc.Encode(JobEvent{Seq: 0, JobID: "j1", Type: "state", State: StateQueued})
+			enc.Encode(JobEvent{Seq: 1, JobID: "j1", Type: "state", State: StateRunning})
+			streamed.Store(true)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer node.Close()
+
+	c := &Client{Nodes: []string{node.URL}, MaxBackoff: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var last JobEvent
+	err := c.Watch(ctx, "j1", 0, func(e JobEvent) error {
+		last = e
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if last.Type != "state" || last.State != StateDone || last.TimeMS != 12345 {
+		t.Fatalf("synthesized terminal event = %+v, want done at 12345", last)
+	}
+}

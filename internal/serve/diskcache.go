@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mdacache/internal/core"
+	"mdacache/internal/experiments"
+	"mdacache/internal/sim"
+)
+
+// diskSpecCache extends the in-process specCache across processes: every
+// deterministic spec outcome is written as one JSON file under
+// <state>/speccache/<sha256(SpecKey)>.json, so a spec simulated once by any
+// fleet node is a cache hit fleet-wide. Entries are written atomically
+// (concurrent nodes racing on the same spec write identical bytes, so last
+// writer wins is correct), and only deterministic outcomes are stored —
+// timeouts and cancellations reflect the host, never the spec, mirroring the
+// in-memory cache and the sweep checkpoint.
+//
+// The cache is bounded by entry count: a put past cap evicts the
+// oldest-modified files. Eviction is cooperative and approximate — a burst
+// from several nodes can overshoot briefly — which is fine for a bound whose
+// only job is to stop unbounded growth.
+type diskSpecCache struct {
+	dir string
+	cap int
+}
+
+// diskCacheEntry is the persisted outcome of one spec: results on success,
+// the wire-form error on deterministic failure.
+type diskCacheEntry struct {
+	Key     string         `json:"key"` // full SpecKey, for auditability
+	Err     *sim.WireError `json:"err,omitempty"`
+	Results *core.Results  `json:"results,omitempty"`
+}
+
+func newDiskSpecCache(stateDir string, capacity int) *diskSpecCache {
+	return &diskSpecCache{dir: filepath.Join(stateDir, "speccache"), cap: capacity}
+}
+
+func (c *diskSpecCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// get returns the cached outcome for spec, if any. A corrupt or torn entry
+// reads as a miss and is removed.
+func (c *diskSpecCache) get(spec experiments.RunSpec) (*core.Results, error, bool) {
+	key := experiments.SpecKey(spec)
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, nil, false
+	}
+	var e diskCacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != key || (e.Err == nil && e.Results == nil) {
+		os.Remove(c.path(key))
+		return nil, nil, false
+	}
+	if e.Err != nil {
+		return nil, e.Err.Unwire(), true
+	}
+	return e.Results, nil, true
+}
+
+// put persists one deterministic outcome. Callers filter transient outcomes;
+// put itself is best-effort — a full disk must not fail the run that produced
+// the results.
+func (c *diskSpecCache) put(spec experiments.RunSpec, res *core.Results, runErr error) {
+	if os.MkdirAll(c.dir, 0o755) != nil {
+		return
+	}
+	e := diskCacheEntry{Key: experiments.SpecKey(spec), Results: res}
+	if runErr != nil {
+		w := sim.ToWire(runErr)
+		e.Err = &w
+		e.Results = nil
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	if experiments.WriteFileAtomic(c.path(e.Key), data) != nil {
+		return
+	}
+	c.evict()
+}
+
+// evict removes the oldest-modified entries past cap.
+func (c *diskSpecCache) evict() {
+	if c.cap <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil || len(entries) <= c.cap {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	var files []aged
+	for _, ent := range entries {
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{ent.Name(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	for i := 0; i < len(files)-c.cap; i++ {
+		os.Remove(filepath.Join(c.dir, files[i].name))
+	}
+}
+
+// len reports the current entry count (tests).
+func (c *diskSpecCache) len() int {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	return len(entries)
+}

@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mdacache/internal/clitest"
+	"mdacache/internal/experiments"
+	"mdacache/internal/serve"
+)
+
+func TestMain(m *testing.M) { clitest.Main(m, "mdacache/cmd/mdaserve") }
+
+// victimSpecs mirrors the single-node kill-resume harness: a six-spec sweep
+// long enough for a kill to land mid-flight.
+func victimSpecs() []serve.SpecRequest {
+	var specs []serve.SpecRequest
+	for _, n := range []int{16, 20, 24, 28, 32, 36} {
+		specs = append(specs, serve.SpecRequest{
+			Bench: "sgemm", Design: "1P1L", N: n, Scale: 16, LLCKB: 1024,
+		})
+	}
+	return specs
+}
+
+func getJSON(url string, out interface{}) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// TestFleetKillSteal is the fleet acceptance criterion, generalizing the
+// single-node TestLoadKillResume: three daemons share a state dir, concurrent
+// clients drive them through the failover client, `kill -9` lands on the node
+// that owns a six-spec sweep mid-flight, and a peer must steal the job, resume
+// it from its checkpoint, and produce results bit-identical (DiffRunResults)
+// to an uninterrupted in-process run. A watcher streaming events across the
+// kill must see one strictly-increasing stream ending in exactly one terminal
+// event.
+func TestFleetKillSteal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 240*time.Second)
+	defer cancel()
+
+	// Golden: the victim's work, uninterrupted, straight through RunSweep
+	// with the daemon's default budget.
+	var goldenSpecs []experiments.RunSpec
+	for _, sr := range victimSpecs() {
+		sp, err := sr.Spec()
+		if err != nil {
+			t.Fatalf("spec: %v", err)
+		}
+		goldenSpecs = append(goldenSpecs, sp)
+	}
+	golden, err := experiments.RunSweep(ctx, goldenSpecs,
+		experiments.SweepOptions{Timeout: 30 * time.Minute, Workers: 2})
+	if err != nil {
+		t.Fatalf("golden sweep: %v", err)
+	}
+
+	// A short lease so the steal lands within a couple of seconds of the
+	// kill; one sweep worker so the victim's runs trickle.
+	c := Start(t, 3, "-lease", "1s", "-workers", "1", "-max-active", "2", "-max-queue", "32")
+	client := c.Client()
+
+	// Every node sees the full membership.
+	for _, n := range c.Nodes {
+		var fs serve.FleetStatus
+		if code, err := getJSON(n.URL+"/fleetz", &fs); err != nil || code != http.StatusOK {
+			t.Fatalf("fleetz on %s: HTTP %d, %v", n.ID, code, err)
+		}
+		if len(fs.Nodes) != 3 || fs.Self != n.ID {
+			t.Fatalf("fleetz on %s: %+v, want 3 members", n.ID, fs)
+		}
+	}
+
+	victim, err := client.Submit(ctx, serve.SubmitRequest{Specs: victimSpecs()})
+	if err != nil {
+		t.Fatalf("victim submit: %v", err)
+	}
+
+	// A watcher streams the victim's events across the kill.
+	var watchMu sync.Mutex
+	var seqs []uint64
+	var watchTerminal serve.State
+	watchDone := make(chan error, 1)
+	go func() {
+		watchDone <- client.Watch(ctx, victim.ID, 0, func(ev serve.JobEvent) error {
+			watchMu.Lock()
+			defer watchMu.Unlock()
+			seqs = append(seqs, ev.Seq)
+			if ev.Type == "state" && ev.State.Terminal() {
+				watchTerminal = ev.State
+			}
+			return nil
+		})
+	}()
+
+	// Concurrent clients submit their own jobs and ride out the kill through
+	// the failover client.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := serve.SubmitRequest{Specs: []serve.SpecRequest{{
+				Bench: "sobel", Design: "1P2L", N: 16 + 4*i, Scale: 16, LLCKB: 1024,
+			}}}
+			resp, err := client.Submit(ctx, req)
+			if err != nil {
+				t.Errorf("client %d submit: %v", i, err)
+				return
+			}
+			st, err := client.Results(ctx, resp.ID)
+			if err != nil {
+				t.Errorf("client %d results: %v", i, err)
+				return
+			}
+			if st.State != serve.StateDone {
+				t.Errorf("client %d job %s: state %s (err %+v), want done", i, resp.ID, st.State, st.Error)
+			}
+		}(i)
+	}
+
+	// Kill -9 the owner once the victim has two checkpointed runs — late
+	// enough that resume has real state, early enough that work remains. Only
+	// the owner's local status carries live progress, so poll every node.
+	var owner string
+	deadline := time.Now().Add(90 * time.Second)
+findOwner:
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never reached 2 completed runs")
+		}
+		for _, n := range c.Nodes {
+			var st serve.JobStatus
+			code, err := getJSON(n.URL+"/jobs/"+victim.ID, &st)
+			if err != nil || code != http.StatusOK {
+				continue
+			}
+			if st.State.Terminal() {
+				t.Fatalf("victim finished before the kill; enlarge its specs (state %s)", st.State)
+			}
+			if st.Completed >= 2 && st.Node == n.ID {
+				owner = n.ID
+				break findOwner
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Logf("killing owner %s mid-sweep", owner)
+	c.Kill(t, owner)
+
+	// A peer steals, resumes from the checkpoint, and converges to golden.
+	final, err := client.Results(ctx, victim.ID)
+	if err != nil {
+		t.Fatalf("victim results after kill: %v", err)
+	}
+	if final.State != serve.StateDone {
+		t.Fatalf("victim state = %s (err %+v), want done", final.State, final.Error)
+	}
+	if final.Resumed == 0 {
+		t.Fatalf("victim re-simulated everything; expected checkpoint hits: %+v", final)
+	}
+	if final.Node == owner || final.Node == "" {
+		t.Fatalf("victim finished on %q; want a surviving peer, not the killed %s", final.Node, owner)
+	}
+	if err := experiments.DiffRunResults(golden, final.Runs); err != nil {
+		t.Fatalf("stolen-and-resumed results differ from uninterrupted run: %v", err)
+	}
+
+	wg.Wait()
+
+	select {
+	case err := <-watchDone:
+		if err != nil {
+			t.Fatalf("watch: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("watcher never saw the terminal event")
+	}
+	watchMu.Lock()
+	defer watchMu.Unlock()
+	if watchTerminal != serve.StateDone {
+		t.Fatalf("watcher terminal state %q, want done", watchTerminal)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("watched seqs not strictly increasing at %d: %v", i, seqs)
+		}
+	}
+
+	// The durable event log spans the handoff as one strictly-increasing
+	// stream holding exactly one terminal record.
+	f, err := os.Open(filepath.Join(c.State, "jobs", victim.ID, "events.jsonl"))
+	if err != nil {
+		t.Fatalf("event log: %v", err)
+	}
+	defer f.Close()
+	var lastSeq int64 = -1
+	terminals := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev serve.JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // a torn line from the kill is expected and tolerated
+		}
+		if int64(ev.Seq) <= lastSeq {
+			t.Fatalf("event log seq %d after %d: not increasing across the steal", ev.Seq, lastSeq)
+		}
+		lastSeq = int64(ev.Seq)
+		if ev.Type == "state" && ev.State.Terminal() {
+			terminals++
+		}
+	}
+	if terminals != 1 {
+		t.Fatalf("event log holds %d terminal records, want exactly 1", terminals)
+	}
+
+	// The dead node eventually drops out of the live membership view.
+	waitAlive := time.Now().Add(15 * time.Second)
+	for {
+		var fs serve.FleetStatus
+		survivor := c.Nodes[0]
+		if survivor.ID == owner {
+			survivor = c.Nodes[1]
+		}
+		if _, err := getJSON(survivor.URL+"/fleetz", &fs); err == nil {
+			alive := 0
+			for _, n := range fs.Nodes {
+				if n.Alive {
+					alive++
+				}
+			}
+			if alive == 2 {
+				break
+			}
+		}
+		if time.Now().After(waitAlive) {
+			t.Fatal("killed node still reported alive in /fleetz")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestFleetDedupAcrossNodes: identical submissions landing on two different
+// nodes must single-flight onto one fleet-wide job via the shared store.
+func TestFleetDedupAcrossNodes(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	c := Start(t, 2, "-lease", "2s", "-workers", "2")
+
+	req := serve.SubmitRequest{Specs: []serve.SpecRequest{{
+		Bench: "sgemm", Design: "1P1L", N: 16, Scale: 16, LLCKB: 1024,
+	}}}
+	a := &serve.Client{Nodes: []string{c.Nodes[0].URL}, MaxBackoff: 500 * time.Millisecond}
+	b := &serve.Client{Nodes: []string{c.Nodes[1].URL}, MaxBackoff: 500 * time.Millisecond}
+
+	ra, err := a.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit to node0: %v", err)
+	}
+	rb, err := b.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit to node1: %v", err)
+	}
+	if rb.ID != ra.ID || !rb.Deduped {
+		t.Fatalf("cross-node duplicate not single-flighted: %+v vs %+v", rb, ra)
+	}
+
+	st, err := b.Results(ctx, ra.ID)
+	if err != nil || st.State != serve.StateDone {
+		t.Fatalf("deduped job via node1: %+v, %v", st, err)
+	}
+}

@@ -14,9 +14,11 @@ import (
 //	GET    /jobs             list job statuses
 //	GET    /jobs/{id}        one job's status (?runs=1 for outcomes,
 //	                         ?wait=<ms> to long-poll for completion)
-//	GET    /jobs/{id}/events NDJSON event stream (history + live)
+//	GET    /jobs/{id}/events NDJSON event stream (history + live;
+//	                         ?from=<seq> resumes after a reconnect)
 //	DELETE /jobs/{id}        cancel
 //	GET    /healthz          liveness and load
+//	GET    /fleetz           fleet membership (fleet mode)
 //
 // Every error response is an APIError JSON body with a machine-readable code.
 func (s *Server) Handler() http.Handler {
@@ -27,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /fleetz", s.handleFleet)
 	return mux
 }
 
@@ -41,6 +44,8 @@ func httpStatus(code string) int {
 		return http.StatusTooManyRequests
 	case CodeDraining:
 		return http.StatusServiceUnavailable
+	case CodeNotOwner:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
@@ -57,7 +62,13 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 func writeErr(w http.ResponseWriter, aerr *APIError) {
 	status := httpStatus(aerr.Code)
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		// The header is the typed hint rounded up to whole seconds (the
+		// header's granularity); RetryAfterMS in the body is exact.
+		secs := (aerr.RetryAfterMS + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
 	writeJSON(w, status, aerr)
 }
@@ -85,6 +96,18 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Statuses())
 }
 
+// settledLocked reports whether a long-poll should answer now: the job is
+// terminal, or it is parked (shed/checkpointed by a drain) or stolen — states
+// this process will never advance, so holding the poll open would just burn
+// the client's wait budget. Caller holds j.mu.
+func settledLocked(j *job) bool {
+	switch j.state {
+	case StateShed, StateCheckpointed, StateStolen:
+		return true
+	}
+	return j.state.Terminal()
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	includeRuns := r.URL.Query().Get("runs") == "1"
@@ -94,23 +117,38 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, apiErrorf(CodeBadRequest, "wait must be a non-negative integer (milliseconds)"))
 			return
 		}
-		j, ok := s.Job(id)
-		if !ok {
-			writeErr(w, apiErrorf(CodeNotFound, "no job %s", id))
-			return
-		}
-		// Long-poll: return early when the job finishes, at the wait
-		// deadline, or when the client goes away — whichever is first.
+		// Long-poll: wait until the job settles, the wait deadline passes,
+		// or the client goes away. The job handle is re-fetched and its
+		// state re-checked on every wakeup — a snapshot taken before the
+		// wait can go stale (the job sheds during a drain, is stolen, or is
+		// replaced by re-admission) and j.done on a dead handle never
+		// closes.
 		timer := time.NewTimer(time.Duration(ms) * time.Millisecond)
 		defer timer.Stop()
-		select {
-		case <-j.done:
-		case <-timer.C:
-		case <-r.Context().Done():
-			return
+	wait:
+		for {
+			j, ok := s.Job(id)
+			if !ok {
+				break // remote or unknown: StatusAny below settles it
+			}
+			j.mu.Lock()
+			settled := settledLocked(j)
+			changed := j.changed
+			j.mu.Unlock()
+			if settled {
+				break
+			}
+			select {
+			case <-j.done:
+			case <-changed:
+			case <-timer.C:
+				break wait
+			case <-r.Context().Done():
+				return
+			}
 		}
 	}
-	st, ok := s.Status(id, includeRuns)
+	st, ok := s.StatusAny(id, includeRuns)
 	if !ok {
 		writeErr(w, apiErrorf(CodeNotFound, "no job %s", id))
 		return
@@ -125,10 +163,32 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 const eventWriteTimeout = 30 * time.Second
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
 	if !ok {
-		writeErr(w, apiErrorf(CodeNotFound, "no job %s", r.PathValue("id")))
+		// Event streams are owner-only (the broker is in-process state): a
+		// fleet peer answers with the owner's address so the client can
+		// reconnect there instead of getting a 404 for a job that exists.
+		if s.opt.fleet() {
+			if _, err := s.store.loadJob(id); err == nil {
+				writeErr(w, s.notOwnerError(id))
+				return
+			}
+		}
+		writeErr(w, apiErrorf(CodeNotFound, "no job %s", id))
 		return
+	}
+
+	// ?from= skips the first N events (a reconnecting client resumes after
+	// its high-water mark instead of re-reading history).
+	seen := 0
+	if fromStr := r.URL.Query().Get("from"); fromStr != "" {
+		from, err := strconv.Atoi(fromStr)
+		if err != nil || from < 0 {
+			writeErr(w, apiErrorf(CodeBadRequest, "from must be a non-negative integer (event seq)"))
+			return
+		}
+		seen = from
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -146,8 +206,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// of letting it stall publishers (which run on the job worker path), so
 	// consume in a catch-up loop: on detach, re-subscribe from the high-water
 	// mark and replay the missed span from the history. seen counts events
-	// written; with publication serialized per job it equals the next seq.
-	seen := 0
+	// written (plus the ?from= offset); with publication serialized per job
+	// it equals the next seq.
 	for {
 		history, live, cancel := j.broker.SubscribeFrom(seen)
 		for _, ev := range history {
@@ -188,7 +248,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	st, aerr := s.Cancel(r.PathValue("id"))
+	id := r.PathValue("id")
+	st, aerr := s.Cancel(id)
+	if aerr != nil && aerr.Code == CodeNotFound && s.opt.fleet() {
+		if _, err := s.store.loadJob(id); err == nil {
+			aerr = s.notOwnerError(id)
+		}
+	}
 	if aerr != nil {
 		writeErr(w, aerr)
 		return
@@ -203,4 +269,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, h)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Fleet())
 }

@@ -33,6 +33,18 @@ type job struct {
 	cancel    func()        // cancels the running sweep (nil unless running)
 	done      chan struct{} // closed when the job reaches a terminal state
 
+	// changed is closed and replaced on every state transition so long-poll
+	// waiters can re-check the job instead of blocking on a handle that a
+	// drain, steal, or re-admission has already left behind (the stale-job
+	// window: j.done never closes for a parked job).
+	changed chan struct{}
+
+	// Fleet lease bookkeeping, mirrored from the durable record: the node
+	// that claimed the job (== this server's NodeID while we own it) and the
+	// fencing epoch of that claim. Zero outside fleet mode.
+	node  string
+	epoch uint64
+
 	// pubMu serializes seq assignment + event-log append + broadcast so
 	// concurrent publishers (Cancel racing onRun, say) cannot emit events out
 	// of seq order — the stream's dense ordering is a documented contract.
@@ -50,8 +62,24 @@ func newJob(id, key string, specs []experiments.RunSpec, budget Budget, created 
 		specs:   specs,
 		created: created,
 		done:    make(chan struct{}),
+		changed: make(chan struct{}),
 		broker:  obs.NewBroker[JobEvent](),
 	}
+}
+
+// notifyLocked wakes every watcher of the job's state. Caller holds j.mu.
+func (j *job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// watch returns a channel closed at the job's next state transition. Callers
+// must re-check the job's state after the close and call watch again — the
+// channel is one-shot.
+func (j *job) watch() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.changed
 }
 
 // record snapshots the job into its durable form. Caller holds j.mu.
@@ -66,6 +94,8 @@ func (j *job) recordLocked() jobRecord {
 		CreatedMS:  msTime(j.created),
 		StartedMS:  msTime(j.started),
 		FinishedMS: msTime(j.finished),
+		NodeID:     j.node,
+		Epoch:      j.epoch,
 	}
 	if j.state.Terminal() {
 		rec.Runs = j.runs

@@ -57,6 +57,23 @@ type Options struct {
 	// default 256; negative disables caching).
 	CacheSpecs int
 
+	// NodeID names this process in a fleet of daemons sharing StateDir.
+	// "" (the default) is single-node mode: no leases, no fencing, no steal
+	// loop — exactly the pre-fleet behavior. Fleet mode requires StateDir.
+	NodeID string
+	// Advertise is the base URL peers and clients use to reach this node
+	// (fleet mode), e.g. "http://127.0.0.1:8080". Registered in the shared
+	// membership directory on every heartbeat.
+	Advertise string
+	// Lease is how long a job claim lasts without renewal before any peer
+	// may steal it. Default 3s. Renewal runs every Lease/3, so a node must
+	// miss two consecutive renewals (or die) to lose a job.
+	Lease time.Duration
+	// CacheDisk bounds the shared on-disk spec-result cache under StateDir
+	// (entries; negative disables). Default 1024 in fleet mode, disabled in
+	// single-node mode where the in-memory cache plus checkpoints suffice.
+	CacheDisk int
+
 	// Log receives operational lines (nil = silent).
 	Log io.Writer
 
@@ -84,21 +101,31 @@ func (o Options) withDefaults() Options {
 	if o.CacheSpecs == 0 {
 		o.CacheSpecs = 256
 	}
+	if o.Lease == 0 {
+		o.Lease = 3 * time.Second
+	}
+	if o.CacheDisk == 0 && o.NodeID != "" {
+		o.CacheDisk = 1024
+	}
 	if o.runSweep == nil {
 		o.runSweep = experiments.RunSweep
 	}
 	return o
 }
 
+// fleet reports whether the server runs in fleet mode (lease/steal protocol).
+func (o Options) fleet() bool { return o.NodeID != "" }
+
 // Server is the job service: admission control in front of a bounded queue,
 // a dispatcher feeding at most MaxActive concurrent sweeps, durable job state
 // under StateDir, and per-job event streams. Create with New, serve its
 // Handler, and Shutdown to drain.
 type Server struct {
-	opt   Options
-	store *store // nil when persistence is disabled
-	cache *specCache
-	start time.Time
+	opt    Options
+	store  *store // nil when persistence is disabled
+	cache  *specCache
+	dcache *diskSpecCache // nil unless CacheDisk > 0 and StateDir set
+	start  time.Time
 
 	baseCtx context.Context // cancelled at the drain deadline
 	baseCut context.CancelFunc
@@ -114,6 +141,15 @@ type Server struct {
 	quit      chan struct{} // stops the dispatcher
 	quitOnce  sync.Once
 	stopped   chan struct{} // dispatcher exited
+
+	// meanJobMS is an EWMA of finished jobs' wall-clock durations, seeding
+	// the queue_full Retry-After hint. Guarded by mu.
+	meanJobMS float64
+	// drainDeadline is when the drain budget lapses (set by Shutdown); the
+	// draining Retry-After hint is the remaining budget. Guarded by mu.
+	drainDeadline time.Time
+
+	fleetStopped chan struct{} // fleet loop exited (nil outside fleet mode)
 
 	wg sync.WaitGroup // running jobs
 
@@ -143,12 +179,18 @@ func New(opt Options) (*Server, error) {
 	}
 	s.baseCtx, s.baseCut = context.WithCancel(context.Background())
 
+	if opt.fleet() && opt.StateDir == "" {
+		return nil, fmt.Errorf("serve: fleet mode (NodeID %q) requires a StateDir", opt.NodeID)
+	}
 	if opt.StateDir != "" {
 		st, err := newStore(opt.StateDir)
 		if err != nil {
 			return nil, err
 		}
 		s.store = st
+		if opt.CacheDisk > 0 {
+			s.dcache = newDiskSpecCache(opt.StateDir, opt.CacheDisk)
+		}
 		recs, skipped, err := st.loadJobs()
 		if err != nil {
 			return nil, err
@@ -157,44 +199,97 @@ func New(opt Options) (*Server, error) {
 			s.logf("serve: skipping unreadable job dir %s", dir)
 		}
 		for _, rec := range recs {
-			j := newJob(rec.ID, rec.Key, rec.Specs, rec.Budget, time.UnixMilli(rec.CreatedMS))
-			j.state = rec.State
-			j.err = rec.Error
-			if rec.StartedMS != 0 {
-				j.started = time.UnixMilli(rec.StartedMS)
-			}
-			if rec.FinishedMS != 0 {
-				j.finished = time.UnixMilli(rec.FinishedMS)
-			}
 			if rec.State.Terminal() {
-				j.runs = rec.Runs
-				tallyRuns(j, rec.Runs)
+				j := jobFromRecord(rec)
 				close(j.done)
 				j.broker.Close()
 				s.jobs[j.id] = j
 				continue
 			}
+			if opt.fleet() {
+				// A peer may own (or be finishing) this job: only re-admit
+				// what we can claim. Unclaimable jobs stay off the local map;
+				// their statuses are served from disk.
+				claimed, cerr := st.claimJob(rec.ID, opt.NodeID, opt.Lease)
+				switch {
+				case errors.Is(cerr, errLeaseHeld):
+					continue
+				case errors.Is(cerr, errJobTerminal):
+					if fresh, lerr := st.loadJob(rec.ID); lerr == nil {
+						j := jobFromRecord(fresh)
+						close(j.done)
+						j.broker.Close()
+						s.jobs[j.id] = j
+					}
+					continue
+				case cerr != nil:
+					s.logf("serve: cannot claim job %s: %v", rec.ID, cerr)
+					continue
+				}
+				rec = claimed
+			}
 			// Interrupted job: back to the queue, resuming from its
 			// checkpoint. The prior process's partial progress is on disk.
-			j.state = StateQueued
-			j.started = time.Time{}
-			s.jobs[j.id] = j
-			s.byKey[j.key] = j
-			s.queue = append(s.queue, j)
-			if err := s.persist(j); err != nil {
-				s.logf("%v", err)
-			}
-			s.publish(j, func(ev *JobEvent) {
-				ev.Type = "state"
-				ev.State = StateQueued
-			})
-			s.logf("serve: re-admitted job %s (%d specs, was %s)", j.id, len(j.specs), rec.State)
+			s.readmitLocked(rec, "re-admitted")
 		}
 	}
 
 	go s.dispatch()
+	if opt.fleet() {
+		s.fleetStopped = make(chan struct{})
+		go s.fleetLoop()
+	}
 	s.kick() // start any re-admitted jobs
 	return s, nil
+}
+
+// jobFromRecord rebuilds the in-memory job from its durable form.
+func jobFromRecord(rec jobRecord) *job {
+	j := newJob(rec.ID, rec.Key, rec.Specs, rec.Budget, time.UnixMilli(rec.CreatedMS))
+	j.state = rec.State
+	j.err = rec.Error
+	j.node = rec.NodeID
+	j.epoch = rec.Epoch
+	if rec.StartedMS != 0 {
+		j.started = time.UnixMilli(rec.StartedMS)
+	}
+	if rec.FinishedMS != 0 {
+		j.finished = time.UnixMilli(rec.FinishedMS)
+	}
+	if rec.State.Terminal() {
+		j.runs = rec.Runs
+		tallyRuns(j, rec.Runs)
+	}
+	return j
+}
+
+// readmitLocked queues an interrupted job under this process (after a restart
+// or a successful steal), replaying its persisted event log into the broker so
+// the stream's sequence continues where the previous owner's stopped — a
+// client reconnecting with ?from= sees one dense stream across the handoff.
+// Caller holds s.mu (or is the single-threaded constructor).
+func (s *Server) readmitLocked(rec jobRecord, verb string) {
+	j := jobFromRecord(rec)
+	was := rec.State
+	j.state = StateQueued
+	j.started = time.Time{}
+	for _, ev := range s.store.loadEvents(j.id) {
+		j.broker.Publish(ev)
+		if ev.Seq >= j.seq {
+			j.seq = ev.Seq + 1
+		}
+	}
+	s.jobs[j.id] = j
+	s.byKey[j.key] = j
+	s.queue = append(s.queue, j)
+	if err := s.persist(j); err != nil {
+		s.logf("%v", err)
+	}
+	s.publish(j, func(ev *JobEvent) {
+		ev.Type = "state"
+		ev.State = StateQueued
+	})
+	s.logf("serve: %s job %s (%d specs, was %s)", verb, j.id, len(j.specs), was)
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -225,8 +320,10 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResponse, *APIError) {
 
 	s.mu.Lock()
 	if s.draining {
+		aerr := apiErrorf(CodeDraining, "server is draining; retry after restart")
+		aerr.RetryAfterMS = s.retryAfterDrainingLocked()
 		s.mu.Unlock()
-		return SubmitResponse{}, apiErrorf(CodeDraining, "server is draining; retry after restart")
+		return SubmitResponse{}, aerr
 	}
 	if prior, ok := s.byKey[key]; ok {
 		s.mu.Unlock()
@@ -236,13 +333,28 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResponse, *APIError) {
 		prior.mu.Unlock()
 		return SubmitResponse{ID: prior.id, State: state, Deduped: true}, nil
 	}
+	if s.opt.fleet() {
+		// A peer may already hold an identical job: single-flight onto the
+		// fleet-wide copy so concurrent clients hitting different nodes
+		// still share one simulation.
+		if id, state, ok := s.dedupOnDiskLocked(key); ok {
+			s.mu.Unlock()
+			return SubmitResponse{ID: id, State: state, Deduped: true}, nil
+		}
+	}
 	if len(s.queue)+s.admitting >= s.opt.MaxQueue {
 		n := len(s.queue) + s.admitting
-		s.mu.Unlock()
-		return SubmitResponse{}, apiErrorf(CodeQueueFull,
+		aerr := apiErrorf(CodeQueueFull,
 			"queue full (%d jobs waiting); retry with backoff", n)
+		aerr.RetryAfterMS = s.retryAfterQueueFullLocked(n)
+		s.mu.Unlock()
+		return SubmitResponse{}, aerr
 	}
 	j := newJob(newJobID(), key, specs, budget, time.Now())
+	if s.opt.fleet() {
+		j.node = s.opt.NodeID
+		j.epoch = 1
+	}
 	s.jobs[j.id] = j
 	s.byKey[key] = j
 	s.admitting++
@@ -285,8 +397,10 @@ func (s *Server) Submit(req SubmitRequest) (SubmitResponse, *APIError) {
 		if s.byKey[key] == j {
 			delete(s.byKey, key)
 		}
+		aerr := apiErrorf(CodeDraining, "server is draining; retry after restart")
+		aerr.RetryAfterMS = s.retryAfterDrainingLocked()
 		s.mu.Unlock()
-		return SubmitResponse{}, apiErrorf(CodeDraining, "server is draining; retry after restart")
+		return SubmitResponse{}, aerr
 	}
 	s.queue = append(s.queue, j)
 	s.mu.Unlock()
@@ -323,6 +437,100 @@ func (s *Server) resolveBudget(req SubmitRequest) (Budget, *APIError) {
 	return b, nil
 }
 
+// retryAfterQueueFullLocked derives the queue_full backoff hint from actual
+// load: with n jobs ahead and MaxActive slots draining them at the observed
+// mean job duration, a retry before n×mean/slots elapses meets the same full
+// queue. Clamped to [1s, 5m]; the mean seeds at 1s until a job finishes.
+// Caller holds s.mu.
+func (s *Server) retryAfterQueueFullLocked(n int) int64 {
+	mean := s.meanJobMS
+	if mean <= 0 {
+		mean = 1000
+	}
+	ms := int64(float64(n) * mean / float64(s.opt.MaxActive))
+	return clampMS(ms, 1000, 5*60*1000)
+}
+
+// retryAfterDrainingLocked hints the remaining drain budget: once it lapses
+// the process exits and a restart (or a fleet peer) takes the work. Caller
+// holds s.mu.
+func (s *Server) retryAfterDrainingLocked() int64 {
+	rem := s.opt.DrainTimeout
+	if !s.drainDeadline.IsZero() {
+		rem = time.Until(s.drainDeadline)
+	}
+	return clampMS(rem.Milliseconds(), 1000, s.opt.DrainTimeout.Milliseconds())
+}
+
+func clampMS(ms, lo, hi int64) int64 {
+	if hi < lo {
+		hi = lo
+	}
+	if ms < lo {
+		return lo
+	}
+	if ms > hi {
+		return hi
+	}
+	return ms
+}
+
+// observeJobDuration folds one finished job's wall time into the EWMA behind
+// the queue_full hint.
+func (s *Server) observeJobDuration(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.meanJobMS == 0 {
+		s.meanJobMS = float64(d.Milliseconds())
+	} else {
+		s.meanJobMS = 0.7*s.meanJobMS + 0.3*float64(d.Milliseconds())
+	}
+	s.mu.Unlock()
+}
+
+// dedupOnDiskLocked looks for a live (non-terminal) job with the same dedup
+// key anywhere in the fleet's shared store. Caller holds s.mu.
+func (s *Server) dedupOnDiskLocked(key string) (id string, state State, ok bool) {
+	recs, _, err := s.store.loadJobs()
+	if err != nil {
+		return "", "", false
+	}
+	for _, rec := range recs {
+		if rec.Key == key && !rec.State.Terminal() {
+			return rec.ID, rec.State, true
+		}
+	}
+	return "", "", false
+}
+
+// resolveAddr maps a fleet node ID to its advertised base URL.
+func (s *Server) resolveAddr(node string) string {
+	if node == "" {
+		return ""
+	}
+	if node == s.opt.NodeID {
+		return s.opt.Advertise
+	}
+	if s.store == nil {
+		return ""
+	}
+	return s.store.nodeAddr(node)
+}
+
+// notOwnerError builds the typed redirect for a job this node cannot serve,
+// naming the current owner from the durable record.
+func (s *Server) notOwnerError(id string) *APIError {
+	aerr := apiErrorf(CodeNotOwner, "job %s is owned by another node", id)
+	if rec, err := s.store.loadJob(id); err == nil {
+		aerr.Node = rec.NodeID
+		aerr.NodeAddr = s.resolveAddr(rec.NodeID)
+		aerr.Message = fmt.Sprintf("job %s is owned by node %s", id, rec.NodeID)
+	}
+	return aerr
+}
+
 // Job returns the job by ID.
 func (s *Server) Job(id string) (*job, bool) {
 	s.mu.Lock()
@@ -348,7 +556,70 @@ func (s *Server) Status(id string, includeRuns bool) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	return j.status(pos, includeRuns), true
+	st := j.status(pos, includeRuns)
+	if s.opt.fleet() {
+		j.mu.Lock()
+		node, stolen := j.node, j.state == StateStolen
+		j.mu.Unlock()
+		if stolen {
+			// The durable record names the thief — point the client there.
+			if rec, err := s.store.loadJob(id); err == nil {
+				node = rec.NodeID
+			}
+		}
+		st.Node = node
+		st.NodeAddr = s.resolveAddr(node)
+	}
+	return st, true
+}
+
+// StatusAny answers a status query for a job this node may not hold in
+// memory: local jobs first, then the fleet's shared store, so any node can
+// answer for any job (and a client can re-resolve a stolen job's owner by
+// asking whoever responds).
+func (s *Server) StatusAny(id string, includeRuns bool) (JobStatus, bool) {
+	if st, ok := s.Status(id, includeRuns); ok {
+		return st, true
+	}
+	if !s.opt.fleet() {
+		return JobStatus{}, false
+	}
+	rec, err := s.store.loadJob(id)
+	if err != nil {
+		return JobStatus{}, false
+	}
+	return s.statusFromRecord(rec, includeRuns), true
+}
+
+// statusFromRecord snapshots a durable record into the wire status.
+func (s *Server) statusFromRecord(rec jobRecord, includeRuns bool) JobStatus {
+	st := JobStatus{
+		ID:         rec.ID,
+		State:      rec.State,
+		Error:      rec.Error,
+		Budget:     rec.Budget,
+		CreatedMS:  rec.CreatedMS,
+		StartedMS:  rec.StartedMS,
+		FinishedMS: rec.FinishedMS,
+		Specs:      len(rec.Specs),
+		Node:       rec.NodeID,
+		NodeAddr:   s.resolveAddr(rec.NodeID),
+	}
+	if rec.State.Terminal() {
+		st.Completed = len(rec.Runs)
+		for _, r := range rec.Runs {
+			if r.Err != "" {
+				st.Failed++
+			}
+			if r.Resumed {
+				st.Resumed++
+			}
+		}
+		if includeRuns {
+			st.Runs = rec.Runs
+		}
+	}
+	return st
 }
 
 // Statuses snapshots every job, oldest first.
@@ -383,6 +654,10 @@ func (s *Server) Cancel(id string) (JobStatus, *APIError) {
 	}
 	j.mu.Lock()
 	switch {
+	case j.state == StateStolen:
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return JobStatus{}, s.notOwnerError(id)
 	case j.state.Terminal():
 		j.mu.Unlock()
 		s.mu.Unlock()
@@ -400,6 +675,7 @@ func (s *Server) Cancel(id string) (JobStatus, *APIError) {
 		j.finished = time.Now()
 		j.cancelled = true
 		close(j.done)
+		j.notifyLocked()
 		j.mu.Unlock()
 		s.mu.Unlock()
 		s.persistAndLog(j)
@@ -436,7 +712,29 @@ func (s *Server) Health() Health {
 		Queued:   len(s.queue),
 		Running:  s.running,
 		UptimeMS: time.Since(s.start).Milliseconds(),
+		Node:     s.opt.NodeID,
 	}
+}
+
+// Fleet snapshots the membership registry for GET /fleetz. A node is alive
+// when it heartbeated within three lease periods (heartbeats run every
+// Lease/3, so that is ~9 missed beats).
+func (s *Server) Fleet() FleetStatus {
+	fs := FleetStatus{Self: s.opt.NodeID}
+	if s.store == nil {
+		return fs
+	}
+	cutoff := time.Now().Add(-3 * s.opt.Lease).UnixMilli()
+	for _, n := range s.store.loadNodes() {
+		fs.Nodes = append(fs.Nodes, FleetNode{
+			Node:      n.NodeID,
+			Addr:      n.Addr,
+			PID:       n.PID,
+			UpdatedMS: n.UpdatedMS,
+			Alive:     n.UpdatedMS >= cutoff,
+		})
+	}
+	return fs
 }
 
 // kick nudges the dispatcher without blocking.
@@ -500,9 +798,16 @@ func (s *Server) runJob(j *job) {
 	defer cancel()
 
 	j.mu.Lock()
+	if j.state == StateStolen || j.state.Terminal() {
+		// The dispatcher popped the job just as a peer stole it (or a racing
+		// cancel landed); nothing to run here.
+		j.mu.Unlock()
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.notifyLocked()
 	deadlineMS := j.budget.DeadlineMS
 	budget := j.budget
 	specs := j.specs
@@ -540,9 +845,20 @@ func (s *Server) runJob(j *job) {
 	if s.store != nil {
 		opt.StatePath = s.store.checkpointPath(j.id)
 	}
+	if s.opt.fleet() {
+		// Fence every checkpoint flush on the claim epoch: a stolen job's
+		// old owner must not clobber the thief's resumed state. A refused
+		// flush aborts the sweep with experiments.ErrStateConflict.
+		j.mu.Lock()
+		node, epoch := j.node, j.epoch
+		j.mu.Unlock()
+		opt.WriteState = func(path string, data []byte) error {
+			return s.store.writeJobFileFenced(j.id, node, epoch, path, data)
+		}
+	}
 	if s.cache != nil {
 		opt.Run = func(ctx context.Context, spec experiments.RunSpec, ins experiments.Instrument) (*core.Results, error) {
-			res, shared, err := s.cache.run(ctx, spec, ins)
+			res, shared, err := s.runCached(ctx, spec, ins)
 			if shared {
 				sharedMu.Lock()
 				sharedKeys[experiments.SpecKey(spec)] = true
@@ -557,6 +873,10 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case err == nil:
 		s.finishJob(j, runs, StateDone, nil)
+	case errors.Is(err, experiments.ErrStateConflict):
+		// A peer stole the job mid-sweep (our lease lapsed); it resumes from
+		// the last checkpoint flush we landed before losing the epoch.
+		s.markStolen(j)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.finishJob(j, runs, StateFailed, &APIError{
 			Code:    string(sim.CodeTimeout),
@@ -614,22 +934,71 @@ func (s *Server) onRun(j *job, index int, run experiments.SweepRun, sharedKeys m
 	})
 }
 
+// runCached executes one spec through the cache stack: the shared on-disk
+// fleet cache first (a spec simulated on any node is a hit everywhere), then
+// the in-process single-flight cache. Deterministic outcomes are written
+// through to disk so peers inherit them.
+func (s *Server) runCached(ctx context.Context, spec experiments.RunSpec, ins experiments.Instrument) (*core.Results, bool, error) {
+	if s.dcache != nil {
+		if res, err, ok := s.dcache.get(spec); ok {
+			return res, true, err
+		}
+	}
+	res, shared, err := s.cache.run(ctx, spec, ins)
+	if s.dcache != nil && !shared && !transientRunErr(err) && ctx.Err() == nil {
+		s.dcache.put(spec, res, err)
+	}
+	return res, shared, err
+}
+
 // finishJob moves a job to a terminal state, persists it and closes its
-// stream.
+// stream. In fleet mode the terminal record is persisted under the claim
+// epoch *before* the in-memory commit: if a peer stole the job during the
+// final flush the fenced write refuses, we mark the job stolen instead, and
+// exactly one terminal record (the thief's, when it finishes) ever exists.
 func (s *Server) finishJob(j *job, runs []experiments.SweepRun, state State, aerr *APIError) {
 	j.mu.Lock()
-	if j.state.Terminal() {
+	if j.state.Terminal() || j.state == StateStolen {
 		j.mu.Unlock()
 		return
 	}
+	fenced := s.opt.fleet() && j.epoch > 0
+	var rec jobRecord
+	if fenced {
+		finished := time.Now()
+		rec = j.recordLocked()
+		rec.State = state
+		rec.Error = aerr
+		rec.FinishedMS = msTime(finished)
+		rec.Runs = runs
+		j.mu.Unlock()
+		err := s.store.saveJobKeepLease(rec, s.opt.Lease)
+		if errors.Is(err, errFenced) {
+			s.markStolen(j)
+			return
+		}
+		if err != nil {
+			s.logf("%v", err)
+		}
+		j.mu.Lock()
+		if j.state.Terminal() || j.state == StateStolen {
+			j.mu.Unlock()
+			return
+		}
+		j.finished = finished
+	} else {
+		j.finished = time.Now()
+	}
 	j.state = state
 	j.err = aerr
-	j.finished = time.Now()
 	j.runs = runs
 	j.cancel = nil
 	j.completed, j.failed, j.resumed = 0, 0, 0
 	tallyRuns(j, runs)
+	started := j.started
+	finished := j.finished
 	close(j.done)
+	j.notifyLocked()
 	j.mu.Unlock()
 
 	s.mu.Lock()
@@ -637,8 +1006,13 @@ func (s *Server) finishJob(j *job, runs []experiments.SweepRun, state State, aer
 		delete(s.byKey, j.key)
 	}
 	s.mu.Unlock()
+	if !started.IsZero() {
+		s.observeJobDuration(finished.Sub(started))
+	}
 
-	s.persistAndLog(j)
+	if !fenced {
+		s.persistAndLog(j)
+	}
 	s.publish(j, func(ev *JobEvent) {
 		ev.Type = "state"
 		ev.State = state
@@ -648,18 +1022,75 @@ func (s *Server) finishJob(j *job, runs []experiments.SweepRun, state State, aer
 	s.logf("serve: job %s -> %s (%d runs)", j.id, state, len(runs))
 }
 
+// markStolen withdraws a job whose lease a peer claimed: the durable record,
+// checkpoint and event log now belong to the thief. The local twin becomes
+// StateStolen (memory only — never persisted), its sweep is cancelled (all
+// its writes are fenced off anyway), and its local stream closes after a
+// final stolen event so watchers re-resolve the job to its new owner.
+func (s *Server) markStolen(j *job) {
+	s.mu.Lock()
+	j.mu.Lock()
+	if j.state.Terminal() || j.state == StateStolen {
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	if s.byKey[j.key] == j {
+		delete(s.byKey, j.key)
+	}
+	j.state = StateStolen
+	cancel := j.cancel
+	j.cancel = nil
+	j.notifyLocked()
+	j.mu.Unlock()
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	// Publish to the local broker only: the durable event log is the new
+	// owner's to append to.
+	j.pubMu.Lock()
+	j.mu.Lock()
+	ev := j.nextEventLocked()
+	j.mu.Unlock()
+	ev.Type = "state"
+	ev.State = StateStolen
+	j.broker.Publish(ev)
+	j.pubMu.Unlock()
+	j.broker.Close()
+	s.logf("serve: job %s stolen by a peer", j.id)
+}
+
 // parkJob records an interrupted (non-terminal) job so a restart resumes it.
-// The event stream stays open — the job is not finished, merely paused.
+// The event stream stays open — the job is not finished, merely paused. In
+// fleet mode the park also releases the lease, so a peer steals the job
+// immediately instead of waiting out the expiry.
 func (s *Server) parkJob(j *job, state State) {
 	j.mu.Lock()
-	if j.state.Terminal() {
+	if j.state.Terminal() || j.state == StateStolen {
 		j.mu.Unlock()
 		return
 	}
 	j.state = state
 	j.cancel = nil
+	j.notifyLocked()
+	fenced := s.opt.fleet() && j.epoch > 0
+	rec := j.recordLocked()
 	j.mu.Unlock()
-	s.persistAndLog(j)
+	if fenced {
+		rec.LeaseUntilMS = 0 // stealable now
+		if err := s.store.saveJobFenced(rec); err != nil && !errors.Is(err, errFenced) {
+			s.logf("%v", err)
+		}
+	} else {
+		s.persistAndLog(j)
+	}
 	s.publish(j, func(ev *JobEvent) {
 		ev.Type = "state"
 		ev.State = state
@@ -680,6 +1111,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
+	s.drainDeadline = time.Now().Add(s.opt.DrainTimeout)
 	queued := s.queue
 	s.queue = nil
 	s.mu.Unlock()
@@ -712,10 +1144,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.baseCut()
 	s.quitOnce.Do(func() { close(s.quit) })
 	<-s.stopped
+	if s.fleetStopped != nil {
+		<-s.fleetStopped
+	}
 	return err
 }
 
-// persist writes the job's durable record (no-op without a state dir).
+// persist writes the job's durable record (no-op without a state dir). In
+// fleet mode the write is fenced on the claim epoch and preserves whatever
+// lease expiry the renewal loop last wrote.
 func (s *Server) persist(j *job) error {
 	if s.store == nil {
 		return nil
@@ -723,6 +1160,13 @@ func (s *Server) persist(j *job) error {
 	j.mu.Lock()
 	rec := j.recordLocked()
 	j.mu.Unlock()
+	if s.opt.fleet() && rec.Epoch > 0 {
+		err := s.store.saveJobKeepLease(rec, s.opt.Lease)
+		if errors.Is(err, errFenced) {
+			s.markStolen(j)
+		}
+		return err
+	}
 	return s.store.saveJob(rec)
 }
 
@@ -740,10 +1184,13 @@ func (s *Server) publish(j *job, fill func(*JobEvent)) {
 	j.pubMu.Lock()
 	defer j.pubMu.Unlock()
 	j.mu.Lock()
+	stolen := j.state == StateStolen
 	ev := j.nextEventLocked()
 	j.mu.Unlock()
 	fill(&ev)
-	if s.store != nil {
+	if s.store != nil && !stolen {
+		// A stolen job's durable log belongs to its new owner; local
+		// stragglers (a late onRun from the cancelled sweep) stay local.
 		if err := s.store.appendEvent(j.id, ev); err != nil {
 			s.logf("serve: job %s event log: %v", j.id, err)
 		}

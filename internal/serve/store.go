@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +29,13 @@ type jobRecord struct {
 	CreatedMS  int64 `json:"created_ms"`
 	StartedMS  int64 `json:"started_ms,omitempty"`
 	FinishedMS int64 `json:"finished_ms,omitempty"`
+
+	// Fleet lease (zero/absent on single-node records): the node that owns
+	// the job, the instant its ownership lapses, and the fencing epoch that
+	// is bumped on every claim. See lease.go for the protocol.
+	NodeID       string `json:"node_id,omitempty"`
+	LeaseUntilMS int64  `json:"lease_until_ms,omitempty"`
+	Epoch        uint64 `json:"epoch,omitempty"`
 
 	// Runs holds the final per-run outcomes once the job is terminal.
 	Runs []experiments.SweepRun `json:"runs,omitempty"`
@@ -111,13 +119,8 @@ func (s *store) loadJobs() (recs []jobRecord, skipped []string, err error) {
 		if !e.IsDir() {
 			continue
 		}
-		data, rerr := os.ReadFile(s.jobPath(e.Name()))
+		rec, rerr := readJobRecord(s.jobPath(e.Name()))
 		if rerr != nil {
-			skipped = append(skipped, e.Name())
-			continue
-		}
-		var rec jobRecord
-		if jerr := json.Unmarshal(data, &rec); jerr != nil || rec.ID == "" {
 			skipped = append(skipped, e.Name())
 			continue
 		}
@@ -130,6 +133,106 @@ func (s *store) loadJobs() (recs []jobRecord, skipped []string, err error) {
 		return recs[i].ID < recs[j].ID
 	})
 	return recs, skipped, nil
+}
+
+// readJobRecord decodes one job.json. A missing file surfaces as
+// os.ErrNotExist; a present-but-empty record is corruption.
+func readJobRecord(path string) (jobRecord, error) {
+	var rec jobRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("serve: decode %s: %w", path, err)
+	}
+	if rec.ID == "" {
+		return rec, fmt.Errorf("serve: %s: record has no id", path)
+	}
+	return rec, nil
+}
+
+// loadEvents replays a job's persisted event log (for re-admission and
+// steals: the new owner continues the sequence instead of restarting it).
+// Torn or corrupt lines — a crash mid-append — are skipped.
+func (s *store) loadEvents(id string) []JobEvent {
+	data, err := os.ReadFile(s.eventsPath(id))
+	if err != nil {
+		return nil
+	}
+	var evs []JobEvent
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// Membership registry: each fleet node heartbeats a small JSON file under
+// <dir>/nodes/<id>.json naming its advertised address. Peers and clients use
+// it to resolve a job's owning node to something dialable.
+
+type nodeRecord struct {
+	NodeID    string `json:"node_id"`
+	Addr      string `json:"addr"`
+	PID       int    `json:"pid"`
+	UpdatedMS int64  `json:"updated_ms"`
+}
+
+func (s *store) nodesDir() string { return filepath.Join(s.dir, "nodes") }
+
+func (s *store) saveNode(rec nodeRecord) error {
+	if err := os.MkdirAll(s.nodesDir(), 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteFileAtomic(filepath.Join(s.nodesDir(), rec.NodeID+".json"), data)
+}
+
+// loadNodes reads every registered fleet node, sorted by ID.
+func (s *store) loadNodes() []nodeRecord {
+	entries, err := os.ReadDir(s.nodesDir())
+	if err != nil {
+		return nil
+	}
+	var recs []nodeRecord
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(s.nodesDir(), e.Name()))
+		if err != nil {
+			continue
+		}
+		var rec nodeRecord
+		if json.Unmarshal(data, &rec) == nil && rec.NodeID != "" {
+			recs = append(recs, rec)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].NodeID < recs[j].NodeID })
+	return recs
+}
+
+// nodeAddr resolves a node ID to its advertised address ("" when unknown).
+func (s *store) nodeAddr(id string) string {
+	if id == "" {
+		return ""
+	}
+	data, err := os.ReadFile(filepath.Join(s.nodesDir(), id+".json"))
+	if err != nil {
+		return ""
+	}
+	var rec nodeRecord
+	if json.Unmarshal(data, &rec) != nil {
+		return ""
+	}
+	return rec.Addr
 }
 
 // appendEvent appends one event to the job's NDJSON log. The log is
